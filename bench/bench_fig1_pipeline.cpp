@@ -1,0 +1,105 @@
+// Experiment Fig.1 — the four-step mapping pipeline (paper Figure 1).
+//
+// Prints a per-stage breakdown for the paper DTD and a scaling series over
+// synthetic DTDs (the pipeline is expected to be linear in DTD size), then
+// runs google-benchmark timings per stage.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace {
+
+using namespace xr;
+
+void print_report() {
+    std::cout << "=== Fig.1: DTD -> ER pipeline, per-stage output sizes ===\n";
+    TablePrinter table({"dtd", "element types", "groups hoisted",
+                        "attrs distilled", "relationships", "entities"});
+
+    auto row = [&](const std::string& label, const dtd::Dtd& dtd) {
+        mapping::MappingResult r = mapping::map_dtd(dtd);
+        std::size_t relationships = r.converted.nested_groups.size() +
+                                    r.converted.nested.size() +
+                                    r.converted.references.size();
+        table.add_row({label, std::to_string(dtd.element_count()),
+                       std::to_string(r.metadata.groups.size()),
+                       std::to_string(r.metadata.distilled.size()),
+                       std::to_string(relationships),
+                       std::to_string(r.model.entities().size())});
+    };
+
+    row("paper (Example 1)", gen::paper_dtd());
+    row("orders", gen::orders_dtd());
+    for (std::size_t n : {10, 50, 100, 200, 400, 800})
+        row("synthetic n=" + std::to_string(n), bench::synthetic_dtd(n));
+    std::cout << table.to_string() << "\n";
+}
+
+void BM_Step1_DefineGroupElements(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        mapping::Metadata meta;
+        benchmark::DoNotOptimize(mapping::define_group_elements(dtd, meta));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step1_DefineGroupElements)->Range(16, 1024)->Complexity();
+
+void BM_Step2_DistillAttributes(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    mapping::Metadata meta;
+    dtd::Dtd grouped = mapping::define_group_elements(dtd, meta);
+    for (auto _ : state) {
+        mapping::Metadata m = meta;
+        benchmark::DoNotOptimize(mapping::distill_attributes(grouped, m));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step2_DistillAttributes)->Range(16, 1024)->Complexity();
+
+void BM_Step3_IdentifyRelationships(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    mapping::Metadata meta;
+    dtd::Dtd distilled =
+        mapping::distill_attributes(mapping::define_group_elements(dtd, meta), meta);
+    for (auto _ : state) {
+        mapping::Metadata m = meta;
+        benchmark::DoNotOptimize(mapping::identify_relationships(distilled, m));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step3_IdentifyRelationships)->Range(16, 1024)->Complexity();
+
+void BM_Step4_GenerateDiagram(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    mapping::MappingResult r = mapping::map_dtd(dtd);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapping::generate_diagram(r.converted));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Step4_GenerateDiagram)->Range(16, 1024)->Complexity();
+
+void BM_FullPipeline(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(mapping::map_dtd(dtd));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullPipeline)->Range(16, 1024)->Complexity();
+
+void BM_FullPipeline_PaperDtd(benchmark::State& state) {
+    dtd::Dtd dtd = gen::paper_dtd();
+    for (auto _ : state) benchmark::DoNotOptimize(mapping::map_dtd(dtd));
+}
+BENCHMARK(BM_FullPipeline_PaperDtd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

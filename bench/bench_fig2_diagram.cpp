@@ -1,0 +1,97 @@
+// Experiment Fig.2 — regenerate the paper's Figure 2 (the ER diagram of
+// the example DTD) and verify its structure, then benchmark diagram
+// generation and DOT export.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "er/dot.hpp"
+
+namespace {
+
+using namespace xr;
+
+void print_report() {
+    mapping::MappingResult r = mapping::map_dtd(gen::paper_dtd());
+
+    std::cout << "=== Fig.2: converted DTD (paper Example 2) ===\n"
+              << r.converted.to_string() << "\n";
+    std::cout << "=== Fig.2: ER diagram, structural form ===\n"
+              << r.model.to_string() << "\n";
+    std::cout << "=== Fig.2: Graphviz DOT (render with `dot -Tpng`) ===\n"
+              << er::to_dot(r.model, {.title = "Lee/Mitchell/Zhang Figure 2"})
+              << "\n";
+
+    // Structural checklist against the published figure.
+    struct Check {
+        const char* what;
+        bool ok;
+    };
+    const er::Model& m = r.model;
+    auto rel_kind = [&](const char* name, er::RelationshipKind kind) {
+        const er::Relationship* rel = m.relationship(name);
+        return rel != nullptr && rel->kind == kind;
+    };
+    Check checks[] = {
+        {"8 entities", m.entities().size() == 8},
+        {"8 relationship nodes", m.relationships().size() == 8},
+        {"7 attribute ovals", m.attribute_count() == 7},
+        {"NG1/NG2/NG3 nested groups",
+         rel_kind("NG1", er::RelationshipKind::kNestedGroup) &&
+             rel_kind("NG2", er::RelationshipKind::kNestedGroup) &&
+             rel_kind("NG3", er::RelationshipKind::kNestedGroup)},
+        {"4 nested relationships",
+         rel_kind("Ncontactauthor", er::RelationshipKind::kNested) &&
+             rel_kind("Nauthor", er::RelationshipKind::kNested) &&
+             rel_kind("Neditor", er::RelationshipKind::kNested) &&
+             rel_kind("Nname", er::RelationshipKind::kNested)},
+        {"authorid reference to author",
+         rel_kind("authorid", er::RelationshipKind::kReference) &&
+             m.relationship("authorid")->member("author") != nullptr},
+        {"choice arcs marked on NG1 and NG3",
+         m.relationship("NG1")->members[0].choice &&
+             m.relationship("NG3")->members[0].choice},
+        {"contactauthor is the EMPTY-element entity",
+         m.entity("contactauthor")->origin == er::EntityOrigin::kEmptyElement},
+        {"affiliation is the ANY-element entity",
+         m.entity("affiliation")->origin == er::EntityOrigin::kAnyElement},
+    };
+    std::cout << "=== Fig.2 structural checklist ===\n";
+    bool all = true;
+    for (const Check& c : checks) {
+        std::cout << "  [" << (c.ok ? "ok" : "FAIL") << "] " << c.what << "\n";
+        all = all && c.ok;
+    }
+    std::cout << (all ? "Figure 2 reproduced.\n\n" : "MISMATCH vs Figure 2!\n\n");
+}
+
+void BM_GenerateDiagram_Paper(benchmark::State& state) {
+    mapping::MappingResult r = mapping::map_dtd(gen::paper_dtd());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapping::generate_diagram(r.converted));
+}
+BENCHMARK(BM_GenerateDiagram_Paper);
+
+void BM_DotExport(benchmark::State& state) {
+    mapping::MappingResult r =
+        mapping::map_dtd(bench::synthetic_dtd(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) benchmark::DoNotOptimize(er::to_dot(r.model));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DotExport)->Range(16, 512)->Complexity();
+
+void BM_ConvertedDtdToString(benchmark::State& state) {
+    mapping::MappingResult r = mapping::map_dtd(gen::paper_dtd());
+    for (auto _ : state) benchmark::DoNotOptimize(r.converted.to_string());
+}
+BENCHMARK(BM_ConvertedDtdToString);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

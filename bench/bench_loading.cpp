@@ -1,0 +1,159 @@
+// Experiment §5-load — data-loading throughput and data volume: the
+// paper's mapping vs the VLDB'99 inlining baselines on identical corpora,
+// across corpus sizes.  The expected shape: inlining loads faster and
+// stores fewer rows (it collapses subtrees into wide rows); the mapping
+// stores more rows but preserves every relationship and the ordering
+// metadata — that trade is the paper's design position.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "baseline/inline_loader.hpp"
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+using namespace xr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void print_report() {
+    std::cout << "=== §5-load: loading throughput, mapping vs inlining ===\n";
+    TablePrinter table({"corpus", "elements", "strategy", "rows", "ms",
+                        "k elem/s", "null frac"});
+
+    for (std::size_t docs : {16, 64, 256}) {
+        bench::Corpus corpus = bench::Corpus::bibliography(docs, 400);
+
+        // Paper mapping.
+        {
+            bench::Stack stack(gen::paper_dtd());
+            auto t0 = Clock::now();
+            for (auto& doc : corpus.docs) {
+                loader::LoadOptions options;
+                options.validate = false;
+                options.resolve_references = false;
+                stack.loader->load(*doc, options);
+            }
+            stack.loader->resolve_references();
+            double s = seconds_since(t0);
+            double nulls = 0;
+            std::size_t tables = 0;
+            for (const auto& name : stack.db.table_names()) {
+                const rdb::Table& t = stack.db.require(name);
+                if (t.row_count() == 0) continue;
+                nulls += t.null_fraction();
+                ++tables;
+            }
+            table.add_row({std::to_string(docs) + " docs",
+                           std::to_string(corpus.total_elements), "mapping (ours)",
+                           std::to_string(stack.loader->stats().total_rows()),
+                           format_double(s * 1e3, 1),
+                           format_double(corpus.total_elements / s / 1000.0, 1),
+                           format_double(nulls / std::max<std::size_t>(tables, 1), 3)});
+        }
+
+        // Inlining baselines.
+        for (baseline::InliningMode mode :
+             {baseline::InliningMode::kBasic, baseline::InliningMode::kShared,
+              baseline::InliningMode::kHybrid}) {
+            baseline::InliningResult r = baseline::inline_dtd(gen::paper_dtd(), mode);
+            rdb::Database db;
+            baseline::InlineLoader loader(r, db);
+            auto t0 = Clock::now();
+            for (const auto& doc : corpus.docs) loader.load(*doc);
+            double s = seconds_since(t0);
+            double nulls = 0;
+            std::size_t tables = 0;
+            for (const auto& name : db.table_names()) {
+                const rdb::Table& t = db.require(name);
+                if (t.row_count() == 0) continue;
+                nulls += t.null_fraction();
+                ++tables;
+            }
+            table.add_row({std::to_string(docs) + " docs",
+                           std::to_string(corpus.total_elements),
+                           std::string(to_string(mode)) + " inlining",
+                           std::to_string(loader.stats().rows),
+                           format_double(s * 1e3, 1),
+                           format_double(corpus.total_elements / s / 1000.0, 1),
+                           format_double(nulls / std::max<std::size_t>(tables, 1), 3)});
+        }
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+void BM_Load_Mapping(benchmark::State& state) {
+    bench::Corpus corpus =
+        bench::Corpus::bibliography(static_cast<std::size_t>(state.range(0)), 400);
+    for (auto _ : state) {
+        state.PauseTiming();
+        bench::Stack stack(gen::paper_dtd());
+        state.ResumeTiming();
+        for (auto& doc : corpus.docs) {
+            loader::LoadOptions options;
+            options.validate = false;
+            options.resolve_references = false;
+            stack.loader->load(*doc, options);
+        }
+        stack.loader->resolve_references();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(corpus.total_elements * state.iterations()));
+}
+BENCHMARK(BM_Load_Mapping)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Load_SharedInlining(benchmark::State& state) {
+    bench::Corpus corpus =
+        bench::Corpus::bibliography(static_cast<std::size_t>(state.range(0)), 400);
+    baseline::InliningResult r =
+        baseline::inline_dtd(gen::paper_dtd(), baseline::InliningMode::kShared);
+    for (auto _ : state) {
+        state.PauseTiming();
+        rdb::Database db;
+        baseline::InlineLoader loader(r, db);
+        state.ResumeTiming();
+        for (const auto& doc : corpus.docs) loader.load(*doc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(corpus.total_elements * state.iterations()));
+}
+BENCHMARK(BM_Load_SharedInlining)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Load_WithValidation(benchmark::State& state) {
+    bench::Corpus corpus = bench::Corpus::bibliography(16, 400);
+    for (auto _ : state) {
+        state.PauseTiming();
+        bench::Stack stack(gen::paper_dtd());
+        state.ResumeTiming();
+        for (auto& doc : corpus.docs) stack.loader->load(*doc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(corpus.total_elements * state.iterations()));
+}
+BENCHMARK(BM_Load_WithValidation)->Unit(benchmark::kMillisecond);
+
+void BM_XmlParse(benchmark::State& state) {
+    // Parsing cost for context: text → DOM for one 400-element document.
+    auto doc = gen::bibliography_corpus(1, 400, 3);
+    std::string text = xml::serialize(*doc[0]);
+    for (auto _ : state) benchmark::DoNotOptimize(xml::parse_document(text));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(text.size() * state.iterations()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,88 @@
+// Supporting bench — the full cycle the paper's system implies:
+// parse XML → validate → load → (query) → reconstruct XML, with
+// reconstruction throughput and fidelity counters.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "loader/reconstruct.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+using namespace xr;
+
+void print_report() {
+    std::cout << "=== Round trip: XML -> relational -> XML fidelity ===\n";
+    TablePrinter table({"corpus", "docs", "rows", "byte-exact", "valid"});
+
+    for (std::size_t docs : {16, 128}) {
+        bench::Stack stack(gen::paper_dtd());
+        auto corpus = gen::bibliography_corpus(docs, 250, 2020);
+        std::vector<std::string> originals;
+        std::vector<std::int64_t> ids;
+        xml::SerializeOptions compact;
+        compact.indent.clear();
+        compact.declaration = false;
+        compact.doctype = false;
+        for (auto& doc : corpus) {
+            originals.push_back(xml::serialize(*doc, compact));
+            ids.push_back(stack.loader->load(*doc));
+        }
+        loader::Reconstructor reconstructor(stack.mapping, stack.schema,
+                                            stack.db);
+        validate::Validator validator(stack.logical);
+        std::size_t exact = 0, valid = 0;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            auto rebuilt = reconstructor.reconstruct(ids[i]);
+            if (xml::serialize(*rebuilt, compact) == originals[i]) ++exact;
+            if (validator.validate(*rebuilt).ok()) ++valid;
+        }
+        table.add_row({"bibliography", std::to_string(docs),
+                       std::to_string(stack.db.total_rows()),
+                       std::to_string(exact) + "/" + std::to_string(docs),
+                       std::to_string(valid) + "/" + std::to_string(docs)});
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+void BM_Reconstruct(benchmark::State& state) {
+    bench::Stack stack(gen::paper_dtd());
+    auto corpus = gen::bibliography_corpus(
+        static_cast<std::size_t>(state.range(0)), 250, 3);
+    std::vector<std::int64_t> ids;
+    std::size_t elements = 0;
+    for (auto& doc : corpus) {
+        elements += doc->root()->subtree_element_count();
+        ids.push_back(stack.loader->load(*doc));
+    }
+    loader::Reconstructor reconstructor(stack.mapping, stack.schema, stack.db);
+    for (auto _ : state) {
+        for (std::int64_t id : ids)
+            benchmark::DoNotOptimize(reconstructor.reconstruct(id));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(elements * state.iterations()));
+}
+BENCHMARK(BM_Reconstruct)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ReconstructOneSubtree(benchmark::State& state) {
+    bench::Stack stack(gen::paper_dtd());
+    for (auto& doc : gen::bibliography_corpus(16, 250, 3))
+        stack.loader->load(*doc);
+    loader::Reconstructor reconstructor(stack.mapping, stack.schema, stack.db);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reconstructor.reconstruct_element("author", 1));
+}
+BENCHMARK(BM_ReconstructOneSubtree);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

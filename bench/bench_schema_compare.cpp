@@ -1,0 +1,201 @@
+// Experiment §6-compare — the head-to-head the paper's conclusion calls
+// for: "further detailed analysis and performance evaluation are needed to
+// compare the pros and cons of these two approaches" (vs Shanmugasundaram
+// et al., VLDB'99).
+//
+// Static schema metrics (tables, columns, nullable density) and query-shape
+// metrics (join counts for the workload paths) for the paper's mapping vs
+// basic/shared/hybrid inlining, on the paper DTD and a synthetic sweep.
+// Expected shape: the mapping yields more, narrower tables with fewer
+// nullable columns and explicit relationships; inlining yields fewer, wider
+// tables with high null density and cheaper path queries — exactly the
+// trade the two papers stake out.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baseline/inline_schema.hpp"
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "xquery/sql_translate.hpp"
+
+namespace {
+
+using namespace xr;
+
+struct SchemaMetrics {
+    std::size_t tables = 0;
+    std::size_t columns = 0;
+    std::size_t nullable = 0;
+};
+
+SchemaMetrics mapping_metrics(const dtd::Dtd& dtd) {
+    mapping::MappingResult r = mapping::map_dtd(dtd);
+    rel::TranslateOptions options;
+    options.metadata_tables = false;  // compare data tables only
+    rel::RelationalSchema s = rel::translate(r, options);
+    return {s.tables().size(), s.column_count(), s.nullable_column_count()};
+}
+
+SchemaMetrics inline_metrics(const dtd::Dtd& dtd, baseline::InliningMode mode) {
+    baseline::InliningResult r = baseline::inline_dtd(dtd, mode);
+    return {r.schema.tables().size(), r.schema.column_count(),
+            r.schema.nullable_column_count()};
+}
+
+void print_schema_table() {
+    std::cout << "=== §6-compare: schema size, mapping vs inlining ===\n";
+    TablePrinter table(
+        {"dtd", "strategy", "tables", "columns", "nullable", "nullable %"});
+
+    auto add = [&](const std::string& label, const std::string& strategy,
+                   SchemaMetrics m) {
+        table.add_row({label, strategy, std::to_string(m.tables),
+                       std::to_string(m.columns), std::to_string(m.nullable),
+                       format_double(100.0 * m.nullable /
+                                         std::max<std::size_t>(m.columns, 1),
+                                     1)});
+    };
+
+    std::vector<std::pair<std::string, dtd::Dtd>> dtds;
+    dtds.emplace_back("paper", gen::paper_dtd());
+    dtds.emplace_back("orders", gen::orders_dtd());
+    for (std::size_t n : {50, 200}) {
+        dtds.emplace_back("synthetic n=" + std::to_string(n),
+                          bench::synthetic_dtd(n));
+    }
+    for (auto& [label, dtd] : dtds) {
+        add(label, "mapping (ours)", mapping_metrics(dtd));
+        add(label, "basic inlining",
+            inline_metrics(dtd, baseline::InliningMode::kBasic));
+        add(label, "shared inlining",
+            inline_metrics(dtd, baseline::InliningMode::kShared));
+        add(label, "hybrid inlining",
+            inline_metrics(dtd, baseline::InliningMode::kHybrid));
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+void print_join_table() {
+    std::cout << "=== §6-compare: join counts per query path ===\n";
+    dtd::Dtd dtd = gen::paper_dtd();
+    mapping::MappingResult r = mapping::map_dtd(dtd);
+    rel::RelationalSchema schema = rel::translate(r);
+    xquery::SqlTranslator translator(r, schema);
+    baseline::InliningResult basic =
+        baseline::inline_dtd(dtd, baseline::InliningMode::kBasic);
+    baseline::InliningResult shared =
+        baseline::inline_dtd(dtd, baseline::InliningMode::kShared);
+    baseline::InliningResult hybrid =
+        baseline::inline_dtd(dtd, baseline::InliningMode::kHybrid);
+
+    struct PathCase {
+        const char* query;
+        std::vector<std::string> path;
+    };
+    const PathCase cases[] = {
+        {"/article/title", {"article", "title"}},
+        {"/article/author", {"article", "author"}},
+        {"/article/author/name", {"article", "author", "name"}},
+        {"/article/author/name/lastname",
+         {"article", "author", "name", "lastname"}},
+        {"/article/contactauthor", {"article", "contactauthor"}},
+    };
+
+    TablePrinter table({"path", "mapping", "basic", "shared", "hybrid"});
+    for (const PathCase& c : cases) {
+        std::string ours = "-";
+        try {
+            ours = std::to_string(
+                translator.translate(xquery::parse_query(c.query)).join_count);
+        } catch (const QueryError&) {
+        }
+        table.add_row({c.query, ours,
+                       std::to_string(basic.path_joins(c.path)),
+                       std::to_string(shared.path_joins(c.path)),
+                       std::to_string(hybrid.path_joins(c.path))});
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+void print_ablation_table() {
+    std::cout << "=== Ablations: translate options on the paper DTD ===\n";
+    mapping::MappingResult r = mapping::map_dtd(gen::paper_dtd());
+    TablePrinter table({"variant", "tables", "columns", "nullable"});
+    auto add = [&](const std::string& label, rel::TranslateOptions options) {
+        options.metadata_tables = false;
+        rel::RelationalSchema s = rel::translate(r, options);
+        table.add_row({label, std::to_string(s.tables().size()),
+                       std::to_string(s.column_count()),
+                       std::to_string(s.nullable_column_count())});
+    };
+    add("default (ord everywhere, doc ids)", {});
+    {
+        rel::TranslateOptions o;
+        o.ordinal_only_where_repeatable = true;
+        add("ord only where repeatable", o);
+    }
+    {
+        rel::TranslateOptions o;
+        o.ordinal_columns = false;
+        add("no ord columns (ordering lost)", o);
+    }
+    {
+        rel::TranslateOptions o;
+        o.doc_column = false;
+        add("single-document (no doc ids)", o);
+    }
+    std::cout << table.to_string() << "\n";
+
+    std::cout << "=== Ablations: mapping options ===\n";
+    TablePrinter table2({"variant", "groups", "distilled", "entities",
+                         "relationships"});
+    auto add2 = [&](const std::string& label, mapping::MappingOptions options) {
+        mapping::MappingResult m = mapping::map_dtd(gen::paper_dtd(), options);
+        table2.add_row(
+            {label, std::to_string(m.metadata.groups.size()),
+             std::to_string(m.metadata.distilled.size()),
+             std::to_string(m.model.entities().size()),
+             std::to_string(m.model.relationships().size())});
+    };
+    add2("paper defaults", {});
+    {
+        mapping::MappingOptions o;
+        o.collapse_unary_groups = false;
+        add2("no unary-group collapse", o);
+    }
+    {
+        mapping::MappingOptions o;
+        o.distill_attributed_elements = true;
+        add2("distill attributed #PCDATA", o);
+    }
+    std::cout << table2.to_string() << "\n";
+}
+
+void BM_Translate(benchmark::State& state) {
+    mapping::MappingResult r =
+        mapping::map_dtd(bench::synthetic_dtd(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) benchmark::DoNotOptimize(rel::translate(r));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Translate)->Range(16, 512)->Complexity();
+
+void BM_InlineSchema(benchmark::State& state) {
+    dtd::Dtd dtd = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            baseline::inline_dtd(dtd, baseline::InliningMode::kShared));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InlineSchema)->Range(16, 512)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_schema_table();
+    print_join_table();
+    print_ablation_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Shared setup for the benchmark binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/corpora.hpp"
+#include "gen/dtd_gen.hpp"
+#include "loader/loader.hpp"
+#include "mapping/pipeline.hpp"
+#include "rel/materialize.hpp"
+#include "rel/translate.hpp"
+#include "xml/parser.hpp"
+
+namespace xr::bench {
+
+/// Mapping + schema + database + loader for one DTD.
+struct Stack {
+    dtd::Dtd logical;
+    mapping::MappingResult mapping;
+    rel::RelationalSchema schema;
+    rdb::Database db;
+    std::unique_ptr<loader::Loader> loader;
+
+    explicit Stack(dtd::Dtd dtd) : logical(std::move(dtd)) {
+        mapping = mapping::map_dtd(logical);
+        schema = rel::translate(mapping);
+        rel::materialize(schema, mapping, db);
+        loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
+    }
+};
+
+/// Synthetic DTD of roughly `elements` element types (fixed seed).
+inline dtd::Dtd synthetic_dtd(std::size_t elements, std::uint64_t seed = 17) {
+    gen::DtdGenParams params;
+    params.element_count = elements;
+    params.seed = seed;
+    return gen::generate_dtd(params);
+}
+
+/// Bibliography corpus with both parsed DOMs and the raw XML text.
+struct Corpus {
+    std::vector<std::unique_ptr<xml::Document>> docs;
+    std::vector<const xml::Document*> views;
+    std::size_t total_elements = 0;
+
+    static Corpus bibliography(std::size_t count, std::size_t elements_per_doc,
+                               std::uint64_t seed = 7) {
+        Corpus corpus;
+        corpus.docs = gen::bibliography_corpus(count, elements_per_doc, seed);
+        for (auto& doc : corpus.docs) {
+            corpus.views.push_back(doc.get());
+            corpus.total_elements += doc->root()->subtree_element_count();
+        }
+        return corpus;
+    }
+};
+
+}  // namespace xr::bench

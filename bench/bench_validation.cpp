@@ -1,0 +1,111 @@
+// Supporting bench — validation and parsing substrate costs: Glushkov
+// automaton construction and matching, whole-document validation, DTD
+// parsing, and the loader's content-model matcher.  These are the fixed
+// costs every strategy in the other experiments pays.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "dtd/parser.hpp"
+#include "loader/plan.hpp"
+#include "validate/validator.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+using namespace xr;
+
+void print_report() {
+    std::cout << "=== Substrate: validation / matching costs ===\n";
+    TablePrinter table({"dtd", "element types", "positions (automata)",
+                        "deterministic"});
+    for (auto& [label, dtd] : std::vector<std::pair<std::string, dtd::Dtd>>{
+             {"paper", gen::paper_dtd()},
+             {"orders", gen::orders_dtd()},
+             {"synthetic n=100", bench::synthetic_dtd(100)}}) {
+        std::size_t positions = 0;
+        bool deterministic = true;
+        for (const auto& e : dtd.elements()) {
+            if (e.content.category != dtd::ContentCategory::kChildren) continue;
+            validate::ContentAutomaton automaton(e.content.particle);
+            positions += automaton.position_count();
+            deterministic = deterministic && automaton.deterministic();
+        }
+        table.add_row({label, std::to_string(dtd.element_count()),
+                       std::to_string(positions),
+                       deterministic ? "yes" : "no"});
+    }
+    std::cout << table.to_string() << "\n";
+}
+
+void BM_AutomatonBuild(benchmark::State& state) {
+    dtd::Dtd dtd = gen::paper_dtd();
+    const dtd::Particle& article = dtd.element("article")->content.particle;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(validate::ContentAutomaton(article));
+}
+BENCHMARK(BM_AutomatonBuild);
+
+void BM_AutomatonMatch(benchmark::State& state) {
+    dtd::Dtd dtd = gen::paper_dtd();
+    validate::ContentAutomaton automaton(
+        dtd.element("article")->content.particle);
+    std::vector<std::string> children = {"title"};
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        children.push_back("author");
+        if (i % 2 == 0) children.push_back("affiliation");
+    }
+    children.push_back("contactauthor");
+    for (auto _ : state) benchmark::DoNotOptimize(automaton.matches(children));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AutomatonMatch)->Range(2, 256)->Complexity();
+
+void BM_ValidateDocument(benchmark::State& state) {
+    dtd::Dtd dtd = gen::paper_dtd();
+    validate::Validator validator(dtd);
+    auto corpus = gen::bibliography_corpus(1, static_cast<std::size_t>(state.range(0)), 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(validator.validate(*corpus[0]));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidateDocument)->Range(64, 4096)->Complexity();
+
+void BM_DtdParse(benchmark::State& state) {
+    std::string text = bench::synthetic_dtd(static_cast<std::size_t>(state.range(0))).to_string();
+    for (auto _ : state) benchmark::DoNotOptimize(dtd::parse_dtd(text));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(text.size() * state.iterations()));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtdParse)->Range(16, 1024)->Complexity();
+
+void BM_LoaderMatcher(benchmark::State& state) {
+    // The backtracking matcher that segments group instances during load.
+    mapping::MappingResult r = mapping::map_dtd(gen::paper_dtd());
+    const dtd::ElementDecl* article = r.grouped.element("article");
+    loader::PlanNode plan =
+        loader::build_plan(r.grouped, r.metadata, *article);
+    std::vector<std::string> names = {"title"};
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        names.push_back("author");
+        if (i % 3 == 0) names.push_back("affiliation");
+    }
+    std::vector<std::string_view> views(names.begin(), names.end());
+    std::vector<loader::MatchEvent> events;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(loader::match_children(plan, views, events));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LoaderMatcher)->Range(2, 256)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

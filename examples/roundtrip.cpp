@@ -1,0 +1,75 @@
+// Round trip: XML → relational → XML.
+//
+// Loads documents into the mapped schema, then rebuilds them *purely from
+// the database* (entity rows, ord columns, distilled provenance, metadata
+// tables) and diffs against the originals — demonstrating that the
+// metadata the paper proposes really does compensate for what the
+// relational model drops.
+//
+// Usage: roundtrip [doc_count]
+#include <iostream>
+
+#include "gen/corpora.hpp"
+#include "loader/loader.hpp"
+#include "loader/reconstruct.hpp"
+#include "mapping/pipeline.hpp"
+#include "rel/materialize.hpp"
+#include "rel/translate.hpp"
+#include "validate/validator.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace xr;
+    std::size_t doc_count = argc > 1 ? std::stoul(argv[1]) : 25;
+
+    dtd::Dtd logical = gen::paper_dtd();
+    mapping::MappingResult mapping = mapping::map_dtd(logical);
+    rel::RelationalSchema schema = rel::translate(mapping);
+    rdb::Database db;
+    rel::materialize(schema, mapping, db);
+    loader::Loader loader(logical, mapping, schema, db);
+
+    std::vector<std::unique_ptr<xml::Document>> corpus;
+    corpus.push_back(xml::parse_document(gen::paper_sample_document()));
+    for (auto& doc : gen::bibliography_corpus(doc_count, 250, 99))
+        corpus.push_back(std::move(doc));
+
+    std::vector<std::int64_t> doc_ids;
+    for (auto& doc : corpus) doc_ids.push_back(loader.load(*doc));
+
+    loader::Reconstructor reconstructor(mapping, schema, db);
+    validate::Validator validator(logical);
+
+    xml::SerializeOptions compact;
+    compact.indent.clear();
+    compact.declaration = false;
+    compact.doctype = false;
+
+    std::size_t exact = 0, valid = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        auto rebuilt = reconstructor.reconstruct(doc_ids[i]);
+        if (validator.validate(*rebuilt).ok()) ++valid;
+        std::string original = xml::serialize(*corpus[i], compact);
+        std::string roundtripped = xml::serialize(*rebuilt, compact);
+        if (original == roundtripped) {
+            ++exact;
+        } else if (i == 0) {
+            std::cout << "First differing document:\n--- original ---\n"
+                      << original << "\n--- reconstructed ---\n"
+                      << roundtripped << "\n";
+        }
+    }
+
+    std::cout << "Round-tripped " << corpus.size() << " documents through "
+              << db.total_rows() << " relational rows:\n"
+              << "  byte-exact reconstructions: " << exact << "/"
+              << corpus.size() << "\n"
+              << "  DTD-valid reconstructions:  " << valid << "/"
+              << corpus.size() << "\n";
+
+    std::cout << "\nThe paper's sample article, rebuilt from tables:\n"
+              << xml::serialize(*reconstructor.reconstruct(doc_ids[0]),
+                                {.declaration = false, .doctype = false});
+    return exact == corpus.size() ? 0 : 1;
+}

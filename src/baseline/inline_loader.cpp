@@ -1,0 +1,122 @@
+#include "baseline/inline_loader.hpp"
+
+#include "common/strings.hpp"
+
+namespace xr::baseline {
+
+namespace {
+using rdb::Value;
+
+std::string joined(const std::vector<std::string>& path) {
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i != 0) out += "/";
+        out += path[i];
+    }
+    return out;
+}
+}  // namespace
+
+InlineLoader::InlineLoader(const InliningResult& result, rdb::Database& db)
+    : result_(result), db_(db) {
+    for (const auto& t : result_.schema.tables()) {
+        rdb::Table& table = db_.create_table(t.to_table_def());
+        if (t.column("parent_id") != nullptr) table.create_index("parent_id");
+        storage_[t.source] = &table;
+    }
+}
+
+std::int64_t InlineLoader::load(const xml::Document& doc) {
+    if (doc.root() == nullptr)
+        throw ValidationError("cannot load a document without a root element");
+    std::int64_t doc_id = next_doc_++;
+    std::vector<Frame> frames;
+    std::vector<std::string> path;
+    walk(*doc.root(), frames, path, doc_id, 0);
+    ++stats_.documents;
+    return doc_id;
+}
+
+void InlineLoader::walk(const xml::Element& e, std::vector<Frame>& frames,
+                        std::vector<std::string>& path, std::int64_t doc,
+                        std::size_t ord) {
+    ++stats_.elements_visited;
+    auto it = result_.table_of.find(e.name());
+    bool tabled = it != result_.table_of.end() && !it->second.empty();
+
+    if (tabled) {
+        const rel::TableSchema* schema = result_.schema.table(it->second);
+        Frame frame;
+        frame.table = schema;
+        frame.storage = storage_.at(e.name());
+        frame.row = rdb::Row(schema->columns.size());
+        // Ids are assigned eagerly (not by insert-time auto-increment) so
+        // child frames can reference this row before it is inserted.
+        frame.id = ++next_id_[frame.storage];
+        frame.row[0] = Value(frame.id);
+        int c;
+        if ((c = schema->column_index("doc")) >= 0) frame.row[c] = Value(doc);
+        if (!frames.empty()) {
+            if ((c = schema->column_index("parent_id")) >= 0)
+                frame.row[c] = Value(frames.back().id);
+            if ((c = schema->column_index("parent_table")) >= 0)
+                frame.row[c] = Value(frames.back().table->name);
+            if ((c = schema->column_index("ord")) >= 0)
+                frame.row[c] = Value(static_cast<std::int64_t>(ord));
+        }
+
+        std::vector<std::string> sub_path;  // paths relative to this frame
+        frames.push_back(std::move(frame));
+        fill(frames.back(), e, sub_path);
+
+        const auto& children = e.child_elements();
+        // Recurse with a fresh relative path rooted at this frame.
+        std::vector<std::string> saved_path;
+        saved_path.swap(path);
+        for (std::size_t i = 0; i < children.size(); ++i)
+            walk(*children[i], frames, path, doc, i);
+        saved_path.swap(path);
+
+        Frame done = std::move(frames.back());
+        frames.pop_back();
+        done.storage->insert(std::move(done.row));
+        ++stats_.rows;
+        return;
+    }
+
+    // Inlined element: contribute values to the enclosing frame.
+    if (!frames.empty()) {
+        path.push_back(e.name());
+        fill(frames.back(), e, path);
+        const auto& children = e.child_elements();
+        for (std::size_t i = 0; i < children.size(); ++i)
+            walk(*children[i], frames, path, doc, i);
+        path.pop_back();
+    }
+}
+
+void InlineLoader::fill(Frame& frame, const xml::Element& e,
+                        const std::vector<std::string>& path) {
+    auto cit = result_.columns_of.find(frame.table->name);
+    if (cit == result_.columns_of.end()) return;
+    const auto& columns = cit->second;
+    std::string prefix = joined(path);
+
+    for (const auto& a : e.attributes()) {
+        std::string key = prefix.empty() ? "@" + a.name : prefix + "/@" + a.name;
+        auto col = columns.find(key);
+        if (col == columns.end()) continue;
+        int idx = frame.table->column_index(col->second);
+        if (idx >= 0) frame.row[idx] = Value(a.value);
+    }
+    std::string text = e.text();
+    if (!trim(text).empty()) {
+        auto col = columns.find(prefix);
+        if (col != columns.end()) {
+            int idx = frame.table->column_index(col->second);
+            if (idx >= 0) frame.row[idx] = Value(std::move(text));
+        }
+    }
+}
+
+}  // namespace xr::baseline

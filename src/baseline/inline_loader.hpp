@@ -1,0 +1,53 @@
+// Generic loader for inlined (basic/shared/hybrid) schemas, so loading
+// throughput and data volume can be compared against the paper's mapping
+// on identical corpora.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "baseline/inline_schema.hpp"
+#include "rdb/database.hpp"
+#include "xml/dom.hpp"
+
+namespace xr::baseline {
+
+struct InlineLoadStats {
+    std::size_t documents = 0;
+    std::size_t elements_visited = 0;
+    std::size_t rows = 0;
+};
+
+class InlineLoader {
+public:
+    /// Creates the schema's tables inside `db` (names must be fresh).
+    InlineLoader(const InliningResult& result, rdb::Database& db);
+
+    /// Load one document; returns its doc id.
+    std::int64_t load(const xml::Document& doc);
+
+    [[nodiscard]] const InlineLoadStats& stats() const { return stats_; }
+
+private:
+    const InliningResult& result_;
+    rdb::Database& db_;
+    std::map<std::string, rdb::Table*> storage_;  ///< element → table
+    std::map<rdb::Table*, std::int64_t> next_id_;
+    std::int64_t next_doc_ = 1;
+    InlineLoadStats stats_;
+
+    struct Frame {
+        const rel::TableSchema* table = nullptr;
+        rdb::Table* storage = nullptr;
+        rdb::Row row;
+        std::int64_t id = 0;
+    };
+
+    void walk(const xml::Element& e, std::vector<Frame>& frames,
+              std::vector<std::string>& path, std::int64_t doc,
+              std::size_t ord);
+    void fill(Frame& frame, const xml::Element& e,
+              const std::vector<std::string>& path);
+};
+
+}  // namespace xr::baseline

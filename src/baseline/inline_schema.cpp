@@ -1,0 +1,207 @@
+#include "baseline/inline_schema.hpp"
+
+#include <set>
+
+namespace xr::baseline {
+
+std::string_view to_string(InliningMode m) {
+    switch (m) {
+        case InliningMode::kBasic: return "basic";
+        case InliningMode::kShared: return "shared";
+        case InliningMode::kHybrid: return "hybrid";
+    }
+    return "?";
+}
+
+namespace {
+
+using rdb::ValueType;
+
+std::set<std::string> compute_tabled(const SimplifiedDtd& s, InliningMode mode) {
+    std::set<std::string> tabled;
+    auto parents = s.parents();
+
+    std::set<std::string> recursive;
+    for (const auto& r : s.recursive_elements()) recursive.insert(r);
+
+    for (const auto& e : s.elements) {
+        auto pit = parents.find(e.name);
+        std::size_t in_degree = pit == parents.end() ? 0 : pit->second.size();
+        bool set_valued = false;
+        if (pit != parents.end()) {
+            for (const auto& [parent, q] : pit->second) {
+                (void)parent;
+                if (q == Quantity::kMany) set_valued = true;
+            }
+        }
+        bool is_root = in_degree == 0;
+        bool is_recursive = recursive.contains(e.name);
+
+        switch (mode) {
+            case InliningMode::kBasic:
+                tabled.insert(e.name);
+                break;
+            case InliningMode::kShared:
+                if (is_root || in_degree >= 2 || set_valued || is_recursive)
+                    tabled.insert(e.name);
+                break;
+            case InliningMode::kHybrid:
+                // Multi-parent elements inline into each parent unless they
+                // are set-valued or recursive.
+                if (is_root || set_valued || is_recursive) tabled.insert(e.name);
+                break;
+        }
+    }
+    return tabled;
+}
+
+class Builder {
+public:
+    Builder(const SimplifiedDtd& s, InliningMode mode, InliningResult& out)
+        : s_(s), mode_(mode), out_(out), tabled_(compute_tabled(s, mode)) {}
+
+    void run() {
+        for (const char* reserved :
+             {"id", "doc", "parent_id", "parent_table", "value"})
+            (void)reserved;
+
+        auto parents = s_.parents();
+        for (const auto& e : s_.elements) {
+            if (!tabled_.contains(e.name)) {
+                out_.table_of[e.name] = "";
+                continue;
+            }
+            rel::TableSchema t;
+            t.name = tables_.allocate(e.name);
+            t.kind = rel::TableKind::kEntity;
+            t.source = e.name;
+            t.columns.push_back({"id", ValueType::kInteger, true, true,
+                                 rel::ColumnRole::kPrimaryKey, "", ""});
+            t.columns.push_back({"doc", ValueType::kInteger, true, false,
+                                 rel::ColumnRole::kDocId, "", ""});
+            bool is_root = !parents.contains(e.name);
+            if (!is_root) {
+                t.columns.push_back({"parent_id", ValueType::kInteger, false,
+                                     false, rel::ColumnRole::kForeignKey, "", ""});
+                t.columns.push_back({"parent_table", ValueType::kText, false,
+                                     false, rel::ColumnRole::kMeta, "", ""});
+                // Position among the parent's children (document order).
+                t.columns.push_back({"ord", ValueType::kInteger, false, false,
+                                     rel::ColumnRole::kOrdinal, "", ""});
+            }
+
+            rel::IdentifierPool columns;
+            for (const char* reserved :
+                 {"id", "doc", "parent_id", "parent_table", "ord"})
+                columns.reserve(reserved);
+
+            std::set<std::string> on_path{e.name};
+            add_fields(t, columns, e, "", false, on_path);
+            out_.columns_of[t.name] = std::move(current_columns_);
+            current_columns_.clear();
+            out_.table_of[e.name] = t.name;
+            out_.schema.add_table(std::move(t));
+        }
+    }
+
+private:
+    const SimplifiedDtd& s_;
+    InliningMode mode_;
+    InliningResult& out_;
+    std::set<std::string> tabled_;
+    rel::IdentifierPool tables_;
+    std::map<std::string, std::string> current_columns_;
+
+    /// Inline the fields of `e` into table `t` under `prefix`.
+    void add_fields(rel::TableSchema& t, rel::IdentifierPool& columns,
+                    const SimplifiedElement& e, const std::string& prefix,
+                    bool optional, std::set<std::string>& on_path) {
+        for (const auto& a : e.attributes) {
+            std::string path = prefix.empty() ? "@" + a.name
+                                              : prefix + "/@" + a.name;
+            std::string col = columns.allocate(
+                prefix.empty() ? a.name : prefix + "_" + a.name);
+            t.columns.push_back({col, ValueType::kText,
+                                 !optional && a.required(), false,
+                                 rel::ColumnRole::kAttribute, "", path});
+            current_columns_[path] = col;
+        }
+        if (e.has_text) {
+            std::string path = prefix;  // "" = the element's own text
+            std::string col =
+                columns.allocate(prefix.empty() ? "value" : prefix + "_value");
+            t.columns.push_back({col, ValueType::kText, false, false,
+                                 rel::ColumnRole::kText, "", path});
+            current_columns_[path.empty() ? std::string("") : path] = col;
+        }
+        for (const auto& [child, q] : e.children) {
+            if (q == Quantity::kMany) continue;  // set-valued: own relation
+            const SimplifiedElement* cd = s_.element(child);
+            if (cd == nullptr) continue;
+            bool child_tabled = tabled_.contains(child);
+            // Shared/hybrid: stop at tabled children.  Basic: inline through
+            // tabled children too (each element also has its own relation),
+            // but never through a cycle.
+            if (child_tabled && mode_ != InliningMode::kBasic) continue;
+            if (on_path.contains(child)) continue;
+            on_path.insert(child);
+            std::string child_prefix =
+                prefix.empty() ? child : prefix + "/" + child;
+            add_fields(t, columns, *cd, child_prefix,
+                       optional || q == Quantity::kOptional, on_path);
+            on_path.erase(child);
+        }
+    }
+};
+
+}  // namespace
+
+std::size_t InliningResult::path_joins(
+    const std::vector<std::string>& path) const {
+    if (path.empty()) return 0;
+    auto root = table_of.find(path[0]);
+    if (root == table_of.end() || root->second.empty()) return path.size();
+    std::string table = root->second;
+    std::string prefix;
+    std::size_t joins = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        std::string candidate =
+            prefix.empty() ? path[i] : prefix + "/" + path[i];
+        // Step stays inside the current relation when some inlined column's
+        // path begins with the candidate prefix (basic inlining answers many
+        // paths from one wide relation — VLDB'99's headline advantage).
+        bool inlined = false;
+        auto cit = columns_of.find(table);
+        if (cit != columns_of.end()) {
+            for (const auto& [p, c] : cit->second) {
+                (void)c;
+                if (p.rfind(candidate, 0) == 0) {
+                    inlined = true;
+                    break;
+                }
+            }
+        }
+        if (inlined) {
+            prefix = candidate;
+            continue;
+        }
+        ++joins;
+        auto tit = table_of.find(path[i]);
+        if (tit != table_of.end() && !tit->second.empty()) {
+            table = tit->second;
+            prefix.clear();
+        }
+    }
+    return joins;
+}
+
+InliningResult inline_dtd(const dtd::Dtd& logical, InliningMode mode) {
+    InliningResult out;
+    out.mode = mode;
+    out.simplified = simplify(logical);
+    Builder builder(out.simplified, mode, out);
+    builder.run();
+    return out;
+}
+
+}  // namespace xr::baseline

@@ -1,0 +1,59 @@
+// Basic / Shared / Hybrid inlining schema generation (VLDB'99), the
+// comparison baselines the paper's related-work section calls for.
+//
+//   * Shared: a relation is created for roots, for elements with multiple
+//     parents (in-degree ≥ 2), for set-valued elements (reached via '*'),
+//     and for recursive elements; everything else inlines into its unique
+//     parent's relation.
+//   * Basic: every element gets a relation, each inlining all descendants
+//     reachable without crossing a set-valued edge.
+//   * Hybrid: like shared, but multi-parent elements that are neither
+//     set-valued nor recursive inline into *each* parent (columns
+//     duplicated per parent).
+//
+// Relations carry an auto-increment id, a doc column, and (except roots) a
+// polymorphic parent reference (parent_id + parent_table), following the
+// paper's parentCODE convention.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/simplify.hpp"
+#include "rel/schema.hpp"
+
+namespace xr::baseline {
+
+enum class InliningMode { kBasic, kShared, kHybrid };
+
+[[nodiscard]] std::string_view to_string(InliningMode m);
+
+struct InliningResult {
+    InliningMode mode = InliningMode::kShared;
+    SimplifiedDtd simplified;
+    rel::RelationalSchema schema;
+
+    /// Element → its own relation's table name ("" if inlined everywhere).
+    std::map<std::string, std::string> table_of;
+    /// Per table: inlined path (e.g. "name/firstname") → column name.  The
+    /// empty path maps to the element's own text column, "@x" to its
+    /// attribute columns.
+    std::map<std::string, std::map<std::string, std::string>> columns_of;
+
+    [[nodiscard]] bool has_table(std::string_view element) const {
+        auto it = table_of.find(std::string(element));
+        return it != table_of.end() && !it->second.empty();
+    }
+
+    /// Number of relation boundaries a root-to-leaf path crosses — the
+    /// join count a path query needs under this schema (the root table
+    /// itself is not a join).
+    [[nodiscard]] std::size_t path_joins(
+        const std::vector<std::string>& path) const;
+};
+
+[[nodiscard]] InliningResult inline_dtd(const dtd::Dtd& logical,
+                                        InliningMode mode);
+
+}  // namespace xr::baseline

@@ -1,0 +1,130 @@
+#include "baseline/simplify.hpp"
+
+#include <functional>
+#include <set>
+
+namespace xr::baseline {
+
+std::string_view to_string(Quantity q) {
+    switch (q) {
+        case Quantity::kOne: return "1";
+        case Quantity::kOptional: return "?";
+        case Quantity::kMany: return "*";
+    }
+    return "?";
+}
+
+Quantity merge_mentions(Quantity, Quantity) {
+    // Two independent mentions can co-occur, so the combined bound exceeds
+    // one: VLDB'99 folds this to many.
+    return Quantity::kMany;
+}
+
+Quantity weaken(Quantity q, dtd::Occurrence occ, bool in_choice) {
+    if (dtd::is_repeatable(occ)) return Quantity::kMany;
+    if (q == Quantity::kMany) return Quantity::kMany;
+    if (dtd::is_optional(occ) || in_choice || q == Quantity::kOptional)
+        return Quantity::kOptional;
+    return Quantity::kOne;
+}
+
+Quantity SimplifiedElement::quantity_of(std::string_view child) const {
+    for (const auto& [name, q] : children)
+        if (name == child) return q;
+    return Quantity::kOptional;
+}
+
+const SimplifiedElement* SimplifiedDtd::element(std::string_view name) const {
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &elements[it->second];
+}
+
+std::map<std::string, std::vector<std::pair<std::string, Quantity>>>
+SimplifiedDtd::parents() const {
+    std::map<std::string, std::vector<std::pair<std::string, Quantity>>> out;
+    for (const auto& e : elements)
+        for (const auto& [child, q] : e.children) out[child].emplace_back(e.name, q);
+    return out;
+}
+
+std::vector<std::string> SimplifiedDtd::recursive_elements() const {
+    // An element is recursive iff it can reach itself.
+    std::vector<std::string> out;
+    for (const auto& e : elements) {
+        std::set<std::string> seen;
+        std::function<bool(const std::string&)> reaches =
+            [&](const std::string& node) -> bool {
+            const SimplifiedElement* decl = element(node);
+            if (decl == nullptr) return false;
+            for (const auto& [child, q] : decl->children) {
+                (void)q;
+                if (child == e.name) return true;
+                if (seen.insert(child).second && reaches(child)) return true;
+            }
+            return false;
+        };
+        if (reaches(e.name)) out.push_back(e.name);
+    }
+    return out;
+}
+
+namespace {
+
+void collect(const dtd::Particle& p, Quantity context, bool in_choice,
+             std::map<std::string, Quantity>& acc,
+             std::vector<std::string>& order) {
+    if (p.is_element()) {
+        Quantity q = weaken(context, p.occurrence, in_choice);
+        auto it = acc.find(p.name);
+        if (it == acc.end()) {
+            acc.emplace(p.name, q);
+            order.push_back(p.name);
+        } else {
+            it->second = merge_mentions(it->second, q);
+        }
+        return;
+    }
+    Quantity inner = weaken(context, p.occurrence, /*in_choice=*/false);
+    bool choice = p.kind == dtd::ParticleKind::kChoice && p.children.size() > 1;
+    for (const auto& c : p.children) collect(c, inner, choice, acc, order);
+}
+
+}  // namespace
+
+SimplifiedDtd simplify(const dtd::Dtd& logical) {
+    SimplifiedDtd out;
+    for (const auto& decl : logical.elements()) {
+        SimplifiedElement e;
+        e.name = decl.name;
+        e.attributes = decl.attributes;
+        switch (decl.content.category) {
+            case dtd::ContentCategory::kEmpty:
+                break;
+            case dtd::ContentCategory::kAny:
+                e.any = true;
+                e.has_text = true;
+                break;
+            case dtd::ContentCategory::kPCData:
+                e.has_text = true;
+                break;
+            case dtd::ContentCategory::kMixed: {
+                e.has_text = true;
+                for (const auto& name : decl.content.mixed_names)
+                    e.children.emplace_back(name, Quantity::kMany);
+                break;
+            }
+            case dtd::ContentCategory::kChildren: {
+                std::map<std::string, Quantity> acc;
+                std::vector<std::string> order;
+                collect(decl.content.particle, Quantity::kOne, false, acc, order);
+                for (const auto& name : order) e.children.emplace_back(name, acc[name]);
+                break;
+            }
+        }
+        out.index[e.name] = out.elements.size();
+        out.elements.push_back(std::move(e));
+    }
+    return out;
+}
+
+}  // namespace xr::baseline

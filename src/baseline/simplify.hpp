@@ -1,0 +1,53 @@
+// DTD simplification per Shanmugasundaram et al., VLDB'99 ("Relational
+// Databases for Querying XML Documents: Limitations and Opportunities") —
+// the related work the paper compares against.
+//
+// Their transformations reduce every content model to a flat set of
+// (child, quantity) facts with quantity ∈ {exactly-one, optional, many}:
+// nested groups flatten, '+' weakens to '*', multiple mentions of the same
+// child collapse to many.  Order is deliberately discarded — precisely the
+// information loss the Lee-Mitchell-Zhang mapping preserves as metadata.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+
+namespace xr::baseline {
+
+enum class Quantity { kOne, kOptional, kMany };
+
+[[nodiscard]] std::string_view to_string(Quantity q);
+
+/// Combine quantities when the same child is mentioned twice.
+[[nodiscard]] Quantity merge_mentions(Quantity a, Quantity b);
+/// Weaken a quantity by an enclosing occurrence context.
+[[nodiscard]] Quantity weaken(Quantity q, dtd::Occurrence occ, bool in_choice);
+
+struct SimplifiedElement {
+    std::string name;
+    bool has_text = false;  ///< PCDATA or mixed content
+    bool any = false;       ///< ANY content
+    std::vector<std::pair<std::string, Quantity>> children;  ///< deduped
+    std::vector<dtd::AttributeDecl> attributes;
+
+    [[nodiscard]] Quantity quantity_of(std::string_view child) const;
+};
+
+struct SimplifiedDtd {
+    std::vector<SimplifiedElement> elements;  ///< declaration order
+    std::map<std::string, std::size_t, std::less<>> index;
+
+    [[nodiscard]] const SimplifiedElement* element(std::string_view name) const;
+    /// Parents of each element (graph in-edges), with quantities.
+    [[nodiscard]] std::map<std::string, std::vector<std::pair<std::string, Quantity>>>
+    parents() const;
+    /// Elements on a cycle of the element graph.
+    [[nodiscard]] std::vector<std::string> recursive_elements() const;
+};
+
+[[nodiscard]] SimplifiedDtd simplify(const dtd::Dtd& logical);
+
+}  // namespace xr::baseline

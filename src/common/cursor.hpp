@@ -1,0 +1,74 @@
+// A character cursor over input text that tracks line/column positions.
+//
+// Shared by the XML, DTD, SQL and path-query parsers so every ParseError
+// carries an accurate SourceLocation.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace xr {
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view text) : text_(text) {}
+
+    [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    [[nodiscard]] std::string_view text() const { return text_; }
+
+    /// Current character; '\0' at end.
+    [[nodiscard]] char peek() const { return at_end() ? '\0' : text_[pos_]; }
+
+    /// Character at offset `n` past the current one; '\0' past the end.
+    [[nodiscard]] char peek(std::size_t n) const {
+        return pos_ + n < text_.size() ? text_[pos_ + n] : '\0';
+    }
+
+    /// Remaining unconsumed text.
+    [[nodiscard]] std::string_view rest() const { return text_.substr(pos_); }
+
+    char advance() {
+        char c = peek();
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else if (c != '\0') {
+            ++column_;
+        }
+        if (!at_end()) ++pos_;
+        return c;
+    }
+
+    /// Consume `s` if the input starts with it here.
+    bool consume(std::string_view s) {
+        if (!starts_with(rest(), s)) return false;
+        for (std::size_t i = 0; i < s.size(); ++i) advance();
+        return true;
+    }
+
+    /// True (without consuming) iff the input starts with `s` here.
+    [[nodiscard]] bool lookahead(std::string_view s) const {
+        return starts_with(rest(), s);
+    }
+
+    void skip_space() {
+        while (is_xml_space(peek())) advance();
+    }
+
+    [[nodiscard]] SourceLocation location() const { return {line_, column_, pos_}; }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw ParseError(message, location());
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t column_ = 1;
+};
+
+}  // namespace xr

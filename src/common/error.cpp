@@ -1,0 +1,25 @@
+#include "common/error.hpp"
+
+namespace xr {
+
+std::string SourceLocation::to_string() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+namespace {
+std::string compose(const std::string& message, const SourceLocation& where) {
+    if (!where.valid()) return message;
+    return where.to_string() + ": " + message;
+}
+}  // namespace
+
+Error::Error(std::string message)
+    : std::runtime_error(message), bare_(std::move(message)) {}
+
+Error::Error(std::string message, SourceLocation where)
+    : std::runtime_error(compose(message, where)),
+      where_(where),
+      bare_(std::move(message)) {}
+
+}  // namespace xr

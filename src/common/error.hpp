@@ -1,0 +1,70 @@
+// Error types shared by every xmlrel subsystem.
+//
+// All library errors derive from xr::Error, which carries an optional
+// SourceLocation pointing into the input text (XML document, DTD, SQL or
+// path-query string) that provoked the failure.  Callers that parse user
+// input catch xr::Error; internal invariant violations use assertions.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace xr {
+
+/// A position within an input text, 1-based, as conventionally reported by
+/// parsers.  `offset` is the 0-based byte offset, useful for tooling.
+struct SourceLocation {
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::size_t offset = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string message);
+    Error(std::string message, SourceLocation where);
+
+    [[nodiscard]] const SourceLocation& where() const { return where_; }
+    /// The message without the location prefix.
+    [[nodiscard]] const std::string& bare_message() const { return bare_; }
+
+private:
+    SourceLocation where_;
+    std::string bare_;
+};
+
+/// Malformed input text (XML, DTD, SQL, path query).
+class ParseError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A structurally well-formed document that violates its DTD, or broken
+/// ID/IDREF links.
+class ValidationError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Problems constructing or using a relational / ER schema: duplicate
+/// names, unknown tables or columns, constraint violations.
+class SchemaError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Semantic errors in queries (unknown table, type mismatch, untranslatable
+/// path step).
+class QueryError : public Error {
+public:
+    using Error::Error;
+};
+
+}  // namespace xr

@@ -1,0 +1,51 @@
+// Deterministic PRNG for the synthetic workload generators.
+//
+// SplitMix64 is tiny, fast and has no shared state, so generators seeded
+// identically produce identical corpora on any platform — required for the
+// reproducibility of every benchmark in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xr {
+
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Bernoulli trial with probability p (clamped to [0,1]).
+    bool chance(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53 < p;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace xr

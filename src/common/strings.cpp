@@ -1,0 +1,154 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xr {
+
+bool is_xml_space(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    while (b < s.size() && is_xml_space(s[b])) ++b;
+    std::size_t e = s.size();
+    while (e > b && is_xml_space(s[e - 1])) --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string to_upper(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string normalize_space(std::string_view s) {
+    std::string out;
+    bool pending_space = false;
+    for (char c : trim(s)) {
+        if (is_xml_space(c)) {
+            pending_space = true;
+        } else {
+            if (pending_space && !out.empty()) out += ' ';
+            pending_space = false;
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string xml_escape_text(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string xml_escape_attribute(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string sql_quote(std::string_view s) {
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'') out += "''";
+        else out += c;
+    }
+    out += '\'';
+    return out;
+}
+
+namespace {
+bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+           c == '_' || c == ':';
+}
+}  // namespace
+
+bool is_xml_name(std::string_view name) {
+    if (name.empty() || !is_name_start(name[0])) return false;
+    return std::all_of(name.begin() + 1, name.end(), is_name_char);
+}
+
+std::vector<std::string> split_name_tokens(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && is_xml_space(s[i])) ++i;
+        std::size_t start = i;
+        while (i < s.size() && !is_xml_space(s[i])) ++i;
+        if (i > start) out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+}  // namespace xr

@@ -1,0 +1,54 @@
+// Small string utilities used across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xr {
+
+/// True iff `c` is XML white space (space, tab, CR, LF).
+[[nodiscard]] bool is_xml_space(char c);
+
+/// Strip leading and trailing XML white space.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-casing (DTD keywords and SQL are ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Collapse runs of XML white space into single spaces and trim — the
+/// normalization applied to non-CDATA attribute values.
+[[nodiscard]] std::string normalize_space(std::string_view s);
+
+/// Escape text for inclusion in XML character data (& < >).
+[[nodiscard]] std::string xml_escape_text(std::string_view s);
+
+/// Escape text for inclusion in a double-quoted XML attribute (& < > ").
+[[nodiscard]] std::string xml_escape_attribute(std::string_view s);
+
+/// Quote a string as a SQL single-quoted literal (doubling embedded quotes).
+[[nodiscard]] std::string sql_quote(std::string_view s);
+
+/// True iff `name` is a valid XML name (restricted to ASCII name chars:
+/// letters, digits, '.', '-', '_', ':'; must not start with digit/'.'/'-').
+[[nodiscard]] bool is_xml_name(std::string_view name);
+
+/// True iff every token of the IDREFS/NMTOKENS style list is a valid name.
+[[nodiscard]] std::vector<std::string> split_name_tokens(std::string_view s);
+
+}  // namespace xr

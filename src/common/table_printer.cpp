@@ -1,0 +1,70 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace xr {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+            c != '+' && c != 'e' && c != 'E' && c != 'x' && c != '%')
+            return false;
+    }
+    return true;
+}
+}  // namespace
+
+std::string TablePrinter::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : headers_[c];
+            std::size_t pad = widths[c] - cell.size();
+            out += "| ";
+            if (looks_numeric(cell)) {
+                out.append(pad, ' ');
+                out += cell;
+            } else {
+                out += cell;
+                out.append(pad, ' ');
+            }
+            out += ' ';
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out += "|";
+        out.append(widths[c] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+std::string format_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+}  // namespace xr

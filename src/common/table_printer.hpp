@@ -1,0 +1,30 @@
+// Aligned plain-text tables for benchmark and example output.
+//
+// Benchmarks print the same rows the paper's evaluation would tabulate;
+// TablePrinter keeps that output readable without pulling in a formatting
+// library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xr {
+
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with a header rule and right-aligned numeric-looking cells.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision — benches use this for ratios.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+}  // namespace xr

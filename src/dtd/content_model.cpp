@@ -1,0 +1,105 @@
+#include "dtd/content_model.hpp"
+
+namespace xr::dtd {
+
+std::string_view to_string(Occurrence o) {
+    switch (o) {
+        case Occurrence::kOne: return "";
+        case Occurrence::kOptional: return "?";
+        case Occurrence::kZeroOrMore: return "*";
+        case Occurrence::kOneOrMore: return "+";
+    }
+    return "";
+}
+
+bool is_optional(Occurrence o) {
+    return o == Occurrence::kOptional || o == Occurrence::kZeroOrMore;
+}
+
+bool is_repeatable(Occurrence o) {
+    return o == Occurrence::kZeroOrMore || o == Occurrence::kOneOrMore;
+}
+
+Occurrence compose(Occurrence outer, Occurrence inner) {
+    if (outer == Occurrence::kOne) return inner;
+    if (inner == Occurrence::kOne) return outer;
+    bool optional = is_optional(outer) || is_optional(inner);
+    bool repeatable = is_repeatable(outer) || is_repeatable(inner);
+    if (optional && repeatable) return Occurrence::kZeroOrMore;
+    if (repeatable) return Occurrence::kOneOrMore;
+    return Occurrence::kOptional;
+}
+
+std::string Particle::to_string() const {
+    std::string out;
+    if (is_element()) {
+        out = name;
+    } else {
+        out = "(";
+        const char* sep = kind == ParticleKind::kSequence ? ", " : " | ";
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            if (i != 0) out += sep;
+            out += children[i].to_string();
+        }
+        out += ")";
+    }
+    out += xr::dtd::to_string(occurrence);
+    return out;
+}
+
+void Particle::collect_names(std::vector<std::string>& out) const {
+    if (is_element()) {
+        out.push_back(name);
+        return;
+    }
+    for (const auto& c : children) c.collect_names(out);
+}
+
+std::size_t Particle::size() const {
+    std::size_t n = 1;
+    for (const auto& c : children) n += c.size();
+    return n;
+}
+
+std::string_view to_string(ContentCategory c) {
+    switch (c) {
+        case ContentCategory::kEmpty: return "EMPTY";
+        case ContentCategory::kAny: return "ANY";
+        case ContentCategory::kPCData: return "pcdata";
+        case ContentCategory::kMixed: return "mixed";
+        case ContentCategory::kChildren: return "children";
+    }
+    return "?";
+}
+
+std::string ContentModel::to_string() const {
+    switch (category) {
+        case ContentCategory::kEmpty: return "EMPTY";
+        case ContentCategory::kAny: return "ANY";
+        case ContentCategory::kPCData: return "(#PCDATA)";
+        case ContentCategory::kMixed: {
+            std::string out = "(#PCDATA";
+            for (const auto& n : mixed_names) out += " | " + n;
+            out += ")*";
+            return out;
+        }
+        case ContentCategory::kChildren: {
+            // A bare element reference still needs surrounding parentheses
+            // to be valid DTD syntax.
+            if (particle.is_element() ) {
+                return "(" + particle.name + std::string(xr::dtd::to_string(particle.occurrence)) + ")";
+            }
+            return particle.to_string();
+        }
+    }
+    return "";
+}
+
+std::vector<std::string> ContentModel::referenced_names() const {
+    std::vector<std::string> out;
+    if (category == ContentCategory::kChildren) particle.collect_names(out);
+    else if (category == ContentCategory::kMixed) out = mixed_names;
+    return out;
+}
+
+}  // namespace xr::dtd

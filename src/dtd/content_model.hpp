@@ -1,0 +1,127 @@
+// Content models of DTD element type declarations.
+//
+// A content particle is an element reference, a sequence group '(a, b)', or
+// a choice group '(a | b)', each optionally carrying an occurrence
+// indicator '?', '*', '+' (paper Section 3: Grouping / Occurrence).  The
+// paper's mapping algorithm rewrites these trees (hoisting groups into
+// virtual elements), so the AST is a value type that is cheap to copy and
+// compare.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xr::dtd {
+
+/// Occurrence indicator of a content particle.
+enum class Occurrence {
+    kOne,         ///< no indicator — exactly once
+    kOptional,    ///< '?' — zero or one
+    kZeroOrMore,  ///< '*'
+    kOneOrMore,   ///< '+'
+};
+
+[[nodiscard]] std::string_view to_string(Occurrence o);
+
+/// True iff the particle may be absent entirely.
+[[nodiscard]] bool is_optional(Occurrence o);
+/// True iff the particle may appear more than once.
+[[nodiscard]] bool is_repeatable(Occurrence o);
+
+/// Composition of two nested occurrence indicators, e.g. (a?)* == a*.
+[[nodiscard]] Occurrence compose(Occurrence outer, Occurrence inner);
+
+enum class ParticleKind {
+    kElement,   ///< reference to an element type by name
+    kSequence,  ///< (cp , cp , ...)
+    kChoice,    ///< (cp | cp | ...)
+};
+
+/// One node of a content-model tree.
+struct Particle {
+    ParticleKind kind = ParticleKind::kElement;
+    Occurrence occurrence = Occurrence::kOne;
+    std::string name;                 ///< element name, for kElement
+    std::vector<Particle> children;   ///< members, for groups
+
+    [[nodiscard]] bool is_element() const { return kind == ParticleKind::kElement; }
+    [[nodiscard]] bool is_group() const { return !is_element(); }
+
+    /// Canonical DTD text, e.g. "(booktitle, (author* | editor))".
+    [[nodiscard]] std::string to_string() const;
+
+    /// All element names referenced in this subtree (with duplicates).
+    void collect_names(std::vector<std::string>& out) const;
+
+    /// Total number of particles in this subtree (including this one).
+    [[nodiscard]] std::size_t size() const;
+
+    friend bool operator==(const Particle&, const Particle&) = default;
+
+    static Particle element(std::string name, Occurrence o = Occurrence::kOne) {
+        Particle p;
+        p.kind = ParticleKind::kElement;
+        p.name = std::move(name);
+        p.occurrence = o;
+        return p;
+    }
+    static Particle sequence(std::vector<Particle> children,
+                             Occurrence o = Occurrence::kOne) {
+        Particle p;
+        p.kind = ParticleKind::kSequence;
+        p.children = std::move(children);
+        p.occurrence = o;
+        return p;
+    }
+    static Particle choice(std::vector<Particle> children,
+                           Occurrence o = Occurrence::kOne) {
+        Particle p;
+        p.kind = ParticleKind::kChoice;
+        p.children = std::move(children);
+        p.occurrence = o;
+        return p;
+    }
+};
+
+/// The four content categories of an element type declaration.
+enum class ContentCategory {
+    kEmpty,     ///< EMPTY — existence property (paper Section 3, Existence)
+    kAny,       ///< ANY — arbitrary content
+    kPCData,    ///< (#PCDATA) — text only
+    kMixed,     ///< (#PCDATA | a | b)* — text interleaved with elements
+    kChildren,  ///< element content described by a particle tree
+};
+
+[[nodiscard]] std::string_view to_string(ContentCategory c);
+
+/// The full content specification of an element type.
+struct ContentModel {
+    ContentCategory category = ContentCategory::kEmpty;
+    Particle particle;                      ///< for kChildren
+    std::vector<std::string> mixed_names;   ///< member elements, for kMixed
+
+    [[nodiscard]] bool is_text_only() const {
+        return category == ContentCategory::kPCData;
+    }
+
+    /// Canonical DTD content-spec text ("EMPTY", "ANY", "(#PCDATA)", ...).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Every element name referenced by this model.
+    [[nodiscard]] std::vector<std::string> referenced_names() const;
+
+    friend bool operator==(const ContentModel&, const ContentModel&) = default;
+
+    static ContentModel empty() { return {}; }
+    static ContentModel any() { return {ContentCategory::kAny, {}, {}}; }
+    static ContentModel pcdata() { return {ContentCategory::kPCData, {}, {}}; }
+    static ContentModel mixed(std::vector<std::string> names) {
+        return {ContentCategory::kMixed, {}, std::move(names)};
+    }
+    static ContentModel children(Particle p) {
+        return {ContentCategory::kChildren, std::move(p), {}};
+    }
+};
+
+}  // namespace xr::dtd

@@ -1,0 +1,220 @@
+#include "dtd/dtd.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace xr::dtd {
+
+std::string_view to_string(AttrType t) {
+    switch (t) {
+        case AttrType::kCData: return "CDATA";
+        case AttrType::kId: return "ID";
+        case AttrType::kIdRef: return "IDREF";
+        case AttrType::kIdRefs: return "IDREFS";
+        case AttrType::kEntity: return "ENTITY";
+        case AttrType::kEntities: return "ENTITIES";
+        case AttrType::kNmToken: return "NMTOKEN";
+        case AttrType::kNmTokens: return "NMTOKENS";
+        case AttrType::kNotation: return "NOTATION";
+        case AttrType::kEnumeration: return "enumeration";
+        case AttrType::kPCData: return "(#PCDATA)";
+    }
+    return "?";
+}
+
+std::string_view to_string(AttrDefaultKind k) {
+    switch (k) {
+        case AttrDefaultKind::kRequired: return "#REQUIRED";
+        case AttrDefaultKind::kImplied: return "#IMPLIED";
+        case AttrDefaultKind::kFixed: return "#FIXED";
+        case AttrDefaultKind::kDefault: return "";
+    }
+    return "";
+}
+
+std::string AttributeDecl::to_string() const {
+    std::string out = name + " ";
+    if (type == AttrType::kEnumeration || type == AttrType::kNotation) {
+        if (type == AttrType::kNotation) out += "NOTATION ";
+        out += "(";
+        for (std::size_t i = 0; i < enumeration.size(); ++i) {
+            if (i != 0) out += " | ";
+            out += enumeration[i];
+        }
+        out += ")";
+    } else {
+        out += xr::dtd::to_string(type);
+    }
+    switch (default_kind) {
+        case AttrDefaultKind::kRequired: out += " #REQUIRED"; break;
+        case AttrDefaultKind::kImplied: out += " #IMPLIED"; break;
+        case AttrDefaultKind::kFixed:
+            out += " #FIXED \"" + default_value + "\"";
+            break;
+        case AttrDefaultKind::kDefault:
+            out += " \"" + default_value + "\"";
+            break;
+    }
+    return out;
+}
+
+const AttributeDecl* ElementDecl::attribute(std::string_view attr_name) const {
+    for (const auto& a : attributes)
+        if (a.name == attr_name) return &a;
+    return nullptr;
+}
+
+const AttributeDecl* ElementDecl::id_attribute() const {
+    for (const auto& a : attributes)
+        if (a.type == AttrType::kId) return &a;
+    return nullptr;
+}
+
+std::vector<const AttributeDecl*> ElementDecl::idref_attributes() const {
+    std::vector<const AttributeDecl*> out;
+    for (const auto& a : attributes)
+        if (a.type == AttrType::kIdRef || a.type == AttrType::kIdRefs)
+            out.push_back(&a);
+    return out;
+}
+
+ElementDecl& Dtd::add_element(ElementDecl decl) {
+    if (element_index_.contains(decl.name))
+        throw SchemaError("duplicate element declaration '" + decl.name + "'",
+                          decl.location);
+    element_index_[decl.name] = elements_.size();
+    elements_.push_back(std::move(decl));
+    return elements_.back();
+}
+
+ElementDecl& Dtd::ensure_element(const std::string& name) {
+    if (auto* e = element(name)) return *e;
+    ElementDecl decl;
+    decl.name = name;
+    return add_element(std::move(decl));
+}
+
+const ElementDecl* Dtd::element(std::string_view name) const {
+    auto it = element_index_.find(name);
+    return it == element_index_.end() ? nullptr : &elements_[it->second];
+}
+
+ElementDecl* Dtd::element(std::string_view name) {
+    auto it = element_index_.find(name);
+    return it == element_index_.end() ? nullptr : &elements_[it->second];
+}
+
+void Dtd::add_entity(EntityDecl decl) {
+    // Per XML 1.0, the first binding of an entity name wins.
+    if (entity(decl.name, decl.is_parameter) != nullptr) return;
+    entities_.push_back(std::move(decl));
+}
+
+const EntityDecl* Dtd::entity(std::string_view name, bool parameter) const {
+    for (const auto& e : entities_)
+        if (e.is_parameter == parameter && e.name == name) return &e;
+    return nullptr;
+}
+
+std::map<std::string, std::string, std::less<>> Dtd::general_entities() const {
+    std::map<std::string, std::string, std::less<>> out;
+    for (const auto& e : entities_)
+        if (!e.is_parameter && !e.is_external()) out.emplace(e.name, e.value);
+    return out;
+}
+
+Dtd Dtd::logicalize() const {
+    Dtd out;
+    for (const auto& e : elements_) out.add_element(e);
+    return out;
+}
+
+std::vector<std::string> Dtd::root_candidates() const {
+    std::set<std::string> referenced;
+    for (const auto& e : elements_)
+        for (const auto& n : e.content.referenced_names()) referenced.insert(n);
+    std::vector<std::string> out;
+    for (const auto& e : elements_)
+        if (!referenced.contains(e.name)) out.push_back(e.name);
+    return out;
+}
+
+std::vector<std::string> Dtd::id_bearing_elements() const {
+    std::vector<std::string> out;
+    for (const auto& e : elements_)
+        if (e.id_attribute() != nullptr) out.push_back(e.name);
+    return out;
+}
+
+std::string Dtd::to_string() const {
+    std::string out;
+    for (const auto& e : elements_) {
+        out += "<!ELEMENT " + e.name + " " + e.content.to_string() + ">\n";
+        if (!e.attributes.empty()) {
+            out += "<!ATTLIST " + e.name;
+            for (const auto& a : e.attributes) out += "\n    " + a.to_string();
+            out += ">\n";
+        }
+    }
+    for (const auto& en : entities_) {
+        out += "<!ENTITY ";
+        if (en.is_parameter) out += "% ";
+        out += en.name + " ";
+        if (en.is_external()) {
+            if (!en.public_id.empty())
+                out += "PUBLIC \"" + en.public_id + "\" \"" + en.system_id + "\"";
+            else
+                out += "SYSTEM \"" + en.system_id + "\"";
+        } else {
+            out += "\"" + en.value + "\"";
+        }
+        out += ">\n";
+    }
+    for (const auto& n : notations_) {
+        out += "<!NOTATION " + n.name + " ";
+        if (!n.public_id.empty()) {
+            out += "PUBLIC \"" + n.public_id + "\"";
+            if (!n.system_id.empty()) out += " \"" + n.system_id + "\"";
+        } else {
+            out += "SYSTEM \"" + n.system_id + "\"";
+        }
+        out += ">\n";
+    }
+    return out;
+}
+
+std::vector<std::string> Dtd::lint() const {
+    std::vector<std::string> issues;
+    for (const auto& e : elements_) {
+        for (const auto& n : e.content.referenced_names()) {
+            if (!has_element(n))
+                issues.push_back("element '" + e.name +
+                                 "' references undeclared element '" + n + "'");
+        }
+        std::size_t id_count = 0;
+        for (const auto& a : e.attributes)
+            if (a.type == AttrType::kId) ++id_count;
+        if (id_count > 1)
+            issues.push_back("element '" + e.name +
+                             "' declares more than one ID attribute");
+        for (const auto& a : e.attributes) {
+            if (a.type == AttrType::kId &&
+                a.default_kind != AttrDefaultKind::kRequired &&
+                a.default_kind != AttrDefaultKind::kImplied)
+                issues.push_back("ID attribute '" + a.name + "' of '" + e.name +
+                                 "' must be #REQUIRED or #IMPLIED");
+        }
+    }
+    if (id_bearing_elements().empty()) {
+        for (const auto& e : elements_) {
+            if (!e.idref_attributes().empty()) {
+                issues.push_back("element '" + e.name +
+                                 "' has IDREF attribute but no element declares "
+                                 "an ID attribute");
+            }
+        }
+    }
+    return issues;
+}
+
+}  // namespace xr::dtd

@@ -1,0 +1,172 @@
+// Document Type Definition model.
+//
+// A Dtd holds element type declarations (with merged attribute lists),
+// entity declarations and notation declarations, in declaration order.
+// Per the paper (Section 2), entity and notation declarations are only
+// physical organization: logicalize() expands/strips them, yielding a
+// *logical DTD* containing only element and attribute-list declarations —
+// the input form the mapping algorithm expects.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dtd/content_model.hpp"
+
+namespace xr::dtd {
+
+/// Attribute types of XML 1.0.
+enum class AttrType {
+    kCData,
+    kId,
+    kIdRef,
+    kIdRefs,
+    kEntity,
+    kEntities,
+    kNmToken,
+    kNmTokens,
+    kNotation,
+    kEnumeration,
+    /// Not real DTD: marks attributes distilled from #PCDATA subelements by
+    /// the mapping algorithm's step 2 (paper writes them as "(#PCDATA)").
+    kPCData,
+};
+
+[[nodiscard]] std::string_view to_string(AttrType t);
+
+enum class AttrDefaultKind {
+    kRequired,  ///< #REQUIRED
+    kImplied,   ///< #IMPLIED
+    kFixed,     ///< #FIXED "value"
+    kDefault,   ///< "value"
+};
+
+[[nodiscard]] std::string_view to_string(AttrDefaultKind k);
+
+/// One attribute definition from an <!ATTLIST ...> declaration.
+struct AttributeDecl {
+    std::string name;
+    AttrType type = AttrType::kCData;
+    std::vector<std::string> enumeration;  ///< for kEnumeration / kNotation
+    AttrDefaultKind default_kind = AttrDefaultKind::kImplied;
+    std::string default_value;             ///< for kFixed / kDefault
+
+    [[nodiscard]] bool required() const {
+        return default_kind == AttrDefaultKind::kRequired;
+    }
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const AttributeDecl&, const AttributeDecl&) = default;
+};
+
+/// An element type declaration plus its (merged) attribute list.
+struct ElementDecl {
+    std::string name;
+    ContentModel content;
+    std::vector<AttributeDecl> attributes;
+    SourceLocation location;
+
+    [[nodiscard]] const AttributeDecl* attribute(std::string_view name) const;
+    /// The ID attribute of this element type, if any (XML permits one).
+    [[nodiscard]] const AttributeDecl* id_attribute() const;
+    /// All IDREF / IDREFS attributes.
+    [[nodiscard]] std::vector<const AttributeDecl*> idref_attributes() const;
+
+    friend bool operator==(const ElementDecl& a, const ElementDecl& b) {
+        return a.name == b.name && a.content == b.content &&
+               a.attributes == b.attributes;
+    }
+};
+
+/// A general or parameter entity declaration.
+struct EntityDecl {
+    std::string name;
+    bool is_parameter = false;   ///< '%' entities
+    std::string value;           ///< replacement text (internal entities)
+    std::string system_id;       ///< external entity, if any
+    std::string public_id;
+
+    [[nodiscard]] bool is_external() const { return !system_id.empty(); }
+};
+
+struct NotationDecl {
+    std::string name;
+    std::string system_id;
+    std::string public_id;
+};
+
+/// A parsed DTD.  Element declaration order is preserved: the paper's
+/// Example 2 output and the generated ER model both follow it.
+class Dtd {
+public:
+    Dtd() = default;
+
+    // -- element declarations -------------------------------------------------
+    /// Adds a declaration; throws SchemaError on duplicate element name.
+    ElementDecl& add_element(ElementDecl decl);
+    /// Declares an element if not yet present, returning the declaration.
+    ElementDecl& ensure_element(const std::string& name);
+
+    [[nodiscard]] const ElementDecl* element(std::string_view name) const;
+    [[nodiscard]] ElementDecl* element(std::string_view name);
+    [[nodiscard]] bool has_element(std::string_view name) const {
+        return element(name) != nullptr;
+    }
+    [[nodiscard]] const std::vector<ElementDecl>& elements() const {
+        return elements_;
+    }
+    [[nodiscard]] std::vector<ElementDecl>& elements() { return elements_; }
+    [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+
+    // -- entity / notation declarations ---------------------------------------
+    void add_entity(EntityDecl decl);
+    [[nodiscard]] const EntityDecl* entity(std::string_view name,
+                                           bool parameter) const;
+    [[nodiscard]] const std::vector<EntityDecl>& entities() const {
+        return entities_;
+    }
+    void add_notation(NotationDecl decl) {
+        notations_.push_back(std::move(decl));
+    }
+    [[nodiscard]] const std::vector<NotationDecl>& notations() const {
+        return notations_;
+    }
+
+    /// General (non-parameter) internal entities, keyed by name — the map
+    /// the XML parser needs to expand references in conforming documents.
+    [[nodiscard]] std::map<std::string, std::string, std::less<>>
+    general_entities() const;
+
+    /// The paper's logical DTD: entity and notation declarations are
+    /// dropped (their effect has already been textually expanded during
+    /// parsing), leaving only element + attribute-list declarations.
+    [[nodiscard]] Dtd logicalize() const;
+
+    /// Root candidates: declared elements that are referenced by no other
+    /// element's content model.
+    [[nodiscard]] std::vector<std::string> root_candidates() const;
+
+    /// Element types carrying an ID attribute — the legal targets of any
+    /// IDREF (paper: "an IDREF can reference any element with an ID").
+    [[nodiscard]] std::vector<std::string> id_bearing_elements() const;
+
+    /// Serialize to DTD text (one declaration per line).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Consistency diagnostics: content models referencing undeclared
+    /// elements, multiple ID attributes on one element, IDREFs with no
+    /// possible target, ATTLIST for undeclared elements.
+    [[nodiscard]] std::vector<std::string> lint() const;
+
+private:
+    std::vector<ElementDecl> elements_;
+    std::map<std::string, std::size_t, std::less<>> element_index_;
+    std::vector<EntityDecl> entities_;
+    std::vector<NotationDecl> notations_;
+};
+
+}  // namespace xr::dtd

@@ -1,0 +1,549 @@
+#include "dtd/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "common/cursor.hpp"
+#include "xml/parser.hpp"
+
+namespace xr::dtd {
+
+namespace {
+
+using PEMap = std::map<std::string, std::string, std::less<>>;
+
+/// Collect <!ENTITY % name "..."> declarations, expanding references to
+/// previously declared parameter entities inside each replacement value.
+PEMap collect_parameter_entities(std::string_view text) {
+    PEMap pes;
+    Cursor cur(text);
+    while (!cur.at_end()) {
+        if (!cur.lookahead("<!ENTITY")) {
+            cur.advance();
+            continue;
+        }
+        Cursor probe = cur;  // copy; only committed if it is a PE decl
+        probe.consume("<!ENTITY");
+        probe.skip_space();
+        if (!probe.consume("%")) {
+            cur.advance();
+            continue;
+        }
+        probe.skip_space();
+        std::string name;
+        while (!probe.at_end() && !is_xml_space(probe.peek())) name += probe.advance();
+        probe.skip_space();
+        char quote = probe.peek();
+        if (quote != '"' && quote != '\'') {
+            // External parameter entity — cannot be fetched offline; treated
+            // as empty replacement text.
+            pes.emplace(name, "");
+            cur.advance();
+            continue;
+        }
+        probe.advance();
+        std::string value;
+        while (!probe.at_end() && probe.peek() != quote) value += probe.advance();
+        // Expand nested PE references (declared-before-use per XML 1.0).
+        std::string expanded;
+        for (std::size_t i = 0; i < value.size();) {
+            if (value[i] == '%') {
+                std::size_t semi = value.find(';', i + 1);
+                if (semi != std::string::npos) {
+                    auto it = pes.find(std::string_view(value).substr(i + 1, semi - i - 1));
+                    if (it != pes.end()) {
+                        expanded += it->second;
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+            expanded += value[i++];
+        }
+        pes.emplace(std::move(name), std::move(expanded));
+        cur.advance();
+    }
+    return pes;
+}
+
+/// Textually expand %name; references.  Per XML 1.0 the replacement text is
+/// padded with one space on each side when recognized in the DTD proper.
+std::string expand_parameter_entities(std::string_view text, const PEMap& pes,
+                                      std::size_t max_expansion) {
+    std::string current(text);
+    for (int round = 0; round < 32; ++round) {
+        bool changed = false;
+        std::string out;
+        out.reserve(current.size());
+        for (std::size_t i = 0; i < current.size();) {
+            char c = current[i];
+            if (c != '%') {
+                out += c;
+                ++i;
+                continue;
+            }
+            std::size_t semi = current.find(';', i + 1);
+            bool valid = semi != std::string::npos && semi > i + 1;
+            if (valid) {
+                for (std::size_t k = i + 1; k < semi; ++k) {
+                    char nc = current[k];
+                    if (!(std::isalnum(static_cast<unsigned char>(nc)) || nc == '.' ||
+                          nc == '-' || nc == '_' || nc == ':')) {
+                        valid = false;
+                        break;
+                    }
+                }
+            }
+            if (!valid) {
+                out += c;
+                ++i;
+                continue;
+            }
+            std::string_view name =
+                std::string_view(current).substr(i + 1, semi - i - 1);
+            auto it = pes.find(name);
+            if (it == pes.end())
+                throw ParseError("undefined parameter entity '%" + std::string(name) +
+                                 ";'");
+            out += ' ';
+            out += it->second;
+            out += ' ';
+            changed = true;
+            i = semi + 1;
+            if (out.size() > max_expansion)
+                throw ParseError("parameter entity expansion limit exceeded");
+        }
+        current = std::move(out);
+        if (!changed) return current;
+    }
+    throw ParseError("parameter entity expansion did not terminate");
+}
+
+class DtdParser {
+public:
+    DtdParser(std::string_view text, Dtd& dtd) : cur_(text), dtd_(dtd) {}
+
+    void run() {
+        for (;;) {
+            cur_.skip_space();
+            if (cur_.at_end()) return;
+            if (cur_.lookahead("<!--")) parse_comment();
+            else if (cur_.lookahead("<!ELEMENT")) parse_element_decl();
+            else if (cur_.lookahead("<!ATTLIST")) parse_attlist_decl();
+            else if (cur_.lookahead("<!ENTITY")) parse_entity_decl();
+            else if (cur_.lookahead("<!NOTATION")) parse_notation_decl();
+            else if (cur_.lookahead("<![")) parse_conditional_section();
+            else if (cur_.lookahead("<?")) parse_processing_instruction();
+            else cur_.fail("expected a DTD declaration");
+        }
+    }
+
+private:
+    Cursor cur_;
+    Dtd& dtd_;
+
+    // ATTLIST declarations may precede the ELEMENT declaration they refer
+    // to; buffered attlists are merged at close().
+    struct PendingAttlist {
+        std::string element_name;
+        std::vector<AttributeDecl> attributes;
+        SourceLocation location;
+    };
+    std::vector<PendingAttlist> pending_attlists_;
+
+public:
+    void close() {
+        for (auto& p : pending_attlists_) {
+            ElementDecl& e = dtd_.ensure_element(p.element_name);
+            for (auto& a : p.attributes) {
+                // XML 1.0: the first declaration of an attribute is binding.
+                if (e.attribute(a.name) == nullptr)
+                    e.attributes.push_back(std::move(a));
+            }
+        }
+        pending_attlists_.clear();
+    }
+
+private:
+    // -- declarations ----------------------------------------------------------
+
+    void parse_element_decl() {
+        SourceLocation where = cur_.location();
+        cur_.consume("<!ELEMENT");
+        require_space("after '<!ELEMENT'");
+        ElementDecl decl;
+        decl.name = parse_name("element name");
+        decl.location = where;
+        require_space("after element name");
+        decl.content = parse_content_spec();
+        cur_.skip_space();
+        if (!cur_.consume(">")) cur_.fail("expected '>' to close ELEMENT declaration");
+        dtd_.add_element(std::move(decl));
+    }
+
+    ContentModel parse_content_spec() {
+        if (cur_.consume("EMPTY")) return ContentModel::empty();
+        if (cur_.consume("ANY")) return ContentModel::any();
+        if (!cur_.lookahead("(")) cur_.fail("expected content specification");
+
+        // Distinguish (#PCDATA ...) mixed content from element content.
+        Cursor probe = cur_;
+        probe.consume("(");
+        probe.skip_space();
+        if (probe.lookahead("#PCDATA")) return parse_mixed_content();
+        Particle p = parse_group();
+        p.occurrence = parse_occurrence(p.occurrence);
+        // '(a)' with a single child and no indicators collapses to the child.
+        return ContentModel::children(std::move(p));
+    }
+
+    ContentModel parse_mixed_content() {
+        cur_.consume("(");
+        cur_.skip_space();
+        cur_.consume("#PCDATA");
+        std::vector<std::string> names;
+        cur_.skip_space();
+        while (cur_.consume("|")) {
+            cur_.skip_space();
+            names.push_back(parse_name("mixed content element name"));
+            cur_.skip_space();
+        }
+        if (!cur_.consume(")")) cur_.fail("expected ')' in mixed content");
+        bool star = cur_.consume("*");
+        if (!names.empty() && !star)
+            cur_.fail("mixed content with elements requires trailing '*'");
+        if (names.empty()) return ContentModel::pcdata();
+        return ContentModel::mixed(std::move(names));
+    }
+
+    /// Parses a parenthesized group: '(' cp (sep cp)* ')'.
+    Particle parse_group() {
+        if (!cur_.consume("(")) cur_.fail("expected '('");
+        std::vector<Particle> members;
+        char sep = 0;  // ',' or '|' once determined
+        for (;;) {
+            cur_.skip_space();
+            members.push_back(parse_cp());
+            cur_.skip_space();
+            char c = cur_.peek();
+            if (c == ')') {
+                cur_.advance();
+                break;
+            }
+            if (c != ',' && c != '|')
+                cur_.fail("expected ',', '|' or ')' in content model group");
+            if (sep == 0) sep = c;
+            else if (sep != c)
+                cur_.fail("cannot mix ',' and '|' in one group");
+            cur_.advance();
+        }
+        ParticleKind kind =
+            sep == '|' ? ParticleKind::kChoice : ParticleKind::kSequence;
+        Particle group;
+        group.kind = kind;
+        group.children = std::move(members);
+        return group;
+    }
+
+    /// Parses one content particle: Name or group, plus occurrence.
+    Particle parse_cp() {
+        Particle p;
+        if (cur_.lookahead("(")) {
+            p = parse_group();
+        } else {
+            p = Particle::element(parse_name("content particle"));
+        }
+        p.occurrence = parse_occurrence(p.occurrence);
+        return p;
+    }
+
+    Occurrence parse_occurrence(Occurrence current) {
+        if (cur_.consume("?")) return compose(Occurrence::kOptional, current);
+        if (cur_.consume("*")) return compose(Occurrence::kZeroOrMore, current);
+        if (cur_.consume("+")) return compose(Occurrence::kOneOrMore, current);
+        return current;
+    }
+
+    void parse_attlist_decl() {
+        SourceLocation where = cur_.location();
+        cur_.consume("<!ATTLIST");
+        require_space("after '<!ATTLIST'");
+        PendingAttlist pending;
+        pending.element_name = parse_name("ATTLIST element name");
+        pending.location = where;
+        for (;;) {
+            cur_.skip_space();
+            if (cur_.consume(">")) break;
+            if (cur_.at_end()) cur_.fail("unterminated ATTLIST declaration");
+            pending.attributes.push_back(parse_attribute_def());
+        }
+        pending_attlists_.push_back(std::move(pending));
+    }
+
+    AttributeDecl parse_attribute_def() {
+        AttributeDecl a;
+        a.name = parse_name("attribute name");
+        require_space("after attribute name");
+        cur_.skip_space();
+
+        if (cur_.consume("CDATA")) a.type = AttrType::kCData;
+        else if (cur_.consume("IDREFS")) a.type = AttrType::kIdRefs;
+        else if (cur_.consume("IDREF")) a.type = AttrType::kIdRef;
+        else if (cur_.consume("ID")) a.type = AttrType::kId;
+        else if (cur_.consume("ENTITIES")) a.type = AttrType::kEntities;
+        else if (cur_.consume("ENTITY")) a.type = AttrType::kEntity;
+        else if (cur_.consume("NMTOKENS")) a.type = AttrType::kNmTokens;
+        else if (cur_.consume("NMTOKEN")) a.type = AttrType::kNmToken;
+        else if (cur_.consume("NOTATION")) {
+            a.type = AttrType::kNotation;
+            cur_.skip_space();
+            a.enumeration = parse_enumeration();
+        } else if (cur_.lookahead("(")) {
+            // The paper's converted-DTD notation writes distilled attributes
+            // as 'name (#PCDATA) ...'; accept that alongside enumerations.
+            Cursor probe = cur_;
+            probe.consume("(");
+            probe.skip_space();
+            if (probe.lookahead("#PCDATA")) {
+                cur_.consume("(");
+                cur_.skip_space();
+                cur_.consume("#PCDATA");
+                cur_.skip_space();
+                if (!cur_.consume(")")) cur_.fail("expected ')' after #PCDATA");
+                a.type = AttrType::kPCData;
+            } else {
+                a.type = AttrType::kEnumeration;
+                a.enumeration = parse_enumeration();
+            }
+        } else {
+            cur_.fail("expected attribute type");
+        }
+
+        require_space("after attribute type");
+        cur_.skip_space();
+        if (cur_.consume("#REQUIRED")) {
+            a.default_kind = AttrDefaultKind::kRequired;
+        } else if (cur_.consume("#IMPLIED") || cur_.consume("#IMPLIES")) {
+            // The paper's Example text itself contains the typo '#IMPLIES';
+            // accept it as a synonym so the paper's DTDs parse verbatim.
+            a.default_kind = AttrDefaultKind::kImplied;
+        } else if (cur_.consume("#FIXED")) {
+            a.default_kind = AttrDefaultKind::kFixed;
+            cur_.skip_space();
+            a.default_value = parse_attr_value();
+        } else {
+            a.default_kind = AttrDefaultKind::kDefault;
+            a.default_value = parse_attr_value();
+        }
+        return a;
+    }
+
+    std::vector<std::string> parse_enumeration() {
+        if (!cur_.consume("(")) cur_.fail("expected '(' in enumeration");
+        std::vector<std::string> out;
+        for (;;) {
+            cur_.skip_space();
+            out.push_back(parse_nmtoken("enumeration value"));
+            cur_.skip_space();
+            if (cur_.consume(")")) break;
+            if (!cur_.consume("|")) cur_.fail("expected '|' or ')' in enumeration");
+        }
+        return out;
+    }
+
+    std::string parse_attr_value() {
+        char quote = cur_.peek();
+        if (quote != '"' && quote != '\'') cur_.fail("expected quoted default value");
+        SourceLocation where = cur_.location();
+        cur_.advance();
+        std::string raw;
+        while (!cur_.at_end() && cur_.peek() != quote) raw += cur_.advance();
+        if (!cur_.consume(std::string_view(&quote, 1)))
+            cur_.fail("unterminated default value");
+        return xml::decode_references(raw, dtd_.general_entities(), where);
+    }
+
+    void parse_entity_decl() {
+        cur_.consume("<!ENTITY");
+        require_space("after '<!ENTITY'");
+        EntityDecl decl;
+        if (cur_.consume("%")) {
+            decl.is_parameter = true;
+            require_space("after '%'");
+        }
+        decl.name = parse_name("entity name");
+        require_space("after entity name");
+        cur_.skip_space();
+        if (cur_.consume("SYSTEM")) {
+            cur_.skip_space();
+            decl.system_id = parse_quoted("system identifier");
+        } else if (cur_.consume("PUBLIC")) {
+            cur_.skip_space();
+            decl.public_id = parse_quoted("public identifier");
+            cur_.skip_space();
+            decl.system_id = parse_quoted("system identifier");
+        } else {
+            SourceLocation where = cur_.location();
+            std::string raw = parse_quoted("entity value");
+            if (!decl.is_parameter)
+                decl.value =
+                    xml::decode_references(raw, dtd_.general_entities(), where);
+            else
+                decl.value = raw;
+        }
+        cur_.skip_space();
+        // NDATA notation for unparsed external entities.
+        if (cur_.consume("NDATA")) {
+            cur_.skip_space();
+            parse_name("notation name");
+            cur_.skip_space();
+        }
+        if (!cur_.consume(">")) cur_.fail("expected '>' to close ENTITY declaration");
+        dtd_.add_entity(std::move(decl));
+    }
+
+    void parse_notation_decl() {
+        cur_.consume("<!NOTATION");
+        require_space("after '<!NOTATION'");
+        NotationDecl decl;
+        decl.name = parse_name("notation name");
+        require_space("after notation name");
+        cur_.skip_space();
+        if (cur_.consume("SYSTEM")) {
+            cur_.skip_space();
+            decl.system_id = parse_quoted("system identifier");
+        } else if (cur_.consume("PUBLIC")) {
+            cur_.skip_space();
+            decl.public_id = parse_quoted("public identifier");
+            cur_.skip_space();
+            if (cur_.peek() == '"' || cur_.peek() == '\'')
+                decl.system_id = parse_quoted("system identifier");
+        } else {
+            cur_.fail("expected SYSTEM or PUBLIC in NOTATION declaration");
+        }
+        cur_.skip_space();
+        if (!cur_.consume(">"))
+            cur_.fail("expected '>' to close NOTATION declaration");
+        dtd_.add_notation(std::move(decl));
+    }
+
+    void parse_conditional_section() {
+        cur_.consume("<![");
+        cur_.skip_space();
+        bool include;
+        if (cur_.consume("INCLUDE")) include = true;
+        else if (cur_.consume("IGNORE")) include = false;
+        else cur_.fail("expected INCLUDE or IGNORE");
+        cur_.skip_space();
+        if (!cur_.consume("[")) cur_.fail("expected '[' in conditional section");
+
+        std::size_t start = cur_.pos();
+        int depth = 1;
+        while (depth > 0) {
+            if (cur_.at_end()) cur_.fail("unterminated conditional section");
+            if (cur_.lookahead("<![")) {
+                ++depth;
+                cur_.consume("<![");
+            } else if (cur_.lookahead("]]>")) {
+                --depth;
+                if (depth == 0) break;
+                cur_.consume("]]>");
+            } else {
+                cur_.advance();
+            }
+        }
+        std::string_view body = cur_.text().substr(start, cur_.pos() - start);
+        cur_.consume("]]>");
+        if (include) {
+            DtdParser sub(body, dtd_);
+            sub.run();
+            sub.close();
+        }
+    }
+
+    void parse_comment() {
+        cur_.consume("<!--");
+        while (!cur_.lookahead("-->")) {
+            if (cur_.at_end()) cur_.fail("unterminated comment");
+            cur_.advance();
+        }
+        cur_.consume("-->");
+    }
+
+    void parse_processing_instruction() {
+        cur_.consume("<?");
+        while (!cur_.lookahead("?>")) {
+            if (cur_.at_end()) cur_.fail("unterminated processing instruction");
+            cur_.advance();
+        }
+        cur_.consume("?>");
+    }
+
+    // -- lexical helpers -------------------------------------------------------
+
+    void require_space(const std::string& context) {
+        if (!is_xml_space(cur_.peek())) cur_.fail("expected white space " + context);
+        cur_.skip_space();
+    }
+
+    std::string parse_name(const std::string& what) {
+        std::string name = parse_nmtoken(what);
+        if (!is_xml_name(name)) cur_.fail("invalid " + what + " '" + name + "'");
+        return name;
+    }
+
+    std::string parse_nmtoken(const std::string& what) {
+        std::string token;
+        while (!cur_.at_end()) {
+            char c = cur_.peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+                c == '_' || c == ':')
+                token += cur_.advance();
+            else
+                break;
+        }
+        if (token.empty()) cur_.fail("expected " + what);
+        return token;
+    }
+
+    std::string parse_quoted(const std::string& what) {
+        char quote = cur_.peek();
+        if (quote != '"' && quote != '\'') cur_.fail("expected quoted " + what);
+        cur_.advance();
+        std::string value;
+        while (!cur_.at_end() && cur_.peek() != quote) value += cur_.advance();
+        if (cur_.at_end()) cur_.fail("unterminated " + what);
+        cur_.advance();
+        return value;
+    }
+};
+
+}  // namespace
+
+Dtd parse_dtd(std::string_view text, const DtdParseOptions& options) {
+    PEMap pes = collect_parameter_entities(text);
+    std::string expanded;
+    std::string_view effective = text;
+    if (!pes.empty()) {
+        expanded = expand_parameter_entities(text, pes, options.max_expansion);
+        effective = expanded;
+    }
+    Dtd dtd;
+    DtdParser parser(effective, dtd);
+    parser.run();
+    parser.close();
+    for (const auto& [name, value] : pes) {
+        EntityDecl decl;
+        decl.name = name;
+        decl.is_parameter = true;
+        decl.value = value;
+        dtd.add_entity(std::move(decl));
+    }
+    return dtd;
+}
+
+Dtd parse_doctype(const xml::DoctypeDecl& doctype, const DtdParseOptions& options) {
+    return parse_dtd(doctype.internal_subset, options);
+}
+
+}  // namespace xr::dtd

@@ -1,0 +1,34 @@
+// DTD parser.
+//
+// Parses external DTD text (or a DOCTYPE internal subset) into a Dtd.
+// Parameter entities are textually expanded up front — precisely the
+// preprocessing the paper prescribes to obtain a *logical DTD* ("entity and
+// notation declarations ... can be substituted or expanded to give an
+// equivalent DTD with only element type and attribute-list declarations").
+// Conditional sections (<![INCLUDE[ ... ]]> / <![IGNORE[ ... ]]>) are
+// honoured after expansion.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dtd/dtd.hpp"
+#include "xml/dom.hpp"
+
+namespace xr::dtd {
+
+struct DtdParseOptions {
+    /// Cap on total parameter-entity expansion output.
+    std::size_t max_expansion = 1u << 22;
+};
+
+/// Parse DTD text.  Throws xr::ParseError on syntax errors and
+/// xr::SchemaError on duplicate element declarations.
+[[nodiscard]] Dtd parse_dtd(std::string_view text,
+                            const DtdParseOptions& options = {});
+
+/// Parse the internal subset captured in a DOCTYPE declaration.
+[[nodiscard]] Dtd parse_doctype(const xml::DoctypeDecl& doctype,
+                                const DtdParseOptions& options = {});
+
+}  // namespace xr::dtd

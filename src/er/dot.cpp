@@ -1,0 +1,64 @@
+#include "er/dot.hpp"
+
+namespace xr::er {
+
+namespace {
+std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+std::string to_dot(const Model& model, const DotOptions& options) {
+    std::string out = "graph er {\n";
+    if (!options.title.empty())
+        out += "  label=" + quote(options.title) + ";\n  labelloc=t;\n";
+    out += "  layout=dot;\n  rankdir=LR;\n";
+    out += "  node [fontsize=10];\n";
+
+    for (const auto& e : model.entities()) {
+        out += "  " + quote(e.name) + " [shape=box];\n";
+        if (options.attributes) {
+            for (const auto& a : e.attributes) {
+                std::string node = e.name + "." + a.name;
+                out += "  " + quote(node) + " [shape=ellipse, label=" +
+                       quote(a.name) + "];\n";
+                out += "  " + quote(e.name) + " -- " + quote(node) + ";\n";
+            }
+        }
+    }
+
+    for (const auto& r : model.relationships()) {
+        out += "  " + quote(r.name) + " [shape=diamond];\n";
+        out += "  " + quote(r.parent) + " -- " + quote(r.name);
+        if (r.occurrence != dtd::Occurrence::kOne)
+            out += " [label=" + quote(std::string(dtd::to_string(r.occurrence))) + "]";
+        out += ";\n";
+        for (const auto& m : r.members) {
+            out += "  " + quote(r.name) + " -- " + quote(m.entity);
+            std::string label;
+            if (m.choice) label += "(+)";
+            label += dtd::to_string(m.occurrence);
+            if (!label.empty()) out += " [label=" + quote(label) + "]";
+            out += ";\n";
+        }
+        if (options.attributes) {
+            for (const auto& a : r.attributes) {
+                std::string node = r.name + "." + a.name;
+                out += "  " + quote(node) + " [shape=ellipse, label=" +
+                       quote(a.name) + "];\n";
+                out += "  " + quote(r.name) + " -- " + quote(node) + ";\n";
+            }
+        }
+    }
+
+    out += "}\n";
+    return out;
+}
+
+}  // namespace xr::er

@@ -1,0 +1,24 @@
+// Graphviz DOT export for ER models — regenerates the paper's Figure 2.
+//
+// Rendering follows classic ER notation: rectangles for entities, diamonds
+// for relationship nodes, ellipses for attributes; arcs out of choice
+// groups carry the paper's circled-plus marker as an edge label.
+#pragma once
+
+#include <string>
+
+#include "er/model.hpp"
+
+namespace xr::er {
+
+struct DotOptions {
+    /// Render attribute ellipses (Figure 2 shows them; large diagrams may
+    /// prefer to drop them).
+    bool attributes = true;
+    /// Graph title.
+    std::string title;
+};
+
+[[nodiscard]] std::string to_dot(const Model& model, const DotOptions& options = {});
+
+}  // namespace xr::er

@@ -1,0 +1,109 @@
+#include "er/model.hpp"
+
+#include <algorithm>
+
+namespace xr::er {
+
+std::string_view to_string(RelationshipKind k) {
+    switch (k) {
+        case RelationshipKind::kNestedGroup: return "NESTED_GROUP";
+        case RelationshipKind::kNested: return "NESTED";
+        case RelationshipKind::kReference: return "REFERENCE";
+    }
+    return "?";
+}
+
+const EntityAttribute* Entity::attribute(std::string_view attr_name) const {
+    for (const auto& a : attributes)
+        if (a.name == attr_name) return &a;
+    return nullptr;
+}
+
+const Arc* Relationship::member(std::string_view entity) const {
+    for (const auto& m : members)
+        if (m.entity == entity) return &m;
+    return nullptr;
+}
+
+Entity& Model::add_entity(Entity e) {
+    if (entity(e.name) != nullptr)
+        throw SchemaError("duplicate ER entity '" + e.name + "'");
+    entities_.push_back(std::move(e));
+    return entities_.back();
+}
+
+Relationship& Model::add_relationship(Relationship r) {
+    if (relationship(r.name) != nullptr)
+        throw SchemaError("duplicate ER relationship '" + r.name + "'");
+    relationships_.push_back(std::move(r));
+    return relationships_.back();
+}
+
+const Entity* Model::entity(std::string_view name) const {
+    for (const auto& e : entities_)
+        if (e.name == name) return &e;
+    return nullptr;
+}
+
+Entity* Model::entity(std::string_view name) {
+    for (auto& e : entities_)
+        if (e.name == name) return &e;
+    return nullptr;
+}
+
+const Relationship* Model::relationship(std::string_view name) const {
+    for (const auto& r : relationships_)
+        if (r.name == name) return &r;
+    return nullptr;
+}
+
+std::vector<const Relationship*> Model::relationships_of(
+    std::string_view entity) const {
+    std::vector<const Relationship*> out;
+    for (const auto& r : relationships_) {
+        if (r.parent == entity || r.member(entity) != nullptr)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+std::size_t Model::attribute_count() const {
+    std::size_t n = 0;
+    for (const auto& e : entities_) n += e.attributes.size();
+    return n;
+}
+
+std::string Model::to_string() const {
+    std::string out;
+    for (const auto& e : entities_) {
+        out += "entity " + e.name;
+        if (e.origin == EntityOrigin::kEmptyElement) out += " [empty]";
+        if (e.origin == EntityOrigin::kAnyElement) out += " [any]";
+        if (e.has_text) out += " [text]";
+        out += "\n";
+        for (const auto& a : e.attributes) {
+            out += "  attr " + a.name;
+            if (a.required) out += " required";
+            if (a.origin == AttributeOrigin::kDistilled) out += " (distilled)";
+            if (a.origin == AttributeOrigin::kImplicit) out += " (implicit)";
+            out += "\n";
+        }
+    }
+    for (const auto& r : relationships_) {
+        out += std::string(xr::er::to_string(r.kind)) + " " + r.name + ": " +
+               r.parent + " ->";
+        for (const auto& m : r.members) {
+            out += " " + m.entity;
+            out += dtd::to_string(m.occurrence);
+            if (m.choice) out += "(+)";
+        }
+        if (r.occurrence != dtd::Occurrence::kOne)
+            out += "  [occurs " + std::string(dtd::to_string(r.occurrence)) + "]";
+        out += "\n";
+        for (const auto& a : r.attributes)
+            out += "  rel-attr " + a.name + (a.required ? " required" : "") + "\n";
+    }
+    return out;
+}
+
+}  // namespace xr::er

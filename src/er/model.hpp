@@ -1,0 +1,121 @@
+// Entity-Relationship model — the target of the paper's mapping (step 4,
+// "Generate Diagram").
+//
+// Entities correspond to surviving element types; relationship nodes come
+// in the paper's three kinds (nested group / nested / reference).  Arcs out
+// of a relationship node may carry the paper's circled-plus choice marker
+// (rendered '(+)'), and every arc records the occurrence indicator of the
+// member it leads to, which downstream becomes cardinality metadata.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dtd/dtd.hpp"
+
+namespace xr::er {
+
+/// Provenance of an entity attribute.
+enum class AttributeOrigin {
+    kDeclared,   ///< from an <!ATTLIST ...> in the source DTD
+    kDistilled,  ///< hoisted #PCDATA subelement (mapping step 2)
+    kImplicit,   ///< synthesized (e.g. character data of mixed elements)
+};
+
+struct EntityAttribute {
+    std::string name;
+    dtd::AttrType type = dtd::AttrType::kCData;
+    bool required = false;
+    AttributeOrigin origin = AttributeOrigin::kDeclared;
+    std::vector<std::string> enumeration;  ///< for enumerated types
+
+    friend bool operator==(const EntityAttribute&, const EntityAttribute&) = default;
+};
+
+/// Why the entity exists in the diagram.
+enum class EntityOrigin {
+    kElement,       ///< ordinary element type
+    kEmptyElement,  ///< declared EMPTY (paper: Existence)
+    kAnyElement,    ///< declared ANY
+};
+
+struct Entity {
+    std::string name;
+    EntityOrigin origin = EntityOrigin::kElement;
+    std::vector<EntityAttribute> attributes;
+    /// True when the element holds character data (PCDATA or mixed); the
+    /// loader stores it in an implicit value column.
+    bool has_text = false;
+
+    [[nodiscard]] const EntityAttribute* attribute(std::string_view name) const;
+};
+
+enum class RelationshipKind {
+    kNestedGroup,  ///< NESTED_GROUP — group hoisted from a parent element
+    kNested,       ///< NESTED — parent/subelement link
+    kReference,    ///< REFERENCE — IDREF attribute to ID-bearing entities
+};
+
+[[nodiscard]] std::string_view to_string(RelationshipKind k);
+
+/// An arc from a relationship node to a member entity.
+struct Arc {
+    std::string entity;
+    /// The paper's circled-plus marker on arcs leaving choice groups and
+    /// reference relationships.
+    bool choice = false;
+    /// Occurrence of this member within the relationship (metadata).
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+    /// Schema ordering: position of the member within the group.
+    std::size_t position = 0;
+};
+
+struct Relationship {
+    std::string name;  ///< NG1, Nauthor, authorid, ...
+    RelationshipKind kind = RelationshipKind::kNested;
+    std::string parent;  ///< the entity the arc comes in from
+    std::vector<Arc> members;
+    /// Relationship attributes (paper step 4a: attributes associated with a
+    /// nested group become relationship attributes).
+    std::vector<EntityAttribute> attributes;
+    /// Occurrence of the whole relationship under the parent (metadata):
+    /// e.g. NG2 in 'article (title, (author, affiliation?)+, ...)' is '+'.
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+
+    [[nodiscard]] const Arc* member(std::string_view entity) const;
+};
+
+/// The ER diagram: ordered entities and relationship nodes.
+class Model {
+public:
+    Entity& add_entity(Entity e);
+    Relationship& add_relationship(Relationship r);
+
+    [[nodiscard]] const Entity* entity(std::string_view name) const;
+    [[nodiscard]] Entity* entity(std::string_view name);
+    [[nodiscard]] const Relationship* relationship(std::string_view name) const;
+
+    [[nodiscard]] const std::vector<Entity>& entities() const { return entities_; }
+    [[nodiscard]] const std::vector<Relationship>& relationships() const {
+        return relationships_;
+    }
+
+    /// Relationships in which `entity` participates (as parent or member).
+    [[nodiscard]] std::vector<const Relationship*> relationships_of(
+        std::string_view entity) const;
+
+    /// Total attribute count across entities (diagram size metric).
+    [[nodiscard]] std::size_t attribute_count() const;
+
+    /// Human-readable structural summary for golden tests / examples.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<Entity> entities_;
+    std::vector<Relationship> relationships_;
+};
+
+}  // namespace xr::er

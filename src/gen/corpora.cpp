@@ -1,0 +1,95 @@
+#include "gen/corpora.hpp"
+
+#include "dtd/parser.hpp"
+
+namespace xr::gen {
+
+const char* paper_dtd_text() {
+    return R"(<!ELEMENT book (booktitle, (author* | editor))>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT article (title, (author, affiliation?)+, contactauthor?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT contactauthor EMPTY>
+<!ATTLIST contactauthor authorid IDREF #IMPLIED>
+<!ELEMENT monograph (title, author, editor)>
+<!ELEMENT editor ((book | monograph)*)>
+<!ATTLIST editor name CDATA #REQUIRED>
+<!ELEMENT author (name)>
+<!ATTLIST author id ID #REQUIRED>
+<!ELEMENT name (firstname?, lastname)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT affiliation ANY>
+)";
+}
+
+dtd::Dtd paper_dtd() { return dtd::parse_dtd(paper_dtd_text()); }
+
+const char* paper_sample_document() {
+    return R"(<article>
+  <title>XML RDBMS</title>
+  <author id="a1">
+    <name><firstname>John</firstname><lastname>Smith</lastname></name>
+  </author>
+  <affiliation>GTE Laboratories</affiliation>
+  <author id="a2">
+    <name><firstname>Dave</firstname><lastname>Brown</lastname></name>
+  </author>
+  <contactauthor authorid="a1"/>
+</article>
+)";
+}
+
+const char* orders_dtd_text() {
+    return R"(<!ELEMENT order (customer, shipping?, item+, note?)>
+<!ATTLIST order id ID #REQUIRED
+                status (pending | shipped | delivered) "pending">
+<!ELEMENT customer (name, email?)>
+<!ATTLIST customer cid CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT shipping (street, city, (zip | postcode))>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+<!ELEMENT postcode (#PCDATA)>
+<!ELEMENT item (product, quantity, price)>
+<!ATTLIST item sku CDATA #REQUIRED>
+<!ELEMENT product (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+)";
+}
+
+dtd::Dtd orders_dtd() { return dtd::parse_dtd(orders_dtd_text()); }
+
+std::vector<std::unique_ptr<xml::Document>> bibliography_corpus(
+    std::size_t count, std::size_t elements_per_doc, std::uint64_t seed) {
+    dtd::Dtd dtd = paper_dtd();
+    std::vector<std::unique_ptr<xml::Document>> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        DocGenParams params;
+        params.max_elements = elements_per_doc;
+        params.seed = seed + i;
+        out.push_back(generate_document(dtd, "article", params));
+    }
+    return out;
+}
+
+std::vector<std::unique_ptr<xml::Document>> orders_corpus(
+    std::size_t count, std::size_t elements_per_doc, std::uint64_t seed) {
+    dtd::Dtd dtd = orders_dtd();
+    std::vector<std::unique_ptr<xml::Document>> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        DocGenParams params;
+        params.max_elements = elements_per_doc;
+        params.seed = seed + i;
+        out.push_back(generate_document(dtd, "order", params));
+    }
+    return out;
+}
+
+}  // namespace xr::gen

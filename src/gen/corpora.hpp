@@ -1,0 +1,41 @@
+// Named corpora used across examples, tests and benches.
+//
+//   * paper_dtd()  — Example 1 of the paper (books / articles / authors),
+//     verbatim (with the published '#IMPLIES' typo corrected).
+//   * orders_dtd() — a data-centric e-commerce DTD in the spirit of the
+//     paper's motivation ("book orders"): regular, repetitive, machine
+//     oriented.
+//   * bibliography_corpus() / orders_corpus() — seeded document sets.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+#include "gen/doc_gen.hpp"
+#include "xml/dom.hpp"
+
+namespace xr::gen {
+
+/// DTD text of paper Example 1.
+[[nodiscard]] const char* paper_dtd_text();
+[[nodiscard]] dtd::Dtd paper_dtd();
+
+/// The paper's own sample document fragment (Section 3, Ordering) — an
+/// article-rooted document in the same spirit, used by the quickstart.
+[[nodiscard]] const char* paper_sample_document();
+
+[[nodiscard]] const char* orders_dtd_text();
+[[nodiscard]] dtd::Dtd orders_dtd();
+
+/// `count` article documents conforming to the paper DTD.
+[[nodiscard]] std::vector<std::unique_ptr<xml::Document>> bibliography_corpus(
+    std::size_t count, std::size_t elements_per_doc = 200,
+    std::uint64_t seed = 7);
+
+/// `count` order documents conforming to the orders DTD.
+[[nodiscard]] std::vector<std::unique_ptr<xml::Document>> orders_corpus(
+    std::size_t count, std::size_t elements_per_doc = 120,
+    std::uint64_t seed = 11);
+
+}  // namespace xr::gen

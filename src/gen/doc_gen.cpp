@@ -1,0 +1,326 @@
+#include "gen/doc_gen.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace xr::gen {
+
+namespace {
+
+using dtd::Occurrence;
+using dtd::Particle;
+
+constexpr std::size_t kInf = 1u << 20;
+
+/// Minimal number of elements a particle / element must expand to —
+/// computed as a fixpoint so recursive DTDs get finite answers where they
+/// exist ((book|monograph)* can expand to nothing, so editor is finite).
+class MinSize {
+public:
+    explicit MinSize(const dtd::Dtd& dtd) : dtd_(dtd) {
+        for (const auto& e : dtd.elements()) size_[e.name] = kInf;
+        for (int round = 0; round < 64; ++round) {
+            bool changed = false;
+            for (const auto& e : dtd.elements()) {
+                std::size_t s = compute_element(e);
+                if (s < size_[e.name]) {
+                    size_[e.name] = s;
+                    changed = true;
+                }
+            }
+            if (!changed) break;
+        }
+    }
+
+    [[nodiscard]] std::size_t element(const std::string& name) const {
+        auto it = size_.find(name);
+        return it == size_.end() ? 1 : it->second;
+    }
+
+    [[nodiscard]] std::size_t particle(const Particle& p) const {
+        std::size_t base;
+        switch (p.kind) {
+            case dtd::ParticleKind::kElement:
+                base = element(p.name);
+                break;
+            case dtd::ParticleKind::kSequence: {
+                base = 0;
+                for (const auto& c : p.children) base = sat_add(base, particle(c));
+                break;
+            }
+            case dtd::ParticleKind::kChoice: {
+                base = kInf;
+                for (const auto& c : p.children)
+                    base = std::min(base, particle(c));
+                if (p.children.empty()) base = 0;
+                break;
+            }
+            default:
+                base = 0;
+        }
+        if (dtd::is_optional(p.occurrence)) return 0;
+        return base;
+    }
+
+private:
+    const dtd::Dtd& dtd_;
+    std::map<std::string, std::size_t> size_;
+
+    static std::size_t sat_add(std::size_t a, std::size_t b) {
+        return std::min(kInf, a + b);
+    }
+
+    std::size_t compute_element(const dtd::ElementDecl& e) const {
+        switch (e.content.category) {
+            case dtd::ContentCategory::kEmpty:
+            case dtd::ContentCategory::kAny:
+            case dtd::ContentCategory::kPCData:
+            case dtd::ContentCategory::kMixed:
+                return 1;
+            case dtd::ContentCategory::kChildren:
+                return sat_add(1, particle(e.content.particle));
+        }
+        return 1;
+    }
+};
+
+const char* kWords[] = {
+    "xml",    "data",   "schema",  "model",  "query",   "table",  "index",
+    "store",  "parse",  "element", "value",  "graph",   "entity", "relation",
+    "order",  "system", "paper",   "mining", "business"};
+
+class DocGenerator {
+public:
+    DocGenerator(const dtd::Dtd& dtd, const DocGenParams& params)
+        : dtd_(dtd), params_(params), rng_(params.seed), min_(dtd) {}
+
+    std::unique_ptr<xml::Document> run(const std::string& root) {
+        auto doc = std::make_unique<xml::Document>();
+        budget_ = params_.max_elements;
+        const dtd::ElementDecl* decl = dtd_.element(root);
+        if (decl == nullptr)
+            throw SchemaError("cannot generate: no element '" + root + "'");
+        xml::Element* root_el = doc->make_root(root);
+        expand(*root_el, *decl, 0);
+        fix_references(*doc);
+        xml::DoctypeDecl doctype;
+        doctype.root_name = root;
+        doctype.system_id = root + ".dtd";
+        doc->set_doctype(std::move(doctype));
+        return doc;
+    }
+
+private:
+    const dtd::Dtd& dtd_;
+    const DocGenParams& params_;
+    SplitMix64 rng_;
+    MinSize min_;
+    std::size_t budget_ = 0;
+    std::size_t id_counter_ = 0;
+    std::vector<std::string> ids_;
+    std::vector<std::pair<xml::Element*, std::string>> pending_idrefs_;
+
+    [[nodiscard]] bool tight(std::size_t need) const { return budget_ < need + 8; }
+
+    std::string words() {
+        std::string out;
+        for (std::size_t i = 0; i < params_.words_per_text; ++i) {
+            if (i != 0) out += ' ';
+            out += kWords[rng_.below(std::size(kWords))];
+        }
+        return out;
+    }
+
+    void expand(xml::Element& e, const dtd::ElementDecl& decl,
+                std::size_t depth) {
+        if (budget_ > 0) --budget_;
+        attributes(e, decl);
+        switch (decl.content.category) {
+            case dtd::ContentCategory::kEmpty:
+                return;
+            case dtd::ContentCategory::kAny:
+            case dtd::ContentCategory::kPCData:
+                e.append_text(words());
+                return;
+            case dtd::ContentCategory::kMixed: {
+                e.append_text(words());
+                // A little interleaving when budget allows.
+                for (const auto& name : decl.content.mixed_names) {
+                    if (tight(min_.element(name)) || !rng_.chance(0.5)) continue;
+                    const dtd::ElementDecl* cd = dtd_.element(name);
+                    if (cd == nullptr) continue;
+                    expand(*e.append_element(name), *cd, depth + 1);
+                    e.append_text(words());
+                }
+                return;
+            }
+            case dtd::ContentCategory::kChildren:
+                expand_particle(e, decl.content.particle, depth);
+                return;
+        }
+    }
+
+    void attributes(xml::Element& e, const dtd::ElementDecl& decl) {
+        for (const auto& a : decl.attributes) {
+            using dtd::AttrDefaultKind;
+            using dtd::AttrType;
+            bool required = a.default_kind == AttrDefaultKind::kRequired;
+            if (!required && a.default_kind == AttrDefaultKind::kImplied &&
+                a.type != AttrType::kIdRef && a.type != AttrType::kIdRefs &&
+                !rng_.chance(0.5))
+                continue;
+            switch (a.type) {
+                case AttrType::kId: {
+                    std::string id = "id" + std::to_string(++id_counter_);
+                    ids_.push_back(id);
+                    e.set_attribute(a.name, std::move(id));
+                    break;
+                }
+                case AttrType::kIdRef:
+                case AttrType::kIdRefs:
+                    // Filled (or dropped) by the post-pass once the
+                    // document's ID population is known.
+                    pending_idrefs_.emplace_back(&e, a.name);
+                    break;
+                case AttrType::kEnumeration:
+                case AttrType::kNotation:
+                    if (!a.enumeration.empty())
+                        e.set_attribute(
+                            a.name,
+                            a.enumeration[rng_.below(a.enumeration.size())]);
+                    break;
+                case AttrType::kNmToken:
+                    e.set_attribute(a.name,
+                                    kWords[rng_.below(std::size(kWords))]);
+                    break;
+                default:
+                    if (a.default_kind == AttrDefaultKind::kFixed ||
+                        (a.default_kind == AttrDefaultKind::kDefault &&
+                         rng_.chance(0.5)))
+                        e.set_attribute(a.name, a.default_value);
+                    else
+                        e.set_attribute(a.name, words());
+                    break;
+            }
+        }
+    }
+
+    void expand_particle(xml::Element& parent, const Particle& p,
+                         std::size_t depth) {
+        std::size_t base_min = [&] {
+            Particle once = p;
+            once.occurrence = Occurrence::kOne;
+            return min_.particle(once);
+        }();
+
+        std::size_t repetitions = 0;
+        switch (p.occurrence) {
+            case Occurrence::kOne:
+                repetitions = 1;
+                break;
+            case Occurrence::kOptional:
+                repetitions =
+                    (!tight(base_min) && rng_.chance(params_.optional_probability))
+                        ? 1
+                        : 0;
+                break;
+            case Occurrence::kZeroOrMore:
+            case Occurrence::kOneOrMore: {
+                repetitions = p.occurrence == Occurrence::kOneOrMore ? 1 : 0;
+                // Repetition is the size lever: with plenty of budget left,
+                // continue more aggressively (and beyond max_repeat) so
+                // documents actually approach max_elements.
+                double fill = params_.max_elements == 0
+                                  ? 0.0
+                                  : static_cast<double>(budget_) /
+                                        static_cast<double>(params_.max_elements);
+                double cont =
+                    std::max(params_.repeat_continue, std::min(0.95, fill));
+                std::size_t unit = std::max<std::size_t>(base_min, 1);
+                std::size_t cap =
+                    std::max(params_.max_repeat, budget_ / (4 * unit));
+                while (repetitions < cap &&
+                       !tight((repetitions + 1) * unit) && rng_.chance(cont))
+                    ++repetitions;
+                if (p.occurrence == Occurrence::kZeroOrMore && repetitions == 0 &&
+                    !tight(base_min) && rng_.chance(cont))
+                    repetitions = 1;
+                break;
+            }
+        }
+
+        for (std::size_t r = 0; r < repetitions; ++r) {
+            switch (p.kind) {
+                case dtd::ParticleKind::kElement: {
+                    const dtd::ElementDecl* decl = dtd_.element(p.name);
+                    if (decl == nullptr) break;
+                    // Skipping a required child would break validity; a DTD
+                    // that forces unbounded depth is the caller's bug.
+                    if (depth >= params_.max_depth)
+                        throw SchemaError(
+                            "document generation exceeded max_depth (does the "
+                            "DTD require unbounded recursion?)");
+                    expand(*parent.append_element(p.name), *decl, depth + 1);
+                    break;
+                }
+                case dtd::ParticleKind::kSequence:
+                    for (const auto& c : p.children)
+                        expand_particle(parent, c, depth);
+                    break;
+                case dtd::ParticleKind::kChoice: {
+                    if (p.children.empty()) break;
+                    // Budget-pressured choices take the cheapest member.
+                    const Particle* pick = nullptr;
+                    if (tight(base_min + 4)) {
+                        std::size_t best = kInf + 1;
+                        for (const auto& c : p.children) {
+                            std::size_t s = min_.particle(c);
+                            if (s < best) {
+                                best = s;
+                                pick = &c;
+                            }
+                        }
+                    } else {
+                        pick = &p.children[rng_.below(p.children.size())];
+                    }
+                    if (pick != nullptr) expand_particle(parent, *pick, depth);
+                    break;
+                }
+            }
+        }
+    }
+
+    void fix_references(xml::Document&) {
+        for (auto& [element, attr] : pending_idrefs_) {
+            if (ids_.empty()) {
+                element->remove_attribute(attr);
+                continue;
+            }
+            element->set_attribute(attr, ids_[rng_.below(ids_.size())]);
+        }
+        pending_idrefs_.clear();
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> generate_document(const dtd::Dtd& dtd,
+                                                 const std::string& root,
+                                                 const DocGenParams& params) {
+    DocGenerator generator(dtd, params);
+    return generator.run(root);
+}
+
+std::unique_ptr<xml::Document> generate_document(const dtd::Dtd& dtd,
+                                                 const DocGenParams& params) {
+    std::vector<std::string> roots = dtd.root_candidates();
+    std::string root =
+        !roots.empty() ? roots.front()
+        : !dtd.elements().empty() ? dtd.elements().front().name
+                                  : throw SchemaError("empty DTD");
+    return generate_document(dtd, root, params);
+}
+
+}  // namespace xr::gen

@@ -1,0 +1,44 @@
+// DTD-conforming document generator.
+//
+// Instantiates content models recursively under an element budget; when
+// the budget runs low the generator takes minimal expansions (skip
+// optionals, zero repetitions, cheapest choice member) so documents stay
+// valid even for recursive DTDs like the paper's book/editor/monograph
+// cycle.  ID values are unique per document; IDREF attributes are filled
+// in a post-pass from the document's own IDs (or omitted when implied and
+// no target exists).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dtd/dtd.hpp"
+#include "xml/dom.hpp"
+
+namespace xr::gen {
+
+struct DocGenParams {
+    /// Soft cap on total elements per document.
+    std::size_t max_elements = 1000;
+    std::size_t max_depth = 64;
+    /// Probability of materializing an optional particle.
+    double optional_probability = 0.5;
+    /// Continuation probability of '*' / '+' repetitions (geometric).
+    double repeat_continue = 0.5;
+    std::size_t max_repeat = 5;
+    /// Words per generated text node.
+    std::size_t words_per_text = 3;
+    std::uint64_t seed = 1;
+};
+
+/// Generate a document rooted at `root` (must be declared in `dtd`).
+[[nodiscard]] std::unique_ptr<xml::Document> generate_document(
+    const dtd::Dtd& dtd, const std::string& root, const DocGenParams& params);
+
+/// Generate a document rooted at the DTD's first root candidate (or its
+/// first element when every element is referenced).
+[[nodiscard]] std::unique_ptr<xml::Document> generate_document(
+    const dtd::Dtd& dtd, const DocGenParams& params);
+
+}  // namespace xr::gen

@@ -1,0 +1,135 @@
+#include "gen/dtd_gen.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace xr::gen {
+
+namespace {
+
+using dtd::Occurrence;
+using dtd::Particle;
+
+Occurrence random_occurrence(SplitMix64& rng, const DtdGenParams& p) {
+    if (rng.chance(p.repeat_probability))
+        return rng.chance(0.5) ? Occurrence::kZeroOrMore : Occurrence::kOneOrMore;
+    if (rng.chance(p.optional_probability)) return Occurrence::kOptional;
+    return Occurrence::kOne;
+}
+
+}  // namespace
+
+dtd::Dtd generate_dtd(const DtdGenParams& params) {
+    SplitMix64 rng(params.seed);
+    const std::size_t n = std::max<std::size_t>(params.element_count, 2);
+
+    auto elem_name = [](std::size_t i) { return "e" + std::to_string(i); };
+
+    // Leaves: the last pcdata_ratio fraction of elements hold text.
+    std::size_t first_leaf =
+        n - std::max<std::size_t>(1, static_cast<std::size_t>(
+                                         static_cast<double>(n) * params.pcdata_ratio));
+    first_leaf = std::max<std::size_t>(first_leaf, 1);
+
+    // Every element i > 0 gets a primary parent < min(i, first_leaf) so the
+    // whole DTD is reachable from e0 and internal nodes stay internal.
+    std::vector<std::vector<std::size_t>> children(n);
+    for (std::size_t i = 1; i < n; ++i) {
+        std::size_t bound = std::min(i, first_leaf);
+        std::size_t parent = bound == 0 ? 0 : static_cast<std::size_t>(
+                                                  rng.below(bound));
+        children[parent].push_back(i);
+    }
+    // Extra references to create shared elements (in-degree ≥ 2) — the case
+    // that separates shared from hybrid inlining.
+    for (std::size_t i = 2; i < n; ++i) {
+        if (!rng.chance(0.15)) continue;
+        std::size_t bound = std::min(i, first_leaf);
+        std::size_t parent = static_cast<std::size_t>(rng.below(bound));
+        auto& list = children[parent];
+        if (std::find(list.begin(), list.end(), i) == list.end() &&
+            list.size() < params.max_children * 2)
+            list.push_back(i);
+    }
+
+    dtd::Dtd out;
+    bool have_id = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        dtd::ElementDecl decl;
+        decl.name = elem_name(i);
+
+        if (i >= first_leaf || children[i].empty()) {
+            decl.content = dtd::ContentModel::pcdata();
+        } else {
+            // Build a content model over the children: consecutive members
+            // are merged into nested groups with probability
+            // group_probability.
+            std::vector<Particle> members;
+            std::size_t k = 0;
+            const auto& kids = children[i];
+            while (k < kids.size()) {
+                bool group = kids.size() - k >= 2 &&
+                             rng.chance(params.group_probability);
+                if (group) {
+                    std::size_t take = std::min<std::size_t>(
+                        kids.size() - k,
+                        2 + static_cast<std::size_t>(rng.below(2)));
+                    std::vector<Particle> sub;
+                    for (std::size_t j = 0; j < take; ++j)
+                        sub.push_back(Particle::element(
+                            elem_name(kids[k + j]),
+                            random_occurrence(rng, params)));
+                    Particle g = rng.chance(params.choice_probability)
+                                     ? Particle::choice(std::move(sub))
+                                     : Particle::sequence(std::move(sub));
+                    g.occurrence = random_occurrence(rng, params);
+                    members.push_back(std::move(g));
+                    k += take;
+                } else {
+                    members.push_back(Particle::element(
+                        elem_name(kids[k]), random_occurrence(rng, params)));
+                    ++k;
+                }
+            }
+            decl.content =
+                dtd::ContentModel::children(Particle::sequence(std::move(members)));
+        }
+
+        // Attributes: expected count ≈ attributes_per_element, but capped
+        // per-draw probability so a fraction of elements stay
+        // attribute-less — those are the distillation candidates.
+        std::size_t attr_count = 0;
+        double expect = params.attributes_per_element;
+        while (expect > 0 && rng.chance(std::min(expect, 0.7))) {
+            dtd::AttributeDecl a;
+            a.name = "a" + std::to_string(attr_count++);
+            a.type = dtd::AttrType::kCData;
+            a.default_kind = rng.chance(0.5) ? dtd::AttrDefaultKind::kRequired
+                                             : dtd::AttrDefaultKind::kImplied;
+            decl.attributes.push_back(std::move(a));
+            expect -= 1.0;
+        }
+        if (rng.chance(params.id_probability)) {
+            dtd::AttributeDecl a;
+            a.name = "id";
+            a.type = dtd::AttrType::kId;
+            a.default_kind = dtd::AttrDefaultKind::kRequired;
+            decl.attributes.push_back(std::move(a));
+            have_id = true;
+        }
+        if (have_id && rng.chance(params.idref_probability)) {
+            dtd::AttributeDecl a;
+            a.name = "ref";
+            a.type = dtd::AttrType::kIdRef;
+            // Implied: the generator only fills it when a target ID exists.
+            a.default_kind = dtd::AttrDefaultKind::kImplied;
+            decl.attributes.push_back(std::move(a));
+        }
+
+        out.add_element(std::move(decl));
+    }
+    return out;
+}
+
+}  // namespace xr::gen

@@ -1,0 +1,38 @@
+// Random DTD generator for parameter sweeps.
+//
+// Produces acyclic DTDs with a single root (element e0), controllable
+// size, grouping/choice density, occurrence indicators, and ID/IDREF
+// attributes — the knobs the benchmark sweeps in EXPERIMENTS.md exercise.
+// Generation is fully determined by the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "dtd/dtd.hpp"
+
+namespace xr::gen {
+
+struct DtdGenParams {
+    std::size_t element_count = 20;
+    /// Maximum direct members in a content model.
+    std::size_t max_children = 4;
+    /// Probability that a member is a nested group rather than a ref.
+    double group_probability = 0.3;
+    /// Probability a generated group is a choice (else sequence).
+    double choice_probability = 0.4;
+    double optional_probability = 0.25;  ///< '?'
+    double repeat_probability = 0.25;    ///< '*' or '+'
+    /// Fraction of elements that are #PCDATA leaves.
+    double pcdata_ratio = 0.4;
+    /// Expected CDATA attributes per element.
+    double attributes_per_element = 1.0;
+    /// Probability an element declares an ID attribute.
+    double id_probability = 0.15;
+    /// Probability an element declares an (implied) IDREF attribute.
+    double idref_probability = 0.10;
+    std::uint64_t seed = 1;
+};
+
+[[nodiscard]] dtd::Dtd generate_dtd(const DtdGenParams& params);
+
+}  // namespace xr::gen

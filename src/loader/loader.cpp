@@ -1,0 +1,601 @@
+#include "loader/loader.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "rel/translate.hpp"
+#include "xml/serializer.hpp"
+
+namespace xr::loader {
+
+namespace {
+
+using rdb::Value;
+
+rdb::Row null_row(const rel::TableSchema& t) {
+    return rdb::Row(t.columns.size());
+}
+
+int col(const rel::TableSchema& t, std::string_view name) {
+    return t.column_index(name);
+}
+
+}  // namespace
+
+Loader::Loader(const dtd::Dtd& logical, const mapping::MappingResult& mapping,
+               const rel::RelationalSchema& schema, rdb::Database& db)
+    : logical_(logical),
+      mapping_(mapping),
+      schema_(schema),
+      db_(db),
+      validator_(logical) {
+    build_plans();
+}
+
+void Loader::build_plans() {
+    id_registry_ = db_.table(rel::kIdRegistryTable);
+    text_segments_ = db_.table(rel::kTextSegmentsTable);
+    overflow_ = db_.table(rel::kOverflowTable);
+
+    // Reference plans, keyed later through entity plans.
+    std::map<std::string, RefPlan*> ref_by_name;  // relationship name → plan
+    for (const auto& t : schema_.tables()) {
+        if (t.kind != rel::TableKind::kReferenceRel) continue;
+        auto plan = std::make_unique<RefPlan>();
+        plan->table = &t;
+        plan->storage = db_.table(t.name);
+        plan->doc_col = col(t, "doc");
+        plan->source_col = col(t, "source_pk");
+        plan->idref_col = col(t, "idref");
+        plan->ord_col = col(t, "ord");
+        plan->target_entity_col = col(t, "target_entity");
+        plan->target_pk_col = col(t, "target_pk");
+        ref_by_name[t.source] = plan.get();
+        ref_plans_.push_back(std::move(plan));
+    }
+
+    // NESTED plans.
+    std::map<std::string, NestedPlan*> nested_by_name;
+    for (const auto& t : schema_.tables()) {
+        if (t.kind != rel::TableKind::kNestedRel) continue;
+        auto plan = std::make_unique<NestedPlan>();
+        plan->table = &t;
+        plan->storage = db_.table(t.name);
+        plan->doc_col = col(t, "doc");
+        plan->parent_col = col(t, "parent_pk");
+        plan->child_col = col(t, "child_pk");
+        plan->ord_col = col(t, "ord");
+        nested_by_name[t.source] = plan.get();
+        nested_plans_.push_back(std::move(plan));
+    }
+
+    // Group plans (one per virtual group element).
+    for (const auto& g : mapping_.converted.nested_groups) {
+        GroupPlan plan;
+        plan.table = schema_.table_for(rel::TableKind::kGroupRel, g.name);
+        if (plan.table == nullptr) continue;
+        plan.storage = db_.table(plan.table->name);
+        plan.pk_col = col(*plan.table, "pk");
+        plan.doc_col = col(*plan.table, "doc");
+        plan.parent_col = col(*plan.table, "parent_pk");
+        plan.ord_col = col(*plan.table, "ord");
+        for (const auto& c : plan.table->columns) {
+            if (c.role == rel::ColumnRole::kAttribute)
+                plan.attr_columns[c.source] = plan.table->column_index(c.name);
+            if (c.role == rel::ColumnRole::kForeignKey && c.name != "parent_pk" &&
+                !c.source.empty())
+                plan.member_columns[c.source] = plan.table->column_index(c.name);
+        }
+        // Distilled attributes whose owner is the virtual group element.
+        const std::string virtual_name = g.name.substr(1);  // strip 'N'
+        for (const auto& d : mapping_.metadata.distilled) {
+            if (d.element != virtual_name) continue;
+            auto it = plan.attr_columns.find(d.attribute);
+            if (it != plan.attr_columns.end())
+                plan.distilled_columns[d.original_child] = it->second;
+        }
+        // Link tables for repeatable members.
+        for (const auto& t : schema_.tables()) {
+            if (t.kind != rel::TableKind::kGroupMemberLink || t.source != g.name)
+                continue;
+            GroupPlan::Link link;
+            link.table = &t;
+            link.storage = db_.table(t.name);
+            link.doc_col = col(t, "doc");
+            link.group_col = col(t, "group_pk");
+            link.member_col = col(t, "member_pk");
+            link.ord_col = col(t, "ord");
+            plan.link_tables[t.source2] = link;
+        }
+        group_plans_[virtual_name] = std::move(plan);
+    }
+
+    // Entity plans.
+    for (const auto& ce : mapping_.converted.elements) {
+        EntityPlan plan;
+        plan.entity = ce.name;
+        plan.table = schema_.entity_table(ce.name);
+        if (plan.table == nullptr) continue;
+        plan.storage = db_.table(plan.table->name);
+        plan.pk_col = col(*plan.table, "pk");
+        plan.doc_col = col(*plan.table, "doc");
+        plan.pcdata_col = col(*plan.table, "pcdata");
+        plan.raw_col = col(*plan.table, "raw_xml");
+
+        for (const auto& c : plan.table->columns) {
+            if (c.role == rel::ColumnRole::kAttribute)
+                plan.attr_columns[c.source] = plan.table->column_index(c.name);
+        }
+        for (const auto& d : mapping_.metadata.distilled) {
+            if (d.element != ce.name) continue;
+            auto it = plan.attr_columns.find(d.attribute);
+            if (it != plan.attr_columns.end())
+                plan.distilled_columns[d.original_child] = it->second;
+        }
+
+        // ID / IDREF attributes come from the *original* declaration.
+        if (const dtd::ElementDecl* decl = logical_.element(ce.name)) {
+            if (const dtd::AttributeDecl* id = decl->id_attribute())
+                plan.id_attr = id->name;
+            const rel::TableSchema* entity_table = plan.table;
+            for (const auto* idref : decl->idref_attributes()) {
+                // REFERENCE relationships are named after the attribute,
+                // qualified with the source when two elements share an
+                // attribute name — so verify the candidate table actually
+                // references *this* entity before adopting it.
+                RefPlan* match = nullptr;
+                for (const std::string& cand :
+                     {idref->name + "_" + ce.name, idref->name}) {
+                    auto it = ref_by_name.find(cand);
+                    if (it == ref_by_name.end()) continue;
+                    const rel::Column* sc = it->second->table->column("source_pk");
+                    if (sc != nullptr && sc->references == entity_table->name) {
+                        match = it->second;
+                        break;
+                    }
+                }
+                if (match != nullptr)
+                    plan.idref_attrs.emplace_back(idref->name, match);
+            }
+        }
+
+        switch (ce.residual) {
+            case mapping::ResidualContent::kEmpty:
+                plan.mode = EntityPlan::Mode::kEmpty;
+                break;
+            case mapping::ResidualContent::kAny:
+                plan.mode = EntityPlan::Mode::kAny;
+                break;
+            case mapping::ResidualContent::kPCData:
+                plan.mode = EntityPlan::Mode::kPCData;
+                break;
+            case mapping::ResidualContent::kMixed:
+                plan.mode = EntityPlan::Mode::kMixed;
+                break;
+            case mapping::ResidualContent::kStripped:
+                plan.mode = EntityPlan::Mode::kChildren;
+                break;
+        }
+
+        // Content matcher from the grouped (step-1) DTD, which still lists
+        // distilled children and marks hoisted groups.
+        if (plan.mode == EntityPlan::Mode::kChildren) {
+            const dtd::ElementDecl* grouped_decl = mapping_.grouped.element(ce.name);
+            if (grouped_decl != nullptr)
+                plan.plan = build_plan(mapping_.grouped, mapping_.metadata,
+                                       *grouped_decl);
+        }
+
+        // Direct NESTED relationships out of this element (incl. mixed).
+        for (const auto& n : mapping_.converted.nested) {
+            if (n.parent != ce.name) continue;
+            auto it = nested_by_name.find(n.name);
+            if (it != nested_by_name.end()) plan.nested[n.child] = it->second;
+        }
+
+        entity_plans_[ce.name] = std::move(plan);
+    }
+}
+
+std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
+    if (options.validate) {
+        validate::ValidateOptions vopt;
+        vopt.apply_defaults = true;
+        vopt.strict = options.strict;
+        validator_.check(doc, vopt);
+    }
+    if (doc.root() == nullptr)
+        throw ValidationError("cannot load a document without a root element");
+
+    std::int64_t doc_id = next_doc_++;
+    std::int64_t root_pk = load_element(*doc.root(), doc_id, options);
+    if (rdb::Table* docs = db_.table("xrel_docs")) {
+        docs->insert({Value::null(), Value(doc_id), Value(doc.root()->name()),
+                      Value(root_pk)});
+    }
+    ++stats_.documents;
+    if (options.resolve_references) resolve_references();
+    return doc_id;
+}
+
+std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
+                                  const LoadOptions& options) {
+    ++stats_.elements_visited;
+    auto plan_it = entity_plans_.find(e.name());
+    if (plan_it == entity_plans_.end()) {
+        if (options.strict)
+            throw ValidationError("no relational mapping for element '" +
+                                      e.name() + "'",
+                                  e.location());
+        ++stats_.skipped_elements;
+        return -1;
+    }
+    EntityPlan& plan = plan_it->second;
+
+    rdb::Row row = null_row(*plan.table);
+    if (plan.doc_col >= 0) row[plan.doc_col] = Value(doc);
+    for (const auto& attr : e.attributes()) {
+        auto it = plan.attr_columns.find(attr.name);
+        if (it != plan.attr_columns.end()) row[it->second] = Value(attr.value);
+    }
+    switch (plan.mode) {
+        case EntityPlan::Mode::kPCData:
+        case EntityPlan::Mode::kMixed:
+            if (plan.pcdata_col >= 0) row[plan.pcdata_col] = Value(e.text());
+            break;
+        case EntityPlan::Mode::kAny:
+            if (plan.raw_col >= 0) {
+                std::string raw;
+                xml::SerializeOptions sopt;
+                sopt.indent.clear();
+                for (const auto& child : e.children())
+                    raw += xml::serialize(*child, sopt);
+                row[plan.raw_col] = Value(raw);
+            }
+            break;
+        case EntityPlan::Mode::kChildren:
+        case EntityPlan::Mode::kEmpty:
+            break;
+    }
+
+    // Keys are allocated before insertion so child rows (and the ID
+    // registry) can reference this row while it is still being assembled —
+    // distilled #PCDATA children fill their columns only once the content
+    // events are processed.
+    std::int64_t pk = plan.storage->allocate_pk();
+    if (plan.pk_col >= 0) row[plan.pk_col] = Value(pk);
+
+    // ID registry.
+    if (!plan.id_attr.empty() && id_registry_ != nullptr) {
+        if (const std::string* idval = e.attribute(plan.id_attr)) {
+            const rel::TableSchema& rt = *schema_.table(rel::kIdRegistryTable);
+            rdb::Row reg = null_row(rt);
+            int c;
+            if ((c = col(rt, "doc")) >= 0) reg[c] = Value(doc);
+            reg[col(rt, "idval")] = Value(normalize_space(*idval));
+            reg[col(rt, "entity")] = Value(plan.entity);
+            reg[col(rt, "entity_pk")] = Value(pk);
+            id_registry_->insert(std::move(reg));
+        }
+    }
+
+    // IDREF rows (targets resolved later).
+    for (const auto& [attr_name, ref] : plan.idref_attrs) {
+        const std::string* value = e.attribute(attr_name);
+        if (value == nullptr) continue;
+        std::vector<std::string> tokens = split_name_tokens(*value);
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            rdb::Row rrow = null_row(*ref->table);
+            if (ref->doc_col >= 0) rrow[ref->doc_col] = Value(doc);
+            rrow[ref->source_col] = Value(pk);
+            rrow[ref->idref_col] = Value(tokens[i]);
+            if (ref->ord_col >= 0)
+                rrow[ref->ord_col] = Value(static_cast<std::int64_t>(i));
+            ref->storage->insert(std::move(rrow));
+            ++stats_.reference_rows;
+        }
+    }
+
+    // Structure.
+    switch (plan.mode) {
+        case EntityPlan::Mode::kChildren:
+            load_children(e, plan, row, pk, doc, options);
+            break;
+        case EntityPlan::Mode::kMixed: {
+            // Element members of mixed content become NESTED rows and text
+            // nodes become xrel_text segment rows, both with the node index
+            // as ord — so interleaving reconstructs exactly.
+            const auto& children = e.children();
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                if (children[i]->is_text() && text_segments_ != nullptr) {
+                    const auto& text =
+                        static_cast<const xml::Text&>(*children[i]);
+                    rdb::Row trow(text_segments_->column_count());
+                    const rdb::TableDef& td = text_segments_->def();
+                    int c;
+                    if ((c = td.column_index("doc")) >= 0) trow[c] = Value(doc);
+                    trow[td.column_index("entity")] = Value(plan.entity);
+                    trow[td.column_index("parent_pk")] = Value(pk);
+                    if ((c = td.column_index("ord")) >= 0)
+                        trow[c] = Value(static_cast<std::int64_t>(i));
+                    trow[td.column_index("content")] = Value(text.content());
+                    text_segments_->insert(std::move(trow));
+                    ++stats_.relationship_rows;
+                    continue;
+                }
+                if (!children[i]->is_element()) continue;
+                const auto& child = static_cast<const xml::Element&>(*children[i]);
+                auto it = plan.nested.find(child.name());
+                if (it == plan.nested.end()) {
+                    if (options.strict)
+                        throw ValidationError(
+                            "element '" + child.name() +
+                                "' not allowed in mixed content of '" + e.name() +
+                                "'",
+                            child.location());
+                    store_overflow(child, plan.entity, pk, doc, i);
+                    continue;
+                }
+                std::int64_t cpk = load_element(child, doc, options);
+                if (cpk < 0) continue;
+                NestedPlan& np = *it->second;
+                rdb::Row nrow = null_row(*np.table);
+                if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
+                nrow[np.parent_col] = Value(pk);
+                nrow[np.child_col] = Value(cpk);
+                if (np.ord_col >= 0)
+                    nrow[np.ord_col] = Value(static_cast<std::int64_t>(i));
+                np.storage->insert(std::move(nrow));
+                ++stats_.relationship_rows;
+            }
+            break;
+        }
+        default:
+            break;
+    }
+
+    plan.storage->insert(std::move(row));
+    ++stats_.entity_rows;
+    return pk;
+}
+
+void Loader::load_children(const xml::Element& e, EntityPlan& plan,
+                           rdb::Row& parent_row, std::int64_t parent_pk,
+                           std::int64_t doc, const LoadOptions& options) {
+    std::vector<xml::Element*> children = e.child_elements();
+    std::vector<std::string_view> names;
+    names.reserve(children.size());
+    for (const auto* c : children) names.emplace_back(c->name());
+
+    std::vector<MatchEvent> events;
+    if (!match_children(plan.plan, names, events)) {
+        if (options.strict)
+            throw ValidationError("children of '" + e.name() +
+                                      "' do not match the content model",
+                                  e.location());
+        // Lenient fallback: link whatever children have NESTED tables; the
+        // rest go to the overflow table (STORED-style) rather than vanish.
+        for (std::size_t i = 0; i < children.size(); ++i) {
+            auto it = plan.nested.find(children[i]->name());
+            if (it == plan.nested.end()) {
+                store_overflow(*children[i], plan.entity, parent_pk, doc, i);
+                continue;
+            }
+            std::int64_t cpk = load_element(*children[i], doc, options);
+            if (cpk < 0) continue;
+            NestedPlan& np = *it->second;
+            rdb::Row nrow = null_row(*np.table);
+            if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
+            nrow[np.parent_col] = Value(parent_pk);
+            nrow[np.child_col] = Value(cpk);
+            if (np.ord_col >= 0)
+                nrow[np.ord_col] = Value(static_cast<std::int64_t>(i));
+            np.storage->insert(std::move(nrow));
+            ++stats_.relationship_rows;
+        }
+        return;
+    }
+
+    // Context stack: the entity frame at the bottom, one frame per open
+    // group instance above it.  Group rows stay buffered until ExitGroup so
+    // distilled/member columns can be filled before constraint checking.
+    struct Context {
+        bool is_group = false;
+        GroupPlan* group = nullptr;
+        std::int64_t pk = 0;
+        rdb::Row* row = nullptr;  ///< entity frame: caller's row
+        rdb::Row group_row;       ///< group frame: buffered here
+    };
+    std::vector<Context> stack;
+    stack.reserve(8);
+    {
+        Context root;
+        root.pk = parent_pk;
+        root.row = &parent_row;
+        stack.push_back(std::move(root));
+    }
+    auto current_row = [&]() -> rdb::Row& {
+        Context& ctx = stack.back();
+        return ctx.is_group ? ctx.group_row : *ctx.row;
+    };
+
+    for (const auto& event : events) {
+        switch (event.type) {
+            case MatchEvent::Type::kEnterGroup: {
+                auto git = group_plans_.find(event.node->name);
+                if (git == group_plans_.end() || git->second.storage == nullptr) {
+                    // Group without a table (e.g. empty body): keep parent
+                    // context so members attach one level up.
+                    Context copy;
+                    copy.is_group = stack.back().is_group;
+                    copy.group = stack.back().group;
+                    copy.pk = stack.back().pk;
+                    copy.row = stack.back().row;
+                    if (copy.is_group) {
+                        // Degenerate; share the parent's buffer by pointer.
+                        copy.is_group = false;
+                        copy.row = &current_row();
+                    }
+                    stack.push_back(std::move(copy));
+                    break;
+                }
+                GroupPlan& gp = git->second;
+                Context ctx;
+                ctx.is_group = true;
+                ctx.group = &gp;
+                ctx.pk = gp.storage->allocate_pk();
+                ctx.group_row = null_row(*gp.table);
+                if (gp.pk_col >= 0) ctx.group_row[gp.pk_col] = Value(ctx.pk);
+                if (gp.doc_col >= 0) ctx.group_row[gp.doc_col] = Value(doc);
+                ctx.group_row[gp.parent_col] = Value(stack.back().pk);
+                if (gp.ord_col >= 0)
+                    ctx.group_row[gp.ord_col] =
+                        Value(static_cast<std::int64_t>(event.pos));
+                stack.push_back(std::move(ctx));
+                break;
+            }
+            case MatchEvent::Type::kExitGroup: {
+                Context done = std::move(stack.back());
+                stack.pop_back();
+                if (done.is_group) {
+                    done.group->storage->insert(std::move(done.group_row));
+                    ++stats_.relationship_rows;
+                }
+                break;
+            }
+            case MatchEvent::Type::kMatchChild: {
+                const xml::Element& child = *children[event.pos];
+                Context& ctx = stack.back();
+
+                // Distilled #PCDATA subelement -> column on the owner row.
+                const std::map<std::string, int>& distilled =
+                    ctx.is_group ? ctx.group->distilled_columns
+                                 : plan.distilled_columns;
+                auto dit = distilled.find(child.name());
+                if (dit != distilled.end()) {
+                    current_row()[dit->second] = Value(child.text());
+                    break;
+                }
+
+                std::int64_t cpk = load_element(child, doc, options);
+                if (cpk < 0) break;
+
+                if (ctx.is_group) {
+                    auto lit = ctx.group->link_tables.find(child.name());
+                    if (lit != ctx.group->link_tables.end()) {
+                        GroupPlan::Link& link = lit->second;
+                        rdb::Row lrow = null_row(*link.table);
+                        if (link.doc_col >= 0) lrow[link.doc_col] = Value(doc);
+                        lrow[link.group_col] = Value(ctx.pk);
+                        lrow[link.member_col] = Value(cpk);
+                        if (link.ord_col >= 0)
+                            lrow[link.ord_col] =
+                                Value(static_cast<std::int64_t>(event.pos));
+                        link.storage->insert(std::move(lrow));
+                        ++stats_.relationship_rows;
+                    } else {
+                        auto mit = ctx.group->member_columns.find(child.name());
+                        if (mit != ctx.group->member_columns.end())
+                            current_row()[mit->second] = Value(cpk);
+                    }
+                } else {
+                    auto nit = plan.nested.find(child.name());
+                    if (nit != plan.nested.end()) {
+                        NestedPlan& np = *nit->second;
+                        rdb::Row nrow = null_row(*np.table);
+                        if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
+                        nrow[np.parent_col] = Value(ctx.pk);
+                        nrow[np.child_col] = Value(cpk);
+                        if (np.ord_col >= 0)
+                            nrow[np.ord_col] =
+                                Value(static_cast<std::int64_t>(event.pos));
+                        np.storage->insert(std::move(nrow));
+                        ++stats_.relationship_rows;
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+void Loader::store_overflow(const xml::Element& e,
+                            const std::string& parent_entity,
+                            std::int64_t parent_pk, std::int64_t doc,
+                            std::size_t ord) {
+    ++stats_.skipped_elements;
+    if (overflow_ == nullptr) return;
+    xml::SerializeOptions compact;
+    compact.indent.clear();
+    compact.declaration = false;
+    compact.doctype = false;
+    const rdb::TableDef& td = overflow_->def();
+    rdb::Row row(overflow_->column_count());
+    int c;
+    if ((c = td.column_index("doc")) >= 0) row[c] = Value(doc);
+    row[td.column_index("parent_entity")] = Value(parent_entity);
+    row[td.column_index("parent_pk")] = Value(parent_pk);
+    if ((c = td.column_index("ord")) >= 0)
+        row[c] = Value(static_cast<std::int64_t>(ord));
+    row[td.column_index("raw_xml")] = Value(xml::serialize(e, compact));
+    overflow_->insert(std::move(row));
+    ++stats_.overflow_rows;
+}
+
+std::size_t Loader::unload(std::int64_t doc) {
+    rdb::Table* docs = db_.table("xrel_docs");
+    if (docs == nullptr)
+        throw SchemaError("cannot unload: xrel_docs metadata table is missing");
+    if (docs->lookup("doc", Value(doc)).empty())
+        throw SchemaError("no loaded document with id " + std::to_string(doc));
+
+    std::size_t removed = 0;
+    for (const auto& t : schema_.tables()) {
+        if (t.kind == rel::TableKind::kMetadata) continue;
+        rdb::Table* storage = db_.table(t.name);
+        if (storage == nullptr || t.column("doc") == nullptr) continue;
+        removed += storage->delete_where("doc", Value(doc));
+    }
+    docs->delete_where("doc", Value(doc));
+    --stats_.documents;
+    return removed;
+}
+
+void Loader::resolve_references() {
+    // Unresolved is a snapshot of the current pass (rows already resolved
+    // earlier are skipped and never recounted).
+    stats_.unresolved_references = 0;
+    for (auto& ref : ref_plans_) resolve_references_in(*ref);
+}
+
+void Loader::resolve_references_in(RefPlan& ref) {
+    if (ref.storage == nullptr || id_registry_ == nullptr) return;
+    const rel::TableSchema& rt = *schema_.table(rel::kIdRegistryTable);
+    int reg_doc = col(rt, "doc");
+    int reg_entity = col(rt, "entity");
+    int reg_pk = col(rt, "entity_pk");
+
+    for (rdb::RowId id = 0; id < ref.storage->row_count(); ++id) {
+        const rdb::Row& row = ref.storage->row(id);
+        if (!row[ref.target_pk_col].is_null()) continue;
+
+        const Value& idref = row[ref.idref_col];
+        std::vector<rdb::RowId> hits = id_registry_->lookup("idval", idref);
+        bool resolved = false;
+        for (rdb::RowId hit : hits) {
+            const rdb::Row& reg = id_registry_->row(hit);
+            // IDs are unique per document, so match the document too.
+            if (ref.doc_col >= 0 && reg_doc >= 0 &&
+                !(reg[reg_doc] == row[ref.doc_col]))
+                continue;
+            ref.storage->update(id, "target_entity", reg[reg_entity]);
+            ref.storage->update(id, "target_pk", reg[reg_pk]);
+            resolved = true;
+            break;
+        }
+        if (resolved) ++stats_.resolved_references;
+        else ++stats_.unresolved_references;
+    }
+}
+
+}  // namespace xr::loader

@@ -1,0 +1,171 @@
+#include "loader/plan.hpp"
+
+#include "common/error.hpp"
+
+namespace xr::loader {
+
+namespace {
+
+using dtd::Occurrence;
+using dtd::Particle;
+using dtd::ParticleKind;
+
+PlanNode convert(const dtd::Dtd& grouped, const mapping::Metadata& meta,
+                 const Particle& p, std::size_t depth) {
+    if (depth > 256)
+        throw SchemaError("content model nesting too deep while planning");
+
+    if (p.is_element()) {
+        if (meta.group(p.name) != nullptr) {
+            // Hoisted group: expand to an explicit boundary node whose only
+            // child is the group body.
+            PlanNode node;
+            node.kind = PlanNode::Kind::kGroup;
+            node.name = p.name;
+            node.occurrence = p.occurrence;
+            const dtd::ElementDecl* g = grouped.element(p.name);
+            if (g != nullptr &&
+                g->content.category == dtd::ContentCategory::kChildren) {
+                node.children.push_back(
+                    convert(grouped, meta, g->content.particle, depth + 1));
+            }
+            return node;
+        }
+        PlanNode node;
+        node.kind = PlanNode::Kind::kLeaf;
+        node.name = p.name;
+        node.occurrence = p.occurrence;
+        return node;
+    }
+
+    PlanNode node;
+    node.kind = p.kind == ParticleKind::kChoice ? PlanNode::Kind::kChoice
+                                                : PlanNode::Kind::kSeq;
+    node.occurrence = p.occurrence;
+    for (const auto& c : p.children)
+        node.children.push_back(convert(grouped, meta, c, depth + 1));
+    return node;
+}
+
+/// Backtracking matcher in continuation-passing style.  `events` acts as a
+/// trail: failed branches truncate back to their entry size.
+class Matcher {
+public:
+    Matcher(const std::vector<std::string_view>& names,
+            std::vector<MatchEvent>& events)
+        : names_(names), events_(events) {}
+
+    using Cont = std::function<bool(std::size_t)>;
+
+    bool match(const PlanNode& node, std::size_t pos, const Cont& k) {
+        switch (node.occurrence) {
+            case Occurrence::kOne:
+                return match_base(node, pos, k);
+            case Occurrence::kOptional: {
+                std::size_t mark = events_.size();
+                if (match_base(node, pos, k)) return true;
+                events_.resize(mark);
+                return k(pos);
+            }
+            case Occurrence::kOneOrMore:
+                return match_plus(node, pos, k);
+            case Occurrence::kZeroOrMore: {
+                std::size_t mark = events_.size();
+                if (match_plus(node, pos, k)) return true;
+                events_.resize(mark);
+                return k(pos);
+            }
+        }
+        return false;
+    }
+
+private:
+    const std::vector<std::string_view>& names_;
+    std::vector<MatchEvent>& events_;
+
+    bool match_plus(const PlanNode& node, std::size_t pos, const Cont& k) {
+        return match_base(node, pos, [&, pos](std::size_t next) {
+            // Greedy: try another iteration first; the guard against
+            // zero-width iterations keeps nullable bodies terminating.
+            if (next != pos) {
+                std::size_t mark = events_.size();
+                if (match_plus(node, next, k)) return true;
+                events_.resize(mark);
+            }
+            return k(next);
+        });
+    }
+
+    bool match_base(const PlanNode& node, std::size_t pos, const Cont& k) {
+        switch (node.kind) {
+            case PlanNode::Kind::kLeaf: {
+                if (pos >= names_.size() || names_[pos] != node.name) return false;
+                events_.push_back({MatchEvent::Type::kMatchChild, &node, pos});
+                if (k(pos + 1)) return true;
+                events_.pop_back();
+                return false;
+            }
+            case PlanNode::Kind::kSeq:
+                return match_sequence(node, 0, pos, k);
+            case PlanNode::Kind::kChoice: {
+                for (const auto& child : node.children) {
+                    std::size_t mark = events_.size();
+                    if (match(child, pos, k)) return true;
+                    events_.resize(mark);
+                }
+                return false;
+            }
+            case PlanNode::Kind::kGroup: {
+                std::size_t mark = events_.size();
+                events_.push_back({MatchEvent::Type::kEnterGroup, &node, pos});
+                auto exit_then_k = [&](std::size_t next) {
+                    events_.push_back({MatchEvent::Type::kExitGroup, &node, next});
+                    if (k(next)) return true;
+                    events_.pop_back();
+                    return false;
+                };
+                bool ok = node.children.empty()
+                              ? exit_then_k(pos)
+                              : match(node.children.front(), pos, exit_then_k);
+                if (!ok) events_.resize(mark);
+                return ok;
+            }
+        }
+        return false;
+    }
+
+    bool match_sequence(const PlanNode& node, std::size_t index, std::size_t pos,
+                        const Cont& k) {
+        if (index == node.children.size()) return k(pos);
+        return match(node.children[index], pos, [&](std::size_t next) {
+            return match_sequence(node, index + 1, next, k);
+        });
+    }
+};
+
+}  // namespace
+
+PlanNode build_plan(const dtd::Dtd& grouped, const mapping::Metadata& meta,
+                    const dtd::ElementDecl& element) {
+    if (element.content.category != dtd::ContentCategory::kChildren) {
+        // Structural plans exist only for element content; other categories
+        // are handled directly by the loader.
+        PlanNode node;
+        node.kind = PlanNode::Kind::kSeq;
+        return node;
+    }
+    return convert(grouped, meta, element.content.particle, 0);
+}
+
+bool match_children(const PlanNode& plan,
+                    const std::vector<std::string_view>& names,
+                    std::vector<MatchEvent>& events) {
+    events.clear();
+    Matcher matcher(names, events);
+    bool ok = matcher.match(
+        plan, 0, [&](std::size_t pos) { return pos == names.size(); });
+    if (!ok) events.clear();
+    return ok;
+}
+
+}  // namespace xr::loader

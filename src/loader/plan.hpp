@@ -1,0 +1,62 @@
+// Loading plans: per-element-type matchers that segment a DOM element's
+// child sequence into group instances.
+//
+// The relational schema stores NESTED_GROUP instances as rows, but XML
+// documents carry no explicit group tags — '(author, affiliation?)+' in
+// the article model shows up as a flat run of author/affiliation children.
+// The plan rebuilds the step-1 content model (with hoisted groups as
+// explicit boundary nodes) and matches the child sequence against it,
+// emitting Enter/Exit events at group boundaries and Match events at
+// element references.  Matching is a backtracking regular-expression walk;
+// XML 1.0 content models are required to be deterministic, which keeps the
+// walk effectively linear.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+#include "mapping/metadata.hpp"
+
+namespace xr::loader {
+
+struct PlanNode {
+    enum class Kind {
+        kLeaf,    ///< ordinary element reference
+        kSeq,     ///< sequence group (structural, no row)
+        kChoice,  ///< choice group (structural, no row)
+        kGroup,   ///< hoisted group boundary — one row per instance
+    };
+    Kind kind = Kind::kLeaf;
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+    std::string name;  ///< element name (kLeaf) or virtual group name (kGroup)
+    std::vector<PlanNode> children;
+};
+
+struct MatchEvent {
+    enum class Type {
+        kEnterGroup,  ///< a group instance begins (node is the kGroup node)
+        kExitGroup,   ///< the instance ends
+        kMatchChild,  ///< child at `pos` matched this kLeaf node
+    };
+    Type type = Type::kMatchChild;
+    const PlanNode* node = nullptr;
+    std::size_t pos = 0;  ///< child index (kMatchChild) / start index (enter)
+};
+
+/// Build the plan tree for one element type from the step-1 (grouped) DTD.
+/// Virtual group references expand inline into kGroup boundary nodes.
+[[nodiscard]] PlanNode build_plan(const dtd::Dtd& grouped,
+                                  const mapping::Metadata& meta,
+                                  const dtd::ElementDecl& element);
+
+/// Match `names` (the child-element sequence) against the plan.  On
+/// success, `events` holds the complete derivation in document order.
+[[nodiscard]] bool match_children(const PlanNode& plan,
+                                  const std::vector<std::string_view>& names,
+                                  std::vector<MatchEvent>& events);
+
+}  // namespace xr::loader

@@ -1,0 +1,106 @@
+#include "mapping/converted_dtd.hpp"
+
+#include <algorithm>
+
+namespace xr::mapping {
+
+std::string_view to_string(ResidualContent r) {
+    switch (r) {
+        case ResidualContent::kStripped: return "()";
+        case ResidualContent::kEmpty: return "EMPTY";
+        case ResidualContent::kAny: return "ANY";
+        case ResidualContent::kPCData: return "(#PCDATA)";
+        case ResidualContent::kMixed: return "(#PCDATA | ...)*";
+    }
+    return "?";
+}
+
+const ConvertedElement* ConvertedDtd::element(std::string_view name) const {
+    for (const auto& e : elements)
+        if (e.name == name) return &e;
+    return nullptr;
+}
+
+const NestedGroupDecl* ConvertedDtd::nested_group(std::string_view name) const {
+    for (const auto& g : nested_groups)
+        if (g.name == name) return &g;
+    return nullptr;
+}
+
+const NestedDecl* ConvertedDtd::nested_decl(std::string_view name) const {
+    for (const auto& n : nested)
+        if (n.name == name) return &n;
+    return nullptr;
+}
+
+std::vector<std::string> ConvertedDtd::relationships_of(
+    std::string_view parent) const {
+    struct Item {
+        std::size_t position;
+        std::string name;
+    };
+    std::vector<Item> items;
+    for (const auto& g : nested_groups)
+        if (g.parent == parent) items.push_back({g.position, g.name});
+    for (const auto& n : nested)
+        if (n.parent == parent) items.push_back({n.position, n.name});
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.position < b.position; });
+    std::vector<std::string> out;
+    for (auto& i : items) out.push_back(std::move(i.name));
+    return out;
+}
+
+std::string ConvertedDtd::to_string() const {
+    std::string out;
+    for (const auto& e : elements) {
+        out += "<!ELEMENT " + e.name + " " +
+               std::string(xr::mapping::to_string(e.residual)) + ">\n";
+        if (!e.attributes.empty()) {
+            out += "<!ATTLIST " + e.name;
+            if (e.attributes.size() == 1) {
+                out += " " + e.attributes.front().to_string();
+            } else {
+                for (const auto& a : e.attributes) out += "\n    " + a.to_string();
+            }
+            out += ">\n";
+        }
+        // Relationship declarations under this element, in schema order.
+        struct RelItem {
+            std::size_t position;
+            std::string text;
+        };
+        std::vector<RelItem> rels;
+        for (const auto& g : nested_groups) {
+            if (g.parent != e.name) continue;
+            std::string text =
+                "<!NESTED_GROUP " + g.name + " " + g.parent + " " +
+                g.group.to_string() + ">";
+            for (const auto& a : g.attributes)
+                text += "\n<!ATTLIST " + g.name + " " + a.to_string() + ">";
+            rels.push_back({g.position, std::move(text)});
+        }
+        for (const auto& n : nested) {
+            if (n.parent != e.name) continue;
+            rels.push_back({n.position, "<!NESTED " + n.name + " " + n.parent +
+                                            " " + n.child + ">"});
+        }
+        std::sort(rels.begin(), rels.end(), [](const RelItem& a, const RelItem& b) {
+            return a.position < b.position;
+        });
+        for (const auto& r : rels) out += r.text + "\n";
+
+        for (const auto& r : references) {
+            if (r.source != e.name) continue;
+            out += "<!REFERENCE " + r.attribute + " " + r.source + " (";
+            for (std::size_t i = 0; i < r.targets.size(); ++i) {
+                if (i != 0) out += " | ";
+                out += r.targets[i];
+            }
+            out += ")>\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace xr::mapping

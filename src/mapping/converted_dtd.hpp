@@ -1,0 +1,95 @@
+// The converted DTD — output of mapping step 3 (paper Example 2).
+//
+// After groups are hoisted, attributes distilled, and relationships
+// identified, "the only declarations in the DTD [are] 'empty' and 'any'
+// elements, attribute lists, and relationships".  ConvertedDtd is that
+// form: element entries with no structural content, plus explicit
+// NESTED_GROUP / NESTED / REFERENCE declarations.  to_string() renders the
+// paper's pseudo-DTD syntax so Example 2 can be checked verbatim.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+
+namespace xr::mapping {
+
+/// What remains of an element's content after relationship extraction.
+enum class ResidualContent {
+    kStripped,  ///< all structure moved into relationships — prints '()'
+    kEmpty,     ///< originally declared EMPTY
+    kAny,       ///< originally declared ANY
+    kPCData,    ///< undistilled text-only element — prints '(#PCDATA)'
+    kMixed,     ///< mixed content (members appear as nested relationships)
+};
+
+[[nodiscard]] std::string_view to_string(ResidualContent r);
+
+struct ConvertedElement {
+    std::string name;
+    ResidualContent residual = ResidualContent::kStripped;
+    std::vector<dtd::AttributeDecl> attributes;
+};
+
+/// <!NESTED_GROUP NGk parent (group)> — the group keeps inner occurrence
+/// indicators ('author*' in NG1); the group's own occurrence under the
+/// parent lives in metadata, mirrored here for convenience.
+struct NestedGroupDecl {
+    std::string name;    ///< NG1, NG2, ...
+    std::string parent;
+    dtd::Particle group;  ///< flat group of element references
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+    std::vector<dtd::AttributeDecl> attributes;  ///< relationship attributes
+    std::size_t position = 0;  ///< schema order within the parent
+    /// Members of `group` that are themselves hoisted groups (their own
+    /// NESTED_GROUP declaration chains to this one via `parent`).
+    std::vector<std::string> virtual_members;
+
+    [[nodiscard]] bool is_virtual_member(std::string_view name) const {
+        for (const auto& v : virtual_members)
+            if (v == name) return true;
+        return false;
+    }
+};
+
+/// <!NESTED Nchild parent child>
+struct NestedDecl {
+    std::string name;
+    std::string parent;
+    std::string child;
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+    std::size_t position = 0;
+    bool from_mixed = false;  ///< member of a mixed-content model
+};
+
+/// <!REFERENCE attr source (target | target ...)>
+struct ReferenceDecl {
+    std::string attribute;
+    std::string source;
+    std::vector<std::string> targets;  ///< all ID-bearing element types
+    bool multiple = false;             ///< IDREFS
+    bool required = false;             ///< #REQUIRED on the IDREF attribute
+};
+
+class ConvertedDtd {
+public:
+    std::vector<ConvertedElement> elements;
+    std::vector<NestedGroupDecl> nested_groups;
+    std::vector<NestedDecl> nested;
+    std::vector<ReferenceDecl> references;
+
+    [[nodiscard]] const ConvertedElement* element(std::string_view name) const;
+    [[nodiscard]] const NestedGroupDecl* nested_group(std::string_view name) const;
+    [[nodiscard]] const NestedDecl* nested_decl(std::string_view name) const;
+
+    /// Relationships (groups + nested) under one parent, in schema order.
+    [[nodiscard]] std::vector<std::string> relationships_of(
+        std::string_view parent) const;
+
+    /// Paper Example 2 syntax, grouped per element in declaration order.
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace xr::mapping

@@ -1,0 +1,55 @@
+#include "mapping/metadata.hpp"
+
+namespace xr::mapping {
+
+const GroupElement* Metadata::group(std::string_view name) const {
+    for (const auto& g : groups)
+        if (g.name == name) return &g;
+    return nullptr;
+}
+
+std::optional<dtd::Occurrence> Metadata::occurrence_of(
+    std::string_view parent, std::string_view particle) const {
+    for (const auto& o : occurrences)
+        if (o.parent == parent && o.particle == particle) return o.occurrence;
+    return std::nullopt;
+}
+
+std::vector<const DistilledAttribute*> Metadata::distilled_of(
+    std::string_view element) const {
+    std::vector<const DistilledAttribute*> out;
+    for (const auto& d : distilled)
+        if (d.element == element) out.push_back(&d);
+    return out;
+}
+
+std::string Metadata::to_string() const {
+    std::string out;
+    for (const auto& s : schema_order) {
+        out += "order " + s.element + ":";
+        for (const auto& c : s.children_in_order) out += " " + c;
+        out += "\n";
+    }
+    for (const auto& o : occurrences) {
+        out += "occurrence " + o.parent + "/" + o.particle + ": '" +
+               std::string(dtd::to_string(o.occurrence)) + "'\n";
+    }
+    for (const auto& d : distilled) {
+        out += "distilled " + d.element + "/@" + d.attribute + " <- " +
+               d.original_child + (d.optional ? " (optional)" : "") + " @" +
+               std::to_string(d.position) + "\n";
+    }
+    for (const auto& g : groups) {
+        out += "group " + g.name + " from " + g.parent + " " + g.particle_text +
+               std::string(dtd::to_string(g.occurrence)) + " @" +
+               std::to_string(g.position) + "\n";
+    }
+    for (const auto& m : mixed) {
+        out += "mixed " + m.element + ":";
+        for (const auto& n : m.members) out += " " + n;
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace xr::mapping

@@ -1,0 +1,80 @@
+// Mapping metadata (paper Sections 3 and 5).
+//
+// Properties of DTDs that the relational model cannot express — schema
+// ordering, occurrence/repeatability, group provenance, distilled
+// attributes, mixed content — are captured here during the mapping and
+// later materialized as relational metadata tables (xr::rel), so data
+// loading and query processing can consult them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/content_model.hpp"
+
+namespace xr::mapping {
+
+/// Schema ordering (paper Section 3, Ordering): the left-to-right order of
+/// subelement references in an element's original content model.
+struct SchemaOrderEntry {
+    std::string element;
+    std::vector<std::string> children_in_order;
+};
+
+/// Occurrence of a content particle within its parent (paper Section 3,
+/// Occurrence): saved when the relational mapping drops the indicator.
+struct OccurrenceEntry {
+    std::string parent;
+    std::string particle;  ///< subelement or group-element name
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;
+};
+
+/// A #PCDATA subelement moved into an attribute list by step 2.  The entry
+/// preserves the ordering information the paper notes is otherwise lost
+/// ("by moving an element to the attribute list, the ordering relationship
+/// among elements is lost ... could be maintained as a metadata").
+struct DistilledAttribute {
+    std::string element;         ///< owner after distillation
+    std::string attribute;       ///< attribute name == original child name
+    std::string original_child;  ///< the removed subelement
+    bool optional = false;       ///< '?' on the original reference
+    std::size_t position = 0;    ///< index among the original children
+};
+
+/// A virtual element created for a group by step 1.
+struct GroupElement {
+    std::string name;    ///< G1, G2, ...
+    std::string parent;  ///< element the group was extracted from
+    dtd::ParticleKind kind = dtd::ParticleKind::kSequence;
+    std::string particle_text;  ///< group body as DTD text
+    dtd::Occurrence occurrence = dtd::Occurrence::kOne;  ///< of the group ref
+    std::size_t position = 0;  ///< index within the parent's children
+};
+
+/// Mixed-content membership, preserved for loading (text interleaving is a
+/// data-ordering concern handled by ord columns).
+struct MixedContentEntry {
+    std::string element;
+    std::vector<std::string> members;
+};
+
+struct Metadata {
+    std::vector<SchemaOrderEntry> schema_order;
+    std::vector<OccurrenceEntry> occurrences;
+    std::vector<DistilledAttribute> distilled;
+    std::vector<GroupElement> groups;
+    std::vector<MixedContentEntry> mixed;
+
+    [[nodiscard]] const GroupElement* group(std::string_view name) const;
+    [[nodiscard]] std::optional<dtd::Occurrence> occurrence_of(
+        std::string_view parent, std::string_view particle) const;
+    [[nodiscard]] std::vector<const DistilledAttribute*> distilled_of(
+        std::string_view element) const;
+
+    /// Tabular dump for examples / debugging.
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace xr::mapping

@@ -1,0 +1,15 @@
+#include "mapping/pipeline.hpp"
+
+namespace xr::mapping {
+
+MappingResult map_dtd(const dtd::Dtd& logical, const MappingOptions& options) {
+    MappingResult result;
+    result.grouped = define_group_elements(logical, result.metadata, options);
+    result.distilled = distill_attributes(result.grouped, result.metadata, options);
+    result.converted =
+        identify_relationships(result.distilled, result.metadata, options);
+    result.model = generate_diagram(result.converted);
+    return result;
+}
+
+}  // namespace xr::mapping

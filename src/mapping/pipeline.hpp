@@ -1,0 +1,23 @@
+// End-to-end DTD→ER pipeline (paper Figure 1).
+#pragma once
+
+#include "mapping/steps.hpp"
+
+namespace xr::mapping {
+
+/// Everything the pipeline produces, including intermediate stages — the
+/// tests compare each against the paper's running example, and the
+/// relational translation consumes `converted` + `metadata`.
+struct MappingResult {
+    dtd::Dtd grouped;        ///< after step 1 (groups are virtual elements)
+    dtd::Dtd distilled;      ///< after step 2 (attributes distilled)
+    ConvertedDtd converted;  ///< after step 3 (paper Example 2)
+    er::Model model;         ///< after step 4 (paper Figure 2)
+    Metadata metadata;       ///< ordering / occurrence / provenance capture
+};
+
+/// Run all four steps on a logical DTD.
+[[nodiscard]] MappingResult map_dtd(const dtd::Dtd& logical,
+                                    const MappingOptions& options = {});
+
+}  // namespace xr::mapping

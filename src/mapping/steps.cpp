@@ -1,0 +1,503 @@
+#include "mapping/steps.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace xr::mapping {
+
+namespace {
+
+using dtd::ContentCategory;
+using dtd::Occurrence;
+using dtd::Particle;
+using dtd::ParticleKind;
+
+/// Collapse groups with exactly one member into the member, composing the
+/// occurrence indicators: '((a | b)*)' becomes '(a | b)*'.
+Particle collapse_unary(Particle p) {
+    for (auto& c : p.children) c = collapse_unary(std::move(c));
+    if (p.is_group() && p.children.size() == 1) {
+        Particle child = std::move(p.children.front());
+        child.occurrence = dtd::compose(p.occurrence, child.occurrence);
+        return child;
+    }
+    return p;
+}
+
+/// Allocates G1, G2, ... names that do not collide with declared elements.
+class GroupNamer {
+public:
+    GroupNamer(const dtd::Dtd& dtd, std::string prefix)
+        : prefix_(std::move(prefix)) {
+        for (const auto& e : dtd.elements()) used_.insert(e.name);
+    }
+
+    std::string next() {
+        for (;;) {
+            std::string candidate = prefix_ + std::to_string(counter_++);
+            if (used_.insert(candidate).second) return candidate;
+        }
+    }
+
+private:
+    std::string prefix_;
+    std::set<std::string> used_;
+    int counter_ = 1;
+};
+
+void record_schema_order(const dtd::Dtd& in, Metadata& meta) {
+    for (const auto& e : in.elements()) {
+        std::vector<std::string> children = e.content.referenced_names();
+        if (children.empty()) continue;
+        meta.schema_order.push_back({e.name, std::move(children)});
+    }
+}
+
+}  // namespace
+
+dtd::Dtd define_group_elements(const dtd::Dtd& in, Metadata& meta,
+                               const MappingOptions& options) {
+    record_schema_order(in, meta);
+
+    dtd::Dtd out;
+    for (const auto& e : in.elements()) out.add_element(e);
+
+    GroupNamer namer(in, options.group_prefix);
+    std::set<std::string> group_names;
+
+    // Hoists `group` into a fresh virtual element, returning the reference
+    // particle that replaces it.  The group's occurrence indicator moves to
+    // the reference; occurrence inside the group body is preserved.
+    auto hoist = [&](Particle group, const std::string& parent,
+                     std::size_t position) -> Particle {
+        Occurrence ref_occurrence = group.occurrence;
+        group.occurrence = Occurrence::kOne;
+
+        GroupElement record;
+        record.kind = group.kind;
+        record.particle_text = group.to_string();
+        record.occurrence = ref_occurrence;
+        record.parent = parent;
+        record.position = position;
+
+        std::string name = namer.next();
+        record.name = name;
+        meta.groups.push_back(record);
+        group_names.insert(name);
+
+        dtd::ElementDecl decl;
+        decl.name = name;
+        decl.content = dtd::ContentModel::children(std::move(group));
+        out.add_element(std::move(decl));
+
+        return Particle::element(name, ref_occurrence);
+    };
+
+    // Iterate by index: hoisting appends new virtual elements whose bodies
+    // are processed in later iterations — the paper's "repeated until no
+    // element contains a group" fixpoint.
+    for (std::size_t i = 0; i < out.elements().size(); ++i) {
+        // Take a copy of the content; out.elements() may reallocate while
+        // hoisting appends declarations.
+        std::string name = out.elements()[i].name;
+        dtd::ContentModel content = out.elements()[i].content;
+        if (content.category != ContentCategory::kChildren) continue;
+
+        Particle top = options.collapse_unary_groups
+                           ? collapse_unary(std::move(content.particle))
+                           : std::move(content.particle);
+        bool is_virtual = group_names.contains(name);
+
+        if (top.is_group() && !is_virtual &&
+            (top.occurrence != Occurrence::kOne ||
+             (top.kind == ParticleKind::kChoice && options.hoist_top_level_choice))) {
+            // The whole content is a repeated or alternative group: hoist it
+            // entirely so its semantics become one relationship.
+            Particle ref = hoist(std::move(top), name, 0);
+            top = Particle::sequence({std::move(ref)});
+        } else if (top.is_group()) {
+            for (std::size_t m = 0; m < top.children.size(); ++m) {
+                if (top.children[m].is_group())
+                    top.children[m] = hoist(std::move(top.children[m]), name, m);
+            }
+        }
+        out.elements()[i].content = dtd::ContentModel::children(std::move(top));
+    }
+    return out;
+}
+
+dtd::Dtd distill_attributes(const dtd::Dtd& in, Metadata& meta,
+                            const MappingOptions& options) {
+    // Work on a mutable copy of the declarations.
+    std::vector<dtd::ElementDecl> elements(in.elements().begin(),
+                                           in.elements().end());
+    std::set<std::string> removal_candidates;
+
+    auto lookup = [&](std::string_view name) -> const dtd::ElementDecl* {
+        for (const auto& e : elements)
+            if (e.name == name) return &e;
+        return nullptr;
+    };
+
+    for (auto& e : elements) {
+        if (e.content.category != ContentCategory::kChildren) continue;
+        Particle& top = e.content.particle;
+
+        // Uniform view: a bare element reference behaves as a 1-member list.
+        const bool single = top.is_element();
+        const bool choice_context =
+            !single && top.kind == ParticleKind::kChoice;
+        if (choice_context && !options.distill_from_choice) continue;
+
+        std::vector<Particle> members =
+            single ? std::vector<Particle>{top} : std::move(top.children);
+
+        // Count references per name — a subelement mentioned twice in the
+        // model "occurs multiple times" and is not distilled.
+        std::map<std::string, int> mention_count;
+        for (const auto& m : members)
+            if (m.is_element()) ++mention_count[m.name];
+
+        std::vector<Particle> kept;
+        for (std::size_t idx = 0; idx < members.size(); ++idx) {
+            Particle& m = members[idx];
+            bool distill = false;
+            if (m.is_element() && !dtd::is_repeatable(m.occurrence) &&
+                mention_count[m.name] == 1) {
+                const dtd::ElementDecl* target = lookup(m.name);
+                if (target != nullptr &&
+                    target->content.category == ContentCategory::kPCData &&
+                    (target->attributes.empty() ||
+                     options.distill_attributed_elements) &&
+                    e.attribute(m.name) == nullptr) {
+                    distill = true;
+                }
+            }
+            if (!distill) {
+                kept.push_back(std::move(m));
+                continue;
+            }
+            bool optional = dtd::is_optional(m.occurrence);
+            dtd::AttributeDecl attr;
+            attr.name = m.name;
+            attr.type = dtd::AttrType::kPCData;
+            attr.default_kind = optional ? dtd::AttrDefaultKind::kImplied
+                                         : dtd::AttrDefaultKind::kRequired;
+            e.attributes.push_back(std::move(attr));
+            meta.distilled.push_back({e.name, m.name, m.name, optional, idx});
+            removal_candidates.insert(m.name);
+        }
+
+        if (single) {
+            if (kept.size() == 1) {
+                top = std::move(kept.front());
+            } else {
+                top = Particle::sequence({});
+            }
+        } else {
+            top.children = std::move(kept);
+        }
+    }
+
+    // Drop distilled #PCDATA declarations that are no longer referenced by
+    // any content model (booktitle, title, firstname, lastname in Example 2).
+    std::set<std::string> still_referenced;
+    for (const auto& e : elements)
+        for (const auto& n : e.content.referenced_names())
+            still_referenced.insert(n);
+
+    dtd::Dtd out;
+    for (auto& e : elements) {
+        if (removal_candidates.contains(e.name) &&
+            !still_referenced.contains(e.name))
+            continue;
+        out.add_element(std::move(e));
+    }
+    return out;
+}
+
+namespace {
+
+/// Allocate NESTED relationship names: "N<child>" when unique, otherwise
+/// "N<parent>_<child>".
+class NestedNamer {
+public:
+    explicit NestedNamer(const std::vector<std::pair<std::string, std::string>>&
+                             parent_child_pairs) {
+        for (const auto& [parent, child] : parent_child_pairs)
+            ++child_count_[child];
+    }
+
+    std::string name(const std::string& parent, const std::string& child) {
+        std::string candidate =
+            child_count_[child] <= 1 ? "N" + child : "N" + parent + "_" + child;
+        int suffix = 1;
+        std::string name = candidate;
+        while (!used_.insert(name).second)
+            name = candidate + std::to_string(++suffix);
+        return name;
+    }
+
+private:
+    std::map<std::string, int> child_count_;
+    std::set<std::string> used_;
+};
+
+}  // namespace
+
+ConvertedDtd identify_relationships(const dtd::Dtd& in, Metadata& meta,
+                                    const MappingOptions&) {
+    ConvertedDtd out;
+
+    auto is_virtual = [&](std::string_view name) {
+        return meta.group(name) != nullptr;
+    };
+
+    // Pre-collect (parent, child) pairs of future NESTED declarations so
+    // the namer can detect children nested under several parents.
+    std::vector<std::pair<std::string, std::string>> nested_pairs;
+    for (const auto& e : in.elements()) {
+        if (is_virtual(e.name)) continue;
+        if (e.content.category == ContentCategory::kChildren) {
+            const Particle& top = e.content.particle;
+            auto consider = [&](const Particle& m) {
+                if (m.is_element() && !is_virtual(m.name))
+                    nested_pairs.emplace_back(e.name, m.name);
+            };
+            if (top.is_element()) consider(top);
+            else for (const auto& m : top.children) consider(m);
+        } else if (e.content.category == ContentCategory::kMixed) {
+            for (const auto& n : e.content.mixed_names)
+                nested_pairs.emplace_back(e.name, n);
+        }
+    }
+    NestedNamer namer(nested_pairs);
+
+    const std::vector<std::string> id_targets = in.id_bearing_elements();
+
+    // Emits the NESTED_GROUP declaration for virtual element `group_name`
+    // referenced from `parent` (an element or an enclosing group
+    // relationship), then recursively emits chained declarations for group
+    // members that are themselves virtual.
+    auto emit_group = [&](auto&& self, const std::string& group_name,
+                          const std::string& parent, Occurrence occurrence,
+                          std::size_t position) -> void {
+        const dtd::ElementDecl* g = in.element(group_name);
+        NestedGroupDecl decl;
+        decl.name = "N" + group_name;
+        decl.parent = parent;
+        decl.occurrence = occurrence;
+        decl.position = position;
+        if (g != nullptr) {
+            decl.attributes = g->attributes;
+            if (g->content.category == ContentCategory::kChildren)
+                decl.group = g->content.particle;
+        }
+        struct Chained {
+            std::string name;
+            Occurrence occurrence;
+            std::size_t position;
+        };
+        std::vector<Chained> chained;
+        // Members fill the position gaps left by attributes distilled out
+        // of this group's body (same convention as element content).
+        std::set<std::size_t> taken;
+        for (const auto& d : meta.distilled)
+            if (d.element == group_name) taken.insert(d.position);
+        std::size_t next_position = 0;
+        for (const auto& gm : decl.group.children) {
+            if (!gm.is_element()) continue;
+            while (taken.contains(next_position)) ++next_position;
+            std::size_t pos = next_position++;
+            meta.occurrences.push_back({decl.name, gm.name, gm.occurrence});
+            if (is_virtual(gm.name)) {
+                decl.virtual_members.push_back(gm.name);
+                chained.push_back({gm.name, gm.occurrence, pos});
+            }
+        }
+        const std::string rel_name = decl.name;
+        out.nested_groups.push_back(std::move(decl));
+        for (const auto& c : chained)
+            self(self, c.name, rel_name, c.occurrence, c.position);
+    };
+
+    for (const auto& e : in.elements()) {
+        if (is_virtual(e.name)) continue;
+
+        ConvertedElement entry;
+        entry.name = e.name;
+        switch (e.content.category) {
+            case ContentCategory::kEmpty: entry.residual = ResidualContent::kEmpty; break;
+            case ContentCategory::kAny: entry.residual = ResidualContent::kAny; break;
+            case ContentCategory::kPCData: entry.residual = ResidualContent::kPCData; break;
+            case ContentCategory::kMixed: entry.residual = ResidualContent::kMixed; break;
+            case ContentCategory::kChildren: entry.residual = ResidualContent::kStripped; break;
+        }
+
+        // IDREF attributes become REFERENCE declarations; everything else
+        // stays in the attribute list.
+        for (const auto& a : e.attributes) {
+            if (a.type == dtd::AttrType::kIdRef || a.type == dtd::AttrType::kIdRefs) {
+                ReferenceDecl ref;
+                ref.attribute = a.name;
+                ref.source = e.name;
+                ref.targets = id_targets;
+                ref.multiple = a.type == dtd::AttrType::kIdRefs;
+                ref.required = a.required();
+                out.references.push_back(std::move(ref));
+            } else {
+                entry.attributes.push_back(a);
+            }
+        }
+
+        // Structural relationships.  Relationship positions live on the
+        // *pre-distillation* index scale (step 2 removed #PCDATA members
+        // but recorded their original positions), so surviving members
+        // fill the gaps the distilled ones left — reconstruction can then
+        // interleave columns and relationship instances correctly.
+        if (e.content.category == ContentCategory::kChildren) {
+            const Particle& top = e.content.particle;
+            std::vector<const Particle*> members;
+            if (top.is_element()) members.push_back(&top);
+            else for (const auto& m : top.children) members.push_back(&m);
+
+            std::set<std::size_t> taken;
+            for (const auto& d : meta.distilled)
+                if (d.element == e.name) taken.insert(d.position);
+            std::size_t next_position = 0;
+            auto allocate_position = [&] {
+                while (taken.contains(next_position)) ++next_position;
+                return next_position++;
+            };
+
+            for (std::size_t idx = 0; idx < members.size(); ++idx) {
+                const Particle& m = *members[idx];
+                if (!m.is_element()) continue;  // cannot happen after step 1
+                meta.occurrences.push_back({e.name, m.name, m.occurrence});
+                std::size_t position = allocate_position();
+
+                if (is_virtual(m.name)) {
+                    emit_group(emit_group, m.name, e.name, m.occurrence,
+                               position);
+                } else {
+                    NestedDecl decl;
+                    decl.name = namer.name(e.name, m.name);
+                    decl.parent = e.name;
+                    decl.child = m.name;
+                    decl.occurrence = m.occurrence;
+                    decl.position = position;
+                    out.nested.push_back(std::move(decl));
+                }
+            }
+        } else if (e.content.category == ContentCategory::kMixed) {
+            meta.mixed.push_back({e.name, e.content.mixed_names});
+            for (std::size_t idx = 0; idx < e.content.mixed_names.size(); ++idx) {
+                const std::string& child = e.content.mixed_names[idx];
+                NestedDecl decl;
+                decl.name = namer.name(e.name, child);
+                decl.parent = e.name;
+                decl.child = child;
+                decl.occurrence = Occurrence::kZeroOrMore;
+                decl.position = idx;
+                decl.from_mixed = true;
+                meta.occurrences.push_back({e.name, child, decl.occurrence});
+                out.nested.push_back(std::move(decl));
+            }
+        }
+
+        out.elements.push_back(std::move(entry));
+    }
+    return out;
+}
+
+er::Model generate_diagram(const ConvertedDtd& in) {
+    er::Model model;
+
+    auto map_attribute = [](const dtd::AttributeDecl& a) {
+        er::EntityAttribute out;
+        out.name = a.name;
+        out.type = a.type;
+        out.required = a.default_kind == dtd::AttrDefaultKind::kRequired ||
+                       a.default_kind == dtd::AttrDefaultKind::kFixed;
+        out.origin = a.type == dtd::AttrType::kPCData
+                         ? er::AttributeOrigin::kDistilled
+                         : er::AttributeOrigin::kDeclared;
+        out.enumeration = a.enumeration;
+        return out;
+    };
+
+    for (const auto& e : in.elements) {
+        er::Entity entity;
+        entity.name = e.name;
+        switch (e.residual) {
+            case ResidualContent::kEmpty:
+                entity.origin = er::EntityOrigin::kEmptyElement;
+                break;
+            case ResidualContent::kAny:
+                entity.origin = er::EntityOrigin::kAnyElement;
+                entity.has_text = true;
+                break;
+            case ResidualContent::kPCData:
+            case ResidualContent::kMixed:
+                entity.has_text = true;
+                break;
+            case ResidualContent::kStripped:
+                break;
+        }
+        for (const auto& a : e.attributes)
+            entity.attributes.push_back(map_attribute(a));
+        model.add_entity(std::move(entity));
+    }
+
+    for (const auto& g : in.nested_groups) {
+        er::Relationship rel;
+        rel.name = g.name;
+        rel.kind = er::RelationshipKind::kNestedGroup;
+        rel.parent = g.parent;
+        rel.occurrence = g.occurrence;
+        bool choice = g.group.kind == ParticleKind::kChoice;
+        std::size_t pos = 0;
+        for (const auto& m : g.group.children) {
+            if (!m.is_element()) continue;
+            // A member that is itself a hoisted group appears as an arc to
+            // its chained relationship node rather than to an entity.
+            std::string member = g.is_virtual_member(m.name) ? "N" + m.name : m.name;
+            rel.members.push_back({std::move(member), choice, m.occurrence, pos++});
+        }
+        for (const auto& a : g.attributes)
+            rel.attributes.push_back(map_attribute(a));
+        model.add_relationship(std::move(rel));
+    }
+
+    for (const auto& n : in.nested) {
+        er::Relationship rel;
+        rel.name = n.name;
+        rel.kind = er::RelationshipKind::kNested;
+        rel.parent = n.parent;
+        rel.members.push_back({n.child, false, n.occurrence, 0});
+        model.add_relationship(std::move(rel));
+    }
+
+    for (const auto& r : in.references) {
+        er::Relationship rel;
+        // Two elements may declare IDREF attributes of the same name;
+        // qualify with the source element when needed.
+        rel.name = model.relationship(r.attribute) == nullptr
+                       ? r.attribute
+                       : r.attribute + "_" + r.source;
+        rel.kind = er::RelationshipKind::kReference;
+        rel.parent = r.source;
+        rel.occurrence = r.multiple ? Occurrence::kZeroOrMore
+                         : r.required ? Occurrence::kOne
+                                      : Occurrence::kOptional;
+        std::size_t pos = 0;
+        for (const auto& t : r.targets)
+            rel.members.push_back({t, /*choice=*/true, Occurrence::kOne, pos++});
+        model.add_relationship(std::move(rel));
+    }
+
+    return model;
+}
+
+}  // namespace xr::mapping

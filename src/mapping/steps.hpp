@@ -1,0 +1,59 @@
+// The four steps of the paper's DTD→ER algorithm (Figure 1):
+//
+//   1. define_group_elements — hoist every parenthesized group into a fresh
+//      virtual element (G1, G2, ...), repeated until no element contains a
+//      group;
+//   2. distill_attributes — move #PCDATA subelements occurring at most once
+//      into the parent's attribute list ('?' → #IMPLIED, else #REQUIRED);
+//   3. identify_relationships — rewrite the structure into explicit
+//      NESTED_GROUP / NESTED / REFERENCE declarations (the converted DTD of
+//      Example 2);
+//   4. generate_diagram — emit the ER model (Figure 2).
+//
+// Each step is exposed separately so tests can check intermediate results
+// against the paper and benches can time stages; map_dtd() in pipeline.hpp
+// chains them.
+#pragma once
+
+#include "dtd/dtd.hpp"
+#include "er/model.hpp"
+#include "mapping/converted_dtd.hpp"
+#include "mapping/metadata.hpp"
+
+namespace xr::mapping {
+
+struct MappingOptions {
+    /// Prefix for virtual group elements (paper uses "G").
+    std::string group_prefix = "G";
+    /// Collapse groups with a single member into the member (composing
+    /// occurrence indicators) before hoisting.  '((a | b)*)' thereby hoists
+    /// only the choice, matching the paper's editor example.
+    bool collapse_unary_groups = true;
+    /// Treat a top-level choice group (or a repeated top-level group) as a
+    /// group to hoist, so its semantics survive relationship extraction.
+    bool hoist_top_level_choice = true;
+    /// Step 2: also distill #PCDATA subelements that carry attribute lists
+    /// of their own (lossy — their attributes would be dropped).
+    bool distill_attributed_elements = false;
+    /// Step 2: also distill members of choice groups (changes choice arity;
+    /// off by default).
+    bool distill_from_choice = false;
+};
+
+/// Step 1.  Returns a new DTD in which every group is a virtual element.
+[[nodiscard]] dtd::Dtd define_group_elements(const dtd::Dtd& in, Metadata& meta,
+                                             const MappingOptions& options = {});
+
+/// Step 2.  Returns a new DTD with qualifying #PCDATA subelements moved
+/// into attribute lists; their declarations are dropped once unreferenced.
+[[nodiscard]] dtd::Dtd distill_attributes(const dtd::Dtd& in, Metadata& meta,
+                                          const MappingOptions& options = {});
+
+/// Step 3.  Produces the converted DTD with explicit relationships.
+[[nodiscard]] ConvertedDtd identify_relationships(
+    const dtd::Dtd& in, Metadata& meta, const MappingOptions& options = {});
+
+/// Step 4.  Produces the ER model.
+[[nodiscard]] er::Model generate_diagram(const ConvertedDtd& in);
+
+}  // namespace xr::mapping

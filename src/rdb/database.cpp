@@ -1,0 +1,95 @@
+#include "rdb/database.hpp"
+
+#include <algorithm>
+
+namespace xr::rdb {
+
+Table& Database::create_table(TableDef def) {
+    if (table(def.name) != nullptr)
+        throw SchemaError("table '" + def.name + "' already exists");
+    tables_.push_back(std::make_unique<Table>(std::move(def)));
+    return *tables_.back();
+}
+
+void Database::drop_table(std::string_view name) {
+    auto it = std::find_if(tables_.begin(), tables_.end(),
+                           [&](const auto& t) { return t->name() == name; });
+    if (it == tables_.end())
+        throw SchemaError("no table '" + std::string(name) + "' to drop");
+    tables_.erase(it);
+}
+
+Table* Database::table(std::string_view name) {
+    for (auto& t : tables_)
+        if (t->name() == name) return t.get();
+    return nullptr;
+}
+
+const Table* Database::table(std::string_view name) const {
+    for (const auto& t : tables_)
+        if (t->name() == name) return t.get();
+    return nullptr;
+}
+
+Table& Database::require(std::string_view name) {
+    Table* t = table(name);
+    if (t == nullptr) throw SchemaError("no table '" + std::string(name) + "'");
+    return *t;
+}
+
+const Table& Database::require(std::string_view name) const {
+    const Table* t = table(name);
+    if (t == nullptr) throw SchemaError("no table '" + std::string(name) + "'");
+    return *t;
+}
+
+std::vector<std::string> Database::table_names() const {
+    std::vector<std::string> out;
+    out.reserve(tables_.size());
+    for (const auto& t : tables_) out.push_back(t->name());
+    return out;
+}
+
+std::vector<std::string> Database::check_foreign_keys() const {
+    std::vector<std::string> violations;
+    for (const auto& fk : fks_) {
+        const Table* src = table(fk.table);
+        const Table* dst = table(fk.ref_table);
+        if (src == nullptr || dst == nullptr) {
+            violations.push_back("foreign key references missing table: " +
+                                 fk.table + " -> " + fk.ref_table);
+            continue;
+        }
+        int col = src->def().column_index(fk.column);
+        if (col < 0) {
+            violations.push_back("foreign key on missing column " + fk.table +
+                                 "." + fk.column);
+            continue;
+        }
+        for (const auto& row : src->rows()) {
+            const Value& v = row[col];
+            if (v.is_null()) continue;
+            if (dst->find_pk(v.as_integer()) == nullptr) {
+                violations.push_back(fk.table + "." + fk.column + "=" +
+                                     v.to_string() + " has no match in " +
+                                     fk.ref_table);
+                if (violations.size() > 64) return violations;
+            }
+        }
+    }
+    return violations;
+}
+
+std::size_t Database::total_rows() const {
+    std::size_t n = 0;
+    for (const auto& t : tables_) n += t->row_count();
+    return n;
+}
+
+std::size_t Database::memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& t : tables_) n += t->memory_bytes();
+    return n;
+}
+
+}  // namespace xr::rdb

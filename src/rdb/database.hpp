@@ -1,0 +1,59 @@
+// MiniRDB catalog: a named collection of tables with foreign-key metadata.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdb/table.hpp"
+
+namespace xr::rdb {
+
+/// Declared foreign key; enforcement happens via check_foreign_keys()
+/// (bulk loading first, verification after — the loader's deferred-IDREF
+/// strategy requires this).
+struct ForeignKeyDef {
+    std::string table;
+    std::string column;
+    std::string ref_table;
+    std::string ref_column;  ///< must be the referenced table's primary key
+};
+
+class Database {
+public:
+    Database() = default;
+    Database(const Database&) = delete;
+    Database& operator=(const Database&) = delete;
+    Database(Database&&) = default;
+    Database& operator=(Database&&) = default;
+
+    Table& create_table(TableDef def);
+    void drop_table(std::string_view name);
+
+    [[nodiscard]] Table* table(std::string_view name);
+    [[nodiscard]] const Table* table(std::string_view name) const;
+    /// Throwing accessors for code paths where absence is a logic error.
+    [[nodiscard]] Table& require(std::string_view name);
+    [[nodiscard]] const Table& require(std::string_view name) const;
+
+    [[nodiscard]] std::vector<std::string> table_names() const;
+    [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+
+    void add_foreign_key(ForeignKeyDef fk) { fks_.push_back(std::move(fk)); }
+    [[nodiscard]] const std::vector<ForeignKeyDef>& foreign_keys() const {
+        return fks_;
+    }
+
+    /// Verify every non-NULL FK value resolves; returns violation messages.
+    [[nodiscard]] std::vector<std::string> check_foreign_keys() const;
+
+    [[nodiscard]] std::size_t total_rows() const;
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+private:
+    std::vector<std::unique_ptr<Table>> tables_;
+    std::vector<ForeignKeyDef> fks_;
+};
+
+}  // namespace xr::rdb

@@ -1,0 +1,282 @@
+#include "rdb/table.hpp"
+
+#include <algorithm>
+
+namespace xr::rdb {
+
+int TableDef::column_index(std::string_view name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (columns[i].name == name) return static_cast<int>(i);
+    return -1;
+}
+
+const ColumnDef* TableDef::column(std::string_view name) const {
+    int i = column_index(name);
+    return i < 0 ? nullptr : &columns[i];
+}
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+    for (std::size_t i = 0; i < def_.columns.size(); ++i) {
+        if (def_.columns[i].primary_key) {
+            if (pk_column_ >= 0)
+                throw SchemaError("table '" + def_.name +
+                                  "' declares multiple primary keys");
+            if (def_.columns[i].type != ValueType::kInteger)
+                throw SchemaError("primary key of '" + def_.name +
+                                  "' must be INTEGER");
+            pk_column_ = static_cast<int>(i);
+        }
+    }
+}
+
+void Table::validate(const Row& row) const {
+    if (row.size() != def_.columns.size())
+        throw SchemaError("row arity " + std::to_string(row.size()) +
+                          " does not match table '" + def_.name + "' (" +
+                          std::to_string(def_.columns.size()) + " columns)");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        const ColumnDef& col = def_.columns[i];
+        const Value& v = row[i];
+        if (v.is_null()) {
+            if (col.not_null && static_cast<int>(i) != pk_column_)
+                throw SchemaError("NULL in NOT NULL column '" + col.name +
+                                  "' of '" + def_.name + "'");
+            continue;
+        }
+        bool ok = true;
+        switch (col.type) {
+            case ValueType::kInteger:
+                ok = v.type() == ValueType::kInteger;
+                break;
+            case ValueType::kReal:
+                ok = v.type() == ValueType::kReal ||
+                     v.type() == ValueType::kInteger;
+                break;
+            case ValueType::kText:
+                ok = v.type() == ValueType::kText;
+                break;
+            case ValueType::kNull:
+                ok = false;
+                break;
+        }
+        if (!ok)
+            throw SchemaError("type mismatch in column '" + col.name + "' of '" +
+                              def_.name + "': expected " +
+                              std::string(to_string(col.type)) + ", got " +
+                              std::string(to_string(v.type())));
+    }
+}
+
+std::int64_t Table::insert(Row row) {
+    if (pk_column_ >= 0 && row.size() == def_.columns.size() &&
+        row[pk_column_].is_null()) {
+        row[pk_column_] = Value(next_pk_);
+    }
+    validate(row);
+
+    std::int64_t pk = static_cast<std::int64_t>(rows_.size());
+    if (pk_column_ >= 0) {
+        pk = row[pk_column_].as_integer();
+        if (pk_index_.contains(pk))
+            throw SchemaError("duplicate primary key " + std::to_string(pk) +
+                              " in '" + def_.name + "'");
+    }
+
+    auto id = static_cast<RowId>(rows_.size());
+    rows_.push_back(std::move(row));
+    if (pk_column_ >= 0) {
+        pk_index_.emplace(pk, id);
+        next_pk_ = std::max(next_pk_, pk + 1);
+    }
+    index_row(id);
+    return pk;
+}
+
+const Value& Table::at(RowId id, std::string_view column) const {
+    int i = def_.column_index(column);
+    if (i < 0)
+        throw SchemaError("no column '" + std::string(column) + "' in '" +
+                          def_.name + "'");
+    return rows_[id][i];
+}
+
+const Row* Table::find_pk(std::int64_t pk) const {
+    auto id = find_pk_rowid(pk);
+    return id ? &rows_[*id] : nullptr;
+}
+
+std::optional<RowId> Table::find_pk_rowid(std::int64_t pk) const {
+    if (pk_column_ < 0) {
+        if (pk >= 0 && pk < static_cast<std::int64_t>(rows_.size()))
+            return static_cast<RowId>(pk);
+        return std::nullopt;
+    }
+    auto it = pk_index_.find(pk);
+    if (it == pk_index_.end()) return std::nullopt;
+    return it->second;
+}
+
+void Table::update(RowId id, std::string_view column, Value value) {
+    int i = def_.column_index(column);
+    if (i < 0)
+        throw SchemaError("no column '" + std::string(column) + "' in '" +
+                          def_.name + "'");
+    if (i == pk_column_)
+        throw SchemaError("cannot update primary key column");
+    for (auto& idx : indexes_) {
+        if (idx.column != i) continue;
+        const Value& old = rows_[id][i];
+        if (idx.kind == IndexKind::kHash) {
+            auto range = idx.hash.equal_range(old);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second == id) {
+                    idx.hash.erase(it);
+                    break;
+                }
+            }
+            idx.hash.emplace(value, id);
+        } else {
+            auto range = idx.ordered.equal_range(old);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second == id) {
+                    idx.ordered.erase(it);
+                    break;
+                }
+            }
+            idx.ordered.emplace(value, id);
+        }
+    }
+    rows_[id][i] = std::move(value);
+}
+
+std::size_t Table::delete_where(std::string_view column, const Value& value) {
+    int i = def_.column_index(column);
+    if (i < 0)
+        throw SchemaError("no column '" + std::string(column) + "' in '" +
+                          def_.name + "'");
+    std::vector<Row> kept;
+    kept.reserve(rows_.size());
+    std::size_t removed = 0;
+    for (auto& row : rows_) {
+        if (row[i] == value) ++removed;
+        else kept.push_back(std::move(row));
+    }
+    if (removed == 0) {
+        rows_ = std::move(kept);
+        return 0;
+    }
+    rows_ = std::move(kept);
+
+    // Row ids shifted: rebuild the pk index and every secondary index.
+    pk_index_.clear();
+    if (pk_column_ >= 0) {
+        for (RowId id = 0; id < rows_.size(); ++id)
+            pk_index_.emplace(rows_[id][pk_column_].as_integer(), id);
+    }
+    for (auto& idx : indexes_) {
+        idx.hash.clear();
+        idx.ordered.clear();
+        for (RowId id = 0; id < rows_.size(); ++id) {
+            const Value& v = rows_[id][idx.column];
+            if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
+            else idx.ordered.emplace(v, id);
+        }
+    }
+    return removed;
+}
+
+void Table::create_index(std::string_view column, IndexKind kind) {
+    int i = def_.column_index(column);
+    if (i < 0)
+        throw SchemaError("cannot index unknown column '" + std::string(column) +
+                          "' in '" + def_.name + "'");
+    if (has_index(column)) return;
+    SecondaryIndex idx;
+    idx.column = i;
+    idx.kind = kind;
+    for (RowId id = 0; id < rows_.size(); ++id) {
+        if (kind == IndexKind::kHash) idx.hash.emplace(rows_[id][i], id);
+        else idx.ordered.emplace(rows_[id][i], id);
+    }
+    indexes_.push_back(std::move(idx));
+}
+
+bool Table::has_index(std::string_view column) const {
+    int i = def_.column_index(column);
+    for (const auto& idx : indexes_)
+        if (idx.column == i) return true;
+    return false;
+}
+
+std::vector<RowId> Table::index_lookup(std::string_view column,
+                                       const Value& value) const {
+    int i = def_.column_index(column);
+    for (const auto& idx : indexes_) {
+        if (idx.column != i) continue;
+        std::vector<RowId> out;
+        if (idx.kind == IndexKind::kHash) {
+            auto range = idx.hash.equal_range(value);
+            for (auto it = range.first; it != range.second; ++it)
+                out.push_back(it->second);
+        } else {
+            auto range = idx.ordered.equal_range(value);
+            for (auto it = range.first; it != range.second; ++it)
+                out.push_back(it->second);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+    throw SchemaError("no index on '" + def_.name + "." + std::string(column) +
+                      "'");
+}
+
+std::vector<RowId> Table::lookup(std::string_view column,
+                                 const Value& value) const {
+    if (has_index(column)) return index_lookup(column, value);
+    int i = def_.column_index(column);
+    if (i < 0)
+        throw SchemaError("no column '" + std::string(column) + "' in '" +
+                          def_.name + "'");
+    std::vector<RowId> out;
+    for (RowId id = 0; id < rows_.size(); ++id) {
+        if (rows_[id][i] == value) out.push_back(id);
+    }
+    return out;
+}
+
+void Table::index_row(RowId id) {
+    for (auto& idx : indexes_) {
+        const Value& v = rows_[id][idx.column];
+        if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
+        else idx.ordered.emplace(v, id);
+    }
+}
+
+std::size_t Table::memory_bytes() const {
+    std::size_t bytes = sizeof(Table);
+    for (const auto& row : rows_) {
+        bytes += sizeof(Row) + row.capacity() * sizeof(Value);
+        for (const auto& v : row) {
+            if (v.type() == ValueType::kText) bytes += v.as_text().capacity();
+        }
+    }
+    bytes += pk_index_.size() * (sizeof(std::int64_t) + sizeof(RowId) + 16);
+    for (const auto& idx : indexes_)
+        bytes += (idx.hash.size() + idx.ordered.size()) *
+                 (sizeof(Value) + sizeof(RowId) + 16);
+    return bytes;
+}
+
+double Table::null_fraction() const {
+    std::size_t cells = 0, nulls = 0;
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (static_cast<int>(i) == pk_column_) continue;
+            ++cells;
+            if (row[i].is_null()) ++nulls;
+        }
+    }
+    return cells == 0 ? 0.0 : static_cast<double>(nulls) / static_cast<double>(cells);
+}
+
+}  // namespace xr::rdb

@@ -1,0 +1,115 @@
+// MiniRDB tables: row storage, constraints, and indexes.
+//
+// Row-oriented in-memory storage.  Each table may declare one
+// auto-increment INTEGER primary key; inserts validate types, NOT NULL and
+// primary-key uniqueness.  Secondary indexes come in two flavours — hash
+// (equality lookups, used for ID resolution during loading) and ordered
+// (range scans) — mirroring the ablation called out in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rdb/value.hpp"
+
+namespace xr::rdb {
+
+struct ColumnDef {
+    std::string name;
+    ValueType type = ValueType::kText;
+    bool not_null = false;
+    bool primary_key = false;  ///< at most one; INTEGER, auto-increment
+};
+
+struct TableDef {
+    std::string name;
+    std::vector<ColumnDef> columns;
+
+    [[nodiscard]] int column_index(std::string_view name) const;
+    [[nodiscard]] const ColumnDef* column(std::string_view name) const;
+};
+
+using Row = std::vector<Value>;
+using RowId = std::uint32_t;
+
+enum class IndexKind { kHash, kOrdered };
+
+class Table {
+public:
+    explicit Table(TableDef def);
+
+    [[nodiscard]] const TableDef& def() const { return def_; }
+    [[nodiscard]] const std::string& name() const { return def_.name; }
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+    [[nodiscard]] std::size_t column_count() const { return def_.columns.size(); }
+
+    /// Insert a row (one value per column, in declared order).  A NULL in
+    /// the auto-increment primary-key column is assigned the next key.
+    /// Returns the primary-key value (or the row index if no PK declared).
+    std::int64_t insert(Row row);
+
+    /// Reserve the next primary-key value without inserting — bulk loaders
+    /// allocate keys up front so child rows can reference a parent row that
+    /// is still being assembled.
+    std::int64_t allocate_pk() { return next_pk_++; }
+
+    [[nodiscard]] const Row& row(RowId id) const { return rows_[id]; }
+    [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+    /// Value of the named column in row `id`.
+    [[nodiscard]] const Value& at(RowId id, std::string_view column) const;
+
+    /// Row with the given primary-key value, or nullptr.
+    [[nodiscard]] const Row* find_pk(std::int64_t pk) const;
+    [[nodiscard]] std::optional<RowId> find_pk_rowid(std::int64_t pk) const;
+
+    /// In-place update of one cell (keeps indexes consistent).
+    void update(RowId id, std::string_view column, Value value);
+
+    /// Delete every row whose `column` equals `value`; returns the number
+    /// removed.  Row ids are compacted (all indexes rebuilt), so previously
+    /// held RowIds are invalidated — primary keys remain stable handles.
+    std::size_t delete_where(std::string_view column, const Value& value);
+
+    // -- secondary indexes ----------------------------------------------------
+    void create_index(std::string_view column, IndexKind kind = IndexKind::kHash);
+    [[nodiscard]] bool has_index(std::string_view column) const;
+    /// Matching row ids via index; throws SchemaError if not indexed.
+    [[nodiscard]] std::vector<RowId> index_lookup(std::string_view column,
+                                                  const Value& value) const;
+    /// Matching row ids using the index when present, else a scan.
+    [[nodiscard]] std::vector<RowId> lookup(std::string_view column,
+                                            const Value& value) const;
+
+    /// Rough memory footprint in bytes (bench metric).
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+    /// Fraction of non-PK cells that are NULL (schema-comparison metric).
+    [[nodiscard]] double null_fraction() const;
+
+private:
+    TableDef def_;
+    int pk_column_ = -1;
+    std::int64_t next_pk_ = 1;
+    std::vector<Row> rows_;
+    std::unordered_map<std::int64_t, RowId> pk_index_;
+
+    struct SecondaryIndex {
+        int column = -1;
+        IndexKind kind = IndexKind::kHash;
+        std::unordered_multimap<Value, RowId, ValueHash> hash;
+        std::multimap<Value, RowId> ordered;
+    };
+    std::vector<SecondaryIndex> indexes_;
+
+    void validate(const Row& row) const;
+    void index_row(RowId id);
+};
+
+}  // namespace xr::rdb

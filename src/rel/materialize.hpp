@@ -1,0 +1,27 @@
+// Instantiates a RelationalSchema inside a MiniRDB database: creates the
+// tables, declares foreign keys, builds loader-critical indexes, and fills
+// the xrel_* metadata tables from the mapping result (the paper's "metadata
+// can be collected at the time of DTD to relational mapping and stored as
+// relational tables").
+#pragma once
+
+#include "mapping/pipeline.hpp"
+#include "rdb/database.hpp"
+#include "rel/schema.hpp"
+
+namespace xr::rel {
+
+struct MaterializeOptions {
+    /// Create secondary indexes on foreign-key columns and the ID registry.
+    bool create_indexes = true;
+    /// Index flavour for ID lookup (DESIGN.md ablation: hash vs ordered).
+    rdb::IndexKind index_kind = rdb::IndexKind::kHash;
+    /// Fill xrel_* metadata tables.
+    bool populate_metadata = true;
+};
+
+void materialize(const RelationalSchema& schema,
+                 const mapping::MappingResult& mapping, rdb::Database& db,
+                 const MaterializeOptions& options = {});
+
+}  // namespace xr::rel

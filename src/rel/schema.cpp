@@ -1,0 +1,175 @@
+#include "rel/schema.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace xr::rel {
+
+std::string_view to_string(TableKind k) {
+    switch (k) {
+        case TableKind::kEntity: return "entity";
+        case TableKind::kNestedRel: return "nested";
+        case TableKind::kGroupRel: return "nested_group";
+        case TableKind::kGroupMemberLink: return "group_member";
+        case TableKind::kReferenceRel: return "reference";
+        case TableKind::kIdRegistry: return "id_registry";
+        case TableKind::kTextSegments: return "text_segments";
+        case TableKind::kOverflow: return "overflow";
+        case TableKind::kMetadata: return "metadata";
+    }
+    return "?";
+}
+
+const Column* TableSchema::column(std::string_view name) const {
+    for (const auto& c : columns)
+        if (c.name == name) return &c;
+    return nullptr;
+}
+
+int TableSchema::column_index(std::string_view name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (columns[i].name == name) return static_cast<int>(i);
+    return -1;
+}
+
+const Column* TableSchema::column_by_role(ColumnRole role) const {
+    for (const auto& c : columns)
+        if (c.role == role) return &c;
+    return nullptr;
+}
+
+const Column* TableSchema::column_by_source(std::string_view source) const {
+    for (const auto& c : columns)
+        if (c.source == source) return &c;
+    return nullptr;
+}
+
+rdb::TableDef TableSchema::to_table_def() const {
+    rdb::TableDef def;
+    def.name = name;
+    for (const auto& c : columns)
+        def.columns.push_back({c.name, c.type, c.not_null, c.primary_key});
+    return def;
+}
+
+std::string TableSchema::ddl() const {
+    std::string out = "CREATE TABLE " + name + " (\n";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        const Column& c = columns[i];
+        out += "    " + c.name + " " + std::string(rdb::to_string(c.type));
+        if (c.primary_key) out += " PRIMARY KEY";
+        if (c.not_null && !c.primary_key) out += " NOT NULL";
+        if (c.role == ColumnRole::kForeignKey && !c.references.empty())
+            out += " REFERENCES " + c.references + "(pk)";
+        if (i + 1 != columns.size()) out += ",";
+        out += "\n";
+    }
+    out += ");\n";
+    return out;
+}
+
+TableSchema& RelationalSchema::add_table(TableSchema table) {
+    if (this->table(table.name) != nullptr)
+        throw SchemaError("duplicate table '" + table.name + "' in schema");
+    tables_.push_back(std::move(table));
+    return tables_.back();
+}
+
+const TableSchema* RelationalSchema::table(std::string_view name) const {
+    for (const auto& t : tables_)
+        if (t.name == name) return &t;
+    return nullptr;
+}
+
+const TableSchema* RelationalSchema::table_for(TableKind kind,
+                                               std::string_view source) const {
+    for (const auto& t : tables_)
+        if (t.kind == kind && t.source == source) return &t;
+    return nullptr;
+}
+
+const TableSchema* RelationalSchema::entity_table(std::string_view entity) const {
+    return table_for(TableKind::kEntity, entity);
+}
+
+const TableSchema* RelationalSchema::link_table(std::string_view group_rel,
+                                                std::string_view member) const {
+    for (const auto& t : tables_) {
+        if (t.kind == TableKind::kGroupMemberLink && t.source == group_rel &&
+            t.source2 == member)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::size_t RelationalSchema::table_count(TableKind kind) const {
+    std::size_t n = 0;
+    for (const auto& t : tables_)
+        if (t.kind == kind) ++n;
+    return n;
+}
+
+std::size_t RelationalSchema::column_count() const {
+    std::size_t n = 0;
+    for (const auto& t : tables_) n += t.columns.size();
+    return n;
+}
+
+std::size_t RelationalSchema::nullable_column_count() const {
+    std::size_t n = 0;
+    for (const auto& t : tables_) {
+        if (t.kind == TableKind::kMetadata) continue;
+        for (const auto& c : t.columns)
+            if (!c.primary_key && !c.not_null) ++n;
+    }
+    return n;
+}
+
+std::string RelationalSchema::ddl() const {
+    std::string out;
+    for (const auto& t : tables_) {
+        out += t.ddl();
+        out += "\n";
+    }
+    return out;
+}
+
+std::string sanitize_identifier(std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        else
+            out += '_';
+    }
+    if (out.empty()) out = "x";
+    if (std::isdigit(static_cast<unsigned char>(out[0]))) out = "x" + out;
+    // SQL keywords would force quoting in every generated query ('order' is
+    // the common offender for e-commerce DTDs); suffix them instead.
+    static const std::set<std::string, std::less<>> kSqlKeywords = {
+        "select", "from",  "where", "join",   "inner",  "left",   "on",
+        "and",    "or",    "not",   "as",     "order",  "by",     "group",
+        "limit",  "asc",   "desc",  "insert", "into",   "values", "create",
+        "table",  "index", "primary", "key",  "unique", "null",   "is",
+        "like",   "count", "sum",   "min",    "max",    "avg",    "distinct",
+        "integer", "real", "text",  "having", "references"};
+    if (kSqlKeywords.contains(out)) out += "_";
+    return out;
+}
+
+std::string IdentifierPool::allocate(std::string_view name) {
+    std::string base = sanitize_identifier(name);
+    auto [it, inserted] = used_.emplace(base, 0);
+    if (inserted) return base;
+    for (;;) {
+        std::string candidate = base + "_" + std::to_string(++it->second);
+        if (used_.emplace(candidate, 0).second) return candidate;
+    }
+}
+
+void IdentifierPool::reserve(std::string_view name) {
+    used_.emplace(sanitize_identifier(name), 0);
+}
+
+}  // namespace xr::rel

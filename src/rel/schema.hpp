@@ -1,0 +1,115 @@
+// Relational schema model with XML provenance.
+//
+// The translation of the ER model (xr::mapping) produces this schema; it
+// records not just tables and columns but *why* each exists (which entity,
+// relationship or attribute it came from), because the data loader and the
+// path-query→SQL translator both navigate by provenance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rdb/table.hpp"
+
+namespace xr::rel {
+
+enum class ColumnRole {
+    kPrimaryKey,  ///< surrogate key
+    kDocId,       ///< document of origin (corpus loading)
+    kForeignKey,  ///< reference to another table's pk
+    kOrdinal,     ///< data ordering (paper Section 3, Ordering)
+    kAttribute,   ///< XML attribute or distilled #PCDATA subelement
+    kText,        ///< character data of a PCDATA/mixed element
+    kRawXml,      ///< serialized subtree of an ANY element
+    kIdValue,     ///< unresolved ID/IDREF token text
+    kMeta,        ///< metadata table payload
+};
+
+struct Column {
+    std::string name;
+    rdb::ValueType type = rdb::ValueType::kText;
+    bool not_null = false;
+    bool primary_key = false;
+    ColumnRole role = ColumnRole::kAttribute;
+    std::string references;  ///< table name, for kForeignKey
+    std::string source;      ///< ER attribute / member name this column carries
+};
+
+enum class TableKind {
+    kEntity,           ///< one per ER entity
+    kNestedRel,        ///< NESTED relationship
+    kGroupRel,         ///< NESTED_GROUP relationship (group instances)
+    kGroupMemberLink,  ///< repeatable member of a group
+    kReferenceRel,     ///< REFERENCE relationship (IDREF rows)
+    kIdRegistry,       ///< global ID → (entity, pk) registry
+    kTextSegments,     ///< mixed-content text segments (exact interleaving)
+    kOverflow,         ///< unmapped subtrees kept as raw XML (lenient loads)
+    kMetadata,         ///< xrel_* metadata tables
+};
+
+[[nodiscard]] std::string_view to_string(TableKind k);
+
+struct TableSchema {
+    std::string name;
+    TableKind kind = TableKind::kEntity;
+    std::string source;   ///< entity / relationship name
+    std::string source2;  ///< member name, for kGroupMemberLink
+    std::vector<Column> columns;
+
+    [[nodiscard]] const Column* column(std::string_view name) const;
+    [[nodiscard]] int column_index(std::string_view name) const;
+    /// First column playing `role` (pk, doc, ord are unique per table).
+    [[nodiscard]] const Column* column_by_role(ColumnRole role) const;
+    /// Column whose `source` matches (attribute lookup).
+    [[nodiscard]] const Column* column_by_source(std::string_view source) const;
+
+    [[nodiscard]] rdb::TableDef to_table_def() const;
+    [[nodiscard]] std::string ddl() const;
+};
+
+class RelationalSchema {
+public:
+    TableSchema& add_table(TableSchema table);
+
+    [[nodiscard]] const TableSchema* table(std::string_view name) const;
+    [[nodiscard]] const std::vector<TableSchema>& tables() const { return tables_; }
+
+    /// Table generated for an ER entity / relationship.
+    [[nodiscard]] const TableSchema* table_for(TableKind kind,
+                                               std::string_view source) const;
+    [[nodiscard]] const TableSchema* entity_table(std::string_view entity) const;
+    [[nodiscard]] const TableSchema* link_table(std::string_view group_rel,
+                                                std::string_view member) const;
+
+    [[nodiscard]] std::size_t table_count(TableKind kind) const;
+    [[nodiscard]] std::size_t column_count() const;
+    /// Count of nullable non-key data columns (schema-comparison metric).
+    [[nodiscard]] std::size_t nullable_column_count() const;
+
+    /// CREATE TABLE statements for the whole schema.
+    [[nodiscard]] std::string ddl() const;
+
+private:
+    std::vector<TableSchema> tables_;
+};
+
+/// Map an XML name to a safe SQL identifier (lowercase, [a-z0-9_], no
+/// leading digit).  Collisions are the caller's concern (IdentifierPool).
+[[nodiscard]] std::string sanitize_identifier(std::string_view name);
+
+/// Allocates unique sanitized identifiers.
+class IdentifierPool {
+public:
+    /// Returns a unique identifier derived from `name`.
+    std::string allocate(std::string_view name);
+    /// Reserve a name so allocate() never returns it.
+    void reserve(std::string_view name);
+
+private:
+    std::map<std::string, int> used_;
+};
+
+}  // namespace xr::rel

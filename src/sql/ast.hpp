@@ -1,0 +1,135 @@
+// SQL abstract syntax.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdb/value.hpp"
+
+namespace xr::sql {
+
+// -- expressions --------------------------------------------------------------
+
+enum class BinaryOp {
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr,
+    kAdd, kSub, kMul, kDiv, kMod,
+    kLike,
+};
+
+enum class AggregateFn { kCount, kSum, kMin, kMax, kAvg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum class Kind {
+        kLiteral,
+        kColumn,     ///< [table.]column
+        kBinary,
+        kNot,
+        kIsNull,     ///< expr IS [NOT] NULL (negated flag)
+        kAggregate,  ///< COUNT(*) / COUNT(x) / SUM / MIN / MAX / AVG
+        kStar,       ///< '*' in COUNT(*)
+    };
+
+    Kind kind = Kind::kLiteral;
+    rdb::Value literal;
+
+    std::string table;   ///< qualifier for kColumn (may be empty)
+    std::string column;  ///< kColumn
+
+    BinaryOp op = BinaryOp::kEq;
+    ExprPtr left;
+    ExprPtr right;   ///< also the operand of kNot / kIsNull / kAggregate
+
+    bool negated = false;         ///< kIsNull: IS NOT NULL
+    AggregateFn fn = AggregateFn::kCount;
+    bool distinct = false;        ///< COUNT(DISTINCT x)
+
+    // Resolution results (filled by the executor's binder).
+    int bound_table = -1;
+    int bound_column = -1;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ExprPtr make_literal(rdb::Value v);
+[[nodiscard]] ExprPtr make_column(std::string table, std::string column);
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr left, ExprPtr right);
+
+// -- statements ---------------------------------------------------------------
+
+struct TableRef {
+    std::string table;
+    std::string alias;  ///< defaults to table name
+
+    [[nodiscard]] const std::string& effective_alias() const {
+        return alias.empty() ? table : alias;
+    }
+};
+
+struct JoinClause {
+    TableRef table;
+    ExprPtr on;
+};
+
+struct SelectItem {
+    ExprPtr expr;
+    std::string alias;
+    bool star = false;  ///< bare '*'
+};
+
+struct OrderItem {
+    ExprPtr expr;
+    bool descending = false;
+};
+
+struct SelectStmt {
+    std::vector<SelectItem> items;
+    TableRef from;
+    std::vector<JoinClause> joins;
+    ExprPtr where;
+    std::vector<ExprPtr> group_by;
+    ExprPtr having;
+    std::vector<OrderItem> order_by;
+    std::optional<std::size_t> limit;
+    bool distinct = false;
+};
+
+struct InsertStmt {
+    std::string table;
+    std::vector<std::string> columns;  ///< empty = all, in order
+    std::vector<std::vector<rdb::Value>> rows;
+};
+
+struct CreateTableStmt {
+    std::string table;
+    struct ColumnDef {
+        std::string name;
+        rdb::ValueType type = rdb::ValueType::kText;
+        bool not_null = false;
+        bool primary_key = false;
+        std::string references_table;   ///< REFERENCES t(c), if any
+        std::string references_column;
+    };
+    std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt {
+    std::string table;
+    std::string column;
+};
+
+struct Statement {
+    enum class Kind { kSelect, kInsert, kCreateTable, kCreateIndex };
+    Kind kind = Kind::kSelect;
+    SelectStmt select;
+    InsertStmt insert;
+    CreateTableStmt create_table;
+    CreateIndexStmt create_index;
+};
+
+}  // namespace xr::sql

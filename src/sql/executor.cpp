@@ -1,0 +1,877 @@
+#include "sql/executor.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/table_printer.hpp"
+#include "sql/parser.hpp"
+
+namespace xr::sql {
+
+namespace {
+
+using rdb::Row;
+using rdb::RowId;
+using rdb::Table;
+using rdb::Value;
+
+bool truthy(const Value& v) {
+    if (v.is_null()) return false;
+    switch (v.type()) {
+        case rdb::ValueType::kInteger: return v.as_integer() != 0;
+        case rdb::ValueType::kReal: return v.as_real() != 0.0;
+        case rdb::ValueType::kText: return !v.as_text().empty();
+        default: return false;
+    }
+}
+
+/// SQL LIKE with % and _ wildcards.
+bool like_match(const std::string& text, const std::string& pattern) {
+    std::function<bool(std::size_t, std::size_t)> rec =
+        [&](std::size_t ti, std::size_t pi) -> bool {
+        while (pi < pattern.size()) {
+            char pc = pattern[pi];
+            if (pc == '%') {
+                // Collapse consecutive %.
+                while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+                if (pi == pattern.size()) return true;
+                for (std::size_t t = ti; t <= text.size(); ++t)
+                    if (rec(t, pi)) return true;
+                return false;
+            }
+            if (ti >= text.size()) return false;
+            if (pc != '_' && pc != text[ti]) return false;
+            ++ti;
+            ++pi;
+        }
+        return ti == text.size();
+    };
+    return rec(0, 0);
+}
+
+struct BoundTable {
+    std::string alias;
+    Table* table = nullptr;
+};
+
+/// Resolves column references against the FROM/JOIN tables.
+class Binder {
+public:
+    explicit Binder(std::vector<BoundTable> tables) : tables_(std::move(tables)) {}
+
+    [[nodiscard]] const std::vector<BoundTable>& tables() const { return tables_; }
+
+    void bind(Expr& e) const {
+        switch (e.kind) {
+            case Expr::Kind::kColumn: {
+                resolve_column(e);
+                return;
+            }
+            case Expr::Kind::kBinary:
+                bind(*e.left);
+                bind(*e.right);
+                return;
+            case Expr::Kind::kNot:
+            case Expr::Kind::kIsNull:
+                bind(*e.right);
+                return;
+            case Expr::Kind::kAggregate:
+                if (e.right->kind != Expr::Kind::kStar) bind(*e.right);
+                return;
+            case Expr::Kind::kLiteral:
+            case Expr::Kind::kStar:
+                return;
+        }
+    }
+
+private:
+    std::vector<BoundTable> tables_;
+
+    void resolve_column(Expr& e) const {
+        if (!e.table.empty()) {
+            for (std::size_t t = 0; t < tables_.size(); ++t) {
+                if (tables_[t].alias != e.table) continue;
+                int c = tables_[t].table->def().column_index(e.column);
+                if (c < 0)
+                    throw QueryError("no column '" + e.column + "' in '" +
+                                     e.table + "'");
+                e.bound_table = static_cast<int>(t);
+                e.bound_column = c;
+                return;
+            }
+            throw QueryError("unknown table alias '" + e.table + "'");
+        }
+        int found_t = -1, found_c = -1;
+        for (std::size_t t = 0; t < tables_.size(); ++t) {
+            int c = tables_[t].table->def().column_index(e.column);
+            if (c < 0) continue;
+            if (found_t >= 0)
+                throw QueryError("ambiguous column '" + e.column + "'");
+            found_t = static_cast<int>(t);
+            found_c = c;
+        }
+        if (found_t < 0) throw QueryError("unknown column '" + e.column + "'");
+        e.bound_table = found_t;
+        e.bound_column = found_c;
+    }
+};
+
+/// Evaluates a bound expression against one joined row context.
+class Evaluator {
+public:
+    Evaluator(const std::vector<BoundTable>& tables) : tables_(tables) {}
+
+    Value eval(const Expr& e, const std::vector<RowId>& ctx) const {
+        switch (e.kind) {
+            case Expr::Kind::kLiteral:
+                return e.literal;
+            case Expr::Kind::kColumn:
+                return tables_[e.bound_table].table->row(
+                    ctx[e.bound_table])[e.bound_column];
+            case Expr::Kind::kNot:
+                return Value(static_cast<std::int64_t>(!truthy(eval(*e.right, ctx))));
+            case Expr::Kind::kIsNull: {
+                bool is_null = eval(*e.right, ctx).is_null();
+                return Value(static_cast<std::int64_t>(e.negated ? !is_null
+                                                                 : is_null));
+            }
+            case Expr::Kind::kBinary:
+                return eval_binary(e, ctx);
+            case Expr::Kind::kAggregate:
+                throw QueryError("aggregate used outside aggregation context");
+            case Expr::Kind::kStar:
+                throw QueryError("'*' used outside COUNT(*)");
+        }
+        return Value::null();
+    }
+
+private:
+    const std::vector<BoundTable>& tables_;
+
+    Value eval_binary(const Expr& e, const std::vector<RowId>& ctx) const {
+        // Short-circuit logic.
+        if (e.op == BinaryOp::kAnd) {
+            if (!truthy(eval(*e.left, ctx))) return Value(0);
+            return Value(static_cast<std::int64_t>(truthy(eval(*e.right, ctx))));
+        }
+        if (e.op == BinaryOp::kOr) {
+            if (truthy(eval(*e.left, ctx))) return Value(1);
+            return Value(static_cast<std::int64_t>(truthy(eval(*e.right, ctx))));
+        }
+
+        Value a = eval(*e.left, ctx);
+        Value b = eval(*e.right, ctx);
+        switch (e.op) {
+            case BinaryOp::kEq:
+            case BinaryOp::kNe:
+            case BinaryOp::kLt:
+            case BinaryOp::kLe:
+            case BinaryOp::kGt:
+            case BinaryOp::kGe: {
+                auto ord = a.compare(b);
+                if (!ord) return Value::null();
+                bool r = false;
+                switch (e.op) {
+                    case BinaryOp::kEq: r = *ord == std::strong_ordering::equal; break;
+                    case BinaryOp::kNe: r = *ord != std::strong_ordering::equal; break;
+                    case BinaryOp::kLt: r = *ord == std::strong_ordering::less; break;
+                    case BinaryOp::kLe: r = *ord != std::strong_ordering::greater; break;
+                    case BinaryOp::kGt: r = *ord == std::strong_ordering::greater; break;
+                    default: r = *ord != std::strong_ordering::less; break;
+                }
+                return Value(static_cast<std::int64_t>(r));
+            }
+            case BinaryOp::kLike: {
+                if (a.is_null() || b.is_null()) return Value::null();
+                return Value(static_cast<std::int64_t>(
+                    like_match(a.as_text(), b.as_text())));
+            }
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+            case BinaryOp::kMul:
+            case BinaryOp::kDiv:
+            case BinaryOp::kMod: {
+                if (a.is_null() || b.is_null()) return Value::null();
+                bool ints = a.type() == rdb::ValueType::kInteger &&
+                            b.type() == rdb::ValueType::kInteger;
+                if (ints) {
+                    std::int64_t x = a.as_integer(), y = b.as_integer();
+                    switch (e.op) {
+                        case BinaryOp::kAdd: return Value(x + y);
+                        case BinaryOp::kSub: return Value(x - y);
+                        case BinaryOp::kMul: return Value(x * y);
+                        case BinaryOp::kDiv:
+                            if (y == 0) return Value::null();
+                            return Value(x / y);
+                        default:
+                            if (y == 0) return Value::null();
+                            return Value(x % y);
+                    }
+                }
+                double x = a.as_real(), y = b.as_real();
+                switch (e.op) {
+                    case BinaryOp::kAdd: return Value(x + y);
+                    case BinaryOp::kSub: return Value(x - y);
+                    case BinaryOp::kMul: return Value(x * y);
+                    case BinaryOp::kDiv:
+                        if (y == 0) return Value::null();
+                        return Value(x / y);
+                    default:
+                        return Value::null();
+                }
+            }
+            default:
+                return Value::null();
+        }
+    }
+};
+
+/// Highest table index referenced by an expression (-1 if none).
+int max_table(const Expr& e) {
+    switch (e.kind) {
+        case Expr::Kind::kColumn: return e.bound_table;
+        case Expr::Kind::kBinary:
+            return std::max(max_table(*e.left), max_table(*e.right));
+        case Expr::Kind::kNot:
+        case Expr::Kind::kIsNull:
+            return max_table(*e.right);
+        case Expr::Kind::kAggregate:
+            return e.right->kind == Expr::Kind::kStar ? -1 : max_table(*e.right);
+        default:
+            return -1;
+    }
+}
+
+bool contains_aggregate(const Expr& e) {
+    switch (e.kind) {
+        case Expr::Kind::kAggregate: return true;
+        case Expr::Kind::kBinary:
+            return contains_aggregate(*e.left) || contains_aggregate(*e.right);
+        case Expr::Kind::kNot:
+        case Expr::Kind::kIsNull:
+            return contains_aggregate(*e.right);
+        default:
+            return false;
+    }
+}
+
+/// One stage of the left-deep join pipeline.
+struct Stage {
+    int table = 0;
+    // Equi-join access: probe `outer` (bound to earlier tables) against
+    // `inner_column` of this stage's table (via index or ad-hoc hash).
+    const Expr* probe_outer = nullptr;
+    int inner_column = -1;
+    bool use_index = false;
+    std::unordered_multimap<Value, RowId, rdb::ValueHash> hash;
+    // Literal equality for the driving table (index scan).
+    const Expr* driving_eq_literal = nullptr;
+    int driving_column = -1;
+    bool driving_index = false;
+    std::vector<const Expr*> residual;  ///< filters applied at this stage
+};
+
+class SelectExecutor {
+public:
+    SelectExecutor(rdb::Database& db, SelectStmt& stmt, ExecStats* stats)
+        : db_(db), stmt_(stmt), stats_(stats) {}
+
+    ResultSet run() {
+        bind_tables();
+        Binder binder(tables_);
+        Evaluator eval(binder.tables());
+
+        // Bind every expression.
+        for (auto& item : stmt_.items)
+            if (!item.star) binder.bind(*item.expr);
+        for (auto& join : stmt_.joins)
+            if (join.on) binder.bind(*join.on);
+        if (stmt_.where) binder.bind(*stmt_.where);
+        for (auto& g : stmt_.group_by) binder.bind(*g);
+        if (stmt_.having) binder.bind(*stmt_.having);
+        // ORDER BY may reference a select alias or a 1-based position; those
+        // resolve against the output row, not a table column.
+        order_output_idx_.assign(stmt_.order_by.size(), -1);
+        for (std::size_t k = 0; k < stmt_.order_by.size(); ++k) {
+            auto& o = stmt_.order_by[k];
+            if (o.expr->kind == Expr::Kind::kLiteral &&
+                o.expr->literal.type() == rdb::ValueType::kInteger) {
+                order_output_idx_[k] =
+                    static_cast<int>(o.expr->literal.as_integer()) - 1;
+                continue;
+            }
+            if (o.expr->kind == Expr::Kind::kColumn && o.expr->table.empty()) {
+                int out_idx = 0;
+                bool matched = false;
+                for (const auto& item : stmt_.items) {
+                    if (!item.star && item.alias == o.expr->column) {
+                        order_output_idx_[k] = out_idx;
+                        matched = true;
+                        break;
+                    }
+                    ++out_idx;
+                }
+                if (matched) continue;
+            }
+            binder.bind(*o.expr);
+        }
+
+        build_stages();
+
+        // Aggregation?
+        bool aggregate = !stmt_.group_by.empty();
+        for (const auto& item : stmt_.items)
+            if (!item.star && contains_aggregate(*item.expr)) aggregate = true;
+        if (stmt_.having && contains_aggregate(*stmt_.having)) aggregate = true;
+
+        ResultSet result;
+        expand_columns(result);
+
+        std::vector<std::vector<RowId>> contexts;
+        enumerate([&](const std::vector<RowId>& ctx) {
+            contexts.push_back(ctx);
+        });
+
+        if (aggregate) run_aggregate(eval, contexts, result);
+        else run_plain(eval, contexts, result);
+
+        if (stmt_.distinct) {
+            std::set<std::vector<std::string>> seen;
+            std::vector<Row> unique;
+            for (auto& row : result.rows) {
+                std::vector<std::string> key;
+                key.reserve(row.size());
+                for (const auto& v : row) key.push_back(v.to_string());
+                if (seen.insert(std::move(key)).second)
+                    unique.push_back(std::move(row));
+            }
+            result.rows = std::move(unique);
+        }
+
+        if (stmt_.limit && result.rows.size() > *stmt_.limit)
+            result.rows.resize(*stmt_.limit);
+        return result;
+    }
+
+private:
+    rdb::Database& db_;
+    SelectStmt& stmt_;
+    ExecStats* stats_;
+    std::vector<BoundTable> tables_;
+    std::vector<Stage> stages_;
+    std::vector<const Expr*> final_filters_;
+    std::vector<int> order_output_idx_;  ///< -1 = evaluate against the row ctx
+
+    void count(std::size_t ExecStats::*member, std::size_t n = 1) {
+        if (stats_ != nullptr) stats_->*member += n;
+    }
+
+    void bind_tables() {
+        auto add = [&](const TableRef& ref) {
+            Table* t = db_.table(ref.table);
+            if (t == nullptr)
+                throw QueryError("unknown table '" + ref.table + "'");
+            tables_.push_back({ref.effective_alias(), t});
+        };
+        add(stmt_.from);
+        for (const auto& join : stmt_.joins) add(join.table);
+    }
+
+    void build_stages() {
+        // Gather conjuncts of all ON clauses and WHERE, each annotated with
+        // the latest stage it can run at.
+        std::vector<const Expr*> conjuncts;
+        std::vector<std::vector<ExprPtr>> storage;  // keep ownership
+        auto split = [&](const ExprPtr& e) {
+            if (!e) return;
+            std::vector<ExprPtr> parts;
+            // We cannot move from the statement (const); walk instead.
+            std::function<void(const Expr*)> walk = [&](const Expr* node) {
+                if (node->kind == Expr::Kind::kBinary &&
+                    node->op == BinaryOp::kAnd) {
+                    walk(node->left.get());
+                    walk(node->right.get());
+                    return;
+                }
+                conjuncts.push_back(node);
+            };
+            walk(e.get());
+        };
+        for (const auto& join : stmt_.joins) split(join.on);
+        split(stmt_.where);
+        (void)storage;
+
+        stages_.resize(tables_.size());
+        for (std::size_t i = 0; i < tables_.size(); ++i)
+            stages_[i].table = static_cast<int>(i);
+
+        std::vector<bool> used(conjuncts.size(), false);
+
+        // Pick equi-join drivers for stages 1..n-1.
+        for (std::size_t s = 1; s < stages_.size(); ++s) {
+            for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+                if (used[c]) continue;
+                const Expr* e = conjuncts[c];
+                if (e->kind != Expr::Kind::kBinary || e->op != BinaryOp::kEq)
+                    continue;
+                const Expr *inner = nullptr, *outer = nullptr;
+                auto classify = [&](const Expr* side, const Expr* other) {
+                    if (side->kind == Expr::Kind::kColumn &&
+                        side->bound_table == static_cast<int>(s) &&
+                        max_table(*other) < static_cast<int>(s) &&
+                        max_table(*other) >= -1) {
+                        inner = side;
+                        outer = other;
+                    }
+                };
+                classify(e->left.get(), e->right.get());
+                if (inner == nullptr) classify(e->right.get(), e->left.get());
+                if (inner == nullptr) continue;
+                stages_[s].probe_outer = outer;
+                stages_[s].inner_column = inner->bound_column;
+                used[c] = true;
+                break;
+            }
+        }
+
+        // Driving-table literal equality: consumed only when the column is
+        // actually indexed — otherwise the conjunct must stay a residual
+        // filter.
+        for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+            if (used[c]) continue;
+            const Expr* e = conjuncts[c];
+            if (e->kind != Expr::Kind::kBinary || e->op != BinaryOp::kEq) continue;
+            auto try_side = [&](const Expr* col, const Expr* lit) {
+                if (col->kind != Expr::Kind::kColumn || col->bound_table != 0 ||
+                    lit->kind != Expr::Kind::kLiteral ||
+                    stages_[0].driving_eq_literal != nullptr)
+                    return false;
+                const std::string& name =
+                    tables_[0].table->def().columns[col->bound_column].name;
+                if (!tables_[0].table->has_index(name)) return false;
+                stages_[0].driving_eq_literal = lit;
+                stages_[0].driving_column = col->bound_column;
+                return true;
+            };
+            if (try_side(e->left.get(), e->right.get()) ||
+                try_side(e->right.get(), e->left.get()))
+                used[c] = true;
+        }
+
+        // Everything else becomes a residual at the earliest possible stage.
+        for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+            if (used[c]) continue;
+            int stage = std::max(0, max_table(*conjuncts[c]));
+            stages_[stage].residual.push_back(conjuncts[c]);
+        }
+
+        // Prepare access paths.
+        Stage& first = stages_[0];
+        if (first.driving_eq_literal != nullptr) {
+            const std::string& col =
+                tables_[0].table->def().columns[first.driving_column].name;
+            first.driving_index = tables_[0].table->has_index(col);
+        }
+        for (std::size_t s = 1; s < stages_.size(); ++s) {
+            Stage& st = stages_[s];
+            if (st.probe_outer == nullptr) continue;
+            Table* t = tables_[s].table;
+            const std::string& col = t->def().columns[st.inner_column].name;
+            // Prefer the table's own index over an ad-hoc hash; the pk
+            // column's lookup structure counts as an index.
+            if (t->has_index(col) ||
+                t->def().columns[st.inner_column].primary_key) {
+                st.use_index = true;
+            } else {
+                for (RowId id = 0; id < t->row_count(); ++id)
+                    st.hash.emplace(t->row(id)[st.inner_column], id);
+                count(&ExecStats::hash_joins);
+            }
+        }
+    }
+
+    void enumerate(const std::function<void(const std::vector<RowId>&)>& emit) {
+        Evaluator eval(tables_);
+        std::vector<RowId> ctx(tables_.size());
+
+        std::function<void(std::size_t)> descend = [&](std::size_t s) {
+            Stage& stage = stages_[s];
+            Table* t = tables_[s].table;
+
+            auto accept = [&](RowId id) {
+                ctx[s] = id;
+                count(&ExecStats::rows_scanned);
+                for (const Expr* r : stage.residual)
+                    if (!truthy(eval.eval(*r, ctx))) return;
+                if (s + 1 == stages_.size()) emit(ctx);
+                else descend(s + 1);
+            };
+
+            if (s == 0) {
+                if (stage.driving_eq_literal != nullptr && stage.driving_index) {
+                    const std::string& col =
+                        t->def().columns[stage.driving_column].name;
+                    count(&ExecStats::index_lookups);
+                    for (RowId id :
+                         t->index_lookup(col, stage.driving_eq_literal->literal))
+                        accept(id);
+                    return;
+                }
+                for (RowId id = 0; id < t->row_count(); ++id) accept(id);
+                return;
+            }
+
+            if (stage.probe_outer != nullptr) {
+                Value key = eval.eval(*stage.probe_outer, ctx);
+                if (key.is_null()) return;
+                if (stage.use_index) {
+                    const auto& coldef = t->def().columns[stage.inner_column];
+                    count(&ExecStats::index_lookups);
+                    if (coldef.primary_key && !t->has_index(coldef.name)) {
+                        if (auto id = t->find_pk_rowid(key.as_integer()))
+                            accept(*id);
+                    } else {
+                        for (RowId id : t->index_lookup(coldef.name, key))
+                            accept(id);
+                    }
+                } else {
+                    auto range = stage.hash.equal_range(key);
+                    for (auto it = range.first; it != range.second; ++it)
+                        accept(it->second);
+                }
+                return;
+            }
+
+            count(&ExecStats::nested_loop_joins);
+            for (RowId id = 0; id < t->row_count(); ++id) accept(id);
+        };
+
+        if (tables_.empty()) return;
+        descend(0);
+    }
+
+    void expand_columns(ResultSet& result) const {
+        for (const auto& item : stmt_.items) {
+            if (item.star) {
+                for (const auto& bt : tables_)
+                    for (const auto& c : bt.table->def().columns)
+                        result.columns.push_back(bt.alias + "." + c.name);
+            } else {
+                result.columns.push_back(item.alias.empty()
+                                             ? item.expr->to_string()
+                                             : item.alias);
+            }
+        }
+    }
+
+    void run_plain(const Evaluator& eval,
+                   const std::vector<std::vector<RowId>>& contexts,
+                   ResultSet& result) {
+        for (const auto& ctx : contexts) {
+            Row out;
+            for (const auto& item : stmt_.items) {
+                if (item.star) {
+                    for (std::size_t t = 0; t < tables_.size(); ++t) {
+                        const Row& r = tables_[t].table->row(ctx[t]);
+                        out.insert(out.end(), r.begin(), r.end());
+                    }
+                } else {
+                    out.push_back(eval.eval(*item.expr, ctx));
+                }
+            }
+            result.rows.push_back(std::move(out));
+        }
+        sort_rows(eval, contexts, result);
+    }
+
+    void sort_rows(const Evaluator& eval,
+                   const std::vector<std::vector<RowId>>& contexts,
+                   ResultSet& result) {
+        if (stmt_.order_by.empty()) return;
+        // Evaluate sort keys per row, then sort row/key pairs together.
+        struct Keyed {
+            Row row;
+            std::vector<Value> keys;
+        };
+        std::vector<Keyed> keyed;
+        keyed.reserve(result.rows.size());
+        for (std::size_t i = 0; i < result.rows.size(); ++i) {
+            Keyed k;
+            k.row = std::move(result.rows[i]);
+            for (std::size_t j = 0; j < stmt_.order_by.size(); ++j) {
+                int out = order_output_idx_[j];
+                if (out >= 0 && out < static_cast<int>(k.row.size()))
+                    k.keys.push_back(k.row[out]);
+                else if (i < contexts.size())
+                    k.keys.push_back(eval.eval(*stmt_.order_by[j].expr, contexts[i]));
+                else
+                    k.keys.push_back(Value::null());
+            }
+            keyed.push_back(std::move(k));
+        }
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [&](const Keyed& a, const Keyed& b) {
+                             for (std::size_t k = 0; k < stmt_.order_by.size(); ++k) {
+                                 auto ord = a.keys[k].index_order(b.keys[k]);
+                                 if (ord == std::strong_ordering::equal) continue;
+                                 bool less = ord == std::strong_ordering::less;
+                                 return stmt_.order_by[k].descending ? !less : less;
+                             }
+                             return false;
+                         });
+        result.rows.clear();
+        for (auto& k : keyed) result.rows.push_back(std::move(k.row));
+    }
+
+    // -- aggregation -----------------------------------------------------------
+
+    struct Accumulator {
+        std::int64_t count = 0;
+        double sum = 0;
+        bool sum_is_int = true;
+        std::int64_t isum = 0;
+        Value min, max;
+        std::set<std::string> distinct_seen;
+    };
+
+    void run_aggregate(const Evaluator& eval,
+                       const std::vector<std::vector<RowId>>& contexts,
+                       ResultSet& result) {
+        // Collect aggregate expressions across items + HAVING.
+        std::vector<const Expr*> aggs;
+        std::function<void(const Expr*)> find = [&](const Expr* e) {
+            if (e->kind == Expr::Kind::kAggregate) {
+                aggs.push_back(e);
+                return;
+            }
+            if (e->kind == Expr::Kind::kBinary) {
+                find(e->left.get());
+                find(e->right.get());
+            } else if (e->kind == Expr::Kind::kNot ||
+                       e->kind == Expr::Kind::kIsNull) {
+                find(e->right.get());
+            }
+        };
+        for (const auto& item : stmt_.items)
+            if (!item.star) find(item.expr.get());
+        if (stmt_.having) find(stmt_.having.get());
+
+        struct Group {
+            std::vector<RowId> representative;
+            std::vector<Accumulator> accs;
+        };
+        std::map<std::vector<std::string>, Group> groups;
+
+        for (const auto& ctx : contexts) {
+            std::vector<std::string> key;
+            for (const auto& g : stmt_.group_by)
+                key.push_back(eval.eval(*g, ctx).to_string());
+            auto [it, inserted] = groups.try_emplace(std::move(key));
+            Group& group = it->second;
+            if (inserted) {
+                group.representative = ctx;
+                group.accs.resize(aggs.size());
+            }
+            for (std::size_t a = 0; a < aggs.size(); ++a)
+                accumulate(eval, *aggs[a], ctx, group.accs[a]);
+        }
+        // A global aggregate over zero rows still yields one group.
+        if (groups.empty() && stmt_.group_by.empty()) {
+            Group group;
+            group.accs.resize(aggs.size());
+            groups.emplace(std::vector<std::string>{}, std::move(group));
+        }
+
+        for (const auto& [key, group] : groups) {
+            auto final_value = [&](const Expr* e) {
+                for (std::size_t a = 0; a < aggs.size(); ++a)
+                    if (aggs[a] == e) return finalize(*e, group.accs[a]);
+                throw QueryError("unregistered aggregate");
+            };
+            std::function<Value(const Expr&)> eval_out =
+                [&](const Expr& e) -> Value {
+                if (e.kind == Expr::Kind::kAggregate) return final_value(&e);
+                if (e.kind == Expr::Kind::kBinary) {
+                    // Rebuild with children evaluated (aggregates possible on
+                    // either side).
+                    Expr tmp;
+                    tmp.kind = Expr::Kind::kBinary;
+                    tmp.op = e.op;
+                    tmp.left = make_literal(eval_out(*e.left));
+                    tmp.right = make_literal(eval_out(*e.right));
+                    return eval.eval(tmp, group.representative.empty()
+                                              ? std::vector<RowId>{}
+                                              : group.representative);
+                }
+                if (group.representative.empty()) return Value::null();
+                return eval.eval(e, group.representative);
+            };
+
+            if (stmt_.having && !truthy(eval_out(*stmt_.having))) continue;
+
+            Row out;
+            for (const auto& item : stmt_.items) {
+                if (item.star)
+                    throw QueryError("'*' cannot appear in an aggregate select");
+                out.push_back(eval_out(*item.expr));
+            }
+            result.rows.push_back(std::move(out));
+        }
+
+        // ORDER BY in aggregate mode: match select aliases / positions.
+        if (!stmt_.order_by.empty()) {
+            std::vector<std::pair<int, bool>> keys;  // column idx, desc
+            for (std::size_t k = 0; k < stmt_.order_by.size(); ++k) {
+                const auto& o = stmt_.order_by[k];
+                int idx = order_output_idx_[k];
+                if (idx < 0) {
+                    for (std::size_t i = 0; i < stmt_.items.size(); ++i) {
+                        const auto& item = stmt_.items[i];
+                        if (item.star) continue;
+                        if (item.expr->to_string() == o.expr->to_string())
+                            idx = static_cast<int>(i);
+                    }
+                }
+                if (idx < 0 || idx >= static_cast<int>(result.columns.size()))
+                    throw QueryError(
+                        "ORDER BY in aggregate queries must name a select "
+                        "column or position");
+                keys.emplace_back(idx, o.descending);
+            }
+            std::stable_sort(result.rows.begin(), result.rows.end(),
+                             [&](const Row& a, const Row& b) {
+                                 for (auto [idx, desc] : keys) {
+                                     auto ord = a[idx].index_order(b[idx]);
+                                     if (ord == std::strong_ordering::equal)
+                                         continue;
+                                     bool less = ord == std::strong_ordering::less;
+                                     return desc ? !less : less;
+                                 }
+                                 return false;
+                             });
+        }
+    }
+
+    void accumulate(const Evaluator& eval, const Expr& agg,
+                    const std::vector<RowId>& ctx, Accumulator& acc) {
+        if (agg.right->kind == Expr::Kind::kStar) {
+            ++acc.count;
+            return;
+        }
+        Value v = eval.eval(*agg.right, ctx);
+        if (v.is_null()) return;
+        if (agg.distinct && !acc.distinct_seen.insert(v.to_string()).second)
+            return;
+        ++acc.count;
+        if (v.type() == rdb::ValueType::kInteger) {
+            acc.isum += v.as_integer();
+            acc.sum += v.as_real();
+        } else if (v.type() == rdb::ValueType::kReal) {
+            acc.sum_is_int = false;
+            acc.sum += v.as_real();
+        }
+        if (acc.min.is_null() || v.index_order(acc.min) == std::strong_ordering::less)
+            acc.min = v;
+        if (acc.max.is_null() ||
+            v.index_order(acc.max) == std::strong_ordering::greater)
+            acc.max = v;
+    }
+
+    Value finalize(const Expr& agg, const Accumulator& acc) const {
+        switch (agg.fn) {
+            case AggregateFn::kCount:
+                return Value(acc.count);
+            case AggregateFn::kSum:
+                if (acc.count == 0) return Value::null();
+                return acc.sum_is_int ? Value(acc.isum) : Value(acc.sum);
+            case AggregateFn::kMin:
+                return acc.min;
+            case AggregateFn::kMax:
+                return acc.max;
+            case AggregateFn::kAvg:
+                if (acc.count == 0) return Value::null();
+                return Value(acc.sum / static_cast<double>(acc.count));
+        }
+        return Value::null();
+    }
+};
+
+}  // namespace
+
+std::string ResultSet::to_string() const {
+    TablePrinter printer(columns);
+    for (const auto& row : rows) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const auto& v : row) cells.push_back(v.to_string());
+        printer.add_row(std::move(cells));
+    }
+    return printer.to_string();
+}
+
+ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats) {
+    Statement stmt = parse(sql);
+    switch (stmt.kind) {
+        case Statement::Kind::kSelect:
+            return execute_select(db, stmt.select, stats);
+        case Statement::Kind::kInsert: {
+            Table* t = db.table(stmt.insert.table);
+            if (t == nullptr)
+                throw QueryError("unknown table '" + stmt.insert.table + "'");
+            for (const auto& values : stmt.insert.rows) {
+                Row row(t->column_count());
+                if (stmt.insert.columns.empty()) {
+                    if (values.size() != t->column_count())
+                        throw QueryError("INSERT arity mismatch for '" +
+                                         stmt.insert.table + "'");
+                    row = values;
+                } else {
+                    if (values.size() != stmt.insert.columns.size())
+                        throw QueryError("INSERT arity mismatch for '" +
+                                         stmt.insert.table + "'");
+                    for (std::size_t i = 0; i < values.size(); ++i) {
+                        int c = t->def().column_index(stmt.insert.columns[i]);
+                        if (c < 0)
+                            throw QueryError("unknown column '" +
+                                             stmt.insert.columns[i] + "'");
+                        row[c] = values[i];
+                    }
+                }
+                t->insert(std::move(row));
+            }
+            return {};
+        }
+        case Statement::Kind::kCreateTable: {
+            rdb::TableDef def;
+            def.name = stmt.create_table.table;
+            for (const auto& c : stmt.create_table.columns)
+                def.columns.push_back({c.name, c.type, c.not_null, c.primary_key});
+            db.create_table(std::move(def));
+            for (const auto& c : stmt.create_table.columns) {
+                if (!c.references_table.empty())
+                    db.add_foreign_key({stmt.create_table.table, c.name,
+                                        c.references_table, c.references_column});
+            }
+            return {};
+        }
+        case Statement::Kind::kCreateIndex: {
+            Table* t = db.table(stmt.create_index.table);
+            if (t == nullptr)
+                throw QueryError("unknown table '" + stmt.create_index.table + "'");
+            t->create_index(stmt.create_index.column);
+            return {};
+        }
+    }
+    return {};
+}
+
+ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
+                         ExecStats* stats) {
+    SelectExecutor executor(db, stmt, stats);
+    return executor.run();
+}
+
+}  // namespace xr::sql

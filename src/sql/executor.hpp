@@ -1,0 +1,59 @@
+// SQL execution over MiniRDB.
+//
+// Planning is deliberately simple but not naive:
+//   * equality predicates on indexed columns of the driving table become
+//     index scans;
+//   * equi-joins build a hash table on the inner side, or use an existing
+//     index when one matches;
+//   * remaining predicates filter after the joins;
+//   * aggregation, GROUP BY / HAVING, ORDER BY and LIMIT run as final
+//     phases.
+// The same engine executes the paper-motivated workloads both for the
+// mapping's schema and for the inlining baselines, so query-shape
+// comparisons are apples-to-apples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdb/database.hpp"
+#include "sql/ast.hpp"
+
+namespace xr::sql {
+
+struct ResultSet {
+    std::vector<std::string> columns;
+    std::vector<rdb::Row> rows;
+
+    [[nodiscard]] std::size_t row_count() const { return rows.size(); }
+    [[nodiscard]] const rdb::Value& at(std::size_t row,
+                                       std::size_t column) const {
+        return rows[row][column];
+    }
+    /// First cell of the first row (common for COUNT queries); NULL if empty.
+    [[nodiscard]] rdb::Value scalar() const {
+        return rows.empty() || rows[0].empty() ? rdb::Value::null() : rows[0][0];
+    }
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Statistics of the last execution (join strategy visibility for benches).
+struct ExecStats {
+    std::size_t rows_scanned = 0;
+    std::size_t index_lookups = 0;
+    std::size_t hash_joins = 0;
+    std::size_t nested_loop_joins = 0;
+};
+
+/// Execute any statement.  DDL/DML statements return an empty result.
+ResultSet execute(rdb::Database& db, std::string_view sql,
+                  ExecStats* stats = nullptr);
+
+/// Execute an already-parsed SELECT.  Binding annotations are written into
+/// the AST, so the statement is taken by mutable reference; re-execution of
+/// the same statement is fine (binding is idempotent).
+ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
+                         ExecStats* stats = nullptr);
+
+}  // namespace xr::sql

@@ -1,0 +1,127 @@
+#include "sql/lexer.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "common/cursor.hpp"
+
+namespace xr::sql {
+
+namespace {
+
+const std::set<std::string, std::less<>>& keywords() {
+    static const std::set<std::string, std::less<>> kw = {
+        "SELECT", "FROM",   "WHERE",  "JOIN",    "INNER",  "LEFT",  "ON",
+        "AND",    "OR",     "NOT",    "AS",      "ORDER",  "BY",    "GROUP",
+        "LIMIT",  "ASC",    "DESC",   "INSERT",  "INTO",   "VALUES",
+        "CREATE", "TABLE",  "INDEX",  "PRIMARY", "KEY",    "UNIQUE",
+        "NULL",   "IS",     "LIKE",   "REFERENCES",   "COUNT",   "SUM",    "MIN",   "MAX",
+        "AVG",    "DISTINCT", "INTEGER", "REAL",  "TEXT",  "HAVING",
+    };
+    return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view sql) {
+    std::vector<Token> out;
+    Cursor cur(sql);
+    for (;;) {
+        cur.skip_space();
+        if (cur.at_end()) break;
+        SourceLocation where = cur.location();
+        char c = cur.peek();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                   cur.peek() == '_')
+                word += cur.advance();
+            std::string upper = to_upper(word);
+            if (keywords().contains(upper))
+                out.push_back({TokenType::kKeyword, std::move(upper), where});
+            else
+                out.push_back({TokenType::kIdentifier, std::move(word), where});
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num;
+            bool real = false;
+            while (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+                   cur.peek() == '.') {
+                if (cur.peek() == '.') {
+                    if (real) break;
+                    // '1.' followed by identifier is qualified access, not a
+                    // real literal — but digits cannot start identifiers, so
+                    // a dot after digits is always a decimal point here.
+                    real = true;
+                }
+                num += cur.advance();
+            }
+            out.push_back(
+                {real ? TokenType::kReal : TokenType::kInteger, std::move(num),
+                 where});
+            continue;
+        }
+
+        if (c == '\'') {
+            cur.advance();
+            std::string text;
+            for (;;) {
+                if (cur.at_end()) cur.fail("unterminated string literal");
+                char ch = cur.advance();
+                if (ch == '\'') {
+                    if (cur.peek() == '\'') {
+                        text += '\'';
+                        cur.advance();
+                        continue;
+                    }
+                    break;
+                }
+                text += ch;
+            }
+            out.push_back({TokenType::kString, std::move(text), where});
+            continue;
+        }
+
+        if (c == '"') {
+            cur.advance();
+            std::string name;
+            while (!cur.at_end() && cur.peek() != '"') name += cur.advance();
+            if (!cur.consume("\"")) cur.fail("unterminated quoted identifier");
+            out.push_back({TokenType::kIdentifier, std::move(name), where});
+            continue;
+        }
+
+        // Comments.
+        if (c == '-' && cur.peek(1) == '-') {
+            while (!cur.at_end() && cur.peek() != '\n') cur.advance();
+            continue;
+        }
+
+        // Multi-character operators first.
+        for (std::string_view op : {"<>", "<=", ">=", "!="}) {
+            if (cur.lookahead(op)) {
+                cur.consume(op);
+                out.push_back({TokenType::kSymbol,
+                               std::string(op == "!=" ? "<>" : op), where});
+                goto next;
+            }
+        }
+        {
+            static const std::string singles = "=<>(),.*+-/%;";
+            if (singles.find(c) != std::string::npos) {
+                cur.advance();
+                out.push_back({TokenType::kSymbol, std::string(1, c), where});
+                continue;
+            }
+            cur.fail(std::string("unexpected character '") + c + "' in SQL");
+        }
+    next:;
+    }
+    out.push_back({TokenType::kEnd, "", cur.location()});
+    return out;
+}
+
+}  // namespace xr::sql

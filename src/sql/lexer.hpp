@@ -1,0 +1,39 @@
+// SQL lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xr::sql {
+
+enum class TokenType {
+    kIdentifier,  ///< bare or "quoted"
+    kKeyword,     ///< recognized SQL keyword (normalized upper-case)
+    kInteger,
+    kReal,
+    kString,   ///< 'single quoted'
+    kSymbol,   ///< operators and punctuation: = <> <= >= < > ( ) , . * + - / %
+    kEnd,
+};
+
+struct Token {
+    TokenType type = TokenType::kEnd;
+    std::string text;  ///< keyword upper-cased; identifier as written
+    SourceLocation where;
+
+    [[nodiscard]] bool is_keyword(std::string_view kw) const {
+        return type == TokenType::kKeyword && text == kw;
+    }
+    [[nodiscard]] bool is_symbol(std::string_view s) const {
+        return type == TokenType::kSymbol && text == s;
+    }
+};
+
+/// Tokenize SQL text.  Throws xr::ParseError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view sql);
+
+}  // namespace xr::sql

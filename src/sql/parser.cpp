@@ -1,0 +1,505 @@
+#include "sql/parser.hpp"
+
+#include "common/strings.hpp"
+#include "sql/lexer.hpp"
+
+namespace xr::sql {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view sql) : tokens_(lex(sql)) {}
+
+    Statement statement() {
+        Statement stmt;
+        if (peek().is_keyword("SELECT")) {
+            stmt.kind = Statement::Kind::kSelect;
+            stmt.select = select();
+        } else if (peek().is_keyword("INSERT")) {
+            stmt.kind = Statement::Kind::kInsert;
+            stmt.insert = insert();
+        } else if (peek().is_keyword("CREATE")) {
+            advance();
+            if (peek().is_keyword("TABLE")) {
+                stmt.kind = Statement::Kind::kCreateTable;
+                stmt.create_table = create_table();
+            } else if (peek().is_keyword("INDEX") || peek().is_keyword("UNIQUE")) {
+                stmt.kind = Statement::Kind::kCreateIndex;
+                stmt.create_index = create_index();
+            } else {
+                fail("expected TABLE or INDEX after CREATE");
+            }
+        } else {
+            fail("expected SELECT, INSERT or CREATE");
+        }
+        consume_symbol(";");  // optional
+        if (peek().type != TokenType::kEnd) fail("trailing input after statement");
+        return stmt;
+    }
+
+    SelectStmt select() {
+        expect_keyword("SELECT");
+        SelectStmt stmt;
+        if (consume_keyword("DISTINCT")) stmt.distinct = true;
+
+        // Select list.
+        for (;;) {
+            SelectItem item;
+            if (peek().is_symbol("*")) {
+                advance();
+                item.star = true;
+            } else {
+                item.expr = expr();
+                if (consume_keyword("AS")) {
+                    item.alias = expect_identifier("column alias");
+                } else if (peek().type == TokenType::kIdentifier) {
+                    item.alias = advance().text;
+                }
+            }
+            stmt.items.push_back(std::move(item));
+            if (!consume_symbol(",")) break;
+        }
+
+        expect_keyword("FROM");
+        stmt.from = table_ref();
+
+        while (peek().is_keyword("JOIN") || peek().is_keyword("INNER") ||
+               peek().is_keyword("LEFT")) {
+            consume_keyword("INNER");
+            if (consume_keyword("LEFT"))
+                fail("LEFT JOIN is not supported by this dialect");
+            expect_keyword("JOIN");
+            JoinClause join;
+            join.table = table_ref();
+            expect_keyword("ON");
+            join.on = expr();
+            stmt.joins.push_back(std::move(join));
+        }
+
+        if (consume_keyword("WHERE")) stmt.where = expr();
+        if (consume_keyword("GROUP")) {
+            expect_keyword("BY");
+            do {
+                stmt.group_by.push_back(expr());
+            } while (consume_symbol(","));
+        }
+        if (consume_keyword("HAVING")) stmt.having = expr();
+        if (consume_keyword("ORDER")) {
+            expect_keyword("BY");
+            do {
+                OrderItem item;
+                item.expr = expr();
+                if (consume_keyword("DESC")) item.descending = true;
+                else consume_keyword("ASC");
+                stmt.order_by.push_back(std::move(item));
+            } while (consume_symbol(","));
+        }
+        if (consume_keyword("LIMIT")) {
+            const Token& t = peek();
+            if (t.type != TokenType::kInteger) fail("expected integer after LIMIT");
+            stmt.limit = static_cast<std::size_t>(std::stoll(advance().text));
+        }
+        return stmt;
+    }
+
+private:
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+
+    const Token& peek(std::size_t n = 0) const {
+        std::size_t i = pos_ + n;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+    const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw ParseError(message, peek().where);
+    }
+
+    bool consume_keyword(std::string_view kw) {
+        if (!peek().is_keyword(kw)) return false;
+        advance();
+        return true;
+    }
+    void expect_keyword(std::string_view kw) {
+        if (!consume_keyword(kw)) fail("expected " + std::string(kw));
+    }
+    bool consume_symbol(std::string_view s) {
+        if (!peek().is_symbol(s)) return false;
+        advance();
+        return true;
+    }
+    void expect_symbol(std::string_view s) {
+        if (!consume_symbol(s)) fail("expected '" + std::string(s) + "'");
+    }
+    std::string expect_identifier(const std::string& what) {
+        if (peek().type != TokenType::kIdentifier &&
+            peek().type != TokenType::kKeyword)
+            fail("expected " + what);
+        return advance().text;
+    }
+
+    TableRef table_ref() {
+        TableRef ref;
+        ref.table = expect_identifier("table name");
+        if (consume_keyword("AS")) {
+            ref.alias = expect_identifier("table alias");
+        } else if (peek().type == TokenType::kIdentifier) {
+            ref.alias = advance().text;
+        }
+        return ref;
+    }
+
+    InsertStmt insert() {
+        expect_keyword("INSERT");
+        expect_keyword("INTO");
+        InsertStmt stmt;
+        stmt.table = expect_identifier("table name");
+        if (consume_symbol("(")) {
+            do {
+                stmt.columns.push_back(expect_identifier("column name"));
+            } while (consume_symbol(","));
+            expect_symbol(")");
+        }
+        expect_keyword("VALUES");
+        do {
+            expect_symbol("(");
+            std::vector<rdb::Value> row;
+            do {
+                row.push_back(literal_value());
+            } while (consume_symbol(","));
+            expect_symbol(")");
+            stmt.rows.push_back(std::move(row));
+        } while (consume_symbol(","));
+        return stmt;
+    }
+
+    rdb::Value literal_value() {
+        const Token& t = peek();
+        bool negative = false;
+        if (t.is_symbol("-")) {
+            advance();
+            negative = true;
+        }
+        const Token& v = peek();
+        switch (v.type) {
+            case TokenType::kInteger: {
+                auto n = static_cast<std::int64_t>(std::stoll(advance().text));
+                return rdb::Value(negative ? -n : n);
+            }
+            case TokenType::kReal: {
+                double d = std::stod(advance().text);
+                return rdb::Value(negative ? -d : d);
+            }
+            case TokenType::kString:
+                if (negative) fail("cannot negate a string literal");
+                return rdb::Value(advance().text);
+            case TokenType::kKeyword:
+                if (v.text == "NULL") {
+                    advance();
+                    return rdb::Value::null();
+                }
+                [[fallthrough]];
+            default:
+                fail("expected literal value");
+        }
+    }
+
+    CreateTableStmt create_table() {
+        expect_keyword("TABLE");
+        CreateTableStmt stmt;
+        stmt.table = expect_identifier("table name");
+        expect_symbol("(");
+        do {
+            CreateTableStmt::ColumnDef c;
+            c.name = expect_identifier("column name");
+            if (consume_keyword("INTEGER")) c.type = rdb::ValueType::kInteger;
+            else if (consume_keyword("REAL")) c.type = rdb::ValueType::kReal;
+            else if (consume_keyword("TEXT")) c.type = rdb::ValueType::kText;
+            else fail("expected column type (INTEGER/REAL/TEXT)");
+            for (;;) {
+                if (consume_keyword("PRIMARY")) {
+                    expect_keyword("KEY");
+                    c.primary_key = true;
+                    c.not_null = true;
+                } else if (consume_keyword("NOT")) {
+                    expect_keyword("NULL");
+                    c.not_null = true;
+                } else if (consume_keyword("REFERENCES")) {
+                    c.references_table = expect_identifier("referenced table");
+                    expect_symbol("(");
+                    c.references_column = expect_identifier("referenced column");
+                    expect_symbol(")");
+                } else {
+                    break;
+                }
+            }
+            stmt.columns.push_back(std::move(c));
+        } while (consume_symbol(","));
+        expect_symbol(")");
+        return stmt;
+    }
+
+    CreateIndexStmt create_index() {
+        consume_keyword("UNIQUE");
+        expect_keyword("INDEX");
+        // Optional index name.
+        if (peek().type == TokenType::kIdentifier &&
+            !peek(1).is_keyword("ON") )
+            advance();
+        else if (peek().type == TokenType::kIdentifier && peek(1).is_keyword("ON"))
+            advance();
+        expect_keyword("ON");
+        CreateIndexStmt stmt;
+        stmt.table = expect_identifier("table name");
+        expect_symbol("(");
+        stmt.column = expect_identifier("column name");
+        expect_symbol(")");
+        return stmt;
+    }
+
+    // -- expression grammar ----------------------------------------------------
+
+    ExprPtr expr() { return or_expr(); }
+
+    ExprPtr or_expr() {
+        ExprPtr left = and_expr();
+        while (consume_keyword("OR"))
+            left = make_binary(BinaryOp::kOr, std::move(left), and_expr());
+        return left;
+    }
+
+    ExprPtr and_expr() {
+        ExprPtr left = not_expr();
+        while (consume_keyword("AND"))
+            left = make_binary(BinaryOp::kAnd, std::move(left), not_expr());
+        return left;
+    }
+
+    ExprPtr not_expr() {
+        if (consume_keyword("NOT")) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::kNot;
+            node->right = not_expr();
+            return node;
+        }
+        return comparison();
+    }
+
+    ExprPtr comparison() {
+        ExprPtr left = additive();
+        if (consume_keyword("IS")) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::kIsNull;
+            node->negated = consume_keyword("NOT");
+            expect_keyword("NULL");
+            node->right = std::move(left);
+            return node;
+        }
+        if (consume_keyword("LIKE"))
+            return make_binary(BinaryOp::kLike, std::move(left), additive());
+        struct OpMap {
+            const char* sym;
+            BinaryOp op;
+        };
+        static const OpMap ops[] = {{"=", BinaryOp::kEq}, {"<>", BinaryOp::kNe},
+                                    {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                    {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+        for (const auto& [sym, op] : ops) {
+            if (consume_symbol(sym))
+                return make_binary(op, std::move(left), additive());
+        }
+        return left;
+    }
+
+    ExprPtr additive() {
+        ExprPtr left = multiplicative();
+        for (;;) {
+            if (consume_symbol("+"))
+                left = make_binary(BinaryOp::kAdd, std::move(left), multiplicative());
+            else if (consume_symbol("-"))
+                left = make_binary(BinaryOp::kSub, std::move(left), multiplicative());
+            else
+                return left;
+        }
+    }
+
+    ExprPtr multiplicative() {
+        ExprPtr left = unary();
+        for (;;) {
+            if (consume_symbol("*"))
+                left = make_binary(BinaryOp::kMul, std::move(left), unary());
+            else if (consume_symbol("/"))
+                left = make_binary(BinaryOp::kDiv, std::move(left), unary());
+            else if (consume_symbol("%"))
+                left = make_binary(BinaryOp::kMod, std::move(left), unary());
+            else
+                return left;
+        }
+    }
+
+    ExprPtr unary() {
+        if (consume_symbol("-")) {
+            // Fold negation into numeric literals; otherwise 0 - x.
+            ExprPtr operand = unary();
+            if (operand->kind == Expr::Kind::kLiteral &&
+                operand->literal.type() == rdb::ValueType::kInteger)
+                return make_literal(rdb::Value(-operand->literal.as_integer()));
+            if (operand->kind == Expr::Kind::kLiteral &&
+                operand->literal.type() == rdb::ValueType::kReal)
+                return make_literal(rdb::Value(-operand->literal.as_real()));
+            return make_binary(BinaryOp::kSub, make_literal(rdb::Value(0)),
+                               std::move(operand));
+        }
+        return primary();
+    }
+
+    ExprPtr primary() {
+        const Token& t = peek();
+        switch (t.type) {
+            case TokenType::kInteger:
+                return make_literal(rdb::Value(static_cast<std::int64_t>(std::stoll(advance().text))));
+            case TokenType::kReal:
+                return make_literal(rdb::Value(std::stod(advance().text)));
+            case TokenType::kString:
+                return make_literal(rdb::Value(advance().text));
+            case TokenType::kKeyword: {
+                if (t.text == "NULL") {
+                    advance();
+                    return make_literal(rdb::Value::null());
+                }
+                AggregateFn fn;
+                if (t.text == "COUNT") fn = AggregateFn::kCount;
+                else if (t.text == "SUM") fn = AggregateFn::kSum;
+                else if (t.text == "MIN") fn = AggregateFn::kMin;
+                else if (t.text == "MAX") fn = AggregateFn::kMax;
+                else if (t.text == "AVG") fn = AggregateFn::kAvg;
+                else fail("unexpected keyword '" + t.text + "' in expression");
+                advance();
+                expect_symbol("(");
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::kAggregate;
+                node->fn = fn;
+                if (consume_keyword("DISTINCT")) node->distinct = true;
+                if (peek().is_symbol("*")) {
+                    advance();
+                    node->right = std::make_unique<Expr>();
+                    node->right->kind = Expr::Kind::kStar;
+                } else {
+                    node->right = expr();
+                }
+                expect_symbol(")");
+                return node;
+            }
+            case TokenType::kIdentifier: {
+                std::string first = advance().text;
+                if (consume_symbol(".")) {
+                    std::string second = expect_identifier("column name");
+                    return make_column(std::move(first), std::move(second));
+                }
+                return make_column("", std::move(first));
+            }
+            case TokenType::kSymbol:
+                if (t.text == "(") {
+                    advance();
+                    ExprPtr inner = expr();
+                    expect_symbol(")");
+                    return inner;
+                }
+                [[fallthrough]];
+            default:
+                fail("expected expression");
+        }
+    }
+};
+
+}  // namespace
+
+std::string Expr::to_string() const {
+    switch (kind) {
+        case Kind::kLiteral:
+            return literal.type() == rdb::ValueType::kText
+                       ? sql_quote(literal.as_text())
+                       : literal.to_string();
+        case Kind::kColumn:
+            return table.empty() ? column : table + "." + column;
+        case Kind::kStar:
+            return "*";
+        case Kind::kNot:
+            return "NOT (" + right->to_string() + ")";
+        case Kind::kIsNull:
+            return right->to_string() + (negated ? " IS NOT NULL" : " IS NULL");
+        case Kind::kAggregate: {
+            const char* name = "COUNT";
+            switch (fn) {
+                case AggregateFn::kCount: name = "COUNT"; break;
+                case AggregateFn::kSum: name = "SUM"; break;
+                case AggregateFn::kMin: name = "MIN"; break;
+                case AggregateFn::kMax: name = "MAX"; break;
+                case AggregateFn::kAvg: name = "AVG"; break;
+            }
+            return std::string(name) + "(" + (distinct ? "DISTINCT " : "") +
+                   right->to_string() + ")";
+        }
+        case Kind::kBinary: {
+            const char* sym = "=";
+            switch (op) {
+                case BinaryOp::kEq: sym = "="; break;
+                case BinaryOp::kNe: sym = "<>"; break;
+                case BinaryOp::kLt: sym = "<"; break;
+                case BinaryOp::kLe: sym = "<="; break;
+                case BinaryOp::kGt: sym = ">"; break;
+                case BinaryOp::kGe: sym = ">="; break;
+                case BinaryOp::kAnd: sym = "AND"; break;
+                case BinaryOp::kOr: sym = "OR"; break;
+                case BinaryOp::kAdd: sym = "+"; break;
+                case BinaryOp::kSub: sym = "-"; break;
+                case BinaryOp::kMul: sym = "*"; break;
+                case BinaryOp::kDiv: sym = "/"; break;
+                case BinaryOp::kMod: sym = "%"; break;
+                case BinaryOp::kLike: sym = "LIKE"; break;
+            }
+            return left->to_string() + " " + sym + " " + right->to_string();
+        }
+    }
+    return "?";
+}
+
+ExprPtr make_literal(rdb::Value v) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kLiteral;
+    node->literal = std::move(v);
+    return node;
+}
+
+ExprPtr make_column(std::string table, std::string column) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kColumn;
+    node->table = std::move(table);
+    node->column = std::move(column);
+    return node;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+}
+
+Statement parse(std::string_view sql) {
+    Parser parser(sql);
+    return parser.statement();
+}
+
+SelectStmt parse_select(std::string_view sql) {
+    Statement stmt = parse(sql);
+    if (stmt.kind != Statement::Kind::kSelect)
+        throw ParseError("expected a SELECT statement");
+    return std::move(stmt.select);
+}
+
+}  // namespace xr::sql

@@ -1,0 +1,18 @@
+// SQL parser for the MiniRDB dialect: SELECT (joins, WHERE, GROUP BY,
+// HAVING, ORDER BY, LIMIT, aggregates), INSERT ... VALUES, CREATE TABLE,
+// CREATE INDEX.
+#pragma once
+
+#include <string_view>
+
+#include "sql/ast.hpp"
+
+namespace xr::sql {
+
+/// Parse one SQL statement (a trailing ';' is allowed).
+[[nodiscard]] Statement parse(std::string_view sql);
+
+/// Parse a statement known to be a SELECT.
+[[nodiscard]] SelectStmt parse_select(std::string_view sql);
+
+}  // namespace xr::sql

@@ -1,0 +1,150 @@
+#include "validate/automaton.hpp"
+
+#include <algorithm>
+
+namespace xr::validate {
+
+namespace {
+
+/// first/last/nullable/follow computation for one particle subtree.
+struct GlushkovBuilder {
+    std::vector<std::string>& positions;
+    std::vector<std::set<std::uint32_t>>& follow;
+
+    struct Info {
+        bool nullable = false;
+        std::set<std::uint32_t> first;
+        std::set<std::uint32_t> last;
+    };
+
+    Info build(const dtd::Particle& p) {
+        Info info = build_base(p);
+        switch (p.occurrence) {
+            case dtd::Occurrence::kOne:
+                break;
+            case dtd::Occurrence::kOptional:
+                info.nullable = true;
+                break;
+            case dtd::Occurrence::kZeroOrMore:
+                info.nullable = true;
+                link(info.last, info.first);
+                break;
+            case dtd::Occurrence::kOneOrMore:
+                link(info.last, info.first);
+                break;
+        }
+        return info;
+    }
+
+    Info build_base(const dtd::Particle& p) {
+        Info info;
+        switch (p.kind) {
+            case dtd::ParticleKind::kElement: {
+                auto pos = static_cast<std::uint32_t>(positions.size());
+                positions.push_back(p.name);
+                follow.emplace_back();
+                info.nullable = false;
+                info.first = {pos};
+                info.last = {pos};
+                return info;
+            }
+            case dtd::ParticleKind::kSequence: {
+                info.nullable = true;
+                bool first_fixed = false;
+                std::set<std::uint32_t> carry_last;
+                for (const auto& child : p.children) {
+                    Info ci = build(child);
+                    link(carry_last, ci.first);
+                    if (!first_fixed) {
+                        info.first.insert(ci.first.begin(), ci.first.end());
+                        if (!ci.nullable) first_fixed = true;
+                    }
+                    if (ci.nullable) {
+                        carry_last.insert(ci.last.begin(), ci.last.end());
+                    } else {
+                        carry_last = ci.last;
+                    }
+                    info.nullable = info.nullable && ci.nullable;
+                }
+                info.last = carry_last;
+                return info;
+            }
+            case dtd::ParticleKind::kChoice: {
+                info.nullable = false;
+                for (const auto& child : p.children) {
+                    Info ci = build(child);
+                    info.nullable = info.nullable || ci.nullable;
+                    info.first.insert(ci.first.begin(), ci.first.end());
+                    info.last.insert(ci.last.begin(), ci.last.end());
+                }
+                return info;
+            }
+        }
+        return info;
+    }
+
+    void link(const std::set<std::uint32_t>& from,
+              const std::set<std::uint32_t>& to) {
+        for (auto f : from) follow[f].insert(to.begin(), to.end());
+    }
+};
+
+}  // namespace
+
+ContentAutomaton::ContentAutomaton(const dtd::Particle& particle) {
+    positions_.emplace_back();  // position 0: synthetic start
+    follow_.emplace_back();
+    GlushkovBuilder builder{positions_, follow_};
+    auto info = builder.build(particle);
+    nullable_ = info.nullable;
+    follow_[0] = info.first;
+    last_ = info.last;
+}
+
+bool ContentAutomaton::matches(const std::vector<std::string>& names) const {
+    Run run(*this);
+    for (const auto& n : names)
+        if (!run.feed(n)) return false;
+    return run.accepting();
+}
+
+ContentAutomaton::Run::Run(const ContentAutomaton& automaton)
+    : automaton_(automaton), states_{0} {}
+
+bool ContentAutomaton::Run::feed(std::string_view name) {
+    std::set<std::uint32_t> next;
+    for (auto s : states_) {
+        for (auto t : automaton_.follow_[s]) {
+            if (automaton_.positions_[t] == name) next.insert(t);
+        }
+    }
+    states_ = std::move(next);
+    return !states_.empty();
+}
+
+bool ContentAutomaton::Run::accepting() const {
+    for (auto s : states_) {
+        if (s == 0 ? automaton_.nullable_ : automaton_.last_.contains(s))
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string> ContentAutomaton::Run::expected() const {
+    std::set<std::string> names;
+    for (auto s : states_)
+        for (auto t : automaton_.follow_[s]) names.insert(automaton_.positions_[t]);
+    return {names.begin(), names.end()};
+}
+
+bool ContentAutomaton::deterministic() const {
+    for (const auto& successors : follow_) {
+        std::set<std::string_view> seen;
+        for (auto t : successors) {
+            if (!seen.insert(positions_[t]).second) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace xr::validate

@@ -1,0 +1,67 @@
+// Glushkov automaton over DTD content models.
+//
+// A 'children' content model is a regular expression over element names;
+// validation of an element's child sequence is a regular-language
+// membership test.  The Glushkov construction yields one NFA state per
+// element occurrence in the model (positions), with no epsilon
+// transitions, which keeps simulation simple and fast.  XML 1.0 requires
+// deterministic content models; `deterministic()` reports whether the model
+// satisfies that rule (we validate nondeterministic ones correctly anyway
+// via set simulation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/content_model.hpp"
+
+namespace xr::validate {
+
+class ContentAutomaton {
+public:
+    /// Build from a content-model particle tree.
+    explicit ContentAutomaton(const dtd::Particle& particle);
+
+    /// True iff `names` (the child-element sequence) matches the model.
+    [[nodiscard]] bool matches(const std::vector<std::string>& names) const;
+
+    /// Incremental interface: a Run consumes one child name at a time, so
+    /// the validator can report the exact child where matching fails.
+    class Run {
+    public:
+        explicit Run(const ContentAutomaton& automaton);
+        /// Feed one child element name; false = the sequence is already
+        /// invalid at this child.
+        bool feed(std::string_view name);
+        /// True iff the consumed sequence is a complete match.
+        [[nodiscard]] bool accepting() const;
+        /// Names that would be accepted next (for error messages).
+        [[nodiscard]] std::vector<std::string> expected() const;
+
+    private:
+        const ContentAutomaton& automaton_;
+        std::set<std::uint32_t> states_;
+    };
+
+    /// True iff the model satisfies XML 1.0's determinism constraint (no
+    /// state has two successors labelled with the same element name).
+    [[nodiscard]] bool deterministic() const;
+
+    [[nodiscard]] std::size_t position_count() const { return positions_.size(); }
+
+private:
+    friend class Run;
+
+    // Position 0 is the synthetic start state; positions 1..n correspond to
+    // element occurrences in the model.
+    std::vector<std::string> positions_;  ///< label per position (index 0 unused)
+    bool nullable_ = false;
+    std::vector<std::set<std::uint32_t>> follow_;  ///< successor positions
+    std::set<std::uint32_t> last_;                 ///< accepting positions
+};
+
+}  // namespace xr::validate

@@ -1,0 +1,285 @@
+#include "validate/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace xr::validate {
+
+std::string ValidationResult::to_string() const {
+    std::string out;
+    for (const auto& i : issues) {
+        out += i.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+Validator::Validator(const dtd::Dtd& dtd) : dtd_(dtd) {
+    for (const auto& e : dtd.elements()) {
+        if (e.content.category == dtd::ContentCategory::kChildren)
+            automata_.emplace(e.name, ContentAutomaton(e.content.particle));
+    }
+}
+
+namespace {
+
+class Pass {
+public:
+    Pass(const dtd::Dtd& dtd,
+         const std::map<std::string, ContentAutomaton, std::less<>>& automata,
+         const ValidateOptions& options, ValidationResult& result)
+        : dtd_(dtd), automata_(automata), options_(options), result_(result) {}
+
+    void run(xml::Document& doc) {
+        if (!doc.doctype().empty() && doc.root() != nullptr &&
+            doc.doctype().root_name != doc.root()->name()) {
+            add(doc.root()->location(),
+                "root element '" + doc.root()->name() +
+                    "' does not match DOCTYPE name '" + doc.doctype().root_name +
+                    "'");
+        }
+        if (doc.root() != nullptr) visit_element(*doc.root());
+        resolve_idrefs();
+    }
+
+private:
+    const dtd::Dtd& dtd_;
+    const std::map<std::string, ContentAutomaton, std::less<>>& automata_;
+    const ValidateOptions& options_;
+    ValidationResult& result_;
+
+    std::map<std::string, SourceLocation> ids_;
+    struct PendingRef {
+        std::string token;
+        SourceLocation where;
+        std::string context;
+    };
+    std::vector<PendingRef> idrefs_;
+
+    void add(SourceLocation where, std::string message) {
+        if (result_.issues.size() < options_.max_issues)
+            result_.issues.push_back({std::move(message), where});
+    }
+
+    void visit_element(xml::Element& e) {
+        const dtd::ElementDecl* decl = dtd_.element(e.name());
+        if (decl == nullptr) {
+            if (options_.strict)
+                add(e.location(), "undeclared element '" + e.name() + "'");
+        } else {
+            check_attributes(e, *decl);
+            check_content(e, *decl);
+        }
+        for (const auto& child : e.children()) {
+            if (child->is_element())
+                visit_element(static_cast<xml::Element&>(*child));
+        }
+    }
+
+    void check_attributes(xml::Element& e, const dtd::ElementDecl& decl) {
+        for (const auto& attr : e.attributes()) {
+            const dtd::AttributeDecl* ad = decl.attribute(attr.name);
+            if (ad == nullptr) {
+                if (options_.strict)
+                    add(e.location(), "undeclared attribute '" + attr.name +
+                                          "' on element '" + e.name() + "'");
+                continue;
+            }
+            check_attribute_value(e, *ad, attr.value);
+        }
+        for (const auto& ad : decl.attributes) {
+            if (e.has_attribute(ad.name)) continue;
+            switch (ad.default_kind) {
+                case dtd::AttrDefaultKind::kRequired:
+                    add(e.location(), "missing required attribute '" + ad.name +
+                                          "' on element '" + e.name() + "'");
+                    break;
+                case dtd::AttrDefaultKind::kFixed:
+                case dtd::AttrDefaultKind::kDefault:
+                    if (options_.apply_defaults)
+                        e.set_attribute(ad.name, ad.default_value);
+                    break;
+                case dtd::AttrDefaultKind::kImplied:
+                    break;
+            }
+        }
+    }
+
+    void check_attribute_value(const xml::Element& e, const dtd::AttributeDecl& ad,
+                               const std::string& value) {
+        using dtd::AttrType;
+        const std::string normalized =
+            ad.type == AttrType::kCData || ad.type == AttrType::kPCData
+                ? value
+                : normalize_space(value);
+        switch (ad.type) {
+            case AttrType::kId:
+                if (!is_xml_name(normalized)) {
+                    add(e.location(), "ID attribute '" + ad.name +
+                                          "' has invalid name value '" + normalized +
+                                          "'");
+                } else if (auto [it, inserted] =
+                               ids_.emplace(normalized, e.location());
+                           !inserted) {
+                    add(e.location(), "duplicate ID value '" + normalized +
+                                          "' (first used at " +
+                                          it->second.to_string() + ")");
+                }
+                break;
+            case AttrType::kIdRef:
+                idrefs_.push_back({normalized, e.location(),
+                                   e.name() + "/@" + ad.name});
+                break;
+            case AttrType::kIdRefs:
+                for (const auto& token : split_name_tokens(normalized))
+                    idrefs_.push_back({token, e.location(),
+                                       e.name() + "/@" + ad.name});
+                break;
+            case AttrType::kNmToken:
+                if (normalized.empty() ||
+                    normalized.find(' ') != std::string::npos)
+                    add(e.location(), "attribute '" + ad.name +
+                                          "' must be a single NMTOKEN");
+                break;
+            case AttrType::kNmTokens:
+                if (split_name_tokens(normalized).empty())
+                    add(e.location(), "attribute '" + ad.name +
+                                          "' must contain at least one NMTOKEN");
+                break;
+            case AttrType::kEnumeration:
+            case AttrType::kNotation:
+                if (std::find(ad.enumeration.begin(), ad.enumeration.end(),
+                              normalized) == ad.enumeration.end())
+                    add(e.location(), "attribute '" + ad.name + "' value '" +
+                                          normalized + "' not in enumeration");
+                break;
+            case AttrType::kEntity:
+            case AttrType::kEntities:
+            case AttrType::kCData:
+            case AttrType::kPCData:
+                break;
+        }
+        if (ad.default_kind == dtd::AttrDefaultKind::kFixed &&
+            value != ad.default_value) {
+            add(e.location(), "attribute '" + ad.name + "' must have #FIXED value '" +
+                                  ad.default_value + "'");
+        }
+    }
+
+    void check_content(const xml::Element& e, const dtd::ElementDecl& decl) {
+        using dtd::ContentCategory;
+        switch (decl.content.category) {
+            case ContentCategory::kAny:
+                return;
+            case ContentCategory::kEmpty:
+                for (const auto& c : e.children()) {
+                    if (c->is_element() ||
+                        (c->is_text() &&
+                         !all_space(static_cast<const xml::Text&>(*c).content()))) {
+                        add(e.location(),
+                            "element '" + e.name() + "' is declared EMPTY");
+                        return;
+                    }
+                }
+                return;
+            case ContentCategory::kPCData:
+                for (const auto& c : e.children()) {
+                    if (c->is_element()) {
+                        add(e.location(), "element '" + e.name() +
+                                              "' allows character data only");
+                        return;
+                    }
+                }
+                return;
+            case ContentCategory::kMixed: {
+                for (const auto& c : e.children()) {
+                    if (!c->is_element()) continue;
+                    const auto& child = static_cast<const xml::Element&>(*c);
+                    if (std::find(decl.content.mixed_names.begin(),
+                                  decl.content.mixed_names.end(),
+                                  child.name()) == decl.content.mixed_names.end()) {
+                        add(child.location(), "element '" + child.name() +
+                                                  "' not allowed in mixed content of '" +
+                                                  e.name() + "'");
+                    }
+                }
+                return;
+            }
+            case ContentCategory::kChildren: {
+                auto it = automata_.find(e.name());
+                if (it == automata_.end()) return;
+                ContentAutomaton::Run run(it->second);
+                for (const auto& c : e.children()) {
+                    if (c->is_text()) {
+                        if (!all_space(static_cast<const xml::Text&>(*c).content()))
+                            add(c->location(),
+                                "character data not allowed in element content of '" +
+                                    e.name() + "'");
+                        continue;
+                    }
+                    if (!c->is_element()) continue;
+                    const auto& child = static_cast<const xml::Element&>(*c);
+                    if (!run.feed(child.name())) {
+                        std::string expected = join(run.expected(), ", ");
+                        add(child.location(),
+                            "unexpected child '" + child.name() + "' in '" +
+                                e.name() + "'" +
+                                (expected.empty() ? "" : " (no match)"));
+                        return;
+                    }
+                }
+                if (!run.accepting()) {
+                    add(e.location(),
+                        "content of '" + e.name() + "' ends prematurely (expected: " +
+                            join(run.expected(), ", ") + ")");
+                }
+                return;
+            }
+        }
+    }
+
+    void resolve_idrefs() {
+        for (const auto& ref : idrefs_) {
+            if (!ids_.contains(ref.token))
+                add(ref.where, "IDREF '" + ref.token + "' (" + ref.context +
+                                   ") does not match any ID in the document");
+        }
+    }
+
+    static bool all_space(std::string_view s) {
+        return std::all_of(s.begin(), s.end(),
+                           [](char c) { return is_xml_space(c); });
+    }
+};
+
+}  // namespace
+
+ValidationResult Validator::validate(xml::Document& doc,
+                                     const ValidateOptions& options) const {
+    ValidationResult result;
+    Pass pass(dtd_, automata_, options, result);
+    pass.run(doc);
+    return result;
+}
+
+void Validator::check(xml::Document& doc, const ValidateOptions& options) const {
+    ValidationResult result = validate(doc, options);
+    if (!result.ok())
+        throw ValidationError(result.issues.front().message,
+                              result.issues.front().where);
+}
+
+ValidationResult validate(xml::Document& doc, const dtd::Dtd& dtd,
+                          const ValidateOptions& options) {
+    return Validator(dtd).validate(doc, options);
+}
+
+void check_valid(xml::Document& doc, const dtd::Dtd& dtd,
+                 const ValidateOptions& options) {
+    Validator(dtd).check(doc, options);
+}
+
+}  // namespace xr::validate

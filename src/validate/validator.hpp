@@ -1,0 +1,77 @@
+// Validates a DOM document against a DTD.
+//
+// Checks, per XML 1.0 validity constraints relevant to data management:
+//   * the root element matches the DOCTYPE name (when present);
+//   * every element is declared, and its children match the declared
+//     content model (EMPTY / ANY / (#PCDATA) / mixed / element content);
+//   * attributes are declared, required ones are present, enumerated and
+//     tokenized types hold well-formed values;
+//   * ID values are unique document-wide, and every IDREF/IDREFS token
+//     resolves to some ID (paper Section 3, Element Referencing).
+//
+// The validator reports all issues rather than stopping at the first — the
+// loader uses it as a gate, the tests as an oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dtd/dtd.hpp"
+#include "validate/automaton.hpp"
+#include "xml/dom.hpp"
+
+namespace xr::validate {
+
+struct ValidationIssue {
+    std::string message;
+    SourceLocation where;
+
+    [[nodiscard]] std::string to_string() const {
+        return where.valid() ? where.to_string() + ": " + message : message;
+    }
+};
+
+struct ValidationResult {
+    std::vector<ValidationIssue> issues;
+
+    [[nodiscard]] bool ok() const { return issues.empty(); }
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct ValidateOptions {
+    /// Inject declared default / #FIXED attribute values into elements that
+    /// omit them (mutates the document) — the loader relies on this so
+    /// defaults reach the database.
+    bool apply_defaults = false;
+    /// Treat undeclared elements/attributes as errors (XML validity) or
+    /// skip them silently (lenient mode for document-centric inputs).
+    bool strict = true;
+    /// Stop after this many issues.
+    std::size_t max_issues = 256;
+};
+
+/// Pre-compiled validator: content-model automata are built once per DTD
+/// and reused across documents (the loader validates whole corpora).
+class Validator {
+public:
+    explicit Validator(const dtd::Dtd& dtd);
+
+    [[nodiscard]] ValidationResult validate(
+        xml::Document& doc, const ValidateOptions& options = {}) const;
+
+    /// Throws xr::ValidationError with the first issue if invalid.
+    void check(xml::Document& doc, const ValidateOptions& options = {}) const;
+
+private:
+    const dtd::Dtd& dtd_;
+    std::map<std::string, ContentAutomaton, std::less<>> automata_;
+};
+
+/// One-shot convenience wrappers.
+[[nodiscard]] ValidationResult validate(xml::Document& doc, const dtd::Dtd& dtd,
+                                        const ValidateOptions& options = {});
+void check_valid(xml::Document& doc, const dtd::Dtd& dtd,
+                 const ValidateOptions& options = {});
+
+}  // namespace xr::validate

@@ -1,0 +1,138 @@
+#include "xml/dom.hpp"
+
+#include <utility>
+
+namespace xr::xml {
+
+std::string_view to_string(NodeKind kind) {
+    switch (kind) {
+        case NodeKind::kElement: return "element";
+        case NodeKind::kText: return "text";
+        case NodeKind::kCData: return "cdata";
+        case NodeKind::kComment: return "comment";
+        case NodeKind::kProcessingInstruction: return "pi";
+    }
+    return "?";
+}
+
+const std::string* Element::attribute(std::string_view name) const {
+    for (const auto& a : attrs_)
+        if (a.name == name) return &a.value;
+    return nullptr;
+}
+
+void Element::set_attribute(std::string name, std::string value) {
+    for (auto& a : attrs_) {
+        if (a.name == name) {
+            a.value = std::move(value);
+            return;
+        }
+    }
+    attrs_.push_back({std::move(name), std::move(value)});
+}
+
+bool Element::remove_attribute(std::string_view name) {
+    for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+        if (it->name == name) {
+            attrs_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+Node* Element::append_child(std::unique_ptr<Node> child) {
+    child->parent_ = this;
+    children_.push_back(std::move(child));
+    return children_.back().get();
+}
+
+Element* Element::append_element(std::string name) {
+    return static_cast<Element*>(
+        append_child(std::make_unique<Element>(std::move(name))));
+}
+
+Text* Element::append_text(std::string content) {
+    return static_cast<Text*>(
+        append_child(std::make_unique<Text>(std::move(content))));
+}
+
+std::vector<std::unique_ptr<Node>> Element::take_children() {
+    for (auto& c : children_) c->parent_ = nullptr;
+    return std::exchange(children_, {});
+}
+
+std::vector<Element*> Element::child_elements() const {
+    std::vector<Element*> out;
+    for (const auto& c : children_)
+        if (c->is_element()) out.push_back(static_cast<Element*>(c.get()));
+    return out;
+}
+
+std::vector<Element*> Element::child_elements(std::string_view name) const {
+    std::vector<Element*> out;
+    for (const auto& c : children_) {
+        if (!c->is_element()) continue;
+        auto* e = static_cast<Element*>(c.get());
+        if (e->name() == name) out.push_back(e);
+    }
+    return out;
+}
+
+Element* Element::first_child(std::string_view name) const {
+    for (const auto& c : children_) {
+        if (!c->is_element()) continue;
+        auto* e = static_cast<Element*>(c.get());
+        if (e->name() == name) return e;
+    }
+    return nullptr;
+}
+
+std::string Element::text() const {
+    std::string out;
+    for (const auto& c : children_)
+        if (c->is_text()) out += static_cast<const Text*>(c.get())->content();
+    return out;
+}
+
+std::string Element::deep_text() const {
+    std::string out;
+    visit(*this, [&](const Node& n) {
+        if (n.is_text()) out += static_cast<const Text&>(n).content();
+    });
+    return out;
+}
+
+std::size_t Element::subtree_size() const {
+    std::size_t count = 0;
+    visit(*this, [&](const Node&) { ++count; });
+    return count;
+}
+
+std::size_t Element::subtree_element_count() const {
+    std::size_t count = 0;
+    visit(*this, [&](const Node& n) {
+        if (n.is_element()) ++count;
+    });
+    return count;
+}
+
+Element* Document::set_root(std::unique_ptr<Element> root) {
+    root_ = std::move(root);
+    return root_.get();
+}
+
+Element* Document::make_root(std::string name) {
+    root_ = std::make_unique<Element>(std::move(name));
+    return root_.get();
+}
+
+void visit(const Node& node, const std::function<void(const Node&)>& fn) {
+    fn(node);
+    if (node.is_element()) {
+        for (const auto& c : static_cast<const Element&>(node).children())
+            visit(*c, fn);
+    }
+}
+
+}  // namespace xr::xml

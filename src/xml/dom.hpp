@@ -1,0 +1,211 @@
+// Document Object Model for parsed XML.
+//
+// The paper's data-loading design (Section 5) traverses "the DOM tree to
+// download data items into relational tables"; this module provides that
+// tree.  Ownership is strictly hierarchical: a Document owns its root
+// element, every Element owns its children via unique_ptr.  Non-owning
+// navigation uses raw pointers, which never outlive the Document.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xr::xml {
+
+enum class NodeKind {
+    kElement,
+    kText,
+    kCData,
+    kComment,
+    kProcessingInstruction,
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind kind);
+
+class Element;
+
+/// Base of the DOM node hierarchy.
+class Node {
+public:
+    explicit Node(NodeKind kind) : kind_(kind) {}
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] NodeKind kind() const { return kind_; }
+    [[nodiscard]] bool is_element() const { return kind_ == NodeKind::kElement; }
+    [[nodiscard]] bool is_text() const {
+        return kind_ == NodeKind::kText || kind_ == NodeKind::kCData;
+    }
+
+    [[nodiscard]] Element* parent() const { return parent_; }
+    [[nodiscard]] const SourceLocation& location() const { return location_; }
+    void set_location(SourceLocation loc) { location_ = loc; }
+
+private:
+    friend class Element;
+    friend class Document;
+    NodeKind kind_;
+    Element* parent_ = nullptr;
+    SourceLocation location_;
+};
+
+/// Character data (kText) or a CDATA section (kCData).
+class Text : public Node {
+public:
+    explicit Text(std::string content, bool cdata = false)
+        : Node(cdata ? NodeKind::kCData : NodeKind::kText),
+          content_(std::move(content)) {}
+
+    [[nodiscard]] const std::string& content() const { return content_; }
+    void set_content(std::string content) { content_ = std::move(content); }
+
+private:
+    std::string content_;
+};
+
+class Comment : public Node {
+public:
+    explicit Comment(std::string content)
+        : Node(NodeKind::kComment), content_(std::move(content)) {}
+    [[nodiscard]] const std::string& content() const { return content_; }
+
+private:
+    std::string content_;
+};
+
+class ProcessingInstruction : public Node {
+public:
+    ProcessingInstruction(std::string target, std::string data)
+        : Node(NodeKind::kProcessingInstruction),
+          target_(std::move(target)),
+          data_(std::move(data)) {}
+    [[nodiscard]] const std::string& target() const { return target_; }
+    [[nodiscard]] const std::string& data() const { return data_; }
+
+private:
+    std::string target_;
+    std::string data_;
+};
+
+/// A name="value" attribute.  Attribute order is preserved as written,
+/// although XML assigns it no meaning (paper Section 3, Ordering).
+struct Attribute {
+    std::string name;
+    std::string value;
+
+    friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+class Element : public Node {
+public:
+    explicit Element(std::string name)
+        : Node(NodeKind::kElement), name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    // -- attributes ---------------------------------------------------------
+    [[nodiscard]] const std::vector<Attribute>& attributes() const { return attrs_; }
+    /// Value of the named attribute, or nullptr if absent.
+    [[nodiscard]] const std::string* attribute(std::string_view name) const;
+    [[nodiscard]] bool has_attribute(std::string_view name) const {
+        return attribute(name) != nullptr;
+    }
+    /// Sets (or overwrites) an attribute.
+    void set_attribute(std::string name, std::string value);
+    bool remove_attribute(std::string_view name);
+
+    // -- children -----------------------------------------------------------
+    [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const {
+        return children_;
+    }
+    Node* append_child(std::unique_ptr<Node> child);
+    Element* append_element(std::string name);
+    Text* append_text(std::string content);
+    /// Detach and return all children (used when splicing parsed fragments).
+    [[nodiscard]] std::vector<std::unique_ptr<Node>> take_children();
+
+    /// Child elements only, in document order.
+    [[nodiscard]] std::vector<Element*> child_elements() const;
+    /// Child elements with the given tag name, in document order.
+    [[nodiscard]] std::vector<Element*> child_elements(std::string_view name) const;
+    /// First child element with the given name, or nullptr.
+    [[nodiscard]] Element* first_child(std::string_view name) const;
+
+    /// Concatenated character data of direct Text/CData children.
+    [[nodiscard]] std::string text() const;
+    /// Concatenated character data of the whole subtree, document order.
+    [[nodiscard]] std::string deep_text() const;
+
+    /// Number of nodes in this subtree (including this element).
+    [[nodiscard]] std::size_t subtree_size() const;
+    /// Number of element nodes in this subtree (including this element).
+    [[nodiscard]] std::size_t subtree_element_count() const;
+
+private:
+    std::string name_;
+    std::vector<Attribute> attrs_;
+    std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// The DOCTYPE declaration of a document, as written.
+struct DoctypeDecl {
+    std::string root_name;
+    std::string system_id;         ///< from SYSTEM/PUBLIC, if any
+    std::string public_id;         ///< from PUBLIC, if any
+    std::string internal_subset;   ///< raw text between '[' and ']', if any
+
+    [[nodiscard]] bool empty() const {
+        return root_name.empty() && internal_subset.empty();
+    }
+};
+
+/// A parsed XML document: prolog, optional DOCTYPE, one root element.
+class Document {
+public:
+    Document() = default;
+
+    [[nodiscard]] Element* root() const { return root_.get(); }
+    Element* set_root(std::unique_ptr<Element> root);
+    Element* make_root(std::string name);
+
+    [[nodiscard]] const DoctypeDecl& doctype() const { return doctype_; }
+    void set_doctype(DoctypeDecl d) { doctype_ = std::move(d); }
+
+    [[nodiscard]] const std::string& xml_version() const { return version_; }
+    [[nodiscard]] const std::string& encoding() const { return encoding_; }
+    void set_declaration(std::string version, std::string encoding) {
+        version_ = std::move(version);
+        encoding_ = std::move(encoding);
+    }
+
+    /// Comments / PIs appearing before the root element.
+    [[nodiscard]] const std::vector<std::unique_ptr<Node>>& prolog() const {
+        return prolog_;
+    }
+    void append_prolog(std::unique_ptr<Node> node) {
+        prolog_.push_back(std::move(node));
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        return root_ ? root_->subtree_size() : 0;
+    }
+
+private:
+    std::string version_ = "1.0";
+    std::string encoding_;
+    DoctypeDecl doctype_;
+    std::vector<std::unique_ptr<Node>> prolog_;
+    std::unique_ptr<Element> root_;
+};
+
+/// Depth-first pre-order visit of a subtree; `fn` is called for every node.
+void visit(const Node& node, const std::function<void(const Node&)>& fn);
+
+}  // namespace xr::xml

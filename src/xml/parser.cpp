@@ -1,0 +1,502 @@
+#include "xml/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/cursor.hpp"
+
+namespace xr::xml {
+
+namespace {
+
+bool all_space(std::string_view s) {
+    return std::all_of(s.begin(), s.end(), [](char c) { return is_xml_space(c); });
+}
+
+/// Recursive-descent XML parser emitting events.
+class Parser {
+public:
+    Parser(std::string_view text, EventHandler& handler, const ParseOptions& options)
+        : cur_(text), handler_(handler), options_(options) {}
+
+    void run() {
+        handler_.on_start_document();
+        parse_prolog();
+        parse_element();
+        parse_misc_trailer();
+        if (!cur_.at_end()) cur_.fail("content after root element");
+        handler_.on_end_document();
+    }
+
+private:
+    Cursor cur_;
+    EventHandler& handler_;
+    const ParseOptions& options_;
+    std::size_t depth_ = 0;
+
+    // -- prolog --------------------------------------------------------------
+
+    void parse_prolog() {
+        if (cur_.lookahead("<?xml")) parse_xml_declaration();
+        for (;;) {
+            cur_.skip_space();
+            if (cur_.lookahead("<!--")) {
+                parse_comment();
+            } else if (cur_.lookahead("<!DOCTYPE")) {
+                parse_doctype();
+            } else if (cur_.lookahead("<?")) {
+                parse_processing_instruction();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void parse_xml_declaration() {
+        cur_.consume("<?xml");
+        std::string version = "1.0";
+        std::string encoding;
+        cur_.skip_space();
+        while (!cur_.lookahead("?>")) {
+            std::string name = parse_name("declaration attribute");
+            cur_.skip_space();
+            if (!cur_.consume("=")) cur_.fail("expected '=' in XML declaration");
+            cur_.skip_space();
+            std::string value = parse_quoted("declaration value");
+            if (name == "version") version = value;
+            else if (name == "encoding") encoding = value;
+            else if (name != "standalone")
+                cur_.fail("unknown XML declaration attribute '" + name + "'");
+            cur_.skip_space();
+        }
+        cur_.consume("?>");
+        handler_.on_xml_declaration(version, encoding);
+    }
+
+    void parse_doctype() {
+        cur_.consume("<!DOCTYPE");
+        cur_.skip_space();
+        DoctypeDecl d;
+        d.root_name = parse_name("DOCTYPE name");
+        cur_.skip_space();
+        if (cur_.consume("SYSTEM")) {
+            cur_.skip_space();
+            d.system_id = parse_quoted("system identifier");
+        } else if (cur_.consume("PUBLIC")) {
+            cur_.skip_space();
+            d.public_id = parse_quoted("public identifier");
+            cur_.skip_space();
+            d.system_id = parse_quoted("system identifier");
+        }
+        cur_.skip_space();
+        if (cur_.consume("[")) {
+            // Capture the internal subset verbatim; the DTD module parses it.
+            std::size_t start = cur_.pos();
+            int quote = 0;  // 0 = none, otherwise the quote char
+            while (!cur_.at_end()) {
+                char c = cur_.peek();
+                if (quote != 0) {
+                    if (c == quote) quote = 0;
+                } else if (c == '"' || c == '\'') {
+                    quote = c;
+                } else if (c == ']') {
+                    break;
+                }
+                cur_.advance();
+            }
+            d.internal_subset = std::string(
+                cur_.text().substr(start, cur_.pos() - start));
+            if (!cur_.consume("]")) cur_.fail("unterminated DOCTYPE internal subset");
+            cur_.skip_space();
+        }
+        if (!cur_.consume(">")) cur_.fail("expected '>' to close DOCTYPE");
+        handler_.on_doctype(d);
+    }
+
+    void parse_misc_trailer() {
+        for (;;) {
+            cur_.skip_space();
+            if (cur_.lookahead("<!--")) parse_comment();
+            else if (cur_.lookahead("<?")) parse_processing_instruction();
+            else return;
+        }
+    }
+
+    // -- element content ------------------------------------------------------
+
+    void parse_element() {
+        SourceLocation start = cur_.location();
+        if (!cur_.consume("<")) cur_.fail("expected element");
+        if (++depth_ > options_.max_depth) cur_.fail("maximum element depth exceeded");
+
+        std::string name = parse_name("element name");
+        std::vector<Attribute> attrs = parse_attributes();
+
+        cur_.skip_space();
+        if (cur_.consume("/>")) {
+            handler_.on_start_element(name, attrs, start);
+            handler_.on_end_element(name);
+            --depth_;
+            return;
+        }
+        if (!cur_.consume(">")) cur_.fail("expected '>' or '/>' in start tag");
+        handler_.on_start_element(name, attrs, start);
+
+        parse_content();
+
+        // End tag.
+        if (!cur_.consume("</")) cur_.fail("expected end tag for <" + name + ">");
+        std::string end_name = parse_name("end tag name");
+        if (end_name != name) {
+            cur_.fail("mismatched end tag </" + end_name + "> (expected </" + name +
+                      ">)");
+        }
+        cur_.skip_space();
+        if (!cur_.consume(">")) cur_.fail("expected '>' to close end tag");
+        handler_.on_end_element(name);
+        --depth_;
+    }
+
+    std::vector<Attribute> parse_attributes() {
+        std::vector<Attribute> attrs;
+        for (;;) {
+            // Attributes must be separated from the name and each other by space.
+            bool had_space = is_xml_space(cur_.peek());
+            cur_.skip_space();
+            char c = cur_.peek();
+            if (c == '>' || c == '/' || c == '?' || c == '\0') return attrs;
+            if (!had_space) cur_.fail("expected white space before attribute");
+            SourceLocation where = cur_.location();
+            std::string name = parse_name("attribute name");
+            cur_.skip_space();
+            if (!cur_.consume("=")) cur_.fail("expected '=' after attribute name");
+            cur_.skip_space();
+            std::string raw = parse_quoted("attribute value");
+            if (raw.find('<') != std::string::npos)
+                throw ParseError("'<' not allowed in attribute value", where);
+            std::string value = decode_references(raw, options_.entities, where,
+                                                  options_.max_entity_expansion);
+            for (const auto& a : attrs) {
+                if (a.name == name)
+                    throw ParseError("duplicate attribute '" + name + "'", where);
+            }
+            attrs.push_back({std::move(name), std::move(value)});
+        }
+    }
+
+    void parse_content() {
+        std::string text;
+        SourceLocation text_start = cur_.location();
+
+        auto flush_text = [&] {
+            if (text.empty()) return;
+            if (options_.keep_whitespace_text || !all_space(text))
+                handler_.on_text(text, /*cdata=*/false, text_start);
+            text.clear();
+        };
+
+        for (;;) {
+            if (cur_.at_end()) cur_.fail("unexpected end of input inside element");
+            if (cur_.lookahead("</")) {
+                flush_text();
+                return;
+            }
+            if (cur_.lookahead("<!--")) {
+                flush_text();
+                parse_comment();
+                text_start = cur_.location();
+            } else if (cur_.lookahead("<![CDATA[")) {
+                flush_text();
+                parse_cdata();
+                text_start = cur_.location();
+            } else if (cur_.lookahead("<?")) {
+                flush_text();
+                parse_processing_instruction();
+                text_start = cur_.location();
+            } else if (cur_.peek() == '<') {
+                flush_text();
+                parse_element();
+                text_start = cur_.location();
+            } else {
+                if (text.empty()) text_start = cur_.location();
+                parse_character_data(text);
+            }
+        }
+    }
+
+    void parse_character_data(std::string& out) {
+        while (!cur_.at_end() && cur_.peek() != '<') {
+            if (cur_.peek() == '&') {
+                SourceLocation where = cur_.location();
+                std::string ref = read_reference();
+                out += decode_references(ref, options_.entities, where,
+                                         options_.max_entity_expansion);
+            } else if (cur_.lookahead("]]>")) {
+                cur_.fail("']]>' not allowed in character data");
+            } else {
+                out += cur_.advance();
+            }
+        }
+    }
+
+    /// Reads "&...;" verbatim (including delimiters).
+    std::string read_reference() {
+        std::string ref;
+        ref += cur_.advance();  // '&'
+        while (!cur_.at_end() && cur_.peek() != ';') {
+            if (cur_.peek() == '<' || is_xml_space(cur_.peek()))
+                cur_.fail("unterminated entity reference");
+            ref += cur_.advance();
+        }
+        if (!cur_.consume(";")) cur_.fail("unterminated entity reference");
+        ref += ';';
+        return ref;
+    }
+
+    void parse_comment() {
+        cur_.consume("<!--");
+        std::size_t start = cur_.pos();
+        while (!cur_.lookahead("-->")) {
+            if (cur_.at_end()) cur_.fail("unterminated comment");
+            if (cur_.lookahead("--") && !cur_.lookahead("-->"))
+                cur_.fail("'--' not allowed inside comment");
+            cur_.advance();
+        }
+        std::string_view content = cur_.text().substr(start, cur_.pos() - start);
+        cur_.consume("-->");
+        if (options_.keep_comments) handler_.on_comment(content);
+    }
+
+    void parse_cdata() {
+        SourceLocation where = cur_.location();
+        cur_.consume("<![CDATA[");
+        std::size_t start = cur_.pos();
+        while (!cur_.lookahead("]]>")) {
+            if (cur_.at_end()) cur_.fail("unterminated CDATA section");
+            cur_.advance();
+        }
+        std::string_view content = cur_.text().substr(start, cur_.pos() - start);
+        cur_.consume("]]>");
+        handler_.on_text(content, /*cdata=*/true, where);
+    }
+
+    void parse_processing_instruction() {
+        cur_.consume("<?");
+        std::string target = parse_name("processing instruction target");
+        if (iequals(target, "xml"))
+            cur_.fail("'<?xml' only allowed at document start");
+        cur_.skip_space();
+        std::size_t start = cur_.pos();
+        while (!cur_.lookahead("?>")) {
+            if (cur_.at_end()) cur_.fail("unterminated processing instruction");
+            cur_.advance();
+        }
+        std::string_view data = cur_.text().substr(start, cur_.pos() - start);
+        cur_.consume("?>");
+        if (options_.keep_processing_instructions)
+            handler_.on_processing_instruction(target, data);
+    }
+
+    // -- lexical helpers -------------------------------------------------------
+
+    std::string parse_name(const std::string& what) {
+        std::size_t start = cur_.pos();
+        while (!cur_.at_end()) {
+            char c = cur_.peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+                c == '_' || c == ':')
+                cur_.advance();
+            else
+                break;
+        }
+        std::string name(cur_.text().substr(start, cur_.pos() - start));
+        if (!is_xml_name(name)) cur_.fail("invalid " + what);
+        return name;
+    }
+
+    std::string parse_quoted(const std::string& what) {
+        char quote = cur_.peek();
+        if (quote != '"' && quote != '\'') cur_.fail("expected quoted " + what);
+        cur_.advance();
+        std::size_t start = cur_.pos();
+        while (!cur_.at_end() && cur_.peek() != quote) cur_.advance();
+        if (cur_.at_end()) cur_.fail("unterminated " + what);
+        std::string value(cur_.text().substr(start, cur_.pos() - start));
+        cur_.advance();  // closing quote
+        return value;
+    }
+};
+
+/// Builds a DOM from parse events.
+class DomBuilder : public EventHandler {
+public:
+    explicit DomBuilder(Document& doc) : doc_(doc) {}
+
+    void on_xml_declaration(std::string_view version,
+                            std::string_view encoding) override {
+        doc_.set_declaration(std::string(version), std::string(encoding));
+    }
+
+    void on_doctype(const DoctypeDecl& doctype) override {
+        doc_.set_doctype(doctype);
+    }
+
+    void on_start_element(std::string_view name,
+                          const std::vector<Attribute>& attributes,
+                          SourceLocation where) override {
+        auto element = std::make_unique<Element>(std::string(name));
+        element->set_location(where);
+        for (const auto& a : attributes) element->set_attribute(a.name, a.value);
+        Element* raw = element.get();
+        if (stack_.empty()) {
+            if (doc_.root() != nullptr)
+                throw ParseError("multiple root elements", where);
+            doc_.set_root(std::move(element));
+        } else {
+            stack_.back()->append_child(std::move(element));
+        }
+        stack_.push_back(raw);
+    }
+
+    void on_end_element(std::string_view) override { stack_.pop_back(); }
+
+    void on_text(std::string_view content, bool cdata,
+                 SourceLocation where) override {
+        if (stack_.empty()) {
+            if (!all_space(content))
+                throw ParseError("character data outside root element", where);
+            return;
+        }
+        auto text = std::make_unique<Text>(std::string(content), cdata);
+        text->set_location(where);
+        stack_.back()->append_child(std::move(text));
+    }
+
+    void on_comment(std::string_view content) override {
+        auto node = std::make_unique<Comment>(std::string(content));
+        if (stack_.empty()) doc_.append_prolog(std::move(node));
+        else stack_.back()->append_child(std::move(node));
+    }
+
+    void on_processing_instruction(std::string_view target,
+                                   std::string_view data) override {
+        auto node = std::make_unique<ProcessingInstruction>(std::string(target),
+                                                            std::string(data));
+        if (stack_.empty()) doc_.append_prolog(std::move(node));
+        else stack_.back()->append_child(std::move(node));
+    }
+
+private:
+    Document& doc_;
+    std::vector<Element*> stack_;
+};
+
+}  // namespace
+
+void parse(std::string_view text, EventHandler& handler,
+           const ParseOptions& options) {
+    Parser parser(text, handler, options);
+    parser.run();
+}
+
+std::unique_ptr<Document> parse_document(std::string_view text,
+                                         const ParseOptions& options) {
+    auto doc = std::make_unique<Document>();
+    DomBuilder builder(*doc);
+    parse(text, builder, options);
+    if (doc->root() == nullptr)
+        throw ParseError("document has no root element");
+    return doc;
+}
+
+std::string decode_references(
+    std::string_view raw,
+    const std::map<std::string, std::string, std::less<>>& entities,
+    SourceLocation where, std::size_t max_expansion) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t budget = max_expansion;
+
+    // Work stack of pending text, so entity replacement text is itself
+    // scanned for references (nested entities) without recursion.
+    std::vector<std::string> pending;
+    pending.emplace_back(raw);
+
+    while (!pending.empty()) {
+        std::string chunk = std::move(pending.back());
+        pending.pop_back();
+        std::size_t i = 0;
+        while (i < chunk.size()) {
+            char c = chunk[i];
+            if (c != '&') {
+                out += c;
+                ++i;
+                continue;
+            }
+            std::size_t semi = chunk.find(';', i + 1);
+            if (semi == std::string::npos)
+                throw ParseError("unterminated entity reference", where);
+            std::string_view name =
+                std::string_view(chunk).substr(i + 1, semi - i - 1);
+            if (name.empty())
+                throw ParseError("empty entity reference", where);
+            if (name[0] == '#') {
+                unsigned long code = 0;
+                try {
+                    code = name[1] == 'x' || name[1] == 'X'
+                               ? std::stoul(std::string(name.substr(2)), nullptr, 16)
+                               : std::stoul(std::string(name.substr(1)), nullptr, 10);
+                } catch (const std::exception&) {
+                    throw ParseError("malformed character reference '&" +
+                                         std::string(name) + ";'",
+                                     where);
+                }
+                // Encode as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else if (code < 0x10000) {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xF0 | (code >> 18));
+                    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+            } else if (name == "amp") {
+                out += '&';
+            } else if (name == "lt") {
+                out += '<';
+            } else if (name == "gt") {
+                out += '>';
+            } else if (name == "apos") {
+                out += '\'';
+            } else if (name == "quot") {
+                out += '"';
+            } else {
+                auto it = entities.find(name);
+                if (it == entities.end())
+                    throw ParseError("undefined entity '&" + std::string(name) + ";'",
+                                     where);
+                if (it->second.size() > budget)
+                    throw ParseError("entity expansion limit exceeded", where);
+                budget -= it->second.size();
+                // Re-scan the rest of this chunk after the replacement text.
+                pending.emplace_back(chunk.substr(semi + 1));
+                pending.emplace_back(it->second);
+                i = chunk.size();
+                semi = chunk.size();
+                goto next_chunk;
+            }
+            i = semi + 1;
+        }
+    next_chunk:;
+    }
+    return out;
+}
+
+}  // namespace xr::xml

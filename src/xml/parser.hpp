@@ -1,0 +1,80 @@
+// XML 1.0 parser (the subset relevant to data management).
+//
+// Two entry points are provided:
+//   * parse(text, handler, options)  — SAX-style event stream, allocation
+//     free apart from attribute buffers; used by streaming consumers.
+//   * parse_document(text, options)  — builds a DOM Document on top of the
+//     event stream; used by the validator and the data loader.
+//
+// Supported syntax: XML declaration, DOCTYPE (with the internal subset
+// captured verbatim for the DTD parser), elements, attributes, character
+// data, CDATA sections, comments, processing instructions, character
+// references (decimal and hex), the five predefined entities, and general
+// entities supplied via ParseOptions::entities (typically harvested from
+// the DTD).  Well-formedness violations raise xr::ParseError.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace xr::xml {
+
+struct ParseOptions {
+    /// Retain comment nodes in the DOM / report them as events.
+    bool keep_comments = true;
+    /// Retain processing instructions.
+    bool keep_processing_instructions = true;
+    /// Retain text nodes consisting solely of white space.  Data-centric
+    /// loading does not want indentation noise, so the default drops them.
+    bool keep_whitespace_text = false;
+    /// Replacement text for general entities beyond the predefined five.
+    std::map<std::string, std::string, std::less<>> entities;
+    /// Guard against pathological nesting.
+    std::size_t max_depth = 2048;
+    /// Guard against entity-expansion blowups (billion-laughs).
+    std::size_t max_entity_expansion = 1u << 20;
+};
+
+/// Receiver of parse events, in document order.
+class EventHandler {
+public:
+    virtual ~EventHandler() = default;
+
+    virtual void on_start_document() {}
+    virtual void on_end_document() {}
+    virtual void on_xml_declaration(std::string_view /*version*/,
+                                    std::string_view /*encoding*/) {}
+    virtual void on_doctype(const DoctypeDecl& /*doctype*/) {}
+    virtual void on_start_element(std::string_view /*name*/,
+                                  const std::vector<Attribute>& /*attributes*/,
+                                  SourceLocation /*where*/) {}
+    virtual void on_end_element(std::string_view /*name*/) {}
+    virtual void on_text(std::string_view /*content*/, bool /*cdata*/,
+                         SourceLocation /*where*/) {}
+    virtual void on_comment(std::string_view /*content*/) {}
+    virtual void on_processing_instruction(std::string_view /*target*/,
+                                           std::string_view /*data*/) {}
+};
+
+/// Stream `text` through `handler`.  Throws xr::ParseError on malformed
+/// input; the document is checked for well-formedness as it streams.
+void parse(std::string_view text, EventHandler& handler,
+           const ParseOptions& options = {});
+
+/// Parse `text` into a DOM document.
+[[nodiscard]] std::unique_ptr<Document> parse_document(
+    std::string_view text, const ParseOptions& options = {});
+
+/// Decode character and entity references in `raw` (attribute value or
+/// character data).  Exposed for the DTD parser, which shares the syntax.
+[[nodiscard]] std::string decode_references(
+    std::string_view raw,
+    const std::map<std::string, std::string, std::less<>>& entities,
+    SourceLocation where, std::size_t max_expansion = 1u << 20);
+
+}  // namespace xr::xml

@@ -1,0 +1,126 @@
+#include "xml/serializer.hpp"
+
+#include "common/strings.hpp"
+
+namespace xr::xml {
+
+namespace {
+
+class Serializer {
+public:
+    explicit Serializer(const SerializeOptions& options) : options_(options) {}
+
+    std::string take() { return std::move(out_); }
+
+    void write_document(const Document& doc) {
+        if (options_.declaration) {
+            out_ += "<?xml version=\"" + doc.xml_version() + "\"";
+            if (!doc.encoding().empty())
+                out_ += " encoding=\"" + doc.encoding() + "\"";
+            out_ += "?>";
+            newline();
+        }
+        if (options_.doctype && !doc.doctype().empty()) {
+            const DoctypeDecl& d = doc.doctype();
+            out_ += "<!DOCTYPE " + d.root_name;
+            if (!d.public_id.empty())
+                out_ += " PUBLIC \"" + d.public_id + "\" \"" + d.system_id + "\"";
+            else if (!d.system_id.empty())
+                out_ += " SYSTEM \"" + d.system_id + "\"";
+            if (!d.internal_subset.empty())
+                out_ += " [" + d.internal_subset + "]";
+            out_ += ">";
+            newline();
+        }
+        for (const auto& n : doc.prolog()) {
+            write_node(*n, 0);
+            newline();
+        }
+        if (doc.root() != nullptr) write_node(*doc.root(), 0);
+        newline();
+    }
+
+    void write_node(const Node& node, std::size_t depth) {
+        switch (node.kind()) {
+            case NodeKind::kElement:
+                write_element(static_cast<const Element&>(node), depth);
+                break;
+            case NodeKind::kText:
+                out_ += xml_escape_text(static_cast<const Text&>(node).content());
+                break;
+            case NodeKind::kCData:
+                out_ += "<![CDATA[" + static_cast<const Text&>(node).content() + "]]>";
+                break;
+            case NodeKind::kComment:
+                out_ += "<!--" + static_cast<const Comment&>(node).content() + "-->";
+                break;
+            case NodeKind::kProcessingInstruction: {
+                const auto& pi = static_cast<const ProcessingInstruction&>(node);
+                out_ += "<?" + pi.target();
+                if (!pi.data().empty()) out_ += " " + pi.data();
+                out_ += "?>";
+                break;
+            }
+        }
+    }
+
+private:
+    const SerializeOptions& options_;
+    std::string out_;
+
+    void newline() {
+        if (!options_.indent.empty()) out_ += '\n';
+    }
+
+    void indent(std::size_t depth) {
+        if (options_.indent.empty()) return;
+        for (std::size_t i = 0; i < depth; ++i) out_ += options_.indent;
+    }
+
+    void write_element(const Element& e, std::size_t depth) {
+        out_ += "<" + e.name();
+        for (const auto& a : e.attributes())
+            out_ += " " + a.name + "=\"" + xml_escape_attribute(a.value) + "\"";
+
+        if (e.children().empty()) {
+            out_ += "/>";
+            return;
+        }
+        out_ += ">";
+
+        // Mixed or text-only content is written inline to preserve data;
+        // element-only content is pretty-printed.
+        bool has_text = false;
+        for (const auto& c : e.children())
+            if (c->is_text()) has_text = true;
+
+        if (has_text || options_.indent.empty()) {
+            for (const auto& c : e.children()) write_node(*c, depth + 1);
+        } else {
+            for (const auto& c : e.children()) {
+                newline();
+                indent(depth + 1);
+                write_node(*c, depth + 1);
+            }
+            newline();
+            indent(depth);
+        }
+        out_ += "</" + e.name() + ">";
+    }
+};
+
+}  // namespace
+
+std::string serialize(const Document& doc, const SerializeOptions& options) {
+    Serializer s(options);
+    s.write_document(doc);
+    return s.take();
+}
+
+std::string serialize(const Node& node, const SerializeOptions& options) {
+    Serializer s(options);
+    s.write_node(node, 0);
+    return s.take();
+}
+
+}  // namespace xr::xml

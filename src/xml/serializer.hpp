@@ -1,0 +1,31 @@
+// Serializes DOM documents back to XML text.
+//
+// Round-tripping matters for tests (parse → serialize → parse must be a
+// fixed point modulo insignificant white space) and for the generators,
+// which build documents as DOM trees and emit text corpora.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace xr::xml {
+
+struct SerializeOptions {
+    /// Pretty-print with this indent per nesting level; empty = compact.
+    std::string indent = "  ";
+    /// Emit the '<?xml ...?>' declaration.
+    bool declaration = true;
+    /// Emit the DOCTYPE declaration if the document carries one.
+    bool doctype = true;
+};
+
+/// Serialize a whole document.
+[[nodiscard]] std::string serialize(const Document& doc,
+                                    const SerializeOptions& options = {});
+
+/// Serialize one subtree (no declaration/doctype).
+[[nodiscard]] std::string serialize(const Node& node,
+                                    const SerializeOptions& options = {});
+
+}  // namespace xr::xml

@@ -1,0 +1,184 @@
+#include "xquery/dom_eval.hpp"
+
+namespace xr::xquery {
+
+namespace {
+
+/// Values a relative path yields from a context element.
+std::vector<std::string> rel_values(const xml::Element& context,
+                                    const RelPath& path) {
+    std::vector<const xml::Element*> nodes = {&context};
+    for (const auto& name : path.elements) {
+        std::vector<const xml::Element*> next;
+        for (const auto* n : nodes)
+            for (auto* c : n->child_elements(name)) next.push_back(c);
+        nodes = std::move(next);
+    }
+    std::vector<std::string> out;
+    for (const auto* n : nodes) {
+        if (!path.attribute.empty()) {
+            if (const std::string* v = n->attribute(path.attribute))
+                out.push_back(*v);
+        } else if (path.text) {
+            out.push_back(n->text());
+        } else {
+            // Bare existence path: the element's own text serves as value.
+            out.push_back(n->text());
+        }
+    }
+    return out;
+}
+
+bool element_matches(const xml::Element& e, const Predicate& p) {
+    switch (p.kind) {
+        case Predicate::Kind::kPosition:
+            return true;  // handled at the sibling level
+        case Predicate::Kind::kExists: {
+            if (!p.path.attribute.empty() && p.path.elements.empty())
+                return e.has_attribute(p.path.attribute);
+            std::vector<const xml::Element*> nodes = {&e};
+            for (const auto& name : p.path.elements) {
+                std::vector<const xml::Element*> next;
+                for (const auto* n : nodes)
+                    for (auto* c : n->child_elements(name)) next.push_back(c);
+                nodes = std::move(next);
+            }
+            if (!p.path.attribute.empty()) {
+                for (const auto* n : nodes)
+                    if (n->has_attribute(p.path.attribute)) return true;
+                return false;
+            }
+            return !nodes.empty();
+        }
+        case Predicate::Kind::kCompare: {
+            std::vector<std::string> values = rel_values(e, p.path);
+            for (const auto& v : values) {
+                bool eq = v == p.literal;
+                if (p.op == "=" ? eq : !eq) return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+void apply_step(const std::vector<const xml::Element*>& input, const Step& step,
+                std::vector<const xml::Element*>& output) {
+    for (const auto* parent : input) {
+        std::vector<const xml::Element*> candidates;
+        if (step.descendant) {
+            // '//': every descendant with the name ('*' = any), document
+            // order, excluding the context node itself.
+            xml::visit(*parent, [&](const xml::Node& n) {
+                if (!n.is_element() || &n == parent) return;
+                const auto& e = static_cast<const xml::Element&>(n);
+                if (step.name == "*" || e.name() == step.name)
+                    candidates.push_back(&e);
+            });
+        } else if (step.name == "*") {
+            for (auto* c : parent->child_elements()) candidates.push_back(c);
+        } else {
+            for (auto* c : parent->child_elements(step.name))
+                candidates.push_back(c);
+        }
+
+        for (const auto& pred : step.predicates) {
+            if (pred.kind == Predicate::Kind::kPosition) {
+                std::vector<const xml::Element*> kept;
+                if (pred.position <= candidates.size())
+                    kept.push_back(candidates[pred.position - 1]);
+                candidates = std::move(kept);
+            } else {
+                std::vector<const xml::Element*> kept;
+                for (const auto* c : candidates)
+                    if (element_matches(*c, pred)) kept.push_back(c);
+                candidates = std::move(kept);
+            }
+        }
+        output.insert(output.end(), candidates.begin(), candidates.end());
+    }
+}
+
+}  // namespace
+
+DomResult evaluate(const xml::Document& doc, const PathQuery& query) {
+    std::vector<const xml::Document*> corpus = {&doc};
+    return evaluate(corpus, query);
+}
+
+DomResult evaluate(const std::vector<const xml::Document*>& corpus,
+                   const PathQuery& query) {
+    DomResult result;
+    if (query.steps.empty()) return result;
+
+    // Root step: matches each document's root element (with predicates);
+    // a leading '//' matches anywhere in each document.
+    std::vector<const xml::Element*> current;
+    {
+        const Step& root_step = query.steps.front();
+        if (root_step.descendant) {
+            for (const auto* doc : corpus) {
+                if (doc->root() == nullptr) continue;
+                xml::visit(*doc->root(), [&](const xml::Node& n) {
+                    if (!n.is_element()) return;
+                    const auto& e = static_cast<const xml::Element&>(n);
+                    if (root_step.name != "*" && e.name() != root_step.name)
+                        return;
+                    bool ok = true;
+                    for (const auto& pred : root_step.predicates) {
+                        if (pred.kind == Predicate::Kind::kPosition) continue;
+                        ok = ok && element_matches(e, pred);
+                    }
+                    if (ok) current.push_back(&e);
+                });
+            }
+        } else
+        for (const auto* doc : corpus) {
+            const xml::Element* root = doc->root();
+            if (root == nullptr || root->name() != root_step.name) continue;
+            bool ok = true;
+            for (const auto& pred : root_step.predicates) {
+                if (pred.kind == Predicate::Kind::kPosition) {
+                    ok = ok && pred.position == 1;
+                } else {
+                    ok = ok && element_matches(*root, pred);
+                }
+            }
+            if (ok) current.push_back(root);
+        }
+    }
+
+    std::size_t i = 1;
+    for (; i < query.steps.size(); ++i) {
+        const Step& step = query.steps[i];
+        if (step.attribute || step.text_fn) break;
+        std::vector<const xml::Element*> next;
+        apply_step(current, step, next);
+        current = std::move(next);
+    }
+
+    if (i < query.steps.size()) {
+        const Step& last = query.steps[i];
+        for (const auto* e : current) {
+            if (last.attribute) {
+                if (const std::string* v = e->attribute(last.name))
+                    result.strings.push_back(*v);
+            } else {
+                result.strings.push_back(e->text());
+            }
+        }
+    } else {
+        result.nodes = std::move(current);
+    }
+
+    if (query.count) {
+        result.counted = true;
+        result.count =
+            result.nodes.empty() ? result.strings.size() : result.nodes.size();
+        result.nodes.clear();
+        result.strings.clear();
+    }
+    return result;
+}
+
+}  // namespace xr::xquery

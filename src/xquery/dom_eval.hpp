@@ -1,0 +1,33 @@
+// Direct DOM evaluation of path queries — the "querying the XML documents
+// directly" side of the paper's Section 5 performance question.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.hpp"
+#include "xquery/query.hpp"
+
+namespace xr::xquery {
+
+struct DomResult {
+    std::vector<const xml::Element*> nodes;  ///< element results
+    std::vector<std::string> strings;        ///< attribute/text() results
+    bool counted = false;
+    std::size_t count = 0;
+
+    /// Number of results regardless of flavour.
+    [[nodiscard]] std::size_t size() const {
+        if (counted) return count;
+        return nodes.empty() ? strings.size() : nodes.size();
+    }
+};
+
+/// Evaluate against a single document.
+[[nodiscard]] DomResult evaluate(const xml::Document& doc, const PathQuery& query);
+
+/// Evaluate against a corpus; results concatenate in corpus order.
+[[nodiscard]] DomResult evaluate(
+    const std::vector<const xml::Document*>& corpus, const PathQuery& query);
+
+}  // namespace xr::xquery

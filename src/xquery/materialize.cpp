@@ -1,0 +1,39 @@
+#include "xquery/materialize.hpp"
+
+#include "sql/executor.hpp"
+
+namespace xr::xquery {
+
+std::unique_ptr<xml::Document> materialize_results(
+    rdb::Database& db, const Translation& translation,
+    const loader::Reconstructor& reconstructor) {
+    sql::ResultSet rs = sql::execute(db, translation.sql);
+
+    auto doc = std::make_unique<xml::Document>();
+    xml::Element* root = doc->make_root("results");
+
+    switch (translation.yield) {
+        case Translation::Yield::kCount:
+            root->set_attribute("count", rs.scalar().to_string());
+            break;
+        case Translation::Yield::kStrings:
+            // Last column carries the extracted value; NULLs are absent
+            // attributes / empty matches and are skipped.
+            for (const auto& row : rs.rows) {
+                if (row.back().is_null()) continue;
+                root->append_element("value")->append_text(
+                    row.back().to_string());
+            }
+            break;
+        case Translation::Yield::kNodes:
+            // First column is the matched entity's pk.
+            for (const auto& row : rs.rows) {
+                root->append_child(reconstructor.reconstruct_element(
+                    translation.target_entity, row.front().as_integer()));
+            }
+            break;
+    }
+    return doc;
+}
+
+}  // namespace xr::xquery

@@ -1,0 +1,29 @@
+// Result materialization: execute a translated path query and render the
+// answer back as XML.
+//
+// This closes the loop the paper's Section 5 opens: an XML query arrives,
+// is transformed into "meaningful SQL", runs against the relational store
+// — and the answer leaves the system as XML again, with matched elements
+// reconstructed (subtrees included) from the tables.
+#pragma once
+
+#include <memory>
+
+#include "loader/reconstruct.hpp"
+#include "rdb/database.hpp"
+#include "xml/dom.hpp"
+#include "xquery/sql_translate.hpp"
+
+namespace xr::xquery {
+
+/// Execute `translation` against `db` and wrap the results in a document:
+///
+///   * kNodes   → <results><article>…</article>…</results>, each matched
+///                element reconstructed in full via `reconstructor`;
+///   * kStrings → <results><value>…</value>…</results>;
+///   * kCount   → <results count="N"/>.
+[[nodiscard]] std::unique_ptr<xml::Document> materialize_results(
+    rdb::Database& db, const Translation& translation,
+    const loader::Reconstructor& reconstructor);
+
+}  // namespace xr::xquery

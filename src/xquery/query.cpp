@@ -1,0 +1,201 @@
+#include "xquery/query.hpp"
+
+#include <cctype>
+
+#include "common/cursor.hpp"
+
+namespace xr::xquery {
+
+namespace {
+
+class QueryParser {
+public:
+    explicit QueryParser(std::string_view text) : cur_(text) {}
+
+    PathQuery run() {
+        PathQuery q;
+        cur_.skip_space();
+        if (cur_.consume("count")) {
+            cur_.skip_space();
+            if (!cur_.consume("(")) cur_.fail("expected '(' after count");
+            q.count = true;
+            q.steps = path();
+            cur_.skip_space();
+            if (!cur_.consume(")")) cur_.fail("expected ')' to close count");
+        } else {
+            q.steps = path();
+        }
+        cur_.skip_space();
+        if (!cur_.at_end()) cur_.fail("trailing input after query");
+        if (q.steps.empty()) cur_.fail("empty path");
+        for (std::size_t i = 0; i + 1 < q.steps.size(); ++i) {
+            if (q.steps[i].attribute || q.steps[i].text_fn)
+                cur_.fail("@attribute / text() must be the final step");
+        }
+        return q;
+    }
+
+private:
+    Cursor cur_;
+
+    std::vector<Step> path() {
+        std::vector<Step> steps;
+        cur_.skip_space();
+        if (!cur_.consume("/")) cur_.fail("path must start with '/'");
+        bool descendant = cur_.consume("/");  // leading '//'
+        for (;;) {
+            Step s = step();
+            s.descendant = descendant;
+            steps.push_back(std::move(s));
+            cur_.skip_space();
+            if (!cur_.consume("/")) break;
+            descendant = cur_.consume("/");
+        }
+        return steps;
+    }
+
+    Step step() {
+        Step s;
+        cur_.skip_space();
+        if (cur_.consume("@")) {
+            s.attribute = true;
+            s.name = name("attribute name");
+            return s;
+        }
+        if (cur_.lookahead("text()")) {
+            cur_.consume("text()");
+            s.text_fn = true;
+            return s;
+        }
+        if (cur_.consume("*")) s.name = "*";
+        else s.name = name("element name");
+        cur_.skip_space();
+        while (cur_.consume("[")) {
+            s.predicates.push_back(predicate());
+            cur_.skip_space();
+            if (!cur_.consume("]")) cur_.fail("expected ']' to close predicate");
+            cur_.skip_space();
+        }
+        return s;
+    }
+
+    Predicate predicate() {
+        Predicate p;
+        cur_.skip_space();
+        if (std::isdigit(static_cast<unsigned char>(cur_.peek()))) {
+            p.kind = Predicate::Kind::kPosition;
+            std::string digits;
+            while (std::isdigit(static_cast<unsigned char>(cur_.peek())))
+                digits += cur_.advance();
+            p.position = static_cast<std::size_t>(std::stoull(digits));
+            if (p.position == 0) cur_.fail("positions are 1-based");
+            return p;
+        }
+        p.path = rel_path();
+        cur_.skip_space();
+        if (cur_.consume("!=")) p.op = "!=";
+        else if (cur_.consume("=")) p.op = "=";
+        else {
+            p.kind = Predicate::Kind::kExists;
+            return p;
+        }
+        p.kind = Predicate::Kind::kCompare;
+        cur_.skip_space();
+        char quote = cur_.peek();
+        if (quote != '\'' && quote != '"')
+            cur_.fail("expected quoted literal in predicate");
+        cur_.advance();
+        while (!cur_.at_end() && cur_.peek() != quote) p.literal += cur_.advance();
+        if (!cur_.consume(std::string_view(&quote, 1)))
+            cur_.fail("unterminated literal");
+        return p;
+    }
+
+    RelPath rel_path() {
+        RelPath rp;
+        for (;;) {
+            cur_.skip_space();
+            if (cur_.consume("@")) {
+                rp.attribute = name("attribute name");
+                return rp;
+            }
+            if (cur_.lookahead("text()")) {
+                cur_.consume("text()");
+                rp.text = true;
+                return rp;
+            }
+            rp.elements.push_back(name("element name"));
+            if (!cur_.consume("/")) return rp;
+        }
+    }
+
+    std::string name(const std::string& what) {
+        std::string out;
+        while (!cur_.at_end()) {
+            char c = cur_.peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                c == '-' || c == '_' || c == ':')
+                out += cur_.advance();
+            else
+                break;
+        }
+        if (!is_xml_name(out)) cur_.fail("invalid " + what);
+        return out;
+    }
+};
+
+}  // namespace
+
+std::string RelPath::to_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (i != 0) out += "/";
+        out += elements[i];
+    }
+    if (!attribute.empty()) {
+        if (!out.empty()) out += "/";
+        out += "@" + attribute;
+    }
+    if (text) {
+        if (!out.empty()) out += "/";
+        out += "text()";
+    }
+    return out;
+}
+
+std::string Predicate::to_string() const {
+    switch (kind) {
+        case Kind::kPosition: return std::to_string(position);
+        case Kind::kExists: return path.to_string();
+        case Kind::kCompare:
+            return path.to_string() + " " + op + " '" + literal + "'";
+    }
+    return "?";
+}
+
+std::string Step::to_string() const {
+    if (attribute) return "@" + name;
+    if (text_fn) return "text()";
+    std::string out = name;
+    for (const auto& p : predicates) out += "[" + p.to_string() + "]";
+    return out;
+}
+
+std::string PathQuery::to_string() const {
+    std::string out;
+    for (const auto& s : steps) out += (s.descendant ? "//" : "/") + s.to_string();
+    if (count) out = "count(" + out + ")";
+    return out;
+}
+
+bool PathQuery::yields_strings() const {
+    if (steps.empty()) return false;
+    return steps.back().attribute || steps.back().text_fn;
+}
+
+PathQuery parse_query(std::string_view text) {
+    QueryParser parser(text);
+    return parser.run();
+}
+
+}  // namespace xr::xquery

@@ -1,0 +1,78 @@
+// Path queries over XML — the query front end of paper Section 5.
+//
+// In 2000 the XML query standards (XQL, XML-QL, XSL patterns) were still
+// drafts; the paper only assumes *some* path-shaped query language whose
+// queries must be transformed into "meaningful SQL queries".  This module
+// implements an XQL-flavoured subset sufficient for the paper's workloads:
+//
+//   /article/author/name                     — path navigation
+//   /article[title = 'XML RDBMS']/author     — subpath predicates
+//   /book/author[@id = 'a1']                 — attribute predicates
+//   /article/author[2]                       — positional predicates
+//   /monograph/title/text()                  — text extraction
+//   //author                                  — descendant axis (DOM only)
+//   /article/contactauthor/@authorid         — attribute extraction
+//   count(/article/author)                   — aggregation
+//
+// Queries evaluate two ways: directly over the DOM (dom_eval.hpp) and by
+// translation to SQL over the mapped schema (sql_translate.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xr::xquery {
+
+/// A relative path inside a predicate: child elements, optionally ending
+/// in an attribute or text() extraction.
+struct RelPath {
+    std::vector<std::string> elements;
+    std::string attribute;  ///< non-empty: ends in @attribute
+    bool text = false;      ///< ends in text()
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct Predicate {
+    enum class Kind {
+        kCompare,   ///< [relpath op 'literal']
+        kExists,    ///< [relpath]
+        kPosition,  ///< [n] — 1-based among same-name siblings
+    };
+    Kind kind = Kind::kExists;
+    RelPath path;
+    std::string op;       ///< "=" or "!="
+    std::string literal;
+    std::size_t position = 0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct Step {
+    std::string name;        ///< element name ('@'/text() live in the flags)
+    bool attribute = false;  ///< final @name step
+    bool text_fn = false;    ///< final text() step
+    bool descendant = false; ///< reached via '//' (any depth)
+    std::vector<Predicate> predicates;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct PathQuery {
+    bool count = false;  ///< count(...) wrapper
+    std::vector<Step> steps;
+
+    [[nodiscard]] std::string to_string() const;
+    /// True iff the query yields strings (attribute / text extraction)
+    /// rather than elements.
+    [[nodiscard]] bool yields_strings() const;
+};
+
+/// Parse a path query.  Throws xr::ParseError.
+[[nodiscard]] PathQuery parse_query(std::string_view text);
+
+}  // namespace xr::xquery

@@ -1,0 +1,272 @@
+// DTD parser: content models, attribute lists, entities, notations,
+// parameter entities, conditional sections, error reporting.
+#include <gtest/gtest.h>
+
+#include "dtd/parser.hpp"
+#include "gen/corpora.hpp"
+#include "xml/parser.hpp"
+
+namespace xr::dtd {
+namespace {
+
+Dtd parse(const std::string& text) { return parse_dtd(text); }
+
+TEST(DtdParser, EmptyAndAnyContent) {
+    Dtd d = parse("<!ELEMENT a EMPTY><!ELEMENT b ANY>");
+    EXPECT_EQ(d.element("a")->content.category, ContentCategory::kEmpty);
+    EXPECT_EQ(d.element("b")->content.category, ContentCategory::kAny);
+}
+
+TEST(DtdParser, PCDataContent) {
+    Dtd d = parse("<!ELEMENT t (#PCDATA)>");
+    EXPECT_EQ(d.element("t")->content.category, ContentCategory::kPCData);
+}
+
+TEST(DtdParser, MixedContentRequiresStar) {
+    Dtd d = parse("<!ELEMENT p (#PCDATA | em | strong)*>");
+    const ContentModel& c = d.element("p")->content;
+    EXPECT_EQ(c.category, ContentCategory::kMixed);
+    EXPECT_EQ(c.mixed_names, (std::vector<std::string>{"em", "strong"}));
+    EXPECT_THROW(parse("<!ELEMENT p (#PCDATA | em)>"), ParseError);
+}
+
+TEST(DtdParser, SequenceAndChoiceGroups) {
+    Dtd d = parse("<!ELEMENT a (b, c)><!ELEMENT x (y | z)>");
+    const Particle& seq = d.element("a")->content.particle;
+    EXPECT_EQ(seq.kind, ParticleKind::kSequence);
+    ASSERT_EQ(seq.children.size(), 2u);
+    const Particle& choice = d.element("x")->content.particle;
+    EXPECT_EQ(choice.kind, ParticleKind::kChoice);
+}
+
+TEST(DtdParser, MixedSeparatorsRejected) {
+    EXPECT_THROW(parse("<!ELEMENT a (b, c | d)>"), ParseError);
+}
+
+TEST(DtdParser, OccurrenceIndicators) {
+    Dtd d = parse("<!ELEMENT a (b?, c*, d+, e)>");
+    const auto& kids = d.element("a")->content.particle.children;
+    EXPECT_EQ(kids[0].occurrence, Occurrence::kOptional);
+    EXPECT_EQ(kids[1].occurrence, Occurrence::kZeroOrMore);
+    EXPECT_EQ(kids[2].occurrence, Occurrence::kOneOrMore);
+    EXPECT_EQ(kids[3].occurrence, Occurrence::kOne);
+}
+
+TEST(DtdParser, NestedGroupsPreserved) {
+    Dtd d = parse("<!ELEMENT a (b, (c | d)*, e)>");
+    const auto& kids = d.element("a")->content.particle.children;
+    ASSERT_EQ(kids.size(), 3u);
+    EXPECT_EQ(kids[1].kind, ParticleKind::kChoice);
+    EXPECT_EQ(kids[1].occurrence, Occurrence::kZeroOrMore);
+    EXPECT_EQ(kids[1].to_string(), "(c | d)*");
+}
+
+TEST(DtdParser, PaperExampleParsesCompletely) {
+    Dtd d = parse(gen::paper_dtd_text());
+    EXPECT_EQ(d.element_count(), 12u);
+    EXPECT_EQ(d.element("book")->content.particle.to_string(),
+              "(booktitle, (author* | editor))");
+    EXPECT_EQ(d.element("article")->content.particle.to_string(),
+              "(title, (author, affiliation?)+, contactauthor?)");
+    EXPECT_TRUE(d.lint().empty());
+}
+
+TEST(DtdParser, AttlistTypes) {
+    Dtd d = parse(
+        "<!ELEMENT a EMPTY>"
+        "<!ATTLIST a c CDATA #REQUIRED"
+        "            i ID #REQUIRED"
+        "            r IDREF #IMPLIED"
+        "            rs IDREFS #IMPLIED"
+        "            n NMTOKEN #IMPLIED"
+        "            e (x | y | z) \"x\">");
+    const ElementDecl* a = d.element("a");
+    EXPECT_EQ(a->attribute("c")->type, AttrType::kCData);
+    EXPECT_EQ(a->attribute("i")->type, AttrType::kId);
+    EXPECT_EQ(a->attribute("r")->type, AttrType::kIdRef);
+    EXPECT_EQ(a->attribute("rs")->type, AttrType::kIdRefs);
+    EXPECT_EQ(a->attribute("n")->type, AttrType::kNmToken);
+    const AttributeDecl* e = a->attribute("e");
+    EXPECT_EQ(e->type, AttrType::kEnumeration);
+    EXPECT_EQ(e->enumeration, (std::vector<std::string>{"x", "y", "z"}));
+    EXPECT_EQ(e->default_kind, AttrDefaultKind::kDefault);
+    EXPECT_EQ(e->default_value, "x");
+}
+
+TEST(DtdParser, FixedDefault) {
+    Dtd d = parse("<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED \"1.0\">");
+    const AttributeDecl* v = d.element("a")->attribute("v");
+    EXPECT_EQ(v->default_kind, AttrDefaultKind::kFixed);
+    EXPECT_EQ(v->default_value, "1.0");
+}
+
+TEST(DtdParser, AttlistBeforeElementDeclaration) {
+    Dtd d = parse("<!ATTLIST a x CDATA #IMPLIED><!ELEMENT a EMPTY>");
+    EXPECT_NE(d.element("a")->attribute("x"), nullptr);
+}
+
+TEST(DtdParser, FirstAttributeDeclarationWins) {
+    Dtd d = parse(
+        "<!ELEMENT a EMPTY>"
+        "<!ATTLIST a x CDATA #REQUIRED>"
+        "<!ATTLIST a x CDATA #IMPLIED>");
+    EXPECT_EQ(d.element("a")->attribute("x")->default_kind,
+              AttrDefaultKind::kRequired);
+}
+
+TEST(DtdParser, PaperImpliesTypoAccepted) {
+    Dtd d = parse("<!ELEMENT a EMPTY><!ATTLIST a r IDREF #IMPLIES>");
+    EXPECT_EQ(d.element("a")->attribute("r")->default_kind,
+              AttrDefaultKind::kImplied);
+}
+
+TEST(DtdParser, DuplicateElementRejected) {
+    EXPECT_THROW(parse("<!ELEMENT a EMPTY><!ELEMENT a ANY>"), SchemaError);
+}
+
+TEST(DtdParser, GeneralEntitiesCollected) {
+    Dtd d = parse("<!ENTITY copy \"(c) GTE\"><!ELEMENT a (#PCDATA)>");
+    auto entities = d.general_entities();
+    EXPECT_EQ(entities.at("copy"), "(c) GTE");
+}
+
+TEST(DtdParser, GeneralEntityUsableByXmlParser) {
+    Dtd d = parse("<!ENTITY co \"GTE Labs\"><!ELEMENT a (#PCDATA)>");
+    xml::ParseOptions options;
+    options.entities = d.general_entities();
+    auto doc = xml::parse_document("<a>&co;</a>", options);
+    EXPECT_EQ(doc->root()->text(), "GTE Labs");
+}
+
+TEST(DtdParser, ParameterEntityExpansion) {
+    Dtd d = parse(
+        "<!ENTITY % pc \"(#PCDATA)\">"
+        "<!ELEMENT a %pc;>"
+        "<!ELEMENT b %pc;>");
+    EXPECT_EQ(d.element("a")->content.category, ContentCategory::kPCData);
+    EXPECT_EQ(d.element("b")->content.category, ContentCategory::kPCData);
+}
+
+TEST(DtdParser, NestedParameterEntities) {
+    Dtd d = parse(
+        "<!ENTITY % names \"first, last\">"
+        "<!ENTITY % person \"(%names;)\">"
+        "<!ELEMENT p %person;>"
+        "<!ELEMENT first (#PCDATA)><!ELEMENT last (#PCDATA)>");
+    EXPECT_EQ(d.element("p")->content.particle.children.size(), 2u);
+}
+
+TEST(DtdParser, UndefinedParameterEntityRejected) {
+    EXPECT_THROW(parse("<!ELEMENT a %nope;>"), ParseError);
+}
+
+TEST(DtdParser, ConditionalSections) {
+    Dtd d = parse(
+        "<![INCLUDE[<!ELEMENT a EMPTY>]]>"
+        "<![IGNORE[<!ELEMENT b EMPTY>]]>");
+    EXPECT_TRUE(d.has_element("a"));
+    EXPECT_FALSE(d.has_element("b"));
+}
+
+TEST(DtdParser, ConditionalViaParameterEntity) {
+    Dtd d = parse(
+        "<!ENTITY % draft \"IGNORE\">"
+        "<![%draft;[<!ELEMENT secret EMPTY>]]>"
+        "<!ELEMENT a EMPTY>");
+    EXPECT_FALSE(d.has_element("secret"));
+    EXPECT_TRUE(d.has_element("a"));
+}
+
+TEST(DtdParser, NotationDeclaration) {
+    Dtd d = parse("<!NOTATION gif SYSTEM \"viewer.exe\"><!ELEMENT a EMPTY>");
+    ASSERT_EQ(d.notations().size(), 1u);
+    EXPECT_EQ(d.notations()[0].name, "gif");
+    EXPECT_EQ(d.notations()[0].system_id, "viewer.exe");
+}
+
+TEST(DtdParser, ExternalEntityRecordedWithoutFetch) {
+    Dtd d = parse("<!ENTITY chap1 SYSTEM \"chap1.xml\"><!ELEMENT a EMPTY>");
+    const EntityDecl* e = d.entity("chap1", false);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->is_external());
+    // External entities do not appear in the general-entity map.
+    EXPECT_FALSE(d.general_entities().contains("chap1"));
+}
+
+TEST(DtdParser, CommentsAndPisSkipped) {
+    Dtd d = parse("<!-- a comment --><?pi data?><!ELEMENT a EMPTY>");
+    EXPECT_TRUE(d.has_element("a"));
+}
+
+TEST(DtdParser, InternalSubsetViaDoctype) {
+    auto doc = xml::parse_document(
+        "<!DOCTYPE a [<!ELEMENT a (#PCDATA)><!ATTLIST a x CDATA #IMPLIED>]><a/>");
+    Dtd d = parse_doctype(doc->doctype());
+    EXPECT_EQ(d.element("a")->content.category, ContentCategory::kPCData);
+    EXPECT_NE(d.element("a")->attribute("x"), nullptr);
+}
+
+TEST(DtdParser, ErrorsCarryLocations) {
+    try {
+        parse("<!ELEMENT a\n(b,,c)>");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.where().line, 2u);
+    }
+}
+
+TEST(DtdModel, RoundTripThroughToString) {
+    Dtd d = parse(gen::paper_dtd_text());
+    Dtd d2 = parse(d.to_string());
+    ASSERT_EQ(d2.element_count(), d.element_count());
+    for (const auto& e : d.elements()) {
+        const ElementDecl* e2 = d2.element(e.name);
+        ASSERT_NE(e2, nullptr) << e.name;
+        EXPECT_EQ(*e2, e) << e.name;
+    }
+}
+
+TEST(DtdModel, RootCandidates) {
+    Dtd d = parse(gen::paper_dtd_text());
+    EXPECT_EQ(d.root_candidates(), (std::vector<std::string>{"article"}));
+}
+
+TEST(DtdModel, IdBearingElements) {
+    Dtd d = parse(gen::paper_dtd_text());
+    EXPECT_EQ(d.id_bearing_elements(), (std::vector<std::string>{"author"}));
+}
+
+TEST(DtdModel, LintFindsUndeclaredReferences) {
+    Dtd d = parse("<!ELEMENT a (b, ghost)><!ELEMENT b EMPTY>");
+    auto issues = d.lint();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].find("ghost"), std::string::npos);
+}
+
+TEST(DtdModel, LintFindsIdrefWithoutIds) {
+    Dtd d = parse("<!ELEMENT a EMPTY><!ATTLIST a r IDREF #IMPLIED>");
+    EXPECT_FALSE(d.lint().empty());
+}
+
+TEST(ContentModel, OccurrenceComposition) {
+    EXPECT_EQ(compose(Occurrence::kZeroOrMore, Occurrence::kOptional),
+              Occurrence::kZeroOrMore);
+    EXPECT_EQ(compose(Occurrence::kOptional, Occurrence::kOneOrMore),
+              Occurrence::kZeroOrMore);
+    EXPECT_EQ(compose(Occurrence::kOne, Occurrence::kOptional),
+              Occurrence::kOptional);
+    EXPECT_EQ(compose(Occurrence::kOneOrMore, Occurrence::kOneOrMore),
+              Occurrence::kOneOrMore);
+}
+
+TEST(ContentModel, ParticleSizeAndNames) {
+    Dtd d = parse("<!ELEMENT a (b, (c | d)*, e)>");
+    const Particle& p = d.element("a")->content.particle;
+    EXPECT_EQ(p.size(), 6u);  // seq + b + choice + c + d + e
+    std::vector<std::string> names;
+    p.collect_names(names);
+    EXPECT_EQ(names, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+}  // namespace
+}  // namespace xr::dtd

@@ -1,0 +1,109 @@
+// ER model and DOT export unit tests.
+#include <gtest/gtest.h>
+
+#include "er/dot.hpp"
+#include "er/model.hpp"
+
+namespace xr::er {
+namespace {
+
+Model tiny_model() {
+    Model m;
+    Entity a;
+    a.name = "a";
+    a.attributes.push_back({"x", dtd::AttrType::kCData, true,
+                            AttributeOrigin::kDeclared, {}});
+    m.add_entity(std::move(a));
+    Entity b;
+    b.name = "b";
+    b.has_text = true;
+    m.add_entity(std::move(b));
+
+    Relationship r;
+    r.name = "Nb";
+    r.kind = RelationshipKind::kNested;
+    r.parent = "a";
+    r.members.push_back({"b", false, dtd::Occurrence::kZeroOrMore, 0});
+    m.add_relationship(std::move(r));
+    return m;
+}
+
+TEST(ErModel, Lookups) {
+    Model m = tiny_model();
+    ASSERT_NE(m.entity("a"), nullptr);
+    EXPECT_EQ(m.entity("zz"), nullptr);
+    ASSERT_NE(m.relationship("Nb"), nullptr);
+    EXPECT_EQ(m.relationship("zz"), nullptr);
+    EXPECT_NE(m.entity("a")->attribute("x"), nullptr);
+    EXPECT_EQ(m.entity("a")->attribute("y"), nullptr);
+    EXPECT_NE(m.relationship("Nb")->member("b"), nullptr);
+    EXPECT_EQ(m.relationship("Nb")->member("a"), nullptr);
+}
+
+TEST(ErModel, DuplicatesRejected) {
+    Model m = tiny_model();
+    Entity dup;
+    dup.name = "a";
+    EXPECT_THROW(m.add_entity(std::move(dup)), SchemaError);
+    Relationship rdup;
+    rdup.name = "Nb";
+    EXPECT_THROW(m.add_relationship(std::move(rdup)), SchemaError);
+}
+
+TEST(ErModel, RelationshipsOfCoversBothEnds) {
+    Model m = tiny_model();
+    EXPECT_EQ(m.relationships_of("a").size(), 1u);
+    EXPECT_EQ(m.relationships_of("b").size(), 1u);
+    EXPECT_TRUE(m.relationships_of("zz").empty());
+}
+
+TEST(ErModel, AttributeCount) {
+    EXPECT_EQ(tiny_model().attribute_count(), 1u);
+}
+
+TEST(ErModel, ToStringMentionsEverything) {
+    std::string s = tiny_model().to_string();
+    EXPECT_NE(s.find("entity a"), std::string::npos);
+    EXPECT_NE(s.find("attr x required"), std::string::npos);
+    EXPECT_NE(s.find("[text]"), std::string::npos);
+    EXPECT_NE(s.find("NESTED Nb: a -> b*"), std::string::npos);
+}
+
+TEST(ErDot, WellFormedGraph) {
+    std::string dot = to_dot(tiny_model(), {.title = "tiny"});
+    EXPECT_EQ(dot.find("digraph"), std::string::npos);  // undirected
+    EXPECT_NE(dot.find("graph er {"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"tiny\""), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" [shape=box]"), std::string::npos);
+    EXPECT_NE(dot.find("\"Nb\" [shape=diamond]"), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" -- \"Nb\""), std::string::npos);
+    // Attribute ellipse attached to its entity.
+    EXPECT_NE(dot.find("\"a.x\" [shape=ellipse"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(ErDot, AttributesSuppressible) {
+    DotOptions options;
+    options.attributes = false;
+    std::string dot = to_dot(tiny_model(), options);
+    EXPECT_EQ(dot.find("ellipse"), std::string::npos);
+}
+
+TEST(ErDot, QuotesAndEscapes) {
+    Model m;
+    Entity e;
+    e.name = "we\"ird";
+    m.add_entity(std::move(e));
+    std::string dot = to_dot(m);
+    EXPECT_NE(dot.find("\"we\\\"ird\""), std::string::npos);
+}
+
+TEST(ErDot, OccurrenceLabels) {
+    Model m = tiny_model();
+    std::string dot = to_dot(m);
+    // b is a '*' member: the arc carries the indicator.
+    EXPECT_NE(dot.find("label=\"*\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xr::er

@@ -1,0 +1,167 @@
+// Error-path coverage across subsystems: every user-facing failure mode
+// should raise the right exception type with a useful message, never
+// crash or silently corrupt.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "loader/reconstruct.hpp"
+#include "sql/executor.hpp"
+#include "xquery/sql_translate.hpp"
+
+namespace xr {
+namespace {
+
+using test::Stack;
+
+TEST(XmlErrors, MalformedInputs) {
+    for (const char* bad : {
+             "",                          // no root
+             "<",                         // truncated
+             "<1tag/>",                   // invalid name
+             "<a b=c/>",                  // unquoted attribute
+             "<a><!-- unterminated",      //
+             "<a><![CDATA[open</a>",      //
+             "<a>&#xZZ;</a>",             // bad char ref
+             "<a></b>",                   // mismatched tags
+             "<?xml version=\"1.0\"?>",   // declaration only
+             "text only",                 // no element
+         }) {
+        EXPECT_THROW((void)xml::parse_document(bad), ParseError) << bad;
+    }
+}
+
+TEST(XmlErrors, LocationsAreActionable) {
+    try {
+        (void)xml::parse_document("<a>\n  <b>\n</a>");
+        FAIL();
+    } catch (const ParseError& e) {
+        EXPECT_GE(e.where().line, 2u);
+        EXPECT_NE(std::string(e.what()).find(":"), std::string::npos);
+    }
+}
+
+TEST(DtdErrors, MalformedDeclarations) {
+    for (const char* bad : {
+             "<!ELEMENT>",                        // no name
+             "<!ELEMENT a>",                      // no content spec
+             "<!ELEMENT a (b,)>",                 // dangling separator
+             "<!ELEMENT a (b | c, d)>",           // mixed separators
+             "<!ELEMENT a (#PCDATA | b)>",        // mixed without '*'
+             "<!ATTLIST a x BOGUS #IMPLIED>",     // unknown attr type
+             "<!ATTLIST a x CDATA>",              // missing default
+             "<!ENTITY e>",                       // no value
+             "<!NOTATION n>",                     // no identifier
+             "<!WHAT a EMPTY>",                   // unknown declaration
+         }) {
+        EXPECT_THROW((void)dtd::parse_dtd(bad), Error) << bad;
+    }
+}
+
+TEST(MappingErrors, DuplicateElementsRejectedBeforeMapping) {
+    EXPECT_THROW((void)dtd::parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"),
+                 SchemaError);
+}
+
+TEST(LoaderErrors, WrongDocumentForDtd) {
+    Stack stack(gen::paper_dtd());
+    auto doc = xml::parse_document("<order id=\"o1\"/>");
+    EXPECT_THROW(stack.loader->load(*doc), ValidationError);
+    // And without validation, strict loading still refuses unmapped roots.
+    loader::LoadOptions options;
+    options.validate = false;
+    EXPECT_THROW(stack.loader->load(*doc, options), ValidationError);
+}
+
+TEST(LoaderErrors, NothingPersistedFromRejectedDocument) {
+    // Validation happens before any row is written, so a rejected document
+    // leaves the database untouched.
+    Stack stack(gen::paper_dtd());
+    auto bad = xml::parse_document("<article><title>t</title></article>");
+    EXPECT_THROW(stack.loader->load(*bad), ValidationError);
+    EXPECT_EQ(stack.db.require("article").row_count(), 0u);
+    EXPECT_EQ(stack.loader->stats().documents, 0u);
+}
+
+TEST(ReconstructErrors, MissingRowAndUnknownEntity) {
+    Stack stack(gen::paper_dtd());
+    loader::Reconstructor reconstructor(stack.mapping, stack.schema, stack.db);
+    EXPECT_THROW((void)reconstructor.reconstruct_element("author", 7),
+                 SchemaError);
+    EXPECT_THROW((void)reconstructor.reconstruct_element("ghost", 1),
+                 SchemaError);
+    EXPECT_THROW((void)reconstructor.reconstruct(1), SchemaError);
+}
+
+TEST(SqlErrors, MessagesNameTheProblem) {
+    Stack stack(gen::paper_dtd());
+    try {
+        (void)sql::execute(stack.db, "SELECT bogus FROM article");
+        FAIL();
+    } catch (const QueryError& e) {
+        EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    }
+    try {
+        (void)sql::execute(stack.db, "SELECT * FROM ghost");
+        FAIL();
+    } catch (const QueryError& e) {
+        EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    }
+}
+
+TEST(QueryErrors, TranslatorNamesTheUntranslatablePiece) {
+    Stack stack(gen::paper_dtd());
+    xquery::SqlTranslator tr(stack.mapping, stack.schema);
+    try {
+        (void)tr.translate(xquery::parse_query("/article/ghost"));
+        FAIL();
+    } catch (const QueryError& e) {
+        EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    }
+    try {
+        (void)tr.translate(xquery::parse_query("//author"));
+        FAIL();
+    } catch (const QueryError& e) {
+        EXPECT_NE(std::string(e.what()).find("descendant"), std::string::npos);
+    }
+}
+
+TEST(RdbErrors, ConstraintMessagesNameTableAndColumn) {
+    rdb::TableDef def;
+    def.name = "t";
+    def.columns = {{"pk", rdb::ValueType::kInteger, true, true},
+                   {"v", rdb::ValueType::kText, true, false}};
+    rdb::Table table(def);
+    try {
+        table.insert({rdb::Value::null(), rdb::Value::null()});
+        FAIL();
+    } catch (const SchemaError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("'v'"), std::string::npos);
+        EXPECT_NE(what.find("'t'"), std::string::npos);
+    }
+}
+
+TEST(GenErrors, RequiredRecursionDetected) {
+    // A DTD that *requires* unbounded depth cannot be instantiated; the
+    // generator reports it instead of overflowing the stack.
+    dtd::Dtd d = dtd::parse_dtd("<!ELEMENT a (a)>");
+    gen::DocGenParams params;
+    params.max_depth = 64;
+    EXPECT_THROW((void)gen::generate_document(d, "a", params), SchemaError);
+}
+
+TEST(ValidatorErrors, EveryIssueCarriesContext) {
+    Stack stack(gen::paper_dtd());
+    auto doc = xml::parse_document(
+        "<article><title>t</title><title>dup</title></article>");
+    validate::Validator validator(stack.logical);
+    auto result = validator.validate(*doc);
+    ASSERT_FALSE(result.ok());
+    for (const auto& issue : result.issues) {
+        EXPECT_FALSE(issue.message.empty());
+        EXPECT_TRUE(issue.where.valid());
+    }
+}
+
+}  // namespace
+}  // namespace xr

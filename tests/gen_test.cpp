@@ -1,0 +1,181 @@
+// Generators: determinism, structural knobs, and the central property that
+// generated documents validate against their generating DTD.
+#include <gtest/gtest.h>
+
+#include "gen/corpora.hpp"
+#include "gen/dtd_gen.hpp"
+#include "gen/doc_gen.hpp"
+#include "validate/validator.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace xr::gen {
+namespace {
+
+TEST(DtdGen, DeterministicForSeed) {
+    DtdGenParams params;
+    params.seed = 99;
+    EXPECT_EQ(generate_dtd(params).to_string(), generate_dtd(params).to_string());
+    params.seed = 100;
+    EXPECT_NE(generate_dtd(params).to_string(),
+              generate_dtd(DtdGenParams{}).to_string());
+}
+
+TEST(DtdGen, RequestedElementCount) {
+    DtdGenParams params;
+    params.element_count = 50;
+    EXPECT_EQ(generate_dtd(params).element_count(), 50u);
+}
+
+TEST(DtdGen, CleanLintAndSingleRoot) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        DtdGenParams params;
+        params.seed = seed;
+        dtd::Dtd d = generate_dtd(params);
+        EXPECT_TRUE(d.lint().empty()) << seed;
+        EXPECT_EQ(d.root_candidates(), (std::vector<std::string>{"e0"})) << seed;
+    }
+}
+
+TEST(DtdGen, GroupProbabilityKnob) {
+    DtdGenParams none;
+    none.group_probability = 0.0;
+    none.element_count = 40;
+    dtd::Dtd flat = generate_dtd(none);
+    for (const auto& e : flat.elements()) {
+        if (e.content.category != dtd::ContentCategory::kChildren) continue;
+        for (const auto& c : e.content.particle.children)
+            EXPECT_TRUE(c.is_element());
+    }
+
+    DtdGenParams lots = none;
+    lots.group_probability = 1.0;
+    dtd::Dtd grouped = generate_dtd(lots);
+    bool has_group = false;
+    for (const auto& e : grouped.elements()) {
+        if (e.content.category != dtd::ContentCategory::kChildren) continue;
+        for (const auto& c : e.content.particle.children)
+            has_group |= c.is_group();
+    }
+    EXPECT_TRUE(has_group);
+}
+
+TEST(DocGen, DeterministicForSeed) {
+    dtd::Dtd d = paper_dtd();
+    DocGenParams params;
+    params.seed = 5;
+    auto a = generate_document(d, "article", params);
+    auto b = generate_document(d, "article", params);
+    EXPECT_EQ(xml::serialize(*a), xml::serialize(*b));
+}
+
+TEST(DocGen, RespectsBudgetRoughly) {
+    dtd::Dtd d = paper_dtd();
+    DocGenParams params;
+    params.max_elements = 50;
+    params.seed = 2;
+    auto doc = generate_document(d, "article", params);
+    EXPECT_LE(doc->root()->subtree_element_count(), 80u);
+
+    params.max_elements = 2000;
+    params.seed = 2;
+    auto big = generate_document(d, "article", params);
+    EXPECT_GT(big->root()->subtree_element_count(),
+              doc->root()->subtree_element_count());
+}
+
+TEST(DocGen, DefaultRootIsRootCandidate) {
+    dtd::Dtd d = paper_dtd();
+    auto doc = generate_document(d, DocGenParams{});
+    EXPECT_EQ(doc->root()->name(), "article");
+    EXPECT_EQ(doc->doctype().root_name, "article");
+}
+
+TEST(DocGen, UnknownRootRejected) {
+    dtd::Dtd d = paper_dtd();
+    EXPECT_THROW(generate_document(d, "nope", DocGenParams{}), SchemaError);
+}
+
+// The generator's core contract: its documents validate.
+class GeneratedDocsValidate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedDocsValidate, PaperDtd) {
+    dtd::Dtd d = paper_dtd();
+    validate::Validator validator(d);
+    DocGenParams params;
+    params.seed = GetParam();
+    params.max_elements = 120;
+    auto doc = generate_document(d, "article", params);
+    validate::ValidateOptions options;
+    options.apply_defaults = true;
+    auto result = validator.validate(*doc, options);
+    EXPECT_TRUE(result.ok()) << result.to_string() << xml::serialize(*doc);
+}
+
+TEST_P(GeneratedDocsValidate, GeneratedDtds) {
+    DtdGenParams dtd_params;
+    dtd_params.seed = GetParam();
+    dtd_params.element_count = 25;
+    dtd::Dtd d = generate_dtd(dtd_params);
+    validate::Validator validator(d);
+    DocGenParams params;
+    params.seed = GetParam() * 31 + 1;
+    params.max_elements = 200;
+    auto doc = generate_document(d, "e0", params);
+    validate::ValidateOptions options;
+    options.apply_defaults = true;
+    auto result = validator.validate(*doc, options);
+    EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST_P(GeneratedDocsValidate, SerializedFormReparsesIdentically) {
+    dtd::Dtd d = orders_dtd();
+    DocGenParams params;
+    params.seed = GetParam();
+    auto doc = generate_document(d, "order", params);
+    std::string text = xml::serialize(*doc);
+    auto reparsed = xml::parse_document(text);
+    EXPECT_EQ(xml::serialize(*reparsed), text);
+    EXPECT_EQ(reparsed->root()->subtree_element_count(),
+              doc->root()->subtree_element_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedDocsValidate,
+                         ::testing::Range<std::uint64_t>(1, 30));
+
+TEST(Corpora, PaperDtdMatchesPublishedExample) {
+    dtd::Dtd d = paper_dtd();
+    EXPECT_EQ(d.element_count(), 12u);
+    EXPECT_TRUE(d.has_element("book"));
+    EXPECT_TRUE(d.has_element("affiliation"));
+}
+
+TEST(Corpora, SampleDocumentIsValid) {
+    dtd::Dtd d = paper_dtd();
+    auto doc = xml::parse_document(paper_sample_document());
+    auto result = validate::validate(*doc, d);
+    EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(Corpora, OrdersDocumentsValidate) {
+    dtd::Dtd d = orders_dtd();
+    validate::Validator validator(d);
+    for (auto& doc : orders_corpus(8, 80, 17)) {
+        validate::ValidateOptions options;
+        options.apply_defaults = true;
+        auto result = validator.validate(*doc, options);
+        EXPECT_TRUE(result.ok()) << result.to_string();
+    }
+}
+
+TEST(Corpora, CorpusSizesScale) {
+    auto small = bibliography_corpus(3, 50, 1);
+    auto large = bibliography_corpus(3, 500, 1);
+    std::size_t small_total = 0, large_total = 0;
+    for (auto& doc : small) small_total += doc->root()->subtree_element_count();
+    for (auto& doc : large) large_total += doc->root()->subtree_element_count();
+    EXPECT_GT(large_total, small_total);
+}
+
+}  // namespace
+}  // namespace xr::gen

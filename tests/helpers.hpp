@@ -1,0 +1,43 @@
+// Shared fixtures for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dtd/parser.hpp"
+#include "gen/corpora.hpp"
+#include "loader/loader.hpp"
+#include "mapping/pipeline.hpp"
+#include "rel/materialize.hpp"
+#include "rel/translate.hpp"
+#include "xml/parser.hpp"
+
+namespace xr::test {
+
+/// The whole stack for one DTD: mapping, schema, database, loader.
+struct Stack {
+    dtd::Dtd logical;
+    mapping::MappingResult mapping;
+    rel::RelationalSchema schema;
+    rdb::Database db;
+    std::unique_ptr<loader::Loader> loader;
+
+    explicit Stack(const std::string& dtd_text,
+                   const mapping::MappingOptions& options = {}) {
+        logical = dtd::parse_dtd(dtd_text);
+        mapping = mapping::map_dtd(logical, options);
+        schema = rel::translate(mapping);
+        rel::materialize(schema, mapping, db);
+        loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
+    }
+
+    explicit Stack(dtd::Dtd dtd, const mapping::MappingOptions& options = {}) {
+        logical = std::move(dtd);
+        mapping = mapping::map_dtd(logical, options);
+        schema = rel::translate(mapping);
+        rel::materialize(schema, mapping, db);
+        loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
+    }
+};
+
+}  // namespace xr::test

@@ -1,0 +1,256 @@
+// Golden reproduction of the paper's running example:
+//   * step 1 output (grouped DTD, Section 4 example),
+//   * step 2 output (distilled attributes),
+//   * the converted DTD of Example 2 — checked verbatim,
+//   * the ER diagram of Figure 2 — checked structurally,
+//   * the captured metadata.
+#include <gtest/gtest.h>
+
+#include "er/dot.hpp"
+#include "gen/corpora.hpp"
+#include "mapping/pipeline.hpp"
+
+namespace xr::mapping {
+namespace {
+
+class PaperMapping : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        result_ = new MappingResult(map_dtd(gen::paper_dtd()));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+    }
+    static MappingResult* result_;
+};
+
+MappingResult* PaperMapping::result_ = nullptr;
+
+TEST_F(PaperMapping, Step1DefinesGroupElementsExactlyAsSection4) {
+    const dtd::Dtd& g = result_->grouped;
+    // "<!ELEMENT book (booktitle, (author* | editor))> is replaced by
+    //  <!ELEMENT book (booktitle, G1)> <!ELEMENT G1 (author* | editor)>"
+    EXPECT_EQ(g.element("book")->content.particle.to_string(),
+              "(booktitle, G1)");
+    EXPECT_EQ(g.element("G1")->content.particle.to_string(),
+              "(author* | editor)");
+    EXPECT_EQ(g.element("article")->content.particle.to_string(),
+              "(title, G2+, contactauthor?)");
+    EXPECT_EQ(g.element("G2")->content.particle.to_string(),
+              "(author, affiliation?)");
+    EXPECT_EQ(g.element("editor")->content.particle.to_string(), "(G3*)");
+    EXPECT_EQ(g.element("G3")->content.particle.to_string(),
+              "(book | monograph)");
+    // monograph contains no group and is untouched.
+    EXPECT_EQ(g.element("monograph")->content.particle.to_string(),
+              "(title, author, editor)");
+}
+
+TEST_F(PaperMapping, Step2DistillsAttributes) {
+    const dtd::Dtd& d = result_->distilled;
+    // "<!ELEMENT book (G1)> <!ATTLIST book booktitle (#PCDATA) #REQUIRED>"
+    EXPECT_EQ(d.element("book")->content.particle.to_string(), "(G1)");
+    const dtd::AttributeDecl* bt = d.element("book")->attribute("booktitle");
+    ASSERT_NE(bt, nullptr);
+    EXPECT_EQ(bt->type, dtd::AttrType::kPCData);
+    EXPECT_EQ(bt->default_kind, dtd::AttrDefaultKind::kRequired);
+
+    // name (firstname?, lastname) → firstname #IMPLIED, lastname #REQUIRED.
+    const dtd::ElementDecl* name = d.element("name");
+    EXPECT_EQ(name->attribute("firstname")->default_kind,
+              dtd::AttrDefaultKind::kImplied);
+    EXPECT_EQ(name->attribute("lastname")->default_kind,
+              dtd::AttrDefaultKind::kRequired);
+
+    // The distilled #PCDATA declarations are gone.
+    for (const char* gone : {"booktitle", "title", "firstname", "lastname"})
+        EXPECT_FALSE(d.has_element(gone)) << gone;
+    // Undistilled elements remain.
+    EXPECT_TRUE(d.has_element("affiliation"));
+    EXPECT_TRUE(d.has_element("contactauthor"));
+}
+
+TEST_F(PaperMapping, ConvertedDtdMatchesExample2) {
+    const char* kExample2 =
+        "<!ELEMENT book ()>\n"
+        "<!ATTLIST book booktitle (#PCDATA) #REQUIRED>\n"
+        "<!NESTED_GROUP NG1 book (author* | editor)>\n"
+        "<!ELEMENT article ()>\n"
+        "<!ATTLIST article title (#PCDATA) #REQUIRED>\n"
+        "<!NESTED_GROUP NG2 article (author, affiliation?)>\n"
+        "<!NESTED Ncontactauthor article contactauthor>\n"
+        "<!ELEMENT contactauthor EMPTY>\n"
+        "<!REFERENCE authorid contactauthor (author)>\n"
+        "<!ELEMENT monograph ()>\n"
+        "<!ATTLIST monograph title (#PCDATA) #REQUIRED>\n"
+        "<!NESTED Nauthor monograph author>\n"
+        "<!NESTED Neditor monograph editor>\n"
+        "<!ELEMENT editor ()>\n"
+        "<!ATTLIST editor name CDATA #REQUIRED>\n"
+        "<!NESTED_GROUP NG3 editor (book | monograph)>\n"
+        "<!ELEMENT author ()>\n"
+        "<!ATTLIST author id ID #REQUIRED>\n"
+        "<!NESTED Nname author name>\n"
+        "<!ELEMENT name ()>\n"
+        "<!ATTLIST name\n"
+        "    firstname (#PCDATA) #IMPLIED\n"
+        "    lastname (#PCDATA) #REQUIRED>\n"
+        "<!ELEMENT affiliation ANY>\n";
+    EXPECT_EQ(result_->converted.to_string(), kExample2);
+}
+
+TEST_F(PaperMapping, Figure2Entities) {
+    const er::Model& m = result_->model;
+    ASSERT_EQ(m.entities().size(), 8u);
+    std::vector<std::string> names;
+    for (const auto& e : m.entities()) names.push_back(e.name);
+    EXPECT_EQ(names, (std::vector<std::string>{"book", "article", "contactauthor",
+                                               "monograph", "editor", "author",
+                                               "name", "affiliation"}));
+    EXPECT_EQ(m.entity("contactauthor")->origin,
+              er::EntityOrigin::kEmptyElement);
+    EXPECT_EQ(m.entity("affiliation")->origin, er::EntityOrigin::kAnyElement);
+}
+
+TEST_F(PaperMapping, Figure2Attributes) {
+    const er::Model& m = result_->model;
+    EXPECT_NE(m.entity("book")->attribute("booktitle"), nullptr);
+    EXPECT_NE(m.entity("article")->attribute("title"), nullptr);
+    EXPECT_NE(m.entity("monograph")->attribute("title"), nullptr);
+    EXPECT_NE(m.entity("editor")->attribute("name"), nullptr);
+    EXPECT_NE(m.entity("author")->attribute("id"), nullptr);
+    EXPECT_NE(m.entity("name")->attribute("firstname"), nullptr);
+    EXPECT_NE(m.entity("name")->attribute("lastname"), nullptr);
+    // Distillation provenance is preserved.
+    EXPECT_EQ(m.entity("book")->attribute("booktitle")->origin,
+              er::AttributeOrigin::kDistilled);
+    EXPECT_EQ(m.entity("editor")->attribute("name")->origin,
+              er::AttributeOrigin::kDeclared);
+    // Figure 2 total: 7 attribute ovals.
+    EXPECT_EQ(m.attribute_count(), 7u);
+}
+
+TEST_F(PaperMapping, Figure2RelationshipNodes) {
+    const er::Model& m = result_->model;
+    ASSERT_EQ(m.relationships().size(), 8u);
+
+    const er::Relationship* ng1 = m.relationship("NG1");
+    ASSERT_NE(ng1, nullptr);
+    EXPECT_EQ(ng1->kind, er::RelationshipKind::kNestedGroup);
+    EXPECT_EQ(ng1->parent, "book");
+    ASSERT_EQ(ng1->members.size(), 2u);
+    EXPECT_EQ(ng1->members[0].entity, "author");
+    EXPECT_TRUE(ng1->members[0].choice);  // circled-plus arcs
+    EXPECT_EQ(ng1->members[0].occurrence, dtd::Occurrence::kZeroOrMore);
+    EXPECT_EQ(ng1->members[1].entity, "editor");
+    EXPECT_TRUE(ng1->members[1].choice);
+
+    const er::Relationship* ng2 = m.relationship("NG2");
+    ASSERT_NE(ng2, nullptr);
+    EXPECT_EQ(ng2->parent, "article");
+    EXPECT_EQ(ng2->occurrence, dtd::Occurrence::kOneOrMore);
+    ASSERT_EQ(ng2->members.size(), 2u);
+    EXPECT_FALSE(ng2->members[0].choice);  // sequence group
+    EXPECT_EQ(ng2->members[1].entity, "affiliation");
+    EXPECT_EQ(ng2->members[1].occurrence, dtd::Occurrence::kOptional);
+
+    const er::Relationship* ng3 = m.relationship("NG3");
+    ASSERT_NE(ng3, nullptr);
+    EXPECT_EQ(ng3->parent, "editor");
+    EXPECT_EQ(ng3->occurrence, dtd::Occurrence::kZeroOrMore);
+    EXPECT_TRUE(ng3->members[0].choice);
+
+    for (const char* nested : {"Ncontactauthor", "Nauthor", "Neditor", "Nname"}) {
+        const er::Relationship* r = m.relationship(nested);
+        ASSERT_NE(r, nullptr) << nested;
+        EXPECT_EQ(r->kind, er::RelationshipKind::kNested) << nested;
+        EXPECT_EQ(r->members.size(), 1u) << nested;
+    }
+    EXPECT_EQ(m.relationship("Ncontactauthor")->parent, "article");
+    EXPECT_EQ(m.relationship("Nauthor")->parent, "monograph");
+    EXPECT_EQ(m.relationship("Nname")->parent, "author");
+
+    const er::Relationship* ref = m.relationship("authorid");
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(ref->kind, er::RelationshipKind::kReference);
+    EXPECT_EQ(ref->parent, "contactauthor");
+    ASSERT_EQ(ref->members.size(), 1u);
+    EXPECT_EQ(ref->members[0].entity, "author");
+    EXPECT_TRUE(ref->members[0].choice);
+}
+
+TEST_F(PaperMapping, Figure2DotExportContainsAllNodes) {
+    std::string dot = er::to_dot(result_->model, {.title = "Figure 2"});
+    for (const char* node :
+         {"book", "article", "contactauthor", "monograph", "editor", "author",
+          "name", "affiliation", "NG1", "NG2", "NG3", "Ncontactauthor",
+          "Nauthor", "Neditor", "Nname", "authorid"})
+        EXPECT_NE(dot.find("\"" + std::string(node) + "\""), std::string::npos)
+            << node;
+    EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+    EXPECT_NE(dot.find("(+)"), std::string::npos);
+}
+
+TEST_F(PaperMapping, MetadataSchemaOrdering) {
+    auto find = [&](const std::string& element) {
+        for (const auto& o : result_->metadata.schema_order)
+            if (o.element == element) return o.children_in_order;
+        return std::vector<std::string>{};
+    };
+    EXPECT_EQ(find("book"),
+              (std::vector<std::string>{"booktitle", "author", "editor"}));
+    EXPECT_EQ(find("article"), (std::vector<std::string>{
+                                   "title", "author", "affiliation",
+                                   "contactauthor"}));
+    EXPECT_EQ(find("name"), (std::vector<std::string>{"firstname", "lastname"}));
+}
+
+TEST_F(PaperMapping, MetadataOccurrences) {
+    const Metadata& meta = result_->metadata;
+    EXPECT_EQ(meta.occurrence_of("article", "G2"), dtd::Occurrence::kOneOrMore);
+    EXPECT_EQ(meta.occurrence_of("NG1", "author"), dtd::Occurrence::kZeroOrMore);
+    EXPECT_EQ(meta.occurrence_of("NG2", "affiliation"),
+              dtd::Occurrence::kOptional);
+    EXPECT_EQ(meta.occurrence_of("editor", "G3"), dtd::Occurrence::kZeroOrMore);
+    EXPECT_EQ(meta.occurrence_of("article", "contactauthor"),
+              dtd::Occurrence::kOptional);
+    EXPECT_FALSE(meta.occurrence_of("article", "nope").has_value());
+}
+
+TEST_F(PaperMapping, MetadataDistilledAttributes) {
+    const Metadata& meta = result_->metadata;
+    ASSERT_EQ(meta.distilled.size(), 5u);
+    auto of = meta.distilled_of("name");
+    ASSERT_EQ(of.size(), 2u);
+    EXPECT_EQ(of[0]->attribute, "firstname");
+    EXPECT_TRUE(of[0]->optional);
+    EXPECT_EQ(of[1]->attribute, "lastname");
+    EXPECT_FALSE(of[1]->optional);
+    // title distilled into two different owners.
+    EXPECT_EQ(meta.distilled_of("article").size(), 1u);
+    EXPECT_EQ(meta.distilled_of("monograph").size(), 1u);
+}
+
+TEST_F(PaperMapping, MetadataGroups) {
+    const Metadata& meta = result_->metadata;
+    ASSERT_EQ(meta.groups.size(), 3u);
+    const GroupElement* g1 = meta.group("G1");
+    ASSERT_NE(g1, nullptr);
+    EXPECT_EQ(g1->parent, "book");
+    EXPECT_EQ(g1->kind, dtd::ParticleKind::kChoice);
+    const GroupElement* g2 = meta.group("G2");
+    EXPECT_EQ(g2->occurrence, dtd::Occurrence::kOneOrMore);
+    EXPECT_EQ(g2->kind, dtd::ParticleKind::kSequence);
+    const GroupElement* g3 = meta.group("G3");
+    EXPECT_EQ(g3->occurrence, dtd::Occurrence::kZeroOrMore);
+}
+
+TEST_F(PaperMapping, PipelineIsDeterministic) {
+    MappingResult again = map_dtd(gen::paper_dtd());
+    EXPECT_EQ(again.converted.to_string(), result_->converted.to_string());
+    EXPECT_EQ(again.model.to_string(), result_->model.to_string());
+}
+
+}  // namespace
+}  // namespace xr::mapping

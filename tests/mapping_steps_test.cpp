@@ -1,0 +1,298 @@
+// Unit tests of the individual mapping steps on focused DTDs, plus
+// property-style sweeps over generated DTDs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dtd/parser.hpp"
+#include "gen/dtd_gen.hpp"
+#include "mapping/pipeline.hpp"
+
+namespace xr::mapping {
+namespace {
+
+MappingResult map_text(const std::string& dtd_text,
+                       const MappingOptions& options = {}) {
+    return map_dtd(dtd::parse_dtd(dtd_text), options);
+}
+
+TEST(Step1, NoGroupsMeansNoChange) {
+    auto r = map_text("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>");
+    EXPECT_TRUE(r.metadata.groups.empty());
+    EXPECT_EQ(r.grouped.element("a")->content.particle.to_string(), "(b, c)");
+}
+
+TEST(Step1, NestedGroupsHoistedToFixpoint) {
+    auto r = map_text(
+        "<!ELEMENT a (b, (c, (d | e)))>"
+        "<!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        "<!ELEMENT e EMPTY>");
+    EXPECT_EQ(r.grouped.element("a")->content.particle.to_string(), "(b, G1)");
+    EXPECT_EQ(r.grouped.element("G1")->content.particle.to_string(), "(c, G2)");
+    EXPECT_EQ(r.grouped.element("G2")->content.particle.to_string(), "(d | e)");
+    EXPECT_EQ(r.metadata.groups.size(), 2u);
+}
+
+TEST(Step1, ChainedGroupsBecomeChainedRelationships) {
+    auto r = map_text(
+        "<!ELEMENT a (b, (c, (d | e)))>"
+        "<!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        "<!ELEMENT e EMPTY>");
+    const NestedGroupDecl* ng1 = r.converted.nested_group("NG1");
+    const NestedGroupDecl* ng2 = r.converted.nested_group("NG2");
+    ASSERT_NE(ng1, nullptr);
+    ASSERT_NE(ng2, nullptr);
+    EXPECT_EQ(ng1->parent, "a");
+    EXPECT_EQ(ng2->parent, "NG1");  // chained through the enclosing group
+    EXPECT_TRUE(ng1->is_virtual_member("G2"));
+    // The ER arc points at the chained relationship node.
+    const er::Relationship* rel = r.model.relationship("NG1");
+    ASSERT_NE(rel, nullptr);
+    EXPECT_NE(rel->member("NG2"), nullptr);
+}
+
+TEST(Step1, GroupOccurrenceMovesToReference) {
+    auto r = map_text(
+        "<!ELEMENT a ((b, c)+)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>");
+    EXPECT_EQ(r.grouped.element("a")->content.particle.to_string(), "(G1+)");
+    EXPECT_EQ(r.grouped.element("G1")->content.particle.to_string(), "(b, c)");
+}
+
+TEST(Step1, TopLevelChoiceHoistedEntirely) {
+    auto r = map_text("<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>");
+    EXPECT_EQ(r.grouped.element("a")->content.particle.to_string(), "(G1)");
+    const NestedGroupDecl* ng = r.converted.nested_group("NG1");
+    ASSERT_NE(ng, nullptr);
+    EXPECT_EQ(ng->group.kind, dtd::ParticleKind::kChoice);
+}
+
+TEST(Step1, UnaryGroupCollapse) {
+    auto r = map_text("<!ELEMENT a ((b)*)><!ELEMENT b EMPTY>");
+    // ((b)*) collapses to b* — a plain repeated nested relationship, not a
+    // gratuitous group.
+    EXPECT_TRUE(r.metadata.groups.empty());
+    const NestedDecl* n = r.converted.nested_decl("Nb");
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->occurrence, dtd::Occurrence::kZeroOrMore);
+}
+
+TEST(Step1, GroupNamesAvoidCollisions) {
+    auto r = map_text(
+        "<!ELEMENT G1 (x, (a, b))><!ELEMENT x EMPTY>"
+        "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>");
+    // The declared element G1 keeps its name; the hoisted group gets G2.
+    ASSERT_FALSE(r.metadata.groups.empty());
+    EXPECT_TRUE(r.grouped.has_element("G2"));
+    EXPECT_EQ(r.metadata.groups[0].name, "G2");
+}
+
+TEST(Step2, OnlySingleOccurrencePCDataDistilled) {
+    auto r = map_text(
+        "<!ELEMENT a (t, u*, t2?)>"
+        "<!ELEMENT t (#PCDATA)><!ELEMENT u (#PCDATA)><!ELEMENT t2 (#PCDATA)>");
+    const dtd::ElementDecl* a = r.distilled.element("a");
+    EXPECT_NE(a->attribute("t"), nullptr);
+    EXPECT_NE(a->attribute("t2"), nullptr);
+    EXPECT_EQ(a->attribute("u"), nullptr);  // repeated → stays an element
+    EXPECT_TRUE(r.distilled.has_element("u"));
+    EXPECT_FALSE(r.distilled.has_element("t"));
+}
+
+TEST(Step2, RepeatedMentionNotDistilled) {
+    auto r = map_text("<!ELEMENT a (t, t)><!ELEMENT t (#PCDATA)>");
+    EXPECT_EQ(r.distilled.element("a")->attribute("t"), nullptr);
+    EXPECT_TRUE(r.distilled.has_element("t"));
+}
+
+TEST(Step2, SharedPCDataChildKeptWhileStillReferenced) {
+    // 't' is distillable from 'a' but repeated in 'b': the declaration must
+    // survive because 'b' still references it.
+    auto r = map_text(
+        "<!ELEMENT a (t)><!ELEMENT b (t*)><!ELEMENT t (#PCDATA)>"
+        "<!ELEMENT r (a, b)>");
+    EXPECT_NE(r.distilled.element("a")->attribute("t"), nullptr);
+    EXPECT_TRUE(r.distilled.has_element("t"));
+}
+
+TEST(Step2, AttributedPCDataElementNotDistilledByDefault) {
+    auto r = map_text(
+        "<!ELEMENT a (t)><!ELEMENT t (#PCDATA)><!ATTLIST t lang CDATA #IMPLIED>");
+    EXPECT_EQ(r.distilled.element("a")->attribute("t"), nullptr);
+    EXPECT_TRUE(r.distilled.has_element("t"));
+
+    MappingOptions options;
+    options.distill_attributed_elements = true;
+    auto r2 = map_text(
+        "<!ELEMENT a (t)><!ELEMENT t (#PCDATA)><!ATTLIST t lang CDATA #IMPLIED>",
+        options);
+    EXPECT_NE(r2.distilled.element("a")->attribute("t"), nullptr);
+}
+
+TEST(Step2, ChoiceMembersNotDistilledByDefault) {
+    auto r = map_text("<!ELEMENT a (t | u)><!ELEMENT t (#PCDATA)><!ELEMENT u (#PCDATA)>");
+    // top-level choice was hoisted; group members stay elements.
+    EXPECT_TRUE(r.distilled.has_element("t"));
+    EXPECT_TRUE(r.distilled.has_element("u"));
+}
+
+TEST(Step2, DistilledIntoGroupBecomesRelationshipAttribute) {
+    auto r = map_text(
+        "<!ELEMENT a ((t, b)+)><!ELEMENT t (#PCDATA)><!ELEMENT b EMPTY>");
+    const NestedGroupDecl* ng = r.converted.nested_group("NG1");
+    ASSERT_NE(ng, nullptr);
+    ASSERT_EQ(ng->attributes.size(), 1u);
+    EXPECT_EQ(ng->attributes[0].name, "t");
+    const er::Relationship* rel = r.model.relationship("NG1");
+    ASSERT_EQ(rel->attributes.size(), 1u);
+    EXPECT_EQ(rel->attributes[0].name, "t");
+}
+
+TEST(Step2, NameClashWithDeclaredAttributeSkipsDistill) {
+    auto r = map_text(
+        "<!ELEMENT a (t)><!ELEMENT t (#PCDATA)>"
+        "<!ATTLIST a t CDATA #IMPLIED>");
+    // 'a' already has attribute 't'; the subelement survives.
+    EXPECT_TRUE(r.distilled.has_element("t"));
+}
+
+TEST(Step3, NestedNamesQualifiedWhenShared) {
+    auto r = map_text(
+        "<!ELEMENT r (a, b)><!ELEMENT a (x)><!ELEMENT b (x)>"
+        "<!ELEMENT x EMPTY>");
+    EXPECT_EQ(r.converted.nested_decl("Na_x")->parent, "a");
+    EXPECT_EQ(r.converted.nested_decl("Nb_x")->parent, "b");
+    EXPECT_EQ(r.converted.nested_decl("Nx"), nullptr);
+}
+
+TEST(Step3, MixedContentBecomesNestedRelationships) {
+    auto r = map_text(
+        "<!ELEMENT p (#PCDATA | em | code)*>"
+        "<!ELEMENT em (#PCDATA)><!ELEMENT code (#PCDATA)>");
+    const ConvertedElement* p = r.converted.element("p");
+    EXPECT_EQ(p->residual, ResidualContent::kMixed);
+    const NestedDecl* em = r.converted.nested_decl("Nem");
+    ASSERT_NE(em, nullptr);
+    EXPECT_TRUE(em->from_mixed);
+    EXPECT_EQ(em->occurrence, dtd::Occurrence::kZeroOrMore);
+    ASSERT_EQ(r.metadata.mixed.size(), 1u);
+    EXPECT_EQ(r.metadata.mixed[0].members,
+              (std::vector<std::string>{"em", "code"}));
+}
+
+TEST(Step3, IdrefsBecomeMultiReference) {
+    auto r = map_text(
+        "<!ELEMENT a (b*)>"
+        "<!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED rs IDREFS #IMPLIED>");
+    ASSERT_EQ(r.converted.references.size(), 1u);
+    const ReferenceDecl& ref = r.converted.references[0];
+    EXPECT_EQ(ref.attribute, "rs");
+    EXPECT_TRUE(ref.multiple);
+    EXPECT_EQ(ref.targets, (std::vector<std::string>{"b"}));
+}
+
+TEST(Step3, ReferenceTargetsAreAllIdBearers) {
+    auto r = map_text(
+        "<!ELEMENT r (a, b, c)>"
+        "<!ELEMENT a EMPTY><!ATTLIST a id ID #REQUIRED>"
+        "<!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED>"
+        "<!ELEMENT c EMPTY><!ATTLIST c ref IDREF #IMPLIED>");
+    ASSERT_EQ(r.converted.references.size(), 1u);
+    EXPECT_EQ(r.converted.references[0].targets,
+              (std::vector<std::string>{"a", "b"}));
+    // ER arcs to every target, all choice-marked.
+    const er::Relationship* rel = r.model.relationship("ref");
+    ASSERT_EQ(rel->members.size(), 2u);
+    EXPECT_TRUE(rel->members[0].choice && rel->members[1].choice);
+}
+
+TEST(Step3, SameIdrefNameOnTwoElementsQualified) {
+    auto r = map_text(
+        "<!ELEMENT r (a, b, t)>"
+        "<!ELEMENT a EMPTY><!ATTLIST a ref IDREF #IMPLIED>"
+        "<!ELEMENT b EMPTY><!ATTLIST b ref IDREF #IMPLIED>"
+        "<!ELEMENT t EMPTY><!ATTLIST t id ID #REQUIRED>");
+    EXPECT_NE(r.model.relationship("ref"), nullptr);
+    EXPECT_NE(r.model.relationship("ref_b"), nullptr);
+}
+
+TEST(Step4, EmptyAndAnyEntitiesKeepOrigin) {
+    auto r = map_text("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c ANY>");
+    EXPECT_EQ(r.model.entity("b")->origin, er::EntityOrigin::kEmptyElement);
+    EXPECT_EQ(r.model.entity("c")->origin, er::EntityOrigin::kAnyElement);
+    EXPECT_TRUE(r.model.entity("c")->has_text);
+}
+
+TEST(Step4, UndistilledPCDataEntityHasText) {
+    auto r = map_text("<!ELEMENT a (t, t)><!ELEMENT t (#PCDATA)>");
+    EXPECT_TRUE(r.model.entity("t")->has_text);
+}
+
+TEST(Step4, RelationshipsOfEntity) {
+    auto r = map_dtd(dtd::parse_dtd(
+        "<!ELEMENT a (b)><!ELEMENT b (c)><!ELEMENT c EMPTY>"));
+    auto rels = r.model.relationships_of("b");
+    ASSERT_EQ(rels.size(), 2u);  // Nb (as member), Nc (as parent)
+}
+
+// -- property sweep over generated DTDs ---------------------------------------
+
+class MappingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MappingProperty, InvariantsHoldOnGeneratedDtds) {
+    gen::DtdGenParams params;
+    params.element_count = 30;
+    params.seed = GetParam();
+    dtd::Dtd d = gen::generate_dtd(params);
+    ASSERT_TRUE(d.lint().empty());
+
+    MappingResult r = map_dtd(d);
+
+    // 1. The grouped DTD contains no nested groups (fixpoint reached).
+    for (const auto& e : r.grouped.elements()) {
+        if (e.content.category != dtd::ContentCategory::kChildren) continue;
+        const dtd::Particle& top = e.content.particle;
+        for (const auto& child : top.children)
+            EXPECT_TRUE(child.is_element())
+                << e.name << ": " << top.to_string();
+    }
+
+    // 2. Entities are exactly the non-virtual surviving elements.
+    std::set<std::string> entity_names;
+    for (const auto& e : r.model.entities()) entity_names.insert(e.name);
+    for (const auto& g : r.metadata.groups)
+        EXPECT_FALSE(entity_names.contains(g.name)) << g.name;
+
+    // 3. Every relationship's parent exists (as entity or relationship).
+    for (const auto& rel : r.model.relationships()) {
+        bool parent_ok = entity_names.contains(rel.parent) ||
+                         r.model.relationship(rel.parent) != nullptr;
+        EXPECT_TRUE(parent_ok) << rel.name << " parent " << rel.parent;
+    }
+
+    // 4. Distilled attributes reference owners that exist and original
+    //    children that are gone or still declared as PCDATA.
+    for (const auto& dd : r.metadata.distilled) {
+        bool owner_ok = entity_names.contains(dd.element) ||
+                        r.metadata.group(dd.element) != nullptr;
+        EXPECT_TRUE(owner_ok) << dd.element;
+        if (const dtd::ElementDecl* orig = d.element(dd.original_child)) {
+            EXPECT_EQ(orig->content.category, dtd::ContentCategory::kPCData);
+        }
+    }
+
+    // 5. Occurrence metadata only names declared particles.
+    for (const auto& o : r.metadata.occurrences) {
+        bool known = r.grouped.has_element(o.particle);
+        EXPECT_TRUE(known) << o.parent << "/" << o.particle;
+    }
+
+    // 6. Determinism: mapping twice gives identical output.
+    MappingResult again = map_dtd(d);
+    EXPECT_EQ(again.converted.to_string(), r.converted.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace xr::mapping

@@ -1,0 +1,135 @@
+// Agreement property between the two independent content-model engines:
+// the validator's Glushkov automaton (set simulation, no events) and the
+// loader's backtracking matcher (events, group segmentation).  Both decide
+// the same regular language, so they must accept exactly the same child
+// sequences — including the hoisted-group view of the model.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "gen/dtd_gen.hpp"
+#include "helpers.hpp"
+#include "loader/plan.hpp"
+#include "validate/automaton.hpp"
+
+namespace xr {
+namespace {
+
+class MatcherAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherAgreement, AutomatonAndMatcherAcceptSameSequences) {
+    gen::DtdGenParams params;
+    params.seed = GetParam();
+    params.element_count = 15;
+    dtd::Dtd dtd = gen::generate_dtd(params);
+    mapping::MappingResult m = mapping::map_dtd(dtd);
+
+    SplitMix64 rng(GetParam() * 13 + 1);
+
+    for (const auto& decl : dtd.elements()) {
+        if (decl.content.category != dtd::ContentCategory::kChildren) continue;
+        validate::ContentAutomaton automaton(decl.content.particle);
+        const dtd::ElementDecl* grouped = m.grouped.element(decl.name);
+        ASSERT_NE(grouped, nullptr);
+        loader::PlanNode plan =
+            loader::build_plan(m.grouped, m.metadata, *grouped);
+
+        // Candidate alphabet: names the model mentions (plus a stranger).
+        std::vector<std::string> alphabet =
+            decl.content.referenced_names();
+        std::sort(alphabet.begin(), alphabet.end());
+        alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                       alphabet.end());
+        alphabet.push_back("zz_stranger");
+
+        // Random sequences over the alphabet: some valid, most invalid —
+        // both engines must agree on every one.
+        for (int trial = 0; trial < 60; ++trial) {
+            std::vector<std::string> sequence;
+            std::size_t length = rng.below(8);
+            for (std::size_t i = 0; i < length; ++i)
+                sequence.push_back(alphabet[rng.below(alphabet.size())]);
+
+            bool automaton_accepts = automaton.matches(sequence);
+            std::vector<std::string_view> views(sequence.begin(),
+                                                sequence.end());
+            std::vector<loader::MatchEvent> events;
+            bool matcher_accepts =
+                loader::match_children(plan, views, events);
+
+            ASSERT_EQ(matcher_accepts, automaton_accepts)
+                << decl.name << " model " << decl.content.to_string()
+                << " sequence [" << xr::join(sequence, " ") << "]";
+
+            if (matcher_accepts) {
+                // Sanity on the event stream: one kMatchChild per input
+                // child, positions strictly increasing, balanced groups.
+                std::size_t matched = 0;
+                int depth = 0;
+                std::size_t last_pos = 0;
+                for (const auto& e : events) {
+                    switch (e.type) {
+                        case loader::MatchEvent::Type::kMatchChild:
+                            EXPECT_GE(e.pos, last_pos);
+                            last_pos = e.pos + 1;
+                            ++matched;
+                            break;
+                        case loader::MatchEvent::Type::kEnterGroup:
+                            ++depth;
+                            break;
+                        case loader::MatchEvent::Type::kExitGroup:
+                            --depth;
+                            EXPECT_GE(depth, 0);
+                            break;
+                    }
+                }
+                EXPECT_EQ(matched, sequence.size());
+                EXPECT_EQ(depth, 0);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreement,
+                         ::testing::Range<std::uint64_t>(1, 20));
+
+TEST(MatcherAgreement, PaperModelsExhaustiveShortSequences) {
+    // Exhaustively enumerate all sequences up to length 4 over each paper
+    // model's alphabet and compare engines.
+    dtd::Dtd dtd = gen::paper_dtd();
+    mapping::MappingResult m = mapping::map_dtd(dtd);
+
+    for (const char* name : {"book", "article", "monograph", "editor", "name"}) {
+        const dtd::ElementDecl* decl = dtd.element(name);
+        validate::ContentAutomaton automaton(decl->content.particle);
+        loader::PlanNode plan =
+            loader::build_plan(m.grouped, m.metadata, *m.grouped.element(name));
+        std::vector<std::string> alphabet = decl->content.referenced_names();
+        std::sort(alphabet.begin(), alphabet.end());
+        alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                       alphabet.end());
+
+        std::size_t checked = 0;
+        std::function<void(std::vector<std::string>&)> enumerate =
+            [&](std::vector<std::string>& seq) {
+                std::vector<std::string_view> views(seq.begin(), seq.end());
+                std::vector<loader::MatchEvent> events;
+                ASSERT_EQ(loader::match_children(plan, views, events),
+                          automaton.matches(seq))
+                    << name << " [" << xr::join(seq, " ") << "]";
+                ++checked;
+                if (seq.size() >= 4) return;
+                for (const auto& a : alphabet) {
+                    seq.push_back(a);
+                    enumerate(seq);
+                    seq.pop_back();
+                }
+            };
+        std::vector<std::string> seq;
+        enumerate(seq);
+        EXPECT_GT(checked, 10u) << name;
+    }
+}
+
+}  // namespace
+}  // namespace xr

@@ -1,0 +1,223 @@
+// MiniRDB: values, tables, constraints, indexes, catalog, foreign keys.
+#include <gtest/gtest.h>
+
+#include "rdb/database.hpp"
+
+namespace xr::rdb {
+namespace {
+
+TableDef people_def() {
+    TableDef def;
+    def.name = "people";
+    def.columns = {{"pk", ValueType::kInteger, true, true},
+                   {"name", ValueType::kText, true, false},
+                   {"age", ValueType::kInteger, false, false}};
+    return def;
+}
+
+TEST(Value, TypesAndAccessors) {
+    EXPECT_TRUE(Value().is_null());
+    EXPECT_EQ(Value(42).type(), ValueType::kInteger);
+    EXPECT_EQ(Value(1.5).type(), ValueType::kReal);
+    EXPECT_EQ(Value("x").type(), ValueType::kText);
+    EXPECT_EQ(Value(42).as_integer(), 42);
+    EXPECT_DOUBLE_EQ(Value(42).as_real(), 42.0);  // integers widen
+    EXPECT_EQ(Value("x").as_text(), "x");
+    EXPECT_THROW((void)Value("x").as_integer(), SchemaError);
+    EXPECT_THROW((void)Value(1).as_text(), SchemaError);
+}
+
+TEST(Value, SqlComparisonsAreNullAware) {
+    EXPECT_FALSE(Value().compare(Value(1)).has_value());
+    EXPECT_FALSE(Value(1).compare(Value()).has_value());
+    EXPECT_EQ(*Value(1).compare(Value(2)), std::strong_ordering::less);
+    EXPECT_EQ(*Value(2.0).compare(Value(2)), std::strong_ordering::equal);
+    EXPECT_EQ(*Value("b").compare(Value("a")), std::strong_ordering::greater);
+}
+
+TEST(Value, IndexOrderIsTotal) {
+    EXPECT_EQ(Value().index_order(Value(1)), std::strong_ordering::less);
+    EXPECT_EQ(Value().index_order(Value()), std::strong_ordering::equal);
+    EXPECT_EQ(Value(5).index_order(Value("a")), std::strong_ordering::less);
+}
+
+TEST(Value, HashConsistentAcrossNumericTypes) {
+    EXPECT_EQ(Value(7).hash(), Value(7.0).hash());
+    EXPECT_EQ(Value(7), Value(7.0));
+}
+
+TEST(Table, AutoIncrementPrimaryKey) {
+    Table t(people_def());
+    EXPECT_EQ(t.insert({Value::null(), Value("ann"), Value(30)}), 1);
+    EXPECT_EQ(t.insert({Value::null(), Value("bob"), Value::null()}), 2);
+    EXPECT_EQ(t.row_count(), 2u);
+    EXPECT_EQ(t.at(0, "name").as_text(), "ann");
+}
+
+TEST(Table, ExplicitPkAdvancesCounter) {
+    Table t(people_def());
+    EXPECT_EQ(t.insert({Value(10), Value("x"), Value::null()}), 10);
+    EXPECT_EQ(t.insert({Value::null(), Value("y"), Value::null()}), 11);
+}
+
+TEST(Table, DuplicatePkRejected) {
+    Table t(people_def());
+    t.insert({Value(1), Value("x"), Value::null()});
+    EXPECT_THROW(t.insert({Value(1), Value("y"), Value::null()}), SchemaError);
+}
+
+TEST(Table, NotNullEnforced) {
+    Table t(people_def());
+    EXPECT_THROW(t.insert({Value::null(), Value::null(), Value(1)}), SchemaError);
+}
+
+TEST(Table, TypeMismatchRejected) {
+    Table t(people_def());
+    EXPECT_THROW(t.insert({Value::null(), Value(5), Value(1)}), SchemaError);
+    EXPECT_THROW(t.insert({Value::null(), Value("a"), Value("old")}), SchemaError);
+}
+
+TEST(Table, ArityChecked) {
+    Table t(people_def());
+    EXPECT_THROW(t.insert({Value::null(), Value("a")}), SchemaError);
+}
+
+TEST(Table, FindPk) {
+    Table t(people_def());
+    t.insert({Value(5), Value("x"), Value::null()});
+    ASSERT_NE(t.find_pk(5), nullptr);
+    EXPECT_EQ((*t.find_pk(5))[1].as_text(), "x");
+    EXPECT_EQ(t.find_pk(6), nullptr);
+}
+
+TEST(Table, AllocatePkReservesKeys) {
+    Table t(people_def());
+    std::int64_t a = t.allocate_pk();
+    std::int64_t b = t.allocate_pk();
+    EXPECT_NE(a, b);
+    t.insert({Value(b), Value("second"), Value::null()});
+    t.insert({Value(a), Value("first"), Value::null()});
+    EXPECT_EQ(t.insert({Value::null(), Value("third"), Value::null()}), b + 1);
+}
+
+TEST(Table, HashIndexLookup) {
+    Table t(people_def());
+    for (int i = 0; i < 100; ++i)
+        t.insert({Value::null(), Value("n" + std::to_string(i % 10)), Value(i)});
+    t.create_index("name");
+    EXPECT_TRUE(t.has_index("name"));
+    EXPECT_EQ(t.index_lookup("name", Value("n3")).size(), 10u);
+    EXPECT_TRUE(t.index_lookup("name", Value("zz")).empty());
+}
+
+TEST(Table, OrderedIndexLookup) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("b"), Value(2)});
+    t.insert({Value::null(), Value("a"), Value(1)});
+    t.create_index("name", IndexKind::kOrdered);
+    EXPECT_EQ(t.index_lookup("name", Value("a")).size(), 1u);
+}
+
+TEST(Table, IndexBuiltOverExistingRowsAndMaintained) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("x"), Value(1)});
+    t.create_index("name");
+    t.insert({Value::null(), Value("x"), Value(2)});
+    EXPECT_EQ(t.index_lookup("name", Value("x")).size(), 2u);
+}
+
+TEST(Table, LookupFallsBackToScan) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("x"), Value(1)});
+    t.insert({Value::null(), Value("y"), Value(1)});
+    EXPECT_EQ(t.lookup("age", Value(1)).size(), 2u);
+}
+
+TEST(Table, UpdateKeepsIndexesConsistent) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("x"), Value(1)});
+    t.create_index("name");
+    t.update(0, "name", Value("z"));
+    EXPECT_TRUE(t.index_lookup("name", Value("x")).empty());
+    EXPECT_EQ(t.index_lookup("name", Value("z")).size(), 1u);
+    EXPECT_THROW(t.update(0, "pk", Value(9)), SchemaError);
+}
+
+TEST(Table, DeleteWhereCompactsAndRebuilds) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("a"), Value(1)});
+    t.insert({Value::null(), Value("b"), Value(2)});
+    t.insert({Value::null(), Value("c"), Value(1)});
+    t.create_index("age");
+    EXPECT_EQ(t.delete_where("age", Value(1)), 2u);
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_EQ(t.at(0, "name").as_text(), "b");
+    // pk lookup and indexes survive the compaction.
+    ASSERT_NE(t.find_pk(2), nullptr);
+    EXPECT_EQ(t.find_pk(1), nullptr);
+    EXPECT_EQ(t.index_lookup("age", Value(2)).size(), 1u);
+    EXPECT_TRUE(t.index_lookup("age", Value(1)).empty());
+    // New inserts continue past the old max pk.
+    EXPECT_EQ(t.insert({Value::null(), Value("d"), Value(3)}), 4);
+    EXPECT_EQ(t.delete_where("age", Value(99)), 0u);
+}
+
+TEST(Table, NullFraction) {
+    Table t(people_def());
+    t.insert({Value::null(), Value("a"), Value::null()});
+    t.insert({Value::null(), Value("b"), Value(1)});
+    EXPECT_DOUBLE_EQ(t.null_fraction(), 0.25);
+}
+
+TEST(Table, MemoryEstimateGrows) {
+    Table t(people_def());
+    std::size_t before = t.memory_bytes();
+    for (int i = 0; i < 100; ++i)
+        t.insert({Value::null(), Value("some name"), Value(i)});
+    EXPECT_GT(t.memory_bytes(), before);
+}
+
+TEST(Database, CatalogOperations) {
+    Database db;
+    db.create_table(people_def());
+    EXPECT_NE(db.table("people"), nullptr);
+    EXPECT_THROW(db.create_table(people_def()), SchemaError);
+    EXPECT_EQ(db.table_names(), (std::vector<std::string>{"people"}));
+    EXPECT_NO_THROW((void)db.require("people"));
+    EXPECT_THROW((void)db.require("nope"), SchemaError);
+    db.drop_table("people");
+    EXPECT_EQ(db.table("people"), nullptr);
+    EXPECT_THROW(db.drop_table("people"), SchemaError);
+}
+
+TEST(Database, ForeignKeyCheck) {
+    Database db;
+    Table& parent = db.create_table(people_def());
+    TableDef pets;
+    pets.name = "pets";
+    pets.columns = {{"pk", ValueType::kInteger, true, true},
+                    {"owner", ValueType::kInteger, false, false}};
+    Table& child = db.create_table(std::move(pets));
+    db.add_foreign_key({"pets", "owner", "people", "pk"});
+
+    parent.insert({Value(1), Value("ann"), Value::null()});
+    child.insert({Value::null(), Value(1)});
+    child.insert({Value::null(), Value::null()});  // NULL FK is fine
+    EXPECT_TRUE(db.check_foreign_keys().empty());
+
+    child.insert({Value::null(), Value(99)});
+    auto violations = db.check_foreign_keys();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("99"), std::string::npos);
+}
+
+TEST(Database, TotalsAggregate) {
+    Database db;
+    Table& t = db.create_table(people_def());
+    t.insert({Value::null(), Value("a"), Value::null()});
+    EXPECT_EQ(db.total_rows(), 1u);
+    EXPECT_GT(db.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace xr::rdb

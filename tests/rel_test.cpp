@@ -1,0 +1,200 @@
+// Relational layer: identifier hygiene, translation rules per relationship
+// kind, DDL generation, metadata materialization.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sql/executor.hpp"
+
+namespace xr::rel {
+namespace {
+
+using test::Stack;
+
+TEST(Identifiers, Sanitization) {
+    EXPECT_EQ(sanitize_identifier("Book-Title"), "book_title");
+    EXPECT_EQ(sanitize_identifier("ns:name.x"), "ns_name_x");
+    EXPECT_EQ(sanitize_identifier("1abc"), "x1abc");
+    EXPECT_EQ(sanitize_identifier(""), "x");
+}
+
+TEST(Identifiers, PoolAllocatesUniqueNames) {
+    IdentifierPool pool;
+    EXPECT_EQ(pool.allocate("a-b"), "a_b");
+    EXPECT_EQ(pool.allocate("a.b"), "a_b_1");
+    EXPECT_EQ(pool.allocate("a_b"), "a_b_2");
+    pool.reserve("pk");
+    EXPECT_EQ(pool.allocate("PK"), "pk_1");
+}
+
+TEST(Translate, PaperSchemaTableInventory) {
+    Stack stack(gen::paper_dtd());
+    const RelationalSchema& s = stack.schema;
+    EXPECT_EQ(s.table_count(TableKind::kEntity), 8u);
+    EXPECT_EQ(s.table_count(TableKind::kGroupRel), 3u);
+    EXPECT_EQ(s.table_count(TableKind::kNestedRel), 4u);
+    EXPECT_EQ(s.table_count(TableKind::kReferenceRel), 1u);
+    EXPECT_EQ(s.table_count(TableKind::kIdRegistry), 1u);
+    EXPECT_EQ(s.table_count(TableKind::kMetadata), 6u);  // incl. xrel_docs
+    // Repeatable member author* of NG1 gets a link table.
+    EXPECT_NE(s.link_table("NG1", "author"), nullptr);
+    EXPECT_EQ(s.link_table("NG1", "editor"), nullptr);
+    EXPECT_EQ(s.table_count(TableKind::kGroupMemberLink), 1u);
+}
+
+TEST(Translate, EntityTableShape) {
+    Stack stack(gen::paper_dtd());
+    const TableSchema* author = stack.schema.entity_table("author");
+    ASSERT_NE(author, nullptr);
+    EXPECT_EQ(author->columns[0].name, "pk");
+    EXPECT_TRUE(author->columns[0].primary_key);
+    EXPECT_EQ(author->columns[1].role, ColumnRole::kDocId);
+    const Column* id = author->column_by_source("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_TRUE(id->not_null);  // #REQUIRED
+    const TableSchema* name = stack.schema.entity_table("name");
+    EXPECT_FALSE(name->column_by_source("firstname")->not_null);  // #IMPLIED
+    EXPECT_TRUE(name->column_by_source("lastname")->not_null);
+}
+
+TEST(Translate, GroupTableShape) {
+    Stack stack(gen::paper_dtd());
+    const TableSchema* ng2 = stack.schema.table_for(TableKind::kGroupRel, "NG2");
+    ASSERT_NE(ng2, nullptr);
+    const Column* parent = ng2->column("parent_pk");
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(parent->references, stack.schema.entity_table("article")->name);
+    // Sequence member author (occurrence 1) is NOT NULL; optional
+    // affiliation is nullable.
+    EXPECT_TRUE(ng2->column_by_source("author")->not_null);
+    EXPECT_FALSE(ng2->column_by_source("affiliation")->not_null);
+    EXPECT_NE(ng2->column("ord"), nullptr);
+}
+
+TEST(Translate, ChoiceMembersAreNullable) {
+    Stack stack(gen::paper_dtd());
+    const TableSchema* ng3 = stack.schema.table_for(TableKind::kGroupRel, "NG3");
+    ASSERT_NE(ng3, nullptr);
+    EXPECT_FALSE(ng3->column_by_source("book")->not_null);
+    EXPECT_FALSE(ng3->column_by_source("monograph")->not_null);
+}
+
+TEST(Translate, ReferenceTableShape) {
+    Stack stack(gen::paper_dtd());
+    const TableSchema* ref =
+        stack.schema.table_for(TableKind::kReferenceRel, "authorid");
+    ASSERT_NE(ref, nullptr);
+    EXPECT_NE(ref->column("idref"), nullptr);
+    EXPECT_NE(ref->column("target_entity"), nullptr);
+    EXPECT_NE(ref->column("target_pk"), nullptr);
+    EXPECT_EQ(ref->column("source_pk")->references,
+              stack.schema.entity_table("contactauthor")->name);
+}
+
+TEST(Translate, OptionsDropDocAndOrd) {
+    auto logical = gen::paper_dtd();
+    auto m = mapping::map_dtd(logical);
+    TranslateOptions options;
+    options.doc_column = false;
+    options.ordinal_columns = false;
+    options.metadata_tables = false;
+    RelationalSchema s = translate(m, options);
+    EXPECT_EQ(s.table_count(TableKind::kMetadata), 0u);
+    for (const auto& t : s.tables()) {
+        EXPECT_EQ(t.column("doc"), nullptr) << t.name;
+        EXPECT_EQ(t.column("ord"), nullptr) << t.name;
+    }
+}
+
+TEST(Translate, OrdinalOnlyWhereRepeatable) {
+    auto logical = gen::paper_dtd();
+    auto m = mapping::map_dtd(logical);
+    TranslateOptions options;
+    options.ordinal_only_where_repeatable = true;
+    RelationalSchema s = translate(m, options);
+    // NG2 repeats (+) → ord; Nname (single) → no ord.
+    EXPECT_NE(s.table_for(TableKind::kGroupRel, "NG2")->column("ord"), nullptr);
+    EXPECT_EQ(s.table_for(TableKind::kNestedRel, "Nname")->column("ord"),
+              nullptr);
+}
+
+TEST(Translate, AwkwardXmlNamesBecomeSafeIdentifiers) {
+    Stack stack(
+        "<!ELEMENT root-el (ns:child, select)>"
+        "<!ELEMENT ns:child (#PCDATA)>"
+        "<!ELEMENT select (#PCDATA)>"
+        "<!ATTLIST root-el data-value CDATA #IMPLIED>");
+    const TableSchema* root = stack.schema.entity_table("root-el");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "root_el");
+    EXPECT_NE(root->column_by_source("data-value"), nullptr);
+    // Distilled children with namespace colons become columns too.
+    EXPECT_NE(root->column_by_source("ns:child"), nullptr);
+}
+
+TEST(Ddl, GeneratesCreateTableStatements) {
+    Stack stack(gen::paper_dtd());
+    std::string ddl = stack.schema.ddl();
+    EXPECT_NE(ddl.find("CREATE TABLE article"), std::string::npos);
+    EXPECT_NE(ddl.find("pk INTEGER PRIMARY KEY"), std::string::npos);
+    EXPECT_NE(ddl.find("REFERENCES article(pk)"), std::string::npos);
+    EXPECT_NE(ddl.find("title TEXT NOT NULL"), std::string::npos);
+    // Every table appears.
+    for (const auto& t : stack.schema.tables())
+        EXPECT_NE(ddl.find("CREATE TABLE " + t.name), std::string::npos) << t.name;
+}
+
+TEST(Ddl, ExecutableByTheSqlEngine) {
+    Stack stack(gen::paper_dtd());
+    rdb::Database fresh;
+    for (const auto& t : stack.schema.tables())
+        EXPECT_NO_THROW(sql::execute(fresh, t.ddl())) << t.ddl();
+    EXPECT_EQ(fresh.table_count(), stack.schema.tables().size());
+}
+
+TEST(Materialize, MetadataTablesPopulated) {
+    Stack stack(gen::paper_dtd());
+    EXPECT_EQ(stack.db.require("xrel_elements").row_count(), 8u);
+    EXPECT_NE(stack.db.table("xrel_docs"), nullptr);
+    auto rs = sql::execute(stack.db,
+                           "SELECT COUNT(*) FROM xrel_attributes WHERE "
+                           "distilled = 1");
+    EXPECT_EQ(rs.scalar().as_integer(), 5);
+    auto order = sql::execute(stack.db,
+                              "SELECT child FROM xrel_schema_order WHERE "
+                              "element = 'book' ORDER BY position");
+    ASSERT_EQ(order.row_count(), 3u);
+    EXPECT_EQ(order.at(0, 0).as_text(), "booktitle");
+    EXPECT_EQ(order.at(2, 0).as_text(), "editor");
+    auto rels = sql::execute(stack.db,
+                             "SELECT COUNT(*) FROM xrel_relationships WHERE "
+                             "kind = 'NESTED_GROUP'");
+    EXPECT_EQ(rels.scalar().as_integer(), 6);  // NG1(2) + NG2(2) + NG3(2) members
+    auto mapping_rows = sql::execute(
+        stack.db, "SELECT target FROM xrel_mapping WHERE source = 'article'");
+    ASSERT_EQ(mapping_rows.row_count(), 1u);
+    EXPECT_EQ(mapping_rows.at(0, 0).as_text(), "article");
+}
+
+TEST(Materialize, IndexesCreatedForLoaderHotPaths) {
+    Stack stack(gen::paper_dtd());
+    EXPECT_TRUE(stack.db.require("xrel_ids").has_index("idval"));
+    EXPECT_TRUE(stack.db.require("ng2").has_index("parent_pk"));
+    EXPECT_TRUE(stack.db.require("nname").has_index("parent_pk"));
+    EXPECT_TRUE(stack.db.require("ref_authorid").has_index("idref"));
+}
+
+TEST(Materialize, ForeignKeysDeclared) {
+    Stack stack(gen::paper_dtd());
+    EXPECT_FALSE(stack.db.foreign_keys().empty());
+    EXPECT_TRUE(stack.db.check_foreign_keys().empty());
+}
+
+TEST(Schema, NullableColumnCountExcludesMetadata) {
+    Stack stack(gen::paper_dtd());
+    std::size_t nullable = stack.schema.nullable_column_count();
+    EXPECT_GT(nullable, 0u);
+    EXPECT_LT(nullable, stack.schema.column_count());
+}
+
+}  // namespace
+}  // namespace xr::rel

@@ -1,0 +1,256 @@
+// SQL subsystem: lexer, parser, executor semantics, join strategies.
+#include <gtest/gtest.h>
+
+#include "sql/executor.hpp"
+#include "sql/lexer.hpp"
+#include "sql/parser.hpp"
+
+namespace xr::sql {
+namespace {
+
+using rdb::Value;
+
+class SqlFixture : public ::testing::Test {
+protected:
+    rdb::Database db;
+
+    void SetUp() override {
+        execute(db,
+                "CREATE TABLE emp (pk INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+                "dept INTEGER, salary INTEGER)");
+        execute(db, "CREATE TABLE dept (pk INTEGER PRIMARY KEY, dname TEXT)");
+        execute(db, "INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (3, 'empty')");
+        execute(db,
+                "INSERT INTO emp (name, dept, salary) VALUES "
+                "('ann', 1, 120), ('bob', 1, 100), ('cat', 2, 90), "
+                "('dan', 2, 110), ('eve', NULL, 70)");
+    }
+
+    ResultSet q(const std::string& sql, ExecStats* stats = nullptr) {
+        return execute(db, sql, stats);
+    }
+};
+
+TEST(SqlLexer, TokenKinds) {
+    auto tokens = lex("SELECT x, 'it''s' FROM t WHERE a <= 1.5 -- comment\n;");
+    EXPECT_TRUE(tokens[0].is_keyword("SELECT"));
+    EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+    EXPECT_EQ(tokens[3].type, TokenType::kString);
+    EXPECT_EQ(tokens[3].text, "it's");
+    bool saw_le = false;
+    for (const auto& t : tokens) saw_le |= t.is_symbol("<=");
+    EXPECT_TRUE(saw_le);
+    EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(SqlLexer, QuotedIdentifiersAndErrors) {
+    auto tokens = lex("\"weird name\"");
+    EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+    EXPECT_EQ(tokens[0].text, "weird name");
+    EXPECT_THROW(lex("'unterminated"), ParseError);
+    EXPECT_THROW(lex("a ~ b"), ParseError);
+}
+
+TEST(SqlParser, SelectShape) {
+    SelectStmt s = parse_select(
+        "SELECT a.x AS col, COUNT(*) FROM t a JOIN u ON a.pk = u.fk "
+        "WHERE a.x > 3 AND NOT u.y IS NULL GROUP BY a.x "
+        "ORDER BY col DESC LIMIT 7");
+    EXPECT_EQ(s.items.size(), 2u);
+    EXPECT_EQ(s.items[0].alias, "col");
+    EXPECT_EQ(s.from.effective_alias(), "a");
+    ASSERT_EQ(s.joins.size(), 1u);
+    EXPECT_EQ(s.group_by.size(), 1u);
+    ASSERT_EQ(s.order_by.size(), 1u);
+    EXPECT_TRUE(s.order_by[0].descending);
+    EXPECT_EQ(s.limit, 7u);
+}
+
+TEST(SqlParser, Errors) {
+    EXPECT_THROW(parse("SELECT FROM t"), ParseError);
+    EXPECT_THROW(parse("SELECT * t"), ParseError);
+    EXPECT_THROW(parse("DROP TABLE t"), ParseError);
+    EXPECT_THROW(parse("SELECT * FROM t LEFT JOIN u ON 1 = 1"), ParseError);
+    EXPECT_THROW(parse("SELECT * FROM t; garbage"), ParseError);
+}
+
+TEST(SqlParser, ExpressionPrecedence) {
+    SelectStmt s = parse_select("SELECT 1 + 2 * 3 FROM t");
+    EXPECT_EQ(s.items[0].expr->to_string(), "1 + 2 * 3");
+    const Expr& e = *s.items[0].expr;
+    EXPECT_EQ(e.op, BinaryOp::kAdd);
+    EXPECT_EQ(e.right->op, BinaryOp::kMul);
+}
+
+TEST_F(SqlFixture, ProjectionAndWhere) {
+    auto rs = q("SELECT name FROM emp WHERE salary >= 100 ORDER BY name");
+    ASSERT_EQ(rs.row_count(), 3u);
+    EXPECT_EQ(rs.at(0, 0).as_text(), "ann");
+    EXPECT_EQ(rs.at(2, 0).as_text(), "dan");
+}
+
+TEST_F(SqlFixture, StarExpansion) {
+    auto rs = q("SELECT * FROM dept ORDER BY pk");
+    EXPECT_EQ(rs.columns,
+              (std::vector<std::string>{"dept.pk", "dept.dname"}));
+    EXPECT_EQ(rs.row_count(), 3u);
+}
+
+TEST_F(SqlFixture, NullSemanticsInWhere) {
+    // eve has NULL dept: neither = 1 nor <> 1 matches.
+    EXPECT_EQ(q("SELECT name FROM emp WHERE dept = 1").row_count(), 2u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE dept <> 1").row_count(), 2u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE dept IS NULL").row_count(), 1u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE dept IS NOT NULL").row_count(), 4u);
+}
+
+TEST_F(SqlFixture, Arithmetic) {
+    auto rs = q("SELECT salary * 2 + 1 FROM emp WHERE name = 'ann'");
+    EXPECT_EQ(rs.scalar().as_integer(), 241);
+    EXPECT_TRUE(q("SELECT salary / 0 FROM emp WHERE name = 'ann'")
+                    .scalar()
+                    .is_null());
+}
+
+TEST_F(SqlFixture, LikePatterns) {
+    EXPECT_EQ(q("SELECT name FROM emp WHERE name LIKE 'a%'").row_count(), 1u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE name LIKE '%a%'").row_count(), 3u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE name LIKE '_ob'").row_count(), 1u);
+    EXPECT_EQ(q("SELECT name FROM emp WHERE name LIKE 'ann'").row_count(), 1u);
+}
+
+TEST_F(SqlFixture, JoinInner) {
+    auto rs = q(
+        "SELECT emp.name, dept.dname FROM emp JOIN dept ON emp.dept = dept.pk "
+        "ORDER BY emp.name");
+    ASSERT_EQ(rs.row_count(), 4u);  // eve (NULL dept) drops out
+    EXPECT_EQ(rs.at(0, 1).as_text(), "eng");
+    EXPECT_EQ(rs.at(3, 1).as_text(), "ops");
+}
+
+TEST_F(SqlFixture, JoinUsesPkLookup) {
+    ExecStats stats;
+    q("SELECT emp.name FROM emp JOIN dept ON dept.pk = emp.dept", &stats);
+    EXPECT_GT(stats.index_lookups, 0u);
+    EXPECT_EQ(stats.hash_joins, 0u);
+}
+
+TEST_F(SqlFixture, JoinBuildsHashWhenNoIndex) {
+    ExecStats stats;
+    q("SELECT d.dname FROM dept d JOIN emp ON emp.dept = d.pk", &stats);
+    EXPECT_GT(stats.hash_joins, 0u);
+}
+
+TEST_F(SqlFixture, IndexScanOnDrivingTable) {
+    db.table("emp")->create_index("name");
+    ExecStats stats;
+    auto rs = q("SELECT salary FROM emp WHERE name = 'cat'", &stats);
+    EXPECT_EQ(rs.scalar().as_integer(), 90);
+    EXPECT_GT(stats.index_lookups, 0u);
+    EXPECT_LT(stats.rows_scanned, 3u);
+}
+
+TEST_F(SqlFixture, UnindexedEqualityStillFilters) {
+    auto rs = q("SELECT name FROM emp WHERE salary = 110");
+    ASSERT_EQ(rs.row_count(), 1u);
+    EXPECT_EQ(rs.at(0, 0).as_text(), "dan");
+}
+
+TEST_F(SqlFixture, Aggregates) {
+    EXPECT_EQ(q("SELECT COUNT(*) FROM emp").scalar().as_integer(), 5);
+    EXPECT_EQ(q("SELECT COUNT(dept) FROM emp").scalar().as_integer(), 4);
+    EXPECT_EQ(q("SELECT COUNT(DISTINCT dept) FROM emp").scalar().as_integer(), 2);
+    EXPECT_EQ(q("SELECT SUM(salary) FROM emp").scalar().as_integer(), 490);
+    EXPECT_EQ(q("SELECT MIN(salary) FROM emp").scalar().as_integer(), 70);
+    EXPECT_EQ(q("SELECT MAX(name) FROM emp").scalar().as_text(), "eve");
+    EXPECT_DOUBLE_EQ(q("SELECT AVG(salary) FROM emp").scalar().as_real(), 98.0);
+}
+
+TEST_F(SqlFixture, AggregateOverEmptyInput) {
+    EXPECT_EQ(q("SELECT COUNT(*) FROM emp WHERE salary > 999")
+                  .scalar()
+                  .as_integer(),
+              0);
+    EXPECT_TRUE(
+        q("SELECT SUM(salary) FROM emp WHERE salary > 999").scalar().is_null());
+}
+
+TEST_F(SqlFixture, GroupByWithHaving) {
+    auto rs = q(
+        "SELECT dept, COUNT(*) AS n, SUM(salary) FROM emp "
+        "WHERE dept IS NOT NULL GROUP BY dept HAVING COUNT(*) >= 2 "
+        "ORDER BY 1");
+    ASSERT_EQ(rs.row_count(), 2u);
+    EXPECT_EQ(rs.at(0, 0).as_integer(), 1);
+    EXPECT_EQ(rs.at(0, 2).as_integer(), 220);
+    EXPECT_EQ(rs.at(1, 2).as_integer(), 200);
+}
+
+TEST_F(SqlFixture, GroupByOrderByAlias) {
+    auto rs = q(
+        "SELECT dept, COUNT(*) AS n FROM emp WHERE dept IS NOT NULL "
+        "GROUP BY dept ORDER BY n DESC, 1");
+    EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(SqlFixture, DistinctAndLimit) {
+    EXPECT_EQ(q("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL")
+                  .row_count(),
+              2u);
+    EXPECT_EQ(q("SELECT name FROM emp ORDER BY salary DESC LIMIT 2").row_count(),
+              2u);
+    EXPECT_EQ(q("SELECT name FROM emp ORDER BY salary DESC LIMIT 2").at(0, 0)
+                  .as_text(),
+              "ann");
+}
+
+TEST_F(SqlFixture, OrderByExpressionNotInSelect) {
+    auto rs = q("SELECT name FROM emp ORDER BY salary");
+    EXPECT_EQ(rs.at(0, 0).as_text(), "eve");
+    EXPECT_EQ(rs.at(4, 0).as_text(), "ann");
+}
+
+TEST_F(SqlFixture, ThreeWayJoin) {
+    execute(db, "CREATE TABLE loc (pk INTEGER PRIMARY KEY, dept INTEGER, city TEXT)");
+    execute(db, "INSERT INTO loc VALUES (1, 1, 'boston'), (2, 2, 'waltham')");
+    auto rs = q(
+        "SELECT emp.name, loc.city FROM emp "
+        "JOIN dept ON dept.pk = emp.dept "
+        "JOIN loc ON loc.dept = dept.pk "
+        "WHERE loc.city = 'waltham' ORDER BY emp.name");
+    ASSERT_EQ(rs.row_count(), 2u);
+    EXPECT_EQ(rs.at(0, 0).as_text(), "cat");
+}
+
+TEST_F(SqlFixture, SemanticErrors) {
+    EXPECT_THROW(q("SELECT nope FROM emp"), QueryError);
+    EXPECT_THROW(q("SELECT name FROM ghost"), QueryError);
+    EXPECT_THROW(q("SELECT z.name FROM emp"), QueryError);
+    EXPECT_THROW(q("SELECT pk FROM emp JOIN dept ON emp.dept = dept.pk"),
+                 QueryError);  // ambiguous pk
+    EXPECT_THROW(q("INSERT INTO emp VALUES (1)"), QueryError);
+    EXPECT_THROW(q("INSERT INTO emp (ghost) VALUES (1)"), QueryError);
+}
+
+TEST_F(SqlFixture, CreateIndexStatement) {
+    execute(db, "CREATE INDEX ON emp (name)");
+    EXPECT_TRUE(db.table("emp")->has_index("name"));
+    execute(db, "CREATE INDEX idx2 ON emp (salary)");
+    EXPECT_TRUE(db.table("emp")->has_index("salary"));
+}
+
+TEST_F(SqlFixture, ResultSetToString) {
+    std::string out = q("SELECT name, salary FROM emp ORDER BY pk LIMIT 1")
+                          .to_string();
+    EXPECT_NE(out.find("ann"), std::string::npos);
+    EXPECT_NE(out.find("120"), std::string::npos);
+}
+
+TEST_F(SqlFixture, ReexecutingParsedSelectIsStable) {
+    SelectStmt s = parse_select("SELECT COUNT(*) FROM emp WHERE dept = 1");
+    EXPECT_EQ(execute_select(db, s).scalar().as_integer(), 2);
+    EXPECT_EQ(execute_select(db, s).scalar().as_integer(), 2);
+}
+
+}  // namespace
+}  // namespace xr::sql

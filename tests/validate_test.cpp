@@ -1,0 +1,251 @@
+// Validator: Glushkov automata and document validity constraints.
+#include <gtest/gtest.h>
+
+#include "dtd/parser.hpp"
+#include "gen/corpora.hpp"
+#include "validate/automaton.hpp"
+#include "validate/validator.hpp"
+#include "xml/parser.hpp"
+
+namespace xr::validate {
+namespace {
+
+dtd::Particle model(const std::string& content) {
+    dtd::Dtd d = dtd::parse_dtd("<!ELEMENT a " + content + ">");
+    return d.element("a")->content.particle;
+}
+
+bool matches(const std::string& content, const std::vector<std::string>& names) {
+    return ContentAutomaton(model(content)).matches(names);
+}
+
+TEST(Automaton, Sequence) {
+    EXPECT_TRUE(matches("(b, c)", {"b", "c"}));
+    EXPECT_FALSE(matches("(b, c)", {"c", "b"}));
+    EXPECT_FALSE(matches("(b, c)", {"b"}));
+    EXPECT_FALSE(matches("(b, c)", {"b", "c", "c"}));
+    EXPECT_FALSE(matches("(b, c)", {}));
+}
+
+TEST(Automaton, Choice) {
+    EXPECT_TRUE(matches("(b | c)", {"b"}));
+    EXPECT_TRUE(matches("(b | c)", {"c"}));
+    EXPECT_FALSE(matches("(b | c)", {"b", "c"}));
+    EXPECT_FALSE(matches("(b | c)", {}));
+}
+
+TEST(Automaton, Optional) {
+    EXPECT_TRUE(matches("(b?, c)", {"c"}));
+    EXPECT_TRUE(matches("(b?, c)", {"b", "c"}));
+    EXPECT_FALSE(matches("(b?, c)", {"b", "b", "c"}));
+}
+
+TEST(Automaton, Repetition) {
+    EXPECT_TRUE(matches("(b*)", {}));
+    EXPECT_TRUE(matches("(b*)", {"b", "b", "b"}));
+    EXPECT_FALSE(matches("(b+)", {}));
+    EXPECT_TRUE(matches("(b+)", {"b"}));
+}
+
+TEST(Automaton, PaperArticleModel) {
+    const std::string m = "(title, (author, affiliation?)+, contactauthor?)";
+    EXPECT_TRUE(matches(m, {"title", "author"}));
+    EXPECT_TRUE(matches(m, {"title", "author", "affiliation", "author"}));
+    EXPECT_TRUE(matches(
+        m, {"title", "author", "author", "affiliation", "contactauthor"}));
+    EXPECT_FALSE(matches(m, {"title"}));
+    EXPECT_FALSE(matches(m, {"title", "affiliation"}));
+    EXPECT_FALSE(matches(m, {"author", "title"}));
+}
+
+TEST(Automaton, PaperBookModel) {
+    const std::string m = "(booktitle, (author* | editor))";
+    EXPECT_TRUE(matches(m, {"booktitle"}));  // author* can be empty
+    EXPECT_TRUE(matches(m, {"booktitle", "author", "author"}));
+    EXPECT_TRUE(matches(m, {"booktitle", "editor"}));
+    EXPECT_FALSE(matches(m, {"booktitle", "author", "editor"}));
+    EXPECT_FALSE(matches(m, {"editor"}));
+}
+
+TEST(Automaton, NullableGroupsTerminate) {
+    // (a?)* used to hang naive matchers on zero-width iterations.
+    EXPECT_TRUE(matches("((b?)*)", {}));
+    EXPECT_TRUE(matches("((b?)*)", {"b", "b"}));
+    EXPECT_TRUE(matches("((b*, c*)*)", {"c", "b"}));
+}
+
+TEST(Automaton, IncrementalRunReportsExpectations) {
+    ContentAutomaton automaton(model("(b, c)"));
+    ContentAutomaton::Run run(automaton);
+    EXPECT_EQ(run.expected(), (std::vector<std::string>{"b"}));
+    EXPECT_TRUE(run.feed("b"));
+    EXPECT_FALSE(run.accepting());
+    EXPECT_EQ(run.expected(), (std::vector<std::string>{"c"}));
+    EXPECT_TRUE(run.feed("c"));
+    EXPECT_TRUE(run.accepting());
+    EXPECT_FALSE(run.feed("c"));
+}
+
+TEST(Automaton, Determinism) {
+    EXPECT_TRUE(ContentAutomaton(model("(b, c)")).deterministic());
+    EXPECT_TRUE(ContentAutomaton(model("(b | c)")).deterministic());
+    // ((b, c) | (b, d)) is the canonical nondeterministic model.
+    EXPECT_FALSE(ContentAutomaton(model("((b, c) | (b, d))")).deterministic());
+    // Still validated correctly by set simulation.
+    EXPECT_TRUE(matches("((b, c) | (b, d))", {"b", "d"}));
+}
+
+// -- validator ----------------------------------------------------------------
+
+ValidationResult check(const std::string& dtd_text, const std::string& xml_text,
+                       ValidateOptions options = {}) {
+    dtd::Dtd d = dtd::parse_dtd(dtd_text);
+    auto doc = xml::parse_document(xml_text);
+    return validate(*doc, d, options);
+}
+
+TEST(Validator, ValidPaperDocumentPasses) {
+    dtd::Dtd d = gen::paper_dtd();
+    auto doc = xml::parse_document(gen::paper_sample_document());
+    EXPECT_TRUE(validate(*doc, d).ok()) << validate(*doc, d).to_string();
+}
+
+TEST(Validator, UndeclaredElementFlagged) {
+    auto r = check("<!ELEMENT a EMPTY>", "<a><b/></a>");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Validator, UndeclaredElementAllowedWhenLenient) {
+    ValidateOptions options;
+    options.strict = false;
+    auto r = check("<!ELEMENT a ANY>", "<a><b/></a>", options);
+    EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Validator, EmptyElementMustBeEmpty) {
+    EXPECT_FALSE(check("<!ELEMENT a EMPTY>", "<a>text</a>").ok());
+    EXPECT_TRUE(check("<!ELEMENT a EMPTY>", "<a/>").ok());
+}
+
+TEST(Validator, PCDataElementRejectsChildren) {
+    EXPECT_FALSE(
+        check("<!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>", "<a><b/></a>").ok());
+}
+
+TEST(Validator, ContentModelViolationsReported) {
+    const std::string dtd = "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>";
+    EXPECT_FALSE(check(dtd, "<a><b/></a>").ok());         // premature end
+    EXPECT_FALSE(check(dtd, "<a><c/><b/></a>").ok());     // wrong order
+    EXPECT_FALSE(check(dtd, "<a><b/><c/><c/></a>").ok()); // extra child
+    EXPECT_TRUE(check(dtd, "<a><b/><c/></a>").ok());
+}
+
+TEST(Validator, CharacterDataInElementContentFlagged) {
+    EXPECT_FALSE(
+        check("<!ELEMENT a (b)><!ELEMENT b EMPTY>", "<a>oops<b/></a>").ok());
+    // Whitespace between children is fine.
+    EXPECT_TRUE(
+        check("<!ELEMENT a (b)><!ELEMENT b EMPTY>", "<a>\n  <b/>\n</a>").ok());
+}
+
+TEST(Validator, MissingRequiredAttribute) {
+    auto r = check("<!ELEMENT a EMPTY><!ATTLIST a x CDATA #REQUIRED>", "<a/>");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.issues[0].message.find("x"), std::string::npos);
+}
+
+TEST(Validator, UndeclaredAttributeFlagged) {
+    EXPECT_FALSE(check("<!ELEMENT a EMPTY>", "<a bogus=\"1\"/>").ok());
+}
+
+TEST(Validator, EnumerationEnforced) {
+    const std::string dtd =
+        "<!ELEMENT a EMPTY><!ATTLIST a s (on | off) #REQUIRED>";
+    EXPECT_TRUE(check(dtd, "<a s=\"on\"/>").ok());
+    EXPECT_FALSE(check(dtd, "<a s=\"maybe\"/>").ok());
+}
+
+TEST(Validator, FixedValueEnforced) {
+    const std::string dtd =
+        "<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED \"1\">";
+    EXPECT_TRUE(check(dtd, "<a v=\"1\"/>").ok());
+    EXPECT_FALSE(check(dtd, "<a v=\"2\"/>").ok());
+}
+
+TEST(Validator, DefaultsAppliedOnRequest) {
+    dtd::Dtd d = dtd::parse_dtd(
+        "<!ELEMENT a EMPTY><!ATTLIST a v CDATA \"dflt\">");
+    auto doc = xml::parse_document("<a/>");
+    ValidateOptions options;
+    options.apply_defaults = true;
+    EXPECT_TRUE(validate(*doc, d, options).ok());
+    EXPECT_EQ(*doc->root()->attribute("v"), "dflt");
+}
+
+TEST(Validator, DuplicateIdsFlagged) {
+    const std::string dtd =
+        "<!ELEMENT a (b, b)><!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED>";
+    EXPECT_FALSE(
+        check(dtd, "<a><b id=\"x\"/><b id=\"x\"/></a>").ok());
+    EXPECT_TRUE(check(dtd, "<a><b id=\"x\"/><b id=\"y\"/></a>").ok());
+}
+
+TEST(Validator, DanglingIdrefFlagged) {
+    const std::string dtd =
+        "<!ELEMENT a (b, c)>"
+        "<!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED>"
+        "<!ELEMENT c EMPTY><!ATTLIST c r IDREF #REQUIRED>";
+    EXPECT_TRUE(check(dtd, "<a><b id=\"x\"/><c r=\"x\"/></a>").ok());
+    EXPECT_FALSE(check(dtd, "<a><b id=\"x\"/><c r=\"nope\"/></a>").ok());
+}
+
+TEST(Validator, ForwardIdrefResolves) {
+    const std::string dtd =
+        "<!ELEMENT a (c, b)>"
+        "<!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED>"
+        "<!ELEMENT c EMPTY><!ATTLIST c r IDREF #REQUIRED>";
+    EXPECT_TRUE(check(dtd, "<a><c r=\"x\"/><b id=\"x\"/></a>").ok());
+}
+
+TEST(Validator, IdrefsChecksEveryToken) {
+    const std::string dtd =
+        "<!ELEMENT a (b, b, c)>"
+        "<!ELEMENT b EMPTY><!ATTLIST b id ID #REQUIRED>"
+        "<!ELEMENT c EMPTY><!ATTLIST c rs IDREFS #REQUIRED>";
+    EXPECT_TRUE(
+        check(dtd, "<a><b id=\"x\"/><b id=\"y\"/><c rs=\"x y\"/></a>").ok());
+    EXPECT_FALSE(
+        check(dtd, "<a><b id=\"x\"/><b id=\"y\"/><c rs=\"x z\"/></a>").ok());
+}
+
+TEST(Validator, MixedContentMembersEnforced) {
+    const std::string dtd =
+        "<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>"
+        "<!ELEMENT bad EMPTY>";
+    EXPECT_TRUE(check(dtd, "<p>a<em>b</em>c</p>").ok());
+    EXPECT_FALSE(check(dtd, "<p>a<bad/>c</p>").ok());
+}
+
+TEST(Validator, RootMustMatchDoctype) {
+    auto r = check("<!ELEMENT a EMPTY>",
+                   "<!DOCTYPE b SYSTEM \"b.dtd\"><a/>");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Validator, CheckThrowsOnFirstIssue) {
+    dtd::Dtd d = dtd::parse_dtd("<!ELEMENT a EMPTY>");
+    auto doc = xml::parse_document("<a>text</a>");
+    EXPECT_THROW(check_valid(*doc, d), ValidationError);
+}
+
+TEST(Validator, MaxIssuesCapped) {
+    std::string body;
+    for (int i = 0; i < 50; ++i) body += "<u/>";
+    ValidateOptions options;
+    options.max_issues = 10;
+    auto r = check("<!ELEMENT a ANY>", "<a>" + body + "</a>", options);
+    EXPECT_EQ(r.issues.size(), 10u);
+}
+
+}  // namespace
+}  // namespace xr::validate

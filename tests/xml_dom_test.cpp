@@ -1,0 +1,111 @@
+// DOM construction, navigation and serialization round trips.
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+
+namespace xr::xml {
+namespace {
+
+TEST(Dom, BuildTreeProgrammatically) {
+    Document doc;
+    Element* root = doc.make_root("library");
+    Element* book = root->append_element("book");
+    book->set_attribute("isbn", "123");
+    book->append_text("A Tale");
+    EXPECT_EQ(doc.size(), 3u);  // library, book, text
+    EXPECT_EQ(root->subtree_element_count(), 2u);
+    EXPECT_EQ(book->parent(), root);
+}
+
+TEST(Dom, SetAttributeOverwrites) {
+    Element e("x");
+    e.set_attribute("a", "1");
+    e.set_attribute("a", "2");
+    ASSERT_EQ(e.attributes().size(), 1u);
+    EXPECT_EQ(*e.attribute("a"), "2");
+    EXPECT_TRUE(e.remove_attribute("a"));
+    EXPECT_FALSE(e.remove_attribute("a"));
+}
+
+TEST(Dom, ChildNavigation) {
+    auto doc = parse_document("<r><a>1</a><b/><a>2</a></r>");
+    auto* root = doc->root();
+    EXPECT_EQ(root->child_elements().size(), 3u);
+    auto as = root->child_elements("a");
+    ASSERT_EQ(as.size(), 2u);
+    EXPECT_EQ(as[0]->text(), "1");
+    EXPECT_EQ(as[1]->text(), "2");
+    EXPECT_EQ(root->first_child("b")->name(), "b");
+    EXPECT_EQ(root->first_child("zzz"), nullptr);
+}
+
+TEST(Dom, DeepTextConcatenatesDocumentOrder) {
+    auto doc = parse_document("<r>a<b>b1<c>c1</c></b>z</r>");
+    EXPECT_EQ(doc->root()->deep_text(), "ab1c1z");
+    EXPECT_EQ(doc->root()->text(), "az");
+}
+
+TEST(Dom, VisitIsPreOrder) {
+    auto doc = parse_document("<r><a><b/></a><c/></r>");
+    std::string order;
+    visit(*doc->root(), [&](const Node& n) {
+        if (n.is_element()) order += static_cast<const Element&>(n).name();
+    });
+    EXPECT_EQ(order, "rabc");
+}
+
+TEST(Serializer, RoundTripIsFixedPoint) {
+    const char* text =
+        "<r a=\"1\"><b>text &amp; more</b><c x=\"y\"/><!--note--></r>";
+    auto doc = parse_document(text);
+    std::string once = serialize(*doc);
+    auto doc2 = parse_document(once);
+    std::string twice = serialize(*doc2);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(Serializer, CompactModeHasNoNewlines) {
+    auto doc = parse_document("<r><a/><b/></r>");
+    SerializeOptions options;
+    options.indent.clear();
+    options.declaration = false;
+    EXPECT_EQ(serialize(*doc, options), "<r><a/><b/></r>");
+}
+
+TEST(Serializer, EscapesSpecialCharacters) {
+    Document doc;
+    Element* root = doc.make_root("r");
+    root->append_text("a<b>&c");
+    root->set_attribute("q", "say \"hi\" & <bye>");
+    SerializeOptions options;
+    options.indent.clear();
+    options.declaration = false;
+    std::string out = serialize(doc, options);
+    EXPECT_EQ(out,
+              "<r q=\"say &quot;hi&quot; &amp; &lt;bye&gt;\">a&lt;b&gt;&amp;c</r>");
+}
+
+TEST(Serializer, MixedContentStaysInline) {
+    ParseOptions popt;
+    popt.keep_whitespace_text = true;
+    auto doc = parse_document("<p>one <em>two</em> three</p>", popt);
+    std::string out = serialize(*doc, {.declaration = false});
+    EXPECT_NE(out.find("one <em>two</em> three"), std::string::npos);
+}
+
+TEST(Serializer, DoctypeEmitted) {
+    auto doc = parse_document("<!DOCTYPE r SYSTEM \"r.dtd\"><r/>");
+    std::string out = serialize(*doc);
+    EXPECT_NE(out.find("<!DOCTYPE r SYSTEM \"r.dtd\">"), std::string::npos);
+}
+
+TEST(Serializer, CDataPreserved) {
+    auto doc = parse_document("<r><![CDATA[<raw>]]></r>");
+    std::string out = serialize(*doc, {.declaration = false});
+    EXPECT_NE(out.find("<![CDATA[<raw>]]>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xr::xml
