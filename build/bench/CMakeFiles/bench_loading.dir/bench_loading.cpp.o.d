@@ -203,7 +203,19 @@ bench/CMakeFiles/bench_loading.dir/bench_loading.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/baseline/inline_loader.hpp \
  /root/repo/src/baseline/inline_schema.hpp \
  /root/repo/src/baseline/simplify.hpp /root/repo/src/dtd/dtd.hpp \
@@ -214,7 +226,6 @@ bench/CMakeFiles/bench_loading.dir/bench_loading.cpp.o: \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -240,4 +251,4 @@ bench/CMakeFiles/bench_loading.dir/bench_loading.cpp.o: \
  /root/repo/src/validate/automaton.hpp /root/repo/src/rel/materialize.hpp \
  /root/repo/src/rel/translate.hpp /root/repo/src/xml/parser.hpp \
  /root/repo/src/common/table_printer.hpp \
- /root/repo/src/xml/serializer.hpp
+ /root/repo/src/loader/bulk_loader.hpp /root/repo/src/xml/serializer.hpp

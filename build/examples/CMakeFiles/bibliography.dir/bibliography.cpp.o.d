@@ -225,9 +225,9 @@ examples/CMakeFiles/bibliography.dir/bibliography.cpp.o: \
  /root/repo/src/mapping/metadata.hpp /root/repo/src/mapping/pipeline.hpp \
  /root/repo/src/mapping/steps.hpp /root/repo/src/er/model.hpp \
  /root/repo/src/mapping/converted_dtd.hpp /root/repo/src/rdb/database.hpp \
- /root/repo/src/rdb/table.hpp /root/repo/src/rdb/value.hpp \
- /usr/include/c++/12/variant /root/repo/src/rel/schema.hpp \
- /root/repo/src/validate/validator.hpp \
+ /root/repo/src/rdb/table.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/rdb/value.hpp /usr/include/c++/12/variant \
+ /root/repo/src/rel/schema.hpp /root/repo/src/validate/validator.hpp \
  /root/repo/src/validate/automaton.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \

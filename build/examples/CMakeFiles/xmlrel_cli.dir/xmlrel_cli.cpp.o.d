@@ -157,6 +157,8 @@ examples/CMakeFiles/xmlrel_cli.dir/xmlrel_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/dtd/parser.hpp /root/repo/src/dtd/dtd.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
@@ -165,9 +167,8 @@ examples/CMakeFiles/xmlrel_cli.dir/xmlrel_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/error.hpp \
@@ -219,13 +220,15 @@ examples/CMakeFiles/xmlrel_cli.dir/xmlrel_cli.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/er/dot.hpp \
- /root/repo/src/er/model.hpp /root/repo/src/loader/loader.hpp \
- /root/repo/src/loader/plan.hpp /root/repo/src/mapping/metadata.hpp \
- /root/repo/src/mapping/pipeline.hpp /root/repo/src/mapping/steps.hpp \
+ /root/repo/src/er/model.hpp /root/repo/src/loader/bulk_loader.hpp \
+ /root/repo/src/loader/loader.hpp /root/repo/src/loader/plan.hpp \
+ /root/repo/src/mapping/metadata.hpp /root/repo/src/mapping/pipeline.hpp \
+ /root/repo/src/mapping/steps.hpp \
  /root/repo/src/mapping/converted_dtd.hpp /root/repo/src/rdb/database.hpp \
- /root/repo/src/rdb/table.hpp /root/repo/src/rdb/value.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/rel/schema.hpp /root/repo/src/validate/validator.hpp \
+ /root/repo/src/rdb/table.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/rdb/value.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/rel/schema.hpp \
+ /root/repo/src/validate/validator.hpp \
  /root/repo/src/validate/automaton.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \

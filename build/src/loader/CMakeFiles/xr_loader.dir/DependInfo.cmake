@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loader/bulk_loader.cpp" "src/loader/CMakeFiles/xr_loader.dir/bulk_loader.cpp.o" "gcc" "src/loader/CMakeFiles/xr_loader.dir/bulk_loader.cpp.o.d"
   "/root/repo/src/loader/loader.cpp" "src/loader/CMakeFiles/xr_loader.dir/loader.cpp.o" "gcc" "src/loader/CMakeFiles/xr_loader.dir/loader.cpp.o.d"
   "/root/repo/src/loader/plan.cpp" "src/loader/CMakeFiles/xr_loader.dir/plan.cpp.o" "gcc" "src/loader/CMakeFiles/xr_loader.dir/plan.cpp.o.d"
   "/root/repo/src/loader/reconstruct.cpp" "src/loader/CMakeFiles/xr_loader.dir/reconstruct.cpp.o" "gcc" "src/loader/CMakeFiles/xr_loader.dir/reconstruct.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/xr_loader.dir/bulk_loader.cpp.o"
+  "CMakeFiles/xr_loader.dir/bulk_loader.cpp.o.d"
   "CMakeFiles/xr_loader.dir/loader.cpp.o"
   "CMakeFiles/xr_loader.dir/loader.cpp.o.d"
   "CMakeFiles/xr_loader.dir/plan.cpp.o"

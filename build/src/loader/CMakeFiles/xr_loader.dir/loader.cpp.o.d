@@ -218,9 +218,9 @@ src/loader/CMakeFiles/xr_loader.dir/loader.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/rdb/table.hpp \
- /root/repo/src/rdb/value.hpp /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/rel/schema.hpp \
- /root/repo/src/validate/validator.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/value.hpp \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/rel/schema.hpp /root/repo/src/validate/validator.hpp \
  /root/repo/src/validate/automaton.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/xml/dom.hpp \

@@ -208,8 +208,8 @@ src/loader/CMakeFiles/xr_loader.dir/reconstruct.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/dtd/content_model.hpp \
  /root/repo/src/er/model.hpp /root/repo/src/mapping/converted_dtd.hpp \
  /root/repo/src/mapping/metadata.hpp /root/repo/src/rdb/database.hpp \
- /root/repo/src/rdb/table.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/rdb/table.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/rdb/value.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \

@@ -5,20 +5,25 @@
 //       Print the converted DTD (Example 2 form), the ER diagram, the
 //       Graphviz DOT and the relational DDL for a DTD.
 //
-//   xmlrel_cli load <dtd-file> <xml-file>... [--sql "SELECT ..."]...
+//   xmlrel_cli load <dtd-file> <xml-file>... [--jobs N] [--sql "SELECT ..."]...
 //                               [--query "/path/query"]... [--reconstruct N]
 //       Map the DTD, validate and load the documents, then run SQL
 //       statements and/or path queries (shown with their generated SQL),
-//       and optionally reconstruct document N back to XML.
+//       and optionally reconstruct document N back to XML.  With
+//       --jobs N (N != 1) the corpus goes through the parallel bulk-load
+//       pipeline: N shredding workers (0 = one per hardware thread),
+//       batched appends, one index rebuild, one IDREF resolution pass.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "dtd/parser.hpp"
 #include "er/dot.hpp"
+#include "loader/bulk_loader.hpp"
 #include "loader/loader.hpp"
 #include "loader/reconstruct.hpp"
 #include "mapping/pipeline.hpp"
@@ -46,7 +51,7 @@ int usage() {
     std::cerr << "usage:\n"
               << "  xmlrel_cli map <dtd-file>\n"
               << "  xmlrel_cli validate <dtd-file> <xml-file>...\n"
-              << "  xmlrel_cli load <dtd-file> <xml-file>... "
+              << "  xmlrel_cli load <dtd-file> <xml-file>... [--jobs N] "
                  "[--sql STMT]... [--query PATH]... [--reconstruct N]\n";
     return 2;
 }
@@ -93,14 +98,33 @@ int cmd_load(const std::vector<std::string>& args) {
     std::vector<std::string> sql_statements;
     std::vector<std::string> path_queries;
     std::int64_t reconstruct_doc = -1;
+    std::int64_t jobs = 1;  // 1 = serial loader; 0 = all hardware threads
+
+    // Integer option value; nullopt (→ usage) on missing or non-numeric.
+    auto int_arg = [&](std::size_t& i) -> std::optional<std::int64_t> {
+        if (i + 1 >= args.size()) return std::nullopt;
+        try {
+            return std::stoll(args[++i]);
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+    };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--sql" && i + 1 < args.size()) {
             sql_statements.push_back(args[++i]);
         } else if (args[i] == "--query" && i + 1 < args.size()) {
             path_queries.push_back(args[++i]);
-        } else if (args[i] == "--reconstruct" && i + 1 < args.size()) {
-            reconstruct_doc = std::stoll(args[++i]);
+        } else if (args[i] == "--reconstruct") {
+            auto v = int_arg(i);
+            if (!v) return usage();
+            reconstruct_doc = *v;
+        } else if (args[i] == "--jobs") {
+            auto v = int_arg(i);
+            if (!v || *v < 0) return usage();
+            jobs = *v;
+        } else if (args[i].rfind("--", 0) == 0) {
+            return usage();  // unknown flag, not a file path
         } else if (dtd_path.empty()) {
             dtd_path = args[i];
         } else {
@@ -114,15 +138,32 @@ int cmd_load(const std::vector<std::string>& args) {
     xr::rel::RelationalSchema schema = xr::rel::translate(m);
     xr::rdb::Database db;
     xr::rel::materialize(schema, m, db);
-    xr::loader::Loader loader(dtd, m, schema, db);
-
     std::vector<std::unique_ptr<xr::xml::Document>> docs;
-    for (const auto& path : xml_paths) {
+    for (const auto& path : xml_paths)
         docs.push_back(xr::xml::parse_document(read_file(path)));
-        std::int64_t id = loader.load(*docs.back());
-        std::cout << "loaded " << path << " as doc " << id << "\n";
+
+    xr::loader::LoadStats st;
+    if (jobs == 1) {
+        xr::loader::Loader loader(dtd, m, schema, db);
+        for (std::size_t i = 0; i < docs.size(); ++i) {
+            std::int64_t id = loader.load(*docs[i]);
+            std::cout << "loaded " << xml_paths[i] << " as doc " << id << "\n";
+        }
+        st = loader.stats();
+    } else {
+        xr::loader::BulkLoader loader(dtd, m, schema, db);
+        xr::loader::BulkLoadOptions opt;
+        opt.jobs = static_cast<std::size_t>(jobs);
+        opt.validate = true;
+        std::vector<xr::xml::Document*> views;
+        views.reserve(docs.size());
+        for (auto& d : docs) views.push_back(d.get());
+        st = loader.load_corpus(views, opt);
+        std::cout << "bulk-loaded " << docs.size() << " document(s) with "
+                  << (jobs == 0 ? "all hardware threads"
+                                : std::to_string(jobs) + " worker(s)")
+                  << "\n";
     }
-    const auto& st = loader.stats();
     std::cout << st.documents << " documents, " << st.elements_visited
               << " elements, " << st.total_rows() << " rows, "
               << st.resolved_references << " references resolved\n";

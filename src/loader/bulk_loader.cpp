@@ -1,0 +1,176 @@
+#include "loader/bulk_loader.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "xml/parser.hpp"
+
+namespace xr::loader {
+
+namespace {
+
+/// Thread-local staging: rows buffer per table, primary keys drawn from
+/// pre-reserved ranges so the shared counter is touched once per chunk.
+class StagingSink final : public RowSink {
+public:
+    explicit StagingSink(std::int64_t pk_chunk) : chunk_(pk_chunk) {}
+
+    std::int64_t allocate_pk(rdb::Table& table) override {
+        PkRange& r = ranges_[&table];
+        if (r.next == r.end) {
+            r.next = table.allocate_pk_range(chunk_);
+            r.end = r.next + chunk_;
+        }
+        return r.next++;
+    }
+
+    void append(rdb::Table& table, rdb::Row row) override {
+        staged_[&table].push_back(std::move(row));
+    }
+
+    [[nodiscard]] std::vector<rdb::Row>* staged_for(rdb::Table* table) {
+        auto it = staged_.find(table);
+        return it == staged_.end() ? nullptr : &it->second;
+    }
+
+private:
+    struct PkRange {
+        std::int64_t next = 0, end = 0;
+    };
+    std::int64_t chunk_;
+    std::unordered_map<rdb::Table*, PkRange> ranges_;
+    std::unordered_map<rdb::Table*, std::vector<rdb::Row>> staged_;
+};
+
+}  // namespace
+
+BulkLoader::BulkLoader(const dtd::Dtd& logical,
+                       const mapping::MappingResult& mapping,
+                       const rel::RelationalSchema& schema, rdb::Database& db)
+    : db_(db), loader_(logical, mapping, schema, db) {}
+
+std::int64_t BulkLoader::next_doc_base() const {
+    std::int64_t base = 1;
+    if (const rdb::Table* docs = db_.table("xrel_docs")) {
+        int c = docs->def().column_index("doc");
+        if (c >= 0) {
+            for (const auto& row : docs->rows()) {
+                if (!row[c].is_null())
+                    base = std::max(base, row[c].as_integer() + 1);
+            }
+        }
+    }
+    return base;
+}
+
+LoadStats BulkLoader::load_corpus(const std::vector<xml::Document*>& docs,
+                                  const BulkLoadOptions& options) {
+    std::int64_t base = next_doc_base();
+    return run(
+        docs.size(),
+        [&](std::size_t i, RowSink& sink, LoadStats& stats,
+            const LoadOptions& lopt) {
+            loader_.shred_document(*docs[i],
+                                   base + static_cast<std::int64_t>(i), lopt,
+                                   sink, stats);
+        },
+        options);
+}
+
+LoadStats BulkLoader::load_texts(const std::vector<std::string>& texts,
+                                 const BulkLoadOptions& options) {
+    std::int64_t base = next_doc_base();
+    return run(
+        texts.size(),
+        [&](std::size_t i, RowSink& sink, LoadStats& stats,
+            const LoadOptions& lopt) {
+            auto doc = xml::parse_document(texts[i]);
+            loader_.shred_document(*doc, base + static_cast<std::int64_t>(i),
+                                   lopt, sink, stats);
+        },
+        options);
+}
+
+LoadStats BulkLoader::run(
+    std::size_t count,
+    const std::function<void(std::size_t, RowSink&, LoadStats&,
+                             const LoadOptions&)>& shred_one,
+    const BulkLoadOptions& options) {
+    LoadOptions lopt;
+    lopt.validate = options.validate;
+    lopt.strict = options.strict;
+    lopt.resolve_references = false;
+
+    std::size_t jobs = options.jobs != 0
+                           ? options.jobs
+                           : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::clamp<std::size_t>(jobs, 1, std::max<std::size_t>(count, 1));
+    auto chunk =
+        static_cast<std::int64_t>(std::max<std::size_t>(options.pk_chunk, 1));
+
+    std::vector<StagingSink> sinks;
+    sinks.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) sinks.emplace_back(chunk);
+    std::vector<LoadStats> worker_stats(jobs);
+
+    // Documents are striped across workers (worker w takes w, w+jobs, ...):
+    // deterministic assignment, balanced for homogeneous corpora.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&](std::size_t w) {
+        try {
+            for (std::size_t i = w;
+                 i < count && !failed.load(std::memory_order_relaxed);
+                 i += jobs) {
+                shred_one(i, sinks[w], worker_stats[w], lopt);
+            }
+        } catch (...) {
+            std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+        }
+    };
+    if (jobs == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t w = 0; w < jobs; ++w) pool.emplace_back(worker, w);
+        for (auto& t : pool) t.join();
+    }
+    // A failed shred leaves the database untouched — staging is discarded
+    // wholesale (only pk-range reservations were consumed).
+    if (first_error) std::rethrow_exception(first_error);
+
+    // Merge: batched appends with index maintenance deferred to one
+    // rebuild pass.  Rows come from the trusted shredding plans, so the
+    // per-row cell validation is skipped (batch shape is still checked).
+    db_.begin_bulk();
+    for (const std::string& name : db_.table_names()) {
+        rdb::Table* table = db_.table(name);
+        std::size_t total = 0;
+        for (auto& sink : sinks) {
+            if (auto* rows = sink.staged_for(table)) total += rows->size();
+        }
+        if (total == 0) continue;
+        table->reserve_rows(total);
+        for (auto& sink : sinks) {
+            auto* rows = sink.staged_for(table);
+            if (rows == nullptr || rows->empty()) continue;
+            table->insert_batch(std::move(*rows), /*validate_rows=*/false);
+        }
+    }
+    db_.end_bulk();
+
+    for (const auto& ws : worker_stats) stats_.merge(ws);
+    // Single resolution pass over the merged ID registry.
+    loader_.resolve_references(stats_);
+    return stats_;
+}
+
+}  // namespace xr::loader

@@ -20,6 +20,17 @@ int col(const rel::TableSchema& t, std::string_view name) {
     return t.column_index(name);
 }
 
+/// Serial sink: rows go straight into table storage.
+class DirectSink final : public RowSink {
+public:
+    std::int64_t allocate_pk(rdb::Table& table) override {
+        return table.allocate_pk();
+    }
+    void append(rdb::Table& table, rdb::Row row) override {
+        table.insert(std::move(row));
+    }
+};
+
 }  // namespace
 
 Loader::Loader(const dtd::Dtd& logical, const mapping::MappingResult& mapping,
@@ -198,6 +209,16 @@ void Loader::build_plans() {
 }
 
 std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
+    DirectSink sink;
+    std::int64_t doc_id =
+        shred_document(doc, next_doc_++, options, sink, stats_);
+    if (options.resolve_references) resolve_references();
+    return doc_id;
+}
+
+std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
+                                    const LoadOptions& options, RowSink& sink,
+                                    LoadStats& stats) const {
     if (options.validate) {
         validate::ValidateOptions vopt;
         vopt.apply_defaults = true;
@@ -207,30 +228,30 @@ std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
     if (doc.root() == nullptr)
         throw ValidationError("cannot load a document without a root element");
 
-    std::int64_t doc_id = next_doc_++;
-    std::int64_t root_pk = load_element(*doc.root(), doc_id, options);
+    std::int64_t root_pk =
+        load_element(*doc.root(), doc_id, options, sink, stats);
     if (rdb::Table* docs = db_.table("xrel_docs")) {
-        docs->insert({Value::null(), Value(doc_id), Value(doc.root()->name()),
-                      Value(root_pk)});
+        sink.append(*docs, {Value::null(), Value(doc_id),
+                            Value(doc.root()->name()), Value(root_pk)});
     }
-    ++stats_.documents;
-    if (options.resolve_references) resolve_references();
+    ++stats.documents;
     return doc_id;
 }
 
 std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
-                                  const LoadOptions& options) {
-    ++stats_.elements_visited;
+                                  const LoadOptions& options, RowSink& sink,
+                                  LoadStats& stats) const {
+    ++stats.elements_visited;
     auto plan_it = entity_plans_.find(e.name());
     if (plan_it == entity_plans_.end()) {
         if (options.strict)
             throw ValidationError("no relational mapping for element '" +
                                       e.name() + "'",
                                   e.location());
-        ++stats_.skipped_elements;
+        ++stats.skipped_elements;
         return -1;
     }
-    EntityPlan& plan = plan_it->second;
+    const EntityPlan& plan = plan_it->second;
 
     rdb::Row row = null_row(*plan.table);
     if (plan.doc_col >= 0) row[plan.doc_col] = Value(doc);
@@ -250,7 +271,7 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                 sopt.indent.clear();
                 for (const auto& child : e.children())
                     raw += xml::serialize(*child, sopt);
-                row[plan.raw_col] = Value(raw);
+                row[plan.raw_col] = Value(std::move(raw));
             }
             break;
         case EntityPlan::Mode::kChildren:
@@ -262,7 +283,7 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
     // registry) can reference this row while it is still being assembled —
     // distilled #PCDATA children fill their columns only once the content
     // events are processed.
-    std::int64_t pk = plan.storage->allocate_pk();
+    std::int64_t pk = sink.allocate_pk(*plan.storage);
     if (plan.pk_col >= 0) row[plan.pk_col] = Value(pk);
 
     // ID registry.
@@ -275,7 +296,7 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
             reg[col(rt, "idval")] = Value(normalize_space(*idval));
             reg[col(rt, "entity")] = Value(plan.entity);
             reg[col(rt, "entity_pk")] = Value(pk);
-            id_registry_->insert(std::move(reg));
+            sink.append(*id_registry_, std::move(reg));
         }
     }
 
@@ -288,18 +309,18 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
             rdb::Row rrow = null_row(*ref->table);
             if (ref->doc_col >= 0) rrow[ref->doc_col] = Value(doc);
             rrow[ref->source_col] = Value(pk);
-            rrow[ref->idref_col] = Value(tokens[i]);
+            rrow[ref->idref_col] = Value(std::move(tokens[i]));
             if (ref->ord_col >= 0)
                 rrow[ref->ord_col] = Value(static_cast<std::int64_t>(i));
-            ref->storage->insert(std::move(rrow));
-            ++stats_.reference_rows;
+            sink.append(*ref->storage, std::move(rrow));
+            ++stats.reference_rows;
         }
     }
 
     // Structure.
     switch (plan.mode) {
         case EntityPlan::Mode::kChildren:
-            load_children(e, plan, row, pk, doc, options);
+            load_children(e, plan, row, pk, doc, options, sink, stats);
             break;
         case EntityPlan::Mode::kMixed: {
             // Element members of mixed content become NESTED rows and text
@@ -319,8 +340,8 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                     if ((c = td.column_index("ord")) >= 0)
                         trow[c] = Value(static_cast<std::int64_t>(i));
                     trow[td.column_index("content")] = Value(text.content());
-                    text_segments_->insert(std::move(trow));
-                    ++stats_.relationship_rows;
+                    sink.append(*text_segments_, std::move(trow));
+                    ++stats.relationship_rows;
                     continue;
                 }
                 if (!children[i]->is_element()) continue;
@@ -333,20 +354,20 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                                 "' not allowed in mixed content of '" + e.name() +
                                 "'",
                             child.location());
-                    store_overflow(child, plan.entity, pk, doc, i);
+                    store_overflow(child, plan.entity, pk, doc, i, sink, stats);
                     continue;
                 }
-                std::int64_t cpk = load_element(child, doc, options);
+                std::int64_t cpk = load_element(child, doc, options, sink, stats);
                 if (cpk < 0) continue;
-                NestedPlan& np = *it->second;
+                const NestedPlan& np = *it->second;
                 rdb::Row nrow = null_row(*np.table);
                 if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
                 nrow[np.parent_col] = Value(pk);
                 nrow[np.child_col] = Value(cpk);
                 if (np.ord_col >= 0)
                     nrow[np.ord_col] = Value(static_cast<std::int64_t>(i));
-                np.storage->insert(std::move(nrow));
-                ++stats_.relationship_rows;
+                sink.append(*np.storage, std::move(nrow));
+                ++stats.relationship_rows;
             }
             break;
         }
@@ -354,14 +375,15 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
             break;
     }
 
-    plan.storage->insert(std::move(row));
-    ++stats_.entity_rows;
+    sink.append(*plan.storage, std::move(row));
+    ++stats.entity_rows;
     return pk;
 }
 
-void Loader::load_children(const xml::Element& e, EntityPlan& plan,
+void Loader::load_children(const xml::Element& e, const EntityPlan& plan,
                            rdb::Row& parent_row, std::int64_t parent_pk,
-                           std::int64_t doc, const LoadOptions& options) {
+                           std::int64_t doc, const LoadOptions& options,
+                           RowSink& sink, LoadStats& stats) const {
     std::vector<xml::Element*> children = e.child_elements();
     std::vector<std::string_view> names;
     names.reserve(children.size());
@@ -378,20 +400,22 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
         for (std::size_t i = 0; i < children.size(); ++i) {
             auto it = plan.nested.find(children[i]->name());
             if (it == plan.nested.end()) {
-                store_overflow(*children[i], plan.entity, parent_pk, doc, i);
+                store_overflow(*children[i], plan.entity, parent_pk, doc, i,
+                               sink, stats);
                 continue;
             }
-            std::int64_t cpk = load_element(*children[i], doc, options);
+            std::int64_t cpk = load_element(*children[i], doc, options, sink,
+                                            stats);
             if (cpk < 0) continue;
-            NestedPlan& np = *it->second;
+            const NestedPlan& np = *it->second;
             rdb::Row nrow = null_row(*np.table);
             if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
             nrow[np.parent_col] = Value(parent_pk);
             nrow[np.child_col] = Value(cpk);
             if (np.ord_col >= 0)
                 nrow[np.ord_col] = Value(static_cast<std::int64_t>(i));
-            np.storage->insert(std::move(nrow));
-            ++stats_.relationship_rows;
+            sink.append(*np.storage, std::move(nrow));
+            ++stats.relationship_rows;
         }
         return;
     }
@@ -401,7 +425,7 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
     // distilled/member columns can be filled before constraint checking.
     struct Context {
         bool is_group = false;
-        GroupPlan* group = nullptr;
+        const GroupPlan* group = nullptr;
         std::int64_t pk = 0;
         rdb::Row* row = nullptr;  ///< entity frame: caller's row
         rdb::Row group_row;       ///< group frame: buffered here
@@ -439,11 +463,11 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                     stack.push_back(std::move(copy));
                     break;
                 }
-                GroupPlan& gp = git->second;
+                const GroupPlan& gp = git->second;
                 Context ctx;
                 ctx.is_group = true;
                 ctx.group = &gp;
-                ctx.pk = gp.storage->allocate_pk();
+                ctx.pk = sink.allocate_pk(*gp.storage);
                 ctx.group_row = null_row(*gp.table);
                 if (gp.pk_col >= 0) ctx.group_row[gp.pk_col] = Value(ctx.pk);
                 if (gp.doc_col >= 0) ctx.group_row[gp.doc_col] = Value(doc);
@@ -458,8 +482,9 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                 Context done = std::move(stack.back());
                 stack.pop_back();
                 if (done.is_group) {
-                    done.group->storage->insert(std::move(done.group_row));
-                    ++stats_.relationship_rows;
+                    sink.append(*done.group->storage,
+                                std::move(done.group_row));
+                    ++stats.relationship_rows;
                 }
                 break;
             }
@@ -477,13 +502,14 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                     break;
                 }
 
-                std::int64_t cpk = load_element(child, doc, options);
+                std::int64_t cpk = load_element(child, doc, options, sink,
+                                                stats);
                 if (cpk < 0) break;
 
                 if (ctx.is_group) {
                     auto lit = ctx.group->link_tables.find(child.name());
                     if (lit != ctx.group->link_tables.end()) {
-                        GroupPlan::Link& link = lit->second;
+                        const GroupPlan::Link& link = lit->second;
                         rdb::Row lrow = null_row(*link.table);
                         if (link.doc_col >= 0) lrow[link.doc_col] = Value(doc);
                         lrow[link.group_col] = Value(ctx.pk);
@@ -491,8 +517,8 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                         if (link.ord_col >= 0)
                             lrow[link.ord_col] =
                                 Value(static_cast<std::int64_t>(event.pos));
-                        link.storage->insert(std::move(lrow));
-                        ++stats_.relationship_rows;
+                        sink.append(*link.storage, std::move(lrow));
+                        ++stats.relationship_rows;
                     } else {
                         auto mit = ctx.group->member_columns.find(child.name());
                         if (mit != ctx.group->member_columns.end())
@@ -501,7 +527,7 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                 } else {
                     auto nit = plan.nested.find(child.name());
                     if (nit != plan.nested.end()) {
-                        NestedPlan& np = *nit->second;
+                        const NestedPlan& np = *nit->second;
                         rdb::Row nrow = null_row(*np.table);
                         if (np.doc_col >= 0) nrow[np.doc_col] = Value(doc);
                         nrow[np.parent_col] = Value(ctx.pk);
@@ -509,8 +535,8 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
                         if (np.ord_col >= 0)
                             nrow[np.ord_col] =
                                 Value(static_cast<std::int64_t>(event.pos));
-                        np.storage->insert(std::move(nrow));
-                        ++stats_.relationship_rows;
+                        sink.append(*np.storage, std::move(nrow));
+                        ++stats.relationship_rows;
                     }
                 }
                 break;
@@ -522,8 +548,9 @@ void Loader::load_children(const xml::Element& e, EntityPlan& plan,
 void Loader::store_overflow(const xml::Element& e,
                             const std::string& parent_entity,
                             std::int64_t parent_pk, std::int64_t doc,
-                            std::size_t ord) {
-    ++stats_.skipped_elements;
+                            std::size_t ord, RowSink& sink,
+                            LoadStats& stats) const {
+    ++stats.skipped_elements;
     if (overflow_ == nullptr) return;
     xml::SerializeOptions compact;
     compact.indent.clear();
@@ -538,8 +565,8 @@ void Loader::store_overflow(const xml::Element& e,
     if ((c = td.column_index("ord")) >= 0)
         row[c] = Value(static_cast<std::int64_t>(ord));
     row[td.column_index("raw_xml")] = Value(xml::serialize(e, compact));
-    overflow_->insert(std::move(row));
-    ++stats_.overflow_rows;
+    sink.append(*overflow_, std::move(row));
+    ++stats.overflow_rows;
 }
 
 std::size_t Loader::unload(std::int64_t doc) {
@@ -561,14 +588,16 @@ std::size_t Loader::unload(std::int64_t doc) {
     return removed;
 }
 
-void Loader::resolve_references() {
+void Loader::resolve_references() { resolve_references(stats_); }
+
+void Loader::resolve_references(LoadStats& stats) {
     // Unresolved is a snapshot of the current pass (rows already resolved
     // earlier are skipped and never recounted).
-    stats_.unresolved_references = 0;
-    for (auto& ref : ref_plans_) resolve_references_in(*ref);
+    stats.unresolved_references = 0;
+    for (auto& ref : ref_plans_) resolve_references_in(*ref, stats);
 }
 
-void Loader::resolve_references_in(RefPlan& ref) {
+void Loader::resolve_references_in(RefPlan& ref, LoadStats& stats) {
     if (ref.storage == nullptr || id_registry_ == nullptr) return;
     const rel::TableSchema& rt = *schema_.table(rel::kIdRegistryTable);
     int reg_doc = col(rt, "doc");
@@ -593,8 +622,8 @@ void Loader::resolve_references_in(RefPlan& ref) {
             resolved = true;
             break;
         }
-        if (resolved) ++stats_.resolved_references;
-        else ++stats_.unresolved_references;
+        if (resolved) ++stats.resolved_references;
+        else ++stats.unresolved_references;
     }
 }
 

@@ -8,7 +8,18 @@ Table& Database::create_table(TableDef def) {
     if (table(def.name) != nullptr)
         throw SchemaError("table '" + def.name + "' already exists");
     tables_.push_back(std::make_unique<Table>(std::move(def)));
+    if (bulk_) tables_.back()->begin_bulk();
     return *tables_.back();
+}
+
+void Database::begin_bulk() {
+    bulk_ = true;
+    for (auto& t : tables_) t->begin_bulk();
+}
+
+void Database::end_bulk() {
+    bulk_ = false;
+    for (auto& t : tables_) t->end_bulk();
 }
 
 void Database::drop_table(std::string_view name) {

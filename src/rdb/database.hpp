@@ -48,12 +48,20 @@ public:
     /// Verify every non-NULL FK value resolves; returns violation messages.
     [[nodiscard]] std::vector<std::string> check_foreign_keys() const;
 
+    /// Bulk-load bracketing: begin_bulk() switches every table to deferred
+    /// secondary-index maintenance, end_bulk() rebuilds all indexes in one
+    /// pass.  Tables created while the bracket is open join it.
+    void begin_bulk();
+    void end_bulk();
+    [[nodiscard]] bool in_bulk() const { return bulk_; }
+
     [[nodiscard]] std::size_t total_rows() const;
     [[nodiscard]] std::size_t memory_bytes() const;
 
 private:
     std::vector<std::unique_ptr<Table>> tables_;
     std::vector<ForeignKeyDef> fks_;
+    bool bulk_ = false;
 };
 
 }  // namespace xr::rdb

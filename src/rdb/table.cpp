@@ -67,29 +67,68 @@ void Table::validate(const Row& row) const {
     }
 }
 
-std::int64_t Table::insert(Row row) {
+std::int64_t Table::insert(Row row) { return do_insert(std::move(row), true); }
+
+std::size_t Table::insert_batch(std::vector<Row> rows, bool validate_rows) {
+    if (rows.empty()) return 0;
+    // Batch shape is validated once up front; callers that assembled the
+    // rows from a trusted loading plan skip the per-row cell checks.
+    validate(rows.front());
+    reserve_rows(rows.size());
+    if (pk_column_ >= 0) pk_index_.reserve(pk_index_.size() + rows.size());
+    for (auto& row : rows) do_insert(std::move(row), validate_rows);
+    return rows.size();
+}
+
+std::int64_t Table::do_insert(Row&& row, bool validate_row) {
     if (pk_column_ >= 0 && row.size() == def_.columns.size() &&
         row[pk_column_].is_null()) {
-        row[pk_column_] = Value(next_pk_);
+        row[pk_column_] = Value(next_pk_.load(std::memory_order_relaxed));
     }
-    validate(row);
+    if (validate_row) {
+        validate(row);
+    } else if (row.size() != def_.columns.size()) {
+        throw SchemaError("row arity " + std::to_string(row.size()) +
+                          " does not match table '" + def_.name + "' (" +
+                          std::to_string(def_.columns.size()) + " columns)");
+    }
 
     std::int64_t pk = static_cast<std::int64_t>(rows_.size());
-    if (pk_column_ >= 0) {
-        pk = row[pk_column_].as_integer();
-        if (pk_index_.contains(pk))
-            throw SchemaError("duplicate primary key " + std::to_string(pk) +
-                              " in '" + def_.name + "'");
-    }
+    if (pk_column_ >= 0) pk = row[pk_column_].as_integer();
 
     auto id = static_cast<RowId>(rows_.size());
     rows_.push_back(std::move(row));
     if (pk_column_ >= 0) {
-        pk_index_.emplace(pk, id);
-        next_pk_ = std::max(next_pk_, pk + 1);
+        if (!pk_index_.emplace(pk, id).second) {
+            rows_.pop_back();
+            throw SchemaError("duplicate primary key " + std::to_string(pk) +
+                              " in '" + def_.name + "'");
+        }
+        bump_next_pk(pk);
     }
-    index_row(id);
+    if (!bulk_) index_row(id);
     return pk;
+}
+
+void Table::bump_next_pk(std::int64_t pk) {
+    std::int64_t cur = next_pk_.load(std::memory_order_relaxed);
+    while (cur < pk + 1 &&
+           !next_pk_.compare_exchange_weak(cur, pk + 1,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
+void Table::rebuild_indexes() {
+    for (auto& idx : indexes_) {
+        idx.hash.clear();
+        idx.ordered.clear();
+        if (idx.kind == IndexKind::kHash) idx.hash.reserve(rows_.size());
+        for (RowId id = 0; id < rows_.size(); ++id) {
+            const Value& v = rows_[id][idx.column];
+            if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
+            else idx.ordered.emplace(v, id);
+        }
+    }
 }
 
 const Value& Table::at(RowId id, std::string_view column) const {
@@ -173,15 +212,7 @@ std::size_t Table::delete_where(std::string_view column, const Value& value) {
         for (RowId id = 0; id < rows_.size(); ++id)
             pk_index_.emplace(rows_[id][pk_column_].as_integer(), id);
     }
-    for (auto& idx : indexes_) {
-        idx.hash.clear();
-        idx.ordered.clear();
-        for (RowId id = 0; id < rows_.size(); ++id) {
-            const Value& v = rows_[id][idx.column];
-            if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
-            else idx.ordered.emplace(v, id);
-        }
-    }
+    rebuild_indexes();
     return removed;
 }
 

@@ -7,6 +7,7 @@
 // (range scans) — mirroring the ablation called out in DESIGN.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -54,10 +55,45 @@ public:
     /// Returns the primary-key value (or the row index if no PK declared).
     std::int64_t insert(Row row);
 
+    /// Append a whole batch of rows.  The batch's shape is validated once
+    /// (arity of the first row); per-row cell validation runs only when
+    /// `validate_rows` is set — staging pipelines that built the rows from
+    /// a trusted plan skip it.  Rows with a NULL auto-increment primary key
+    /// are assigned keys; returns the number of rows appended.
+    std::size_t insert_batch(std::vector<Row> rows, bool validate_rows = true);
+
     /// Reserve the next primary-key value without inserting — bulk loaders
     /// allocate keys up front so child rows can reference a parent row that
-    /// is still being assembled.
-    std::int64_t allocate_pk() { return next_pk_++; }
+    /// is still being assembled.  Thread safe.
+    std::int64_t allocate_pk() {
+        return next_pk_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Reserve `count` consecutive primary keys and return the first.
+    /// Thread safe — parallel shredders reserve disjoint ranges up front
+    /// and hand keys out locally without touching shared state again.
+    std::int64_t allocate_pk_range(std::int64_t count) {
+        return next_pk_.fetch_add(count, std::memory_order_relaxed);
+    }
+
+    /// Pre-size row storage for `additional` upcoming inserts.
+    void reserve_rows(std::size_t additional) {
+        rows_.reserve(rows_.size() + additional);
+    }
+
+    // -- bulk (deferred-index) mode ------------------------------------------
+    /// Between begin_bulk() and end_bulk(), inserts skip secondary-index
+    /// maintenance; end_bulk() rebuilds every index in one pass.  The
+    /// primary-key index stays live so duplicate keys are still rejected.
+    void begin_bulk() { bulk_ = true; }
+    void end_bulk() {
+        bulk_ = false;
+        rebuild_indexes();
+    }
+    [[nodiscard]] bool in_bulk() const { return bulk_; }
+
+    /// Drop and repopulate every secondary index from current row storage.
+    void rebuild_indexes();
 
     [[nodiscard]] const Row& row(RowId id) const { return rows_[id]; }
     [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
@@ -96,7 +132,8 @@ public:
 private:
     TableDef def_;
     int pk_column_ = -1;
-    std::int64_t next_pk_ = 1;
+    std::atomic<std::int64_t> next_pk_{1};
+    bool bulk_ = false;
     std::vector<Row> rows_;
     std::unordered_map<std::int64_t, RowId> pk_index_;
 
@@ -110,6 +147,8 @@ private:
 
     void validate(const Row& row) const;
     void index_row(RowId id);
+    std::int64_t do_insert(Row&& row, bool validate_row);
+    void bump_next_pk(std::int64_t pk);
 };
 
 }  // namespace xr::rdb

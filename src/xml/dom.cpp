@@ -89,7 +89,11 @@ Element* Element::first_child(std::string_view name) const {
 }
 
 std::string Element::text() const {
+    std::size_t total = 0;
+    for (const auto& c : children_)
+        if (c->is_text()) total += static_cast<const Text*>(c.get())->content().size();
     std::string out;
+    out.reserve(total);
     for (const auto& c : children_)
         if (c->is_text()) out += static_cast<const Text*>(c.get())->content();
     return out;

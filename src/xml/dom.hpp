@@ -120,11 +120,23 @@ public:
     /// Sets (or overwrites) an attribute.
     void set_attribute(std::string name, std::string value);
     bool remove_attribute(std::string_view name);
+    /// Replace all attributes at once.  The caller vouches for name
+    /// uniqueness (the parser enforces it while scanning); this skips the
+    /// per-attribute duplicate scan and copies of set_attribute.
+    void adopt_attributes(std::vector<Attribute> attrs) {
+        attrs_ = std::move(attrs);
+    }
+    /// Pre-size the attribute vector (parser reserve-ahead).
+    void reserve_attributes(std::size_t n) { attrs_.reserve(n); }
 
     // -- children -----------------------------------------------------------
     [[nodiscard]] const std::vector<std::unique_ptr<Node>>& children() const {
         return children_;
     }
+    /// Pre-size the child vector when the count (or a good hint) is known
+    /// up front — document generators and the parser's fanout hint use
+    /// this to avoid reallocation churn on wide elements.
+    void reserve_children(std::size_t n) { children_.reserve(n); }
     Node* append_child(std::unique_ptr<Node> child);
     Element* append_element(std::string name);
     Text* append_text(std::string content);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <unordered_map>
 
 #include "common/cursor.hpp"
 
@@ -134,13 +135,13 @@ private:
 
         cur_.skip_space();
         if (cur_.consume("/>")) {
-            handler_.on_start_element(name, attrs, start);
+            handler_.on_start_element(name, std::move(attrs), start);
             handler_.on_end_element(name);
             --depth_;
             return;
         }
         if (!cur_.consume(">")) cur_.fail("expected '>' or '/>' in start tag");
-        handler_.on_start_element(name, attrs, start);
+        handler_.on_start_element(name, std::move(attrs), start);
 
         parse_content();
 
@@ -157,8 +158,31 @@ private:
         --depth_;
     }
 
+    /// First-pass count hint: number of '=' signs outside quotes between
+    /// here and the end of the start tag — one per attribute, so the
+    /// vector is sized in a single allocation even for wide tags.
+    std::size_t count_attributes_ahead() const {
+        std::string_view rest = cur_.text().substr(cur_.pos());
+        std::size_t n = 0;
+        char quote = 0;
+        for (char c : rest) {
+            if (quote != 0) {
+                if (c == quote) quote = 0;
+            } else if (c == '"' || c == '\'') {
+                quote = c;
+            } else if (c == '=') {
+                ++n;
+            } else if (c == '>') {
+                break;
+            }
+        }
+        return n;
+    }
+
     std::vector<Attribute> parse_attributes() {
         std::vector<Attribute> attrs;
+        if (std::size_t hint = count_attributes_ahead(); hint > 0)
+            attrs.reserve(hint);
         for (;;) {
             // Attributes must be separated from the name and each other by space.
             bool had_space = is_xml_space(cur_.peek());
@@ -342,11 +366,17 @@ public:
     }
 
     void on_start_element(std::string_view name,
-                          const std::vector<Attribute>& attributes,
+                          std::vector<Attribute> attributes,
                           SourceLocation where) override {
         auto element = std::make_unique<Element>(std::string(name));
         element->set_location(where);
-        for (const auto& a : attributes) element->set_attribute(a.name, a.value);
+        // The parser guarantees unique names, so the vector is adopted
+        // wholesale — no per-attribute copies or duplicate scans.
+        element->adopt_attributes(std::move(attributes));
+        // Documents are self-similar: reserve to the widest fanout seen so
+        // far for this element name so child vectors allocate once.
+        if (auto it = fanout_.find(element->name()); it != fanout_.end())
+            element->reserve_children(it->second);
         Element* raw = element.get();
         if (stack_.empty()) {
             if (doc_.root() != nullptr)
@@ -358,7 +388,15 @@ public:
         stack_.push_back(raw);
     }
 
-    void on_end_element(std::string_view) override { stack_.pop_back(); }
+    void on_end_element(std::string_view) override {
+        const Element* done = stack_.back();
+        std::size_t n = done->children().size();
+        if (n > 0) {
+            std::size_t& seen = fanout_[done->name()];
+            seen = std::max(seen, std::min<std::size_t>(n, kMaxFanoutHint));
+        }
+        stack_.pop_back();
+    }
 
     void on_text(std::string_view content, bool cdata,
                  SourceLocation where) override {
@@ -387,8 +425,13 @@ public:
     }
 
 private:
+    // Cap the fanout hint so one huge element cannot make every later
+    // sibling of the same name over-allocate.
+    static constexpr std::size_t kMaxFanoutHint = 256;
+
     Document& doc_;
     std::vector<Element*> stack_;
+    std::unordered_map<std::string, std::size_t> fanout_;
 };
 
 }  // namespace

@@ -50,8 +50,11 @@ public:
     virtual void on_xml_declaration(std::string_view /*version*/,
                                     std::string_view /*encoding*/) {}
     virtual void on_doctype(const DoctypeDecl& /*doctype*/) {}
+    /// Attributes are passed by value: the parser is done with the vector,
+    /// so a DOM-building handler can adopt it without copying.  Names are
+    /// guaranteed unique (duplicates fail well-formedness).
     virtual void on_start_element(std::string_view /*name*/,
-                                  const std::vector<Attribute>& /*attributes*/,
+                                  std::vector<Attribute> /*attributes*/,
                                   SourceLocation /*where*/) {}
     virtual void on_end_element(std::string_view /*name*/) {}
     virtual void on_text(std::string_view /*content*/, bool /*cdata*/,

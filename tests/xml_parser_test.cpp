@@ -186,7 +186,7 @@ TEST(XmlParser, LocationsPointAtTags) {
 TEST(XmlParser, EventStreamOrder) {
     struct Recorder : EventHandler {
         std::string log;
-        void on_start_element(std::string_view name, const std::vector<Attribute>&,
+        void on_start_element(std::string_view name, std::vector<Attribute>,
                               SourceLocation) override {
             log += "<" + std::string(name) + ">";
         }
