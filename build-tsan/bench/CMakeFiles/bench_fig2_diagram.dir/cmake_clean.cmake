@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_diagram.dir/bench_fig2_diagram.cpp.o"
+  "CMakeFiles/bench_fig2_diagram.dir/bench_fig2_diagram.cpp.o.d"
+  "bench_fig2_diagram"
+  "bench_fig2_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

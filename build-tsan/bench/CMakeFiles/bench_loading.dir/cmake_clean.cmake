@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loading.dir/bench_loading.cpp.o"
+  "CMakeFiles/bench_loading.dir/bench_loading.cpp.o.d"
+  "bench_loading"
+  "bench_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metadata.dir/bench_metadata.cpp.o"
+  "CMakeFiles/bench_metadata.dir/bench_metadata.cpp.o.d"
+  "bench_metadata"
+  "bench_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roundtrip.dir/bench_roundtrip.cpp.o"
+  "CMakeFiles/bench_roundtrip.dir/bench_roundtrip.cpp.o.d"
+  "bench_roundtrip"
+  "bench_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_compare.dir/bench_schema_compare.cpp.o"
+  "CMakeFiles/bench_schema_compare.dir/bench_schema_compare.cpp.o.d"
+  "bench_schema_compare"
+  "bench_schema_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

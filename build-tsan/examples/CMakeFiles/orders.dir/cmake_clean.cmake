@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orders.dir/orders.cpp.o"
+  "CMakeFiles/orders.dir/orders.cpp.o.d"
+  "orders"
+  "orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

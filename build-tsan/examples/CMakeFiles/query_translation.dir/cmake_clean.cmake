@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_translation.dir/query_translation.cpp.o"
+  "CMakeFiles/query_translation.dir/query_translation.cpp.o.d"
+  "query_translation"
+  "query_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

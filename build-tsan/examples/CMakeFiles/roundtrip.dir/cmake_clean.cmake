@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roundtrip.dir/roundtrip.cpp.o"
+  "CMakeFiles/roundtrip.dir/roundtrip.cpp.o.d"
+  "roundtrip"
+  "roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrel_cli.dir/xmlrel_cli.cpp.o"
+  "CMakeFiles/xmlrel_cli.dir/xmlrel_cli.cpp.o.d"
+  "xmlrel_cli"
+  "xmlrel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("dtd")
+subdirs("validate")
+subdirs("er")
+subdirs("mapping")
+subdirs("rel")
+subdirs("rdb")
+subdirs("loader")
+subdirs("sql")
+subdirs("xquery")
+subdirs("baseline")
+subdirs("gen")

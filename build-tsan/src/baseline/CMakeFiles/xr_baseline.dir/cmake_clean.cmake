@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_baseline.dir/inline_loader.cpp.o"
+  "CMakeFiles/xr_baseline.dir/inline_loader.cpp.o.d"
+  "CMakeFiles/xr_baseline.dir/inline_schema.cpp.o"
+  "CMakeFiles/xr_baseline.dir/inline_schema.cpp.o.d"
+  "CMakeFiles/xr_baseline.dir/simplify.cpp.o"
+  "CMakeFiles/xr_baseline.dir/simplify.cpp.o.d"
+  "libxr_baseline.a"
+  "libxr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_common.dir/error.cpp.o"
+  "CMakeFiles/xr_common.dir/error.cpp.o.d"
+  "CMakeFiles/xr_common.dir/strings.cpp.o"
+  "CMakeFiles/xr_common.dir/strings.cpp.o.d"
+  "CMakeFiles/xr_common.dir/table_printer.cpp.o"
+  "CMakeFiles/xr_common.dir/table_printer.cpp.o.d"
+  "libxr_common.a"
+  "libxr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

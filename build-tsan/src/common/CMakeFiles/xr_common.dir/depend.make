@@ -1,0 +1,2 @@
+# Empty dependencies file for xr_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/content_model.cpp" "src/dtd/CMakeFiles/xr_dtd.dir/content_model.cpp.o" "gcc" "src/dtd/CMakeFiles/xr_dtd.dir/content_model.cpp.o.d"
+  "/root/repo/src/dtd/dtd.cpp" "src/dtd/CMakeFiles/xr_dtd.dir/dtd.cpp.o" "gcc" "src/dtd/CMakeFiles/xr_dtd.dir/dtd.cpp.o.d"
+  "/root/repo/src/dtd/parser.cpp" "src/dtd/CMakeFiles/xr_dtd.dir/parser.cpp.o" "gcc" "src/dtd/CMakeFiles/xr_dtd.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/xr_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_dtd.dir/content_model.cpp.o"
+  "CMakeFiles/xr_dtd.dir/content_model.cpp.o.d"
+  "CMakeFiles/xr_dtd.dir/dtd.cpp.o"
+  "CMakeFiles/xr_dtd.dir/dtd.cpp.o.d"
+  "CMakeFiles/xr_dtd.dir/parser.cpp.o"
+  "CMakeFiles/xr_dtd.dir/parser.cpp.o.d"
+  "libxr_dtd.a"
+  "libxr_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxr_dtd.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_er.dir/dot.cpp.o"
+  "CMakeFiles/xr_er.dir/dot.cpp.o.d"
+  "CMakeFiles/xr_er.dir/model.cpp.o"
+  "CMakeFiles/xr_er.dir/model.cpp.o.d"
+  "libxr_er.a"
+  "libxr_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

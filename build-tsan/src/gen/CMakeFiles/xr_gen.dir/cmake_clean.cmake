@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_gen.dir/corpora.cpp.o"
+  "CMakeFiles/xr_gen.dir/corpora.cpp.o.d"
+  "CMakeFiles/xr_gen.dir/doc_gen.cpp.o"
+  "CMakeFiles/xr_gen.dir/doc_gen.cpp.o.d"
+  "CMakeFiles/xr_gen.dir/dtd_gen.cpp.o"
+  "CMakeFiles/xr_gen.dir/dtd_gen.cpp.o.d"
+  "libxr_gen.a"
+  "libxr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

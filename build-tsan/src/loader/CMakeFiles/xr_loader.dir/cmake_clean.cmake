@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_loader.dir/bulk_loader.cpp.o"
+  "CMakeFiles/xr_loader.dir/bulk_loader.cpp.o.d"
+  "CMakeFiles/xr_loader.dir/loader.cpp.o"
+  "CMakeFiles/xr_loader.dir/loader.cpp.o.d"
+  "CMakeFiles/xr_loader.dir/plan.cpp.o"
+  "CMakeFiles/xr_loader.dir/plan.cpp.o.d"
+  "CMakeFiles/xr_loader.dir/reconstruct.cpp.o"
+  "CMakeFiles/xr_loader.dir/reconstruct.cpp.o.d"
+  "libxr_loader.a"
+  "libxr_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

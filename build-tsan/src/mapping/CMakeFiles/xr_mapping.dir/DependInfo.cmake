@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/converted_dtd.cpp" "src/mapping/CMakeFiles/xr_mapping.dir/converted_dtd.cpp.o" "gcc" "src/mapping/CMakeFiles/xr_mapping.dir/converted_dtd.cpp.o.d"
+  "/root/repo/src/mapping/metadata.cpp" "src/mapping/CMakeFiles/xr_mapping.dir/metadata.cpp.o" "gcc" "src/mapping/CMakeFiles/xr_mapping.dir/metadata.cpp.o.d"
+  "/root/repo/src/mapping/pipeline.cpp" "src/mapping/CMakeFiles/xr_mapping.dir/pipeline.cpp.o" "gcc" "src/mapping/CMakeFiles/xr_mapping.dir/pipeline.cpp.o.d"
+  "/root/repo/src/mapping/steps.cpp" "src/mapping/CMakeFiles/xr_mapping.dir/steps.cpp.o" "gcc" "src/mapping/CMakeFiles/xr_mapping.dir/steps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dtd/CMakeFiles/xr_dtd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/er/CMakeFiles/xr_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/xr_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

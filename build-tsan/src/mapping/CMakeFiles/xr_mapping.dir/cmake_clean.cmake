@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_mapping.dir/converted_dtd.cpp.o"
+  "CMakeFiles/xr_mapping.dir/converted_dtd.cpp.o.d"
+  "CMakeFiles/xr_mapping.dir/metadata.cpp.o"
+  "CMakeFiles/xr_mapping.dir/metadata.cpp.o.d"
+  "CMakeFiles/xr_mapping.dir/pipeline.cpp.o"
+  "CMakeFiles/xr_mapping.dir/pipeline.cpp.o.d"
+  "CMakeFiles/xr_mapping.dir/steps.cpp.o"
+  "CMakeFiles/xr_mapping.dir/steps.cpp.o.d"
+  "libxr_mapping.a"
+  "libxr_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

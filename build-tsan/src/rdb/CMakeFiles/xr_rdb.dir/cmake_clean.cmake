@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_rdb.dir/database.cpp.o"
+  "CMakeFiles/xr_rdb.dir/database.cpp.o.d"
+  "CMakeFiles/xr_rdb.dir/table.cpp.o"
+  "CMakeFiles/xr_rdb.dir/table.cpp.o.d"
+  "CMakeFiles/xr_rdb.dir/value.cpp.o"
+  "CMakeFiles/xr_rdb.dir/value.cpp.o.d"
+  "libxr_rdb.a"
+  "libxr_rdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_rdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

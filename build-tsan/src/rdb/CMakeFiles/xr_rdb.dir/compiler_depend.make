@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xr_rdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/materialize.cpp" "src/rel/CMakeFiles/xr_rel.dir/materialize.cpp.o" "gcc" "src/rel/CMakeFiles/xr_rel.dir/materialize.cpp.o.d"
+  "/root/repo/src/rel/schema.cpp" "src/rel/CMakeFiles/xr_rel.dir/schema.cpp.o" "gcc" "src/rel/CMakeFiles/xr_rel.dir/schema.cpp.o.d"
+  "/root/repo/src/rel/translate.cpp" "src/rel/CMakeFiles/xr_rel.dir/translate.cpp.o" "gcc" "src/rel/CMakeFiles/xr_rel.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapping/CMakeFiles/xr_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdb/CMakeFiles/xr_rdb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/er/CMakeFiles/xr_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dtd/CMakeFiles/xr_dtd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/xr_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_rel.dir/materialize.cpp.o"
+  "CMakeFiles/xr_rel.dir/materialize.cpp.o.d"
+  "CMakeFiles/xr_rel.dir/schema.cpp.o"
+  "CMakeFiles/xr_rel.dir/schema.cpp.o.d"
+  "CMakeFiles/xr_rel.dir/translate.cpp.o"
+  "CMakeFiles/xr_rel.dir/translate.cpp.o.d"
+  "libxr_rel.a"
+  "libxr_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

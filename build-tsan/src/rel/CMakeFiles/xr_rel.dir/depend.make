@@ -1,0 +1,2 @@
+# Empty dependencies file for xr_rel.
+# This may be replaced when dependencies are built.

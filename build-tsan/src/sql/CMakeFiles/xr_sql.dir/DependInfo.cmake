@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/executor.cpp" "src/sql/CMakeFiles/xr_sql.dir/executor.cpp.o" "gcc" "src/sql/CMakeFiles/xr_sql.dir/executor.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/sql/CMakeFiles/xr_sql.dir/lexer.cpp.o" "gcc" "src/sql/CMakeFiles/xr_sql.dir/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/sql/CMakeFiles/xr_sql.dir/parser.cpp.o" "gcc" "src/sql/CMakeFiles/xr_sql.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdb/CMakeFiles/xr_rdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_sql.dir/executor.cpp.o"
+  "CMakeFiles/xr_sql.dir/executor.cpp.o.d"
+  "CMakeFiles/xr_sql.dir/lexer.cpp.o"
+  "CMakeFiles/xr_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/xr_sql.dir/parser.cpp.o"
+  "CMakeFiles/xr_sql.dir/parser.cpp.o.d"
+  "libxr_sql.a"
+  "libxr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

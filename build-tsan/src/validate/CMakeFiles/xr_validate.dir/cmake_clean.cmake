@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_validate.dir/automaton.cpp.o"
+  "CMakeFiles/xr_validate.dir/automaton.cpp.o.d"
+  "CMakeFiles/xr_validate.dir/validator.cpp.o"
+  "CMakeFiles/xr_validate.dir/validator.cpp.o.d"
+  "libxr_validate.a"
+  "libxr_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cpp" "src/xml/CMakeFiles/xr_xml.dir/dom.cpp.o" "gcc" "src/xml/CMakeFiles/xr_xml.dir/dom.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/xml/CMakeFiles/xr_xml.dir/parser.cpp.o" "gcc" "src/xml/CMakeFiles/xr_xml.dir/parser.cpp.o.d"
+  "/root/repo/src/xml/serializer.cpp" "src/xml/CMakeFiles/xr_xml.dir/serializer.cpp.o" "gcc" "src/xml/CMakeFiles/xr_xml.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_xml.dir/dom.cpp.o"
+  "CMakeFiles/xr_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/xr_xml.dir/parser.cpp.o"
+  "CMakeFiles/xr_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/xr_xml.dir/serializer.cpp.o"
+  "CMakeFiles/xr_xml.dir/serializer.cpp.o.d"
+  "libxr_xml.a"
+  "libxr_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

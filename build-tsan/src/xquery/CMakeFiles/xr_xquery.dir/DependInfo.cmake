@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/dom_eval.cpp" "src/xquery/CMakeFiles/xr_xquery.dir/dom_eval.cpp.o" "gcc" "src/xquery/CMakeFiles/xr_xquery.dir/dom_eval.cpp.o.d"
+  "/root/repo/src/xquery/materialize.cpp" "src/xquery/CMakeFiles/xr_xquery.dir/materialize.cpp.o" "gcc" "src/xquery/CMakeFiles/xr_xquery.dir/materialize.cpp.o.d"
+  "/root/repo/src/xquery/query.cpp" "src/xquery/CMakeFiles/xr_xquery.dir/query.cpp.o" "gcc" "src/xquery/CMakeFiles/xr_xquery.dir/query.cpp.o.d"
+  "/root/repo/src/xquery/sql_translate.cpp" "src/xquery/CMakeFiles/xr_xquery.dir/sql_translate.cpp.o" "gcc" "src/xquery/CMakeFiles/xr_xquery.dir/sql_translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/xr_xml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapping/CMakeFiles/xr_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rel/CMakeFiles/xr_rel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/xr_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/loader/CMakeFiles/xr_loader.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/er/CMakeFiles/xr_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdb/CMakeFiles/xr_rdb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/validate/CMakeFiles/xr_validate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dtd/CMakeFiles/xr_dtd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

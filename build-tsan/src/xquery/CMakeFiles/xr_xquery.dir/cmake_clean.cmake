@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_xquery.dir/dom_eval.cpp.o"
+  "CMakeFiles/xr_xquery.dir/dom_eval.cpp.o.d"
+  "CMakeFiles/xr_xquery.dir/materialize.cpp.o"
+  "CMakeFiles/xr_xquery.dir/materialize.cpp.o.d"
+  "CMakeFiles/xr_xquery.dir/query.cpp.o"
+  "CMakeFiles/xr_xquery.dir/query.cpp.o.d"
+  "CMakeFiles/xr_xquery.dir/sql_translate.cpp.o"
+  "CMakeFiles/xr_xquery.dir/sql_translate.cpp.o.d"
+  "libxr_xquery.a"
+  "libxr_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

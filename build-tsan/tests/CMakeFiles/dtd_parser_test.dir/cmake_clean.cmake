@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_parser_test.dir/dtd_parser_test.cpp.o"
+  "CMakeFiles/dtd_parser_test.dir/dtd_parser_test.cpp.o.d"
+  "dtd_parser_test"
+  "dtd_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_paper_test.dir/mapping_paper_test.cpp.o"
+  "CMakeFiles/mapping_paper_test.dir/mapping_paper_test.cpp.o.d"
+  "mapping_paper_test"
+  "mapping_paper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_paper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

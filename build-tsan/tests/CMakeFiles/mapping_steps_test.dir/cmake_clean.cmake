@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_steps_test.dir/mapping_steps_test.cpp.o"
+  "CMakeFiles/mapping_steps_test.dir/mapping_steps_test.cpp.o.d"
+  "mapping_steps_test"
+  "mapping_steps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_steps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

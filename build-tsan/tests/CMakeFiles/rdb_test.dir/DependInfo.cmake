@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdb_test.cpp" "tests/CMakeFiles/rdb_test.dir/rdb_test.cpp.o" "gcc" "tests/CMakeFiles/rdb_test.dir/rdb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/loader/CMakeFiles/xr_loader.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xquery/CMakeFiles/xr_xquery.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gen/CMakeFiles/xr_gen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/xr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/xr_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rel/CMakeFiles/xr_rel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/validate/CMakeFiles/xr_validate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapping/CMakeFiles/xr_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/er/CMakeFiles/xr_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdb/CMakeFiles/xr_rdb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dtd/CMakeFiles/xr_dtd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xml/CMakeFiles/xr_xml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/xr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_test.dir/rdb_test.cpp.o"
+  "CMakeFiles/rdb_test.dir/rdb_test.cpp.o.d"
+  "rdb_test"
+  "rdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

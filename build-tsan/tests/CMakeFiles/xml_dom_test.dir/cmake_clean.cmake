@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_dom_test.dir/xml_dom_test.cpp.o"
+  "CMakeFiles/xml_dom_test.dir/xml_dom_test.cpp.o.d"
+  "xml_dom_test"
+  "xml_dom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
