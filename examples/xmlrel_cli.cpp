@@ -5,14 +5,20 @@
 //       Print the converted DTD (Example 2 form), the ER diagram, the
 //       Graphviz DOT and the relational DDL for a DTD.
 //
-//   xmlrel_cli load <dtd-file> <xml-file>... [--jobs N] [--sql "SELECT ..."]...
-//                               [--query "/path/query"]... [--reconstruct N]
+//   xmlrel_cli load <dtd-file> <xml-file>... [--jobs N]
+//                               [--on-error fail|skip|quarantine]
+//                               [--sql "SELECT ..."]... [--query "/path"]...
+//                               [--reconstruct N]
 //       Map the DTD, validate and load the documents, then run SQL
 //       statements and/or path queries (shown with their generated SQL),
 //       and optionally reconstruct document N back to XML.  With
 //       --jobs N (N != 1) the corpus goes through the parallel bulk-load
 //       pipeline: N shredding workers (0 = one per hardware thread),
 //       batched appends, one index rebuild, one IDREF resolution pass.
+//       --on-error picks the failure policy: fail (default) rolls the
+//       whole load back on the first bad document, skip drops bad
+//       documents and keeps the rest, quarantine additionally records
+//       each rejected document's text and error in xrel_quarantine.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
@@ -52,6 +58,7 @@ int usage() {
               << "  xmlrel_cli map <dtd-file>\n"
               << "  xmlrel_cli validate <dtd-file> <xml-file>...\n"
               << "  xmlrel_cli load <dtd-file> <xml-file>... [--jobs N] "
+                 "[--on-error fail|skip|quarantine] "
                  "[--sql STMT]... [--query PATH]... [--reconstruct N]\n";
     return 2;
 }
@@ -99,6 +106,19 @@ int cmd_load(const std::vector<std::string>& args) {
     std::vector<std::string> path_queries;
     std::int64_t reconstruct_doc = -1;
     std::int64_t jobs = 1;  // 1 = serial loader; 0 = all hardware threads
+    xr::loader::FailurePolicy on_error = xr::loader::FailurePolicy::kFailFast;
+
+    auto parse_policy = [&](const std::string& name) {
+        if (name == "fail")
+            on_error = xr::loader::FailurePolicy::kFailFast;
+        else if (name == "skip")
+            on_error = xr::loader::FailurePolicy::kSkip;
+        else if (name == "quarantine")
+            on_error = xr::loader::FailurePolicy::kQuarantine;
+        else
+            return false;
+        return true;
+    };
 
     // Integer option value; nullopt (→ usage) on missing or non-numeric.
     auto int_arg = [&](std::size_t& i) -> std::optional<std::int64_t> {
@@ -123,6 +143,11 @@ int cmd_load(const std::vector<std::string>& args) {
             auto v = int_arg(i);
             if (!v || *v < 0) return usage();
             jobs = *v;
+        } else if (args[i] == "--on-error" && i + 1 < args.size()) {
+            if (!parse_policy(args[++i])) return usage();
+        } else if (args[i].rfind("--on-error=", 0) == 0) {
+            if (!parse_policy(args[i].substr(sizeof("--on-error=") - 1)))
+                return usage();
         } else if (args[i].rfind("--", 0) == 0) {
             return usage();  // unknown flag, not a file path
         } else if (dtd_path.empty()) {
@@ -138,35 +163,60 @@ int cmd_load(const std::vector<std::string>& args) {
     xr::rel::RelationalSchema schema = xr::rel::translate(m);
     xr::rdb::Database db;
     xr::rel::materialize(schema, m, db);
-    std::vector<std::unique_ptr<xr::xml::Document>> docs;
-    for (const auto& path : xml_paths)
-        docs.push_back(xr::xml::parse_document(read_file(path)));
+    std::vector<std::string> texts;
+    texts.reserve(xml_paths.size());
+    for (const auto& path : xml_paths) texts.push_back(read_file(path));
 
-    xr::loader::LoadStats st;
+    xr::loader::LoadReport report;
     if (jobs == 1) {
         xr::loader::Loader loader(dtd, m, schema, db);
-        for (std::size_t i = 0; i < docs.size(); ++i) {
-            std::int64_t id = loader.load(*docs[i]);
-            std::cout << "loaded " << xml_paths[i] << " as doc " << id << "\n";
-        }
-        st = loader.stats();
+        xr::loader::LoadOptions opt;
+        opt.on_error = on_error;
+        report = loader.load_texts(texts, opt);
     } else {
         xr::loader::BulkLoader loader(dtd, m, schema, db);
         xr::loader::BulkLoadOptions opt;
         opt.jobs = static_cast<std::size_t>(jobs);
         opt.validate = true;
-        std::vector<xr::xml::Document*> views;
-        views.reserve(docs.size());
-        for (auto& d : docs) views.push_back(d.get());
-        st = loader.load_corpus(views, opt);
-        std::cout << "bulk-loaded " << docs.size() << " document(s) with "
+        opt.on_error = on_error;
+        report = loader.load_texts(texts, opt);
+        std::cout << "bulk-loaded " << report.loaded << " document(s) with "
                   << (jobs == 0 ? "all hardware threads"
                                 : std::to_string(jobs) + " worker(s)")
                   << "\n";
     }
+    for (const auto& o : report.outcomes) {
+        using Status = xr::loader::DocumentOutcome::Status;
+        if (o.status == Status::kLoaded) {
+            std::cout << "loaded " << xml_paths[o.index] << " as doc " << o.doc
+                      << "\n";
+        } else {
+            std::cout << (o.status == Status::kQuarantined ? "quarantined "
+                                                           : "skipped ")
+                      << xml_paths[o.index] << ": [" << o.error_type << "] "
+                      << o.error << "\n";
+        }
+    }
+    const xr::loader::LoadStats& st = report.stats;
     std::cout << st.documents << " documents, " << st.elements_visited
               << " elements, " << st.total_rows() << " rows, "
-              << st.resolved_references << " references resolved\n";
+              << st.resolved_references << " references resolved";
+    if (report.failed > 0)
+        std::cout << " (" << report.failed << " document(s) rejected under "
+                  << xr::loader::to_string(report.policy) << ")";
+    std::cout << "\n";
+
+    // Parsed DOM views back the --query DOM-evaluation fallback; under
+    // skip/quarantine a rejected document may not parse at all.
+    std::vector<std::unique_ptr<xr::xml::Document>> docs;
+    if (!path_queries.empty()) {
+        for (const auto& text : texts) {
+            try {
+                docs.push_back(xr::xml::parse_document(text));
+            } catch (const xr::Error&) {
+            }
+        }
+    }
 
     for (const auto& stmt : sql_statements) {
         std::cout << "\nsql> " << stmt << "\n";

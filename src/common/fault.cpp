@@ -1,0 +1,89 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace xr::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// Armed-point state.  The name is written under g_mutex before g_armed
+// is released, and readers take the mutex in the slow path, so the fast
+// path costs one atomic load and the slow path is fully serialized.
+std::mutex g_mutex;
+std::string g_point;
+long g_countdown = 0;
+bool g_abort = false;
+std::atomic<long> g_hits{0};
+std::atomic<bool> g_fired{false};
+
+/// One-time arming from XMLREL_FAULT_INJECT="point[:count[:abort]]".
+struct EnvArm {
+    EnvArm() {
+        const char* spec = std::getenv("XMLREL_FAULT_INJECT");
+        if (spec == nullptr || *spec == '\0') return;
+        std::string s(spec);
+        std::string point = s;
+        long count = 1;
+        bool abort_instead = false;
+        if (auto colon = s.find(':'); colon != std::string::npos) {
+            point = s.substr(0, colon);
+            std::string rest = s.substr(colon + 1);
+            if (auto colon2 = rest.find(':'); colon2 != std::string::npos) {
+                abort_instead = rest.substr(colon2 + 1) == "abort";
+                rest = rest.substr(0, colon2);
+            }
+            if (!rest.empty()) count = std::strtol(rest.c_str(), nullptr, 10);
+        }
+        arm(point, count < 1 ? 1 : count, abort_instead);
+    }
+};
+const EnvArm g_env_arm;
+
+}  // namespace
+
+void arm(std::string_view point, long countdown, bool abort_instead) {
+    std::scoped_lock lock(g_mutex);
+    g_point = point;
+    g_countdown = countdown < 1 ? 1 : countdown;
+    g_abort = abort_instead;
+    g_hits.store(0, std::memory_order_relaxed);
+    g_fired.store(false, std::memory_order_relaxed);
+    detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+    std::scoped_lock lock(g_mutex);
+    detail::g_armed.store(false, std::memory_order_release);
+}
+
+bool armed() { return detail::g_armed.load(std::memory_order_acquire); }
+
+bool fired() { return g_fired.load(std::memory_order_acquire); }
+
+long hits() { return g_hits.load(std::memory_order_acquire); }
+
+namespace detail {
+
+void hit(const char* point) {
+    std::unique_lock lock(g_mutex);
+    if (!g_armed.load(std::memory_order_relaxed) || g_point != point) return;
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    if (--g_countdown > 0) return;
+    // One-shot: disarm before throwing so recovery paths that re-enter
+    // the same point (e.g. an index rebuild during rollback) run clean.
+    g_armed.store(false, std::memory_order_release);
+    g_fired.store(true, std::memory_order_release);
+    if (g_abort) std::abort();
+    std::string message = "injected fault at '" + g_point + "'";
+    lock.unlock();
+    throw InjectedFault(std::move(message));
+}
+
+}  // namespace detail
+
+}  // namespace xr::fault

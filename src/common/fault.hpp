@@ -1,0 +1,71 @@
+// Deterministic fault injection for rollback / fault-tolerance testing.
+//
+// The loader pipeline is sprinkled with named fault points
+// (`fault::maybe_fail("bulk.merge")`); each is a single relaxed atomic
+// load when nothing is armed, so the hooks are compiled in always — no
+// special build flavour needed — and tests (or the environment) can
+// provoke a failure at any stage of a load to prove the rollback
+// machinery restores the database exactly.
+//
+// Arming:
+//   * programmatic — fault::arm("loader.shred", 3) throws InjectedFault
+//     on the 3rd hit of that point, then disarms itself (one-shot, so at
+//     most one failure fires per arm even with concurrent workers);
+//   * environment — XMLREL_FAULT_INJECT="point[:count[:abort]]" arms the
+//     point at process start; the optional `abort` mode calls
+//     std::abort() instead of throwing (crash-style testing of external
+//     supervisors).
+//
+// Fault-point catalogue (kept in sync with DESIGN.md §7):
+//   xml.parse          entry of xml::parse_document
+//   loader.shred       per element shredded (Loader::load_element)
+//   bulk.merge         per table merged (BulkLoader staging → storage)
+//   rdb.index_rebuild  per table index rebuild (Table::end_bulk)
+//   loader.resolve     per IDREF row visited during resolution
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace xr::fault {
+
+/// Thrown by an armed fault point.  Derives from xr::Error so it flows
+/// through the same recovery paths as organic failures, but is
+/// distinguishable (loaders classify it as retryable).
+class InjectedFault : public Error {
+public:
+    using Error::Error;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void hit(const char* point);  // slow path; only reached while armed
+}  // namespace detail
+
+/// Fault point: no-op unless a matching point is armed.  Safe to call
+/// from concurrent workers.
+inline void maybe_fail(const char* point) {
+    if (detail::g_armed.load(std::memory_order_acquire)) detail::hit(point);
+}
+
+/// Arm `point` to fail on its `countdown`-th hit (1 = next hit).  With
+/// `abort_instead` the process aborts rather than throwing.  Re-arming
+/// replaces any previous arm.  Must not race with in-flight loads.
+void arm(std::string_view point, long countdown = 1, bool abort_instead = false);
+
+/// Disarm without firing.
+void disarm();
+
+/// True while a point is armed (the fault has not fired yet).
+[[nodiscard]] bool armed();
+
+/// True once the armed fault has fired (reset by the next arm()).
+[[nodiscard]] bool fired();
+
+/// Hits recorded on the armed point since the last arm().
+[[nodiscard]] long hits();
+
+}  // namespace xr::fault

@@ -15,10 +15,20 @@
 //   3. rebuild every index once after the append;
 //   4. resolve IDREFs in a single pass over the merged ID registry.
 //
+// Fault tolerance (DESIGN.md §7): the whole load runs inside an atomic
+// load unit, so any corpus-scoped failure — merge, index rebuild,
+// reference resolution, or the first document error under kFailFast —
+// rolls the database back to its pre-load state, including primary-key
+// counters.  Document-scoped failures under kSkip / kQuarantine discard
+// only that document's staged rows and rewind its key reservations where
+// possible (LoadReport::leaked_pks counts the remainder).
+//
 // The loaded database is row-for-row equivalent to what the serial Loader
 // produces on the same corpus, up to row order within a table and the
 // numeric values of surrogate keys (ranges are handed out per worker, so
-// key sequences interleave differently).
+// key sequences interleave differently).  That equivalence holds for
+// partial loads too: after a kSkip / kQuarantine load, doc ids are dense
+// over the surviving documents, exactly as if only they were submitted.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +53,10 @@ struct BulkLoadOptions {
     /// Granularity of per-worker primary-key range reservation.  Larger
     /// chunks mean fewer touches of the shared counter but sparser keys.
     std::size_t pk_chunk = 256;
+    /// What to do with a document that fails to parse, validate or shred.
+    FailurePolicy on_error = FailurePolicy::kFailFast;
+    /// Cap on formatted error strings kept in LoadReport::errors.
+    std::size_t max_errors = 8;
 };
 
 class BulkLoader {
@@ -52,17 +66,21 @@ public:
     BulkLoader(const dtd::Dtd& logical, const mapping::MappingResult& mapping,
                const rel::RelationalSchema& schema, rdb::Database& db);
 
-    /// Load a corpus of parsed documents; doc ids are assigned in corpus
-    /// order starting after the highest id already in xrel_docs.  Returns
-    /// the cumulative stats (same convention as Loader::stats()).
-    LoadStats load_corpus(const std::vector<xml::Document*>& docs,
-                          const BulkLoadOptions& options = {});
+    /// Load a corpus of parsed documents; doc ids are assigned densely in
+    /// corpus order over the documents that survive, starting after the
+    /// highest id already in xrel_docs.  Under kFailFast the first failure
+    /// rolls the whole load back and rethrows; see LoadReport for the
+    /// per-document outcomes the other policies produce.
+    LoadReport load_corpus(const std::vector<xml::Document*>& docs,
+                           const BulkLoadOptions& options = {});
 
     /// Parse raw XML texts on the worker pool, then load them as above —
     /// the parse phase usually dominates, so this is the fastest entry.
-    LoadStats load_texts(const std::vector<std::string>& texts,
-                         const BulkLoadOptions& options = {});
+    LoadReport load_texts(const std::vector<std::string>& texts,
+                          const BulkLoadOptions& options = {});
 
+    /// Cumulative stats over every committed load (same convention as
+    /// Loader::stats()).
     [[nodiscard]] const LoadStats& stats() const { return stats_; }
 
 private:
@@ -71,10 +89,11 @@ private:
     LoadStats stats_;
 
     [[nodiscard]] std::int64_t next_doc_base() const;
-    LoadStats run(std::size_t count,
-                  const std::function<void(std::size_t, RowSink&, LoadStats&,
-                                           const LoadOptions&)>& shred_one,
-                  const BulkLoadOptions& options);
+    LoadReport run(std::size_t count,
+                   const std::function<void(std::size_t, RowSink&, LoadStats&,
+                                            const LoadOptions&)>& shred_one,
+                   const std::function<std::string(std::size_t)>& raw_text,
+                   const BulkLoadOptions& options);
 };
 
 }  // namespace xr::loader

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/fault.hpp"
 #include "common/strings.hpp"
 #include "rel/translate.hpp"
+#include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 
 namespace xr::loader {
@@ -32,6 +34,77 @@ public:
 };
 
 }  // namespace
+
+std::string_view to_string(FailurePolicy policy) {
+    switch (policy) {
+        case FailurePolicy::kFailFast: return "fail_fast";
+        case FailurePolicy::kSkip: return "skip";
+        case FailurePolicy::kQuarantine: return "quarantine";
+    }
+    return "?";
+}
+
+rdb::Table& ensure_quarantine_table(rdb::Database& db) {
+    if (rdb::Table* t = db.table(kQuarantineTable)) return *t;
+    rdb::TableDef def;
+    def.name = kQuarantineTable;
+    def.columns = {
+        {"pk", rdb::ValueType::kInteger, true, true},
+        {"idx", rdb::ValueType::kInteger, true, false},
+        {"error_type", rdb::ValueType::kText, true, false},
+        {"error_message", rdb::ValueType::kText, false, false},
+        {"line", rdb::ValueType::kInteger, false, false},
+        {"col", rdb::ValueType::kInteger, false, false},
+        {"raw_xml", rdb::ValueType::kText, false, false},
+    };
+    return db.create_table(std::move(def));
+}
+
+LoadErrorInfo classify_load_error() {
+    try {
+        throw;
+    } catch (const fault::InjectedFault& e) {
+        return {"fault", e.bare_message(), e.where(), true};
+    } catch (const ParseError& e) {
+        return {"parse", e.bare_message(), e.where(), false};
+    } catch (const ValidationError& e) {
+        return {"validation", e.bare_message(), e.where(), false};
+    } catch (const SchemaError& e) {
+        return {"schema", e.bare_message(), e.where(), false};
+    } catch (const Error& e) {
+        return {"error", e.bare_message(), e.where(), false};
+    } catch (const std::exception& e) {
+        return {"internal", e.what(), {}, true};
+    } catch (...) {
+        return {"unknown", "unknown error", {}, true};
+    }
+}
+
+void quarantine_document(rdb::Database& db, const DocumentOutcome& outcome,
+                         std::string raw_text) {
+    rdb::Table& q = ensure_quarantine_table(db);
+    const rdb::TableDef& def = q.def();
+    rdb::Row row(q.column_count());
+    row[def.column_index("idx")] =
+        Value(static_cast<std::int64_t>(outcome.index));
+    row[def.column_index("error_type")] = Value(outcome.error_type);
+    row[def.column_index("error_message")] = Value(outcome.error);
+    if (outcome.where.valid()) {
+        row[def.column_index("line")] =
+            Value(static_cast<std::int64_t>(outcome.where.line));
+        row[def.column_index("col")] =
+            Value(static_cast<std::int64_t>(outcome.where.column));
+    }
+    row[def.column_index("raw_xml")] = Value(std::move(raw_text));
+    q.insert(std::move(row));
+}
+
+std::string format_outcome(const DocumentOutcome& outcome) {
+    std::string out = "doc " + std::to_string(outcome.index) + " [" +
+                      outcome.error_type + "] " + outcome.error;
+    if (outcome.where.valid()) out += " at " + outcome.where.to_string();
+    return out;
+}
 
 Loader::Loader(const dtd::Dtd& logical, const mapping::MappingResult& mapping,
                const rel::RelationalSchema& schema, rdb::Database& db)
@@ -210,10 +283,137 @@ void Loader::build_plans() {
 
 std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
     DirectSink sink;
-    std::int64_t doc_id =
-        shred_document(doc, next_doc_++, options, sink, stats_);
-    if (options.resolve_references) resolve_references();
-    return doc_id;
+    std::int64_t saved_doc = next_doc_;
+    LoadStats doc_stats;
+    db_.begin_unit();
+    try {
+        std::int64_t doc_id =
+            shred_document(doc, next_doc_++, options, sink, doc_stats);
+        if (options.resolve_references) resolve_references(doc_stats);
+        db_.commit_unit();
+        // Lifetime stats absorb the document only once it committed;
+        // unresolved_references stays a snapshot of the latest pass.
+        std::size_t unresolved = doc_stats.unresolved_references;
+        stats_.merge(doc_stats);
+        if (options.resolve_references)
+            stats_.unresolved_references = unresolved;
+        return doc_id;
+    } catch (...) {
+        db_.rollback_unit();
+        next_doc_ = saved_doc;
+        throw;
+    }
+}
+
+LoadReport Loader::load_corpus(const std::vector<xml::Document*>& docs,
+                               const LoadOptions& options) {
+    return corpus_load(
+        docs.size(),
+        [&](std::size_t i, RowSink& sink, LoadStats& stats,
+            const LoadOptions& lopt) {
+            shred_document(*docs[i], next_doc_++, lopt, sink, stats);
+        },
+        [&](std::size_t i) { return xml::serialize(*docs[i]); }, options);
+}
+
+LoadReport Loader::load_texts(const std::vector<std::string>& texts,
+                              const LoadOptions& options) {
+    return corpus_load(
+        texts.size(),
+        [&](std::size_t i, RowSink& sink, LoadStats& stats,
+            const LoadOptions& lopt) {
+            auto doc = xml::parse_document(texts[i]);
+            shred_document(*doc, next_doc_++, lopt, sink, stats);
+        },
+        [&](std::size_t i) { return texts[i]; }, options);
+}
+
+LoadReport Loader::corpus_load(
+    std::size_t count,
+    const std::function<void(std::size_t, RowSink&, LoadStats&,
+                             const LoadOptions&)>& shred_one,
+    const std::function<std::string(std::size_t)>& raw_text,
+    const LoadOptions& options) {
+    LoadReport report;
+    report.policy = options.on_error;
+    report.attempted = count;
+    LoadOptions lopt = options;
+    lopt.resolve_references = false;  // one pass over the whole corpus
+
+    DirectSink sink;
+    std::int64_t corpus_doc_mark = next_doc_;
+    db_.begin_unit();  // corpus unit: fail_fast (and any infrastructure
+                       // failure) restores the pre-load state exactly
+    try {
+        for (std::size_t i = 0; i < count; ++i) {
+            DocumentOutcome outcome;
+            outcome.index = i;
+            std::int64_t saved_doc = next_doc_;
+            LoadStats doc_stats;
+            db_.begin_unit();  // document unit
+            try {
+                shred_one(i, sink, doc_stats, lopt);
+                db_.commit_unit();
+                report.stats.merge(doc_stats);
+                outcome.doc = next_doc_ - 1;
+                ++report.loaded;
+            } catch (...) {
+                // Roll the document back completely — rows, indexes, pk
+                // counters and its doc id — before deciding what's next.
+                db_.rollback_unit();
+                next_doc_ = saved_doc;
+                LoadErrorInfo info = classify_load_error();
+                outcome.status = options.on_error == FailurePolicy::kQuarantine
+                                     ? DocumentOutcome::Status::kQuarantined
+                                     : DocumentOutcome::Status::kFailed;
+                outcome.error_type = std::move(info.type);
+                outcome.error = std::move(info.message);
+                outcome.where = info.where;
+                outcome.retryable = info.retryable;
+                ++report.failed;
+                if (outcome.retryable) ++report.retryable;
+                if (report.errors.size() < options.max_errors)
+                    report.errors.push_back(format_outcome(outcome));
+                report.outcomes.push_back(std::move(outcome));
+                if (options.on_error == FailurePolicy::kFailFast) throw;
+                continue;
+            }
+            report.outcomes.push_back(std::move(outcome));
+        }
+        if (report.loaded == 0) {
+            // Nothing survived: make the load a no-op (no resolution pass
+            // over pre-existing data, doc counter restored).
+            db_.rollback_unit();
+            next_doc_ = corpus_doc_mark;
+        } else {
+            // Single resolution pass; a failure here is infrastructure-
+            // scoped and rolls back the whole corpus regardless of policy.
+            resolve_references(report.stats);
+            db_.commit_unit();
+        }
+    } catch (...) {
+        db_.rollback_unit();
+        next_doc_ = corpus_doc_mark;
+        throw;
+    }
+    // Lifetime stats: merged only once the corpus committed.  Unresolved
+    // references are a snapshot of the resolution pass, not a sum.
+    if (report.loaded > 0) {
+        std::size_t unresolved_snapshot = report.stats.unresolved_references;
+        stats_.merge(report.stats);
+        stats_.unresolved_references = unresolved_snapshot;
+    }
+
+    // Quarantine records survive only when the load itself commits.
+    if (options.on_error == FailurePolicy::kQuarantine) {
+        for (const auto& outcome : report.outcomes) {
+            if (outcome.status != DocumentOutcome::Status::kQuarantined)
+                continue;
+            quarantine_document(db_, outcome, raw_text(outcome.index));
+            ++report.quarantined;
+        }
+    }
+    return report;
 }
 
 std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
@@ -241,6 +441,7 @@ std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
 std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                                   const LoadOptions& options, RowSink& sink,
                                   LoadStats& stats) const {
+    fault::maybe_fail("loader.shred");
     ++stats.elements_visited;
     auto plan_it = entity_plans_.find(e.name());
     if (plan_it == entity_plans_.end()) {
@@ -607,6 +808,7 @@ void Loader::resolve_references_in(RefPlan& ref, LoadStats& stats) {
     for (rdb::RowId id = 0; id < ref.storage->row_count(); ++id) {
         const rdb::Row& row = ref.storage->row(id);
         if (!row[ref.target_pk_col].is_null()) continue;
+        fault::maybe_fail("loader.resolve");
 
         const Value& idref = row[ref.idref_col];
         std::vector<rdb::RowId> hits = id_registry_->lookup("idval", idref);

@@ -9,7 +9,28 @@ Table& Database::create_table(TableDef def) {
         throw SchemaError("table '" + def.name + "' already exists");
     tables_.push_back(std::make_unique<Table>(std::move(def)));
     if (bulk_) tables_.back()->begin_bulk();
+    for (std::size_t d = 0; d < unit_depth_; ++d) tables_.back()->begin_unit();
     return *tables_.back();
+}
+
+void Database::begin_unit() {
+    for (auto& t : tables_) t->begin_unit();
+    ++unit_depth_;
+}
+
+void Database::commit_unit() {
+    if (unit_depth_ == 0)
+        throw SchemaError("commit_unit without an open load unit");
+    for (auto& t : tables_) t->commit_unit();
+    --unit_depth_;
+}
+
+void Database::rollback_unit() {
+    if (unit_depth_ == 0)
+        throw SchemaError("rollback_unit without an open load unit");
+    for (auto& t : tables_) t->rollback_unit();
+    --unit_depth_;
+    bulk_ = false;  // an interrupted merge leaves no bracket behind
 }
 
 void Database::begin_bulk() {
@@ -23,6 +44,9 @@ void Database::end_bulk() {
 }
 
 void Database::drop_table(std::string_view name) {
+    if (unit_depth_ > 0)
+        throw SchemaError("cannot drop '" + std::string(name) +
+                          "' while a load unit is open");
     auto it = std::find_if(tables_.begin(), tables_.end(),
                            [&](const auto& t) { return t->name() == name; });
     if (it == tables_.end())

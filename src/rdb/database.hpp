@@ -55,6 +55,16 @@ public:
     void end_bulk();
     [[nodiscard]] bool in_bulk() const { return bulk_; }
 
+    /// Atomic load units across every table (see Table::begin_unit).
+    /// Units nest; rollback_unit() restores row storage, indexes and pk
+    /// counters to the matching begin_unit() and closes any bulk bracket
+    /// left open by an interrupted merge.  Tables created while a unit is
+    /// open join it (they are emptied again on rollback).
+    void begin_unit();
+    void commit_unit();
+    void rollback_unit();
+    [[nodiscard]] bool in_unit() const { return unit_depth_ > 0; }
+
     [[nodiscard]] std::size_t total_rows() const;
     [[nodiscard]] std::size_t memory_bytes() const;
 
@@ -62,6 +72,7 @@ private:
     std::vector<std::unique_ptr<Table>> tables_;
     std::vector<ForeignKeyDef> fks_;
     bool bulk_ = false;
+    std::size_t unit_depth_ = 0;
 };
 
 }  // namespace xr::rdb

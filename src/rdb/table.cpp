@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.hpp"
+
 namespace xr::rdb {
 
 int TableDef::column_index(std::string_view name) const {
@@ -118,6 +120,61 @@ void Table::bump_next_pk(std::int64_t pk) {
     }
 }
 
+void Table::end_bulk() {
+    fault::maybe_fail("rdb.index_rebuild");
+    rebuild_indexes();
+    bulk_ = false;
+}
+
+void Table::begin_unit() {
+    units_.push_back(
+        {rows_.size(), next_pk_.load(std::memory_order_relaxed), undo_.size()});
+}
+
+void Table::commit_unit() {
+    if (units_.empty())
+        throw SchemaError("commit_unit without begin_unit on '" + def_.name +
+                          "'");
+    units_.pop_back();
+    // The undo log folds into the parent frame (its undo_size mark is
+    // older); with no parent left, the history is no longer needed.
+    if (units_.empty()) undo_.clear();
+}
+
+void Table::rollback_unit() {
+    if (units_.empty())
+        throw SchemaError("rollback_unit without begin_unit on '" + def_.name +
+                          "'");
+    UnitFrame frame = units_.back();
+    units_.pop_back();
+    bool changed = rows_.size() > frame.rows || undo_.size() > frame.undo_size;
+
+    // Undo cell updates newest-first with raw writes; index consistency is
+    // restored by the rebuild below.
+    for (std::size_t i = undo_.size(); i-- > frame.undo_size;) {
+        UndoCell& cell = undo_[i];
+        rows_[cell.row][cell.column] = std::move(cell.old_value);
+    }
+    undo_.resize(frame.undo_size);
+
+    // Truncate appended rows, keeping the primary-key index exact.
+    while (rows_.size() > frame.rows) {
+        if (pk_column_ >= 0)
+            pk_index_.erase(rows_.back()[pk_column_].as_integer());
+        rows_.pop_back();
+    }
+
+    // Reclaim keys reserved since the watermark.  Safe because the unit
+    // contract joins all reserving workers before rollback.
+    next_pk_.store(frame.next_pk, std::memory_order_relaxed);
+
+    // Leave the table out of bulk mode with consistent secondary indexes,
+    // whatever state an interrupted merge or rebuild left them in.
+    bool was_bulk = bulk_;
+    bulk_ = false;
+    if (changed || was_bulk) rebuild_indexes();
+}
+
 void Table::rebuild_indexes() {
     for (auto& idx : indexes_) {
         idx.hash.clear();
@@ -162,6 +219,7 @@ void Table::update(RowId id, std::string_view column, Value value) {
                           def_.name + "'");
     if (i == pk_column_)
         throw SchemaError("cannot update primary key column");
+    if (!units_.empty()) undo_.push_back({id, i, rows_[id][i]});
     for (auto& idx : indexes_) {
         if (idx.column != i) continue;
         const Value& old = rows_[id][i];
@@ -189,6 +247,9 @@ void Table::update(RowId id, std::string_view column, Value value) {
 }
 
 std::size_t Table::delete_where(std::string_view column, const Value& value) {
+    if (!units_.empty())
+        throw SchemaError("cannot delete from '" + def_.name +
+                          "' while a load unit is open");
     int i = def_.column_index(column);
     if (i < 0)
         throw SchemaError("no column '" + std::string(column) + "' in '" +

@@ -76,6 +76,16 @@ public:
         return next_pk_.fetch_add(count, std::memory_order_relaxed);
     }
 
+    /// Return the unused tail [first, end) of a reserved range.  Succeeds
+    /// only when no later reservation happened (the counter still sits at
+    /// `end`); callers count a failed return as leaked key space.
+    bool try_release_pk_range(std::int64_t first, std::int64_t end) {
+        std::int64_t expected = end;
+        return first < end &&
+               next_pk_.compare_exchange_strong(expected, first,
+                                                std::memory_order_relaxed);
+    }
+
     /// Pre-size row storage for `additional` upcoming inserts.
     void reserve_rows(std::size_t additional) {
         rows_.reserve(rows_.size() + additional);
@@ -85,12 +95,29 @@ public:
     /// Between begin_bulk() and end_bulk(), inserts skip secondary-index
     /// maintenance; end_bulk() rebuilds every index in one pass.  The
     /// primary-key index stays live so duplicate keys are still rejected.
+    /// end_bulk() keeps the bulk flag set until the rebuild succeeds, so
+    /// an interrupted rebuild is recoverable via rollback_unit().
     void begin_bulk() { bulk_ = true; }
-    void end_bulk() {
-        bulk_ = false;
-        rebuild_indexes();
-    }
+    void end_bulk();
     [[nodiscard]] bool in_bulk() const { return bulk_; }
+
+    // -- atomic load units (savepoint / undo) --------------------------------
+    /// begin_unit() records a watermark — row count, pk counter, undo-log
+    /// position; rollback_unit() truncates back to it: cell updates made
+    /// since are undone (update() logs old values while a unit is open),
+    /// appended rows are removed from storage and every index, and the
+    /// pk counter is restored.  Units nest (a per-document unit inside a
+    /// per-corpus unit); commit_unit() folds the frame into its parent.
+    ///
+    /// Thread-safety contract: begin/commit/rollback and any logged
+    /// mutation are single-threaded operations.  Concurrent workers may
+    /// only touch allocate_pk_range() while a unit is open, and must be
+    /// joined before rollback_unit() restores the counter (which is how
+    /// the bulk loader reclaims reserved ranges of a failed load).
+    void begin_unit();
+    void commit_unit();
+    void rollback_unit();
+    [[nodiscard]] bool in_unit() const { return !units_.empty(); }
 
     /// Drop and repopulate every secondary index from current row storage.
     void rebuild_indexes();
@@ -111,6 +138,8 @@ public:
     /// Delete every row whose `column` equals `value`; returns the number
     /// removed.  Row ids are compacted (all indexes rebuilt), so previously
     /// held RowIds are invalidated — primary keys remain stable handles.
+    /// Refused while a load unit is open (compaction would invalidate the
+    /// unit's watermarks).
     std::size_t delete_where(std::string_view column, const Value& value);
 
     // -- secondary indexes ----------------------------------------------------
@@ -144,6 +173,20 @@ private:
         std::multimap<Value, RowId> ordered;
     };
     std::vector<SecondaryIndex> indexes_;
+
+    /// Savepoint frame: state to restore on rollback_unit().
+    struct UnitFrame {
+        std::size_t rows = 0;
+        std::int64_t next_pk = 0;
+        std::size_t undo_size = 0;
+    };
+    std::vector<UnitFrame> units_;
+    struct UndoCell {
+        RowId row = 0;
+        int column = -1;
+        Value old_value;
+    };
+    std::vector<UndoCell> undo_;  ///< update() log, shared by nested frames
 
     void validate(const Row& row) const;
     void index_row(RowId id);

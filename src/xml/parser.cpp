@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/cursor.hpp"
+#include "common/fault.hpp"
 
 namespace xr::xml {
 
@@ -444,6 +445,7 @@ void parse(std::string_view text, EventHandler& handler,
 
 std::unique_ptr<Document> parse_document(std::string_view text,
                                          const ParseOptions& options) {
+    fault::maybe_fail("xml.parse");
     auto doc = std::make_unique<Document>();
     DomBuilder builder(*doc);
     parse(text, builder, options);

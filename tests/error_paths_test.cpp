@@ -3,15 +3,44 @@
 // crash or silently corrupt.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "helpers.hpp"
 #include "loader/reconstruct.hpp"
 #include "sql/executor.hpp"
+#include "xml/serializer.hpp"
 #include "xquery/sql_translate.hpp"
 
 namespace xr {
 namespace {
 
 using test::Stack;
+
+/// A corpus that exercises every document-scoped failure mode: two good
+/// articles, a malformed text, a validation failure (duplicate title) and
+/// an element the paper DTD never declares.  Good documents sit at
+/// indices 0 and 3.
+std::vector<std::string> mixed_corpus() {
+    return {
+        "<article><title>t0</title>"
+        "<author id=\"a0\"><name><lastname>L0</lastname></name></author>"
+        "<contactauthor authorid=\"a0\"/></article>",
+        "<article><title>t1</title></unclosed>",  // malformed XML
+        "<article><title>dup</title><title>dup</title></article>",  // invalid
+        "<article><title>t3</title>"
+        "<author id=\"a3\"><name><lastname>L3</lastname></name></author>"
+        "<contactauthor authorid=\"a3\"/></article>",
+        "<bogus><x/></bogus>",  // parses, but maps to nothing
+    };
+}
+
+std::vector<std::string> good_only(const std::vector<std::string>& corpus,
+                                   std::initializer_list<std::size_t> good) {
+    std::vector<std::string> out;
+    for (std::size_t i : good) out.push_back(corpus[i]);
+    return out;
+}
 
 TEST(XmlErrors, MalformedInputs) {
     for (const char* bad : {
@@ -80,6 +109,117 @@ TEST(LoaderErrors, NothingPersistedFromRejectedDocument) {
     EXPECT_THROW(stack.loader->load(*bad), ValidationError);
     EXPECT_EQ(stack.db.require("article").row_count(), 0u);
     EXPECT_EQ(stack.loader->stats().documents, 0u);
+}
+
+TEST(LoaderErrors, MidDocumentFailureRollsBackPartialRows) {
+    // The unmapped element sits after loadable content, so rows for the
+    // article and its author are already written when the shred fails —
+    // the load unit must erase them all.
+    Stack stack(gen::paper_dtd());
+    auto before = test::db_fingerprint(stack.db);
+    auto bad = xml::parse_document(
+        "<article><title>t</title>"
+        "<author id=\"a1\"><name><lastname>L</lastname></name></author>"
+        "<bogus/></article>");
+    loader::LoadOptions options;
+    options.validate = false;  // let the strict shredder hit <bogus/> itself
+    EXPECT_THROW(stack.loader->load(*bad, options), ValidationError);
+    EXPECT_EQ(test::db_fingerprint(stack.db), before);
+    EXPECT_EQ(stack.loader->stats().documents, 0u);
+
+    // Doc ids and pk counters rewound too: a good document now loads
+    // exactly as it would into a fresh database.
+    auto good = xml::parse_document(mixed_corpus()[0]);
+    EXPECT_EQ(stack.loader->load(*good), 1);
+    Stack fresh(gen::paper_dtd());
+    auto good2 = xml::parse_document(mixed_corpus()[0]);
+    fresh.loader->load(*good2);
+    EXPECT_EQ(test::db_fingerprint(stack.db), test::db_fingerprint(fresh.db));
+}
+
+TEST(LoaderErrors, FailFastCorpusLoadIsAtomic) {
+    Stack stack(gen::paper_dtd());
+    auto before = test::db_fingerprint(stack.db);
+    loader::LoadOptions options;  // on_error defaults to kFailFast
+    EXPECT_THROW(stack.loader->load_texts(mixed_corpus(), options), Error);
+    EXPECT_EQ(test::db_fingerprint(stack.db), before);
+    EXPECT_EQ(stack.loader->stats().documents, 0u);
+}
+
+TEST(LoaderErrors, SkipPolicyMatchesGoodOnlyLoadByteForByte) {
+    std::vector<std::string> corpus = mixed_corpus();
+
+    Stack mixed(gen::paper_dtd());
+    loader::LoadOptions options;
+    options.on_error = loader::FailurePolicy::kSkip;
+    loader::LoadReport report = mixed.loader->load_texts(corpus, options);
+    EXPECT_EQ(report.attempted, 5u);
+    EXPECT_EQ(report.loaded, 2u);
+    EXPECT_EQ(report.failed, 3u);
+    EXPECT_EQ(report.quarantined, 0u);
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.outcomes.size(), 5u);
+    EXPECT_EQ(report.outcomes[0].doc, 1);
+    EXPECT_EQ(report.outcomes[1].error_type, "parse");
+    EXPECT_EQ(report.outcomes[2].error_type, "validation");
+    EXPECT_EQ(report.outcomes[3].doc, 2);  // dense over the survivors
+    EXPECT_EQ(report.outcomes[4].error_type, "validation");
+    EXPECT_EQ(report.errors.size(), 3u);
+
+    Stack good(gen::paper_dtd());
+    loader::LoadReport good_report =
+        good.loader->load_texts(good_only(corpus, {0, 3}), {});
+    EXPECT_TRUE(good_report.ok());
+    EXPECT_EQ(test::db_fingerprint(mixed.db), test::db_fingerprint(good.db));
+
+    // The rejected documents left no trace in the loader either: stats
+    // match a loader that never saw them.
+    EXPECT_EQ(mixed.loader->stats().documents, 2u);
+    EXPECT_EQ(mixed.loader->stats().elements_visited,
+              good.loader->stats().elements_visited);
+}
+
+TEST(LoaderErrors, QuarantinePolicyRecordsRejectedDocuments) {
+    std::vector<std::string> corpus = mixed_corpus();
+    Stack stack(gen::paper_dtd());
+    loader::LoadOptions options;
+    options.on_error = loader::FailurePolicy::kQuarantine;
+    loader::LoadReport report = stack.loader->load_texts(corpus, options);
+    EXPECT_EQ(report.loaded, 2u);
+    EXPECT_EQ(report.quarantined, 3u);
+
+    const rdb::Table* q = stack.db.table(loader::kQuarantineTable);
+    ASSERT_NE(q, nullptr);
+    ASSERT_EQ(q->row_count(), 3u);
+    int idx = q->def().column_index("idx");
+    int type = q->def().column_index("error_type");
+    int raw = q->def().column_index("raw_xml");
+    EXPECT_EQ(q->rows()[0][idx].as_integer(), 1);
+    EXPECT_EQ(q->rows()[0][type].to_string(), "parse");
+    EXPECT_EQ(q->rows()[0][raw].to_string(), corpus[1]);
+    EXPECT_EQ(q->rows()[1][idx].as_integer(), 2);
+    EXPECT_EQ(q->rows()[2][idx].as_integer(), 4);
+
+    // Everything except the quarantine table matches the good-only load.
+    Stack good(gen::paper_dtd());
+    good.loader->load_texts(good_only(corpus, {0, 3}), {});
+    std::vector<std::string> data_rows;
+    for (const auto& line : test::db_fingerprint(stack.db))
+        if (line.rfind(loader::kQuarantineTable, 0) != 0)
+            data_rows.push_back(line);
+    EXPECT_EQ(data_rows, test::db_fingerprint(good.db));
+}
+
+TEST(LoaderErrors, AllFailingCorpusIsANoOp) {
+    Stack stack(gen::paper_dtd());
+    auto before = test::db_fingerprint(stack.db);
+    std::vector<std::string> corpus = {mixed_corpus()[1], mixed_corpus()[2]};
+    loader::LoadOptions options;
+    options.on_error = loader::FailurePolicy::kSkip;
+    loader::LoadReport report = stack.loader->load_texts(corpus, options);
+    EXPECT_EQ(report.loaded, 0u);
+    EXPECT_EQ(report.failed, 2u);
+    EXPECT_EQ(test::db_fingerprint(stack.db), before);
 }
 
 TEST(ReconstructErrors, MissingRowAndUnknownEntity) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dtd/parser.hpp"
 #include "gen/corpora.hpp"
@@ -39,5 +40,21 @@ struct Stack {
         loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
     }
 };
+
+/// Every cell of every table in physical order — the byte-identical
+/// database comparison the atomicity tests rely on.  Restored pk counters
+/// are not directly visible here; tests probe them by loading more data
+/// after a rollback and fingerprinting again.
+inline std::vector<std::string> db_fingerprint(const rdb::Database& db) {
+    std::vector<std::string> out;
+    for (const auto& name : db.table_names()) {
+        for (const auto& row : db.require(name).rows()) {
+            std::string line = name;
+            for (const auto& v : row) line += "|" + v.to_string();
+            out.push_back(std::move(line));
+        }
+    }
+    return out;
+}
 
 }  // namespace xr::test
