@@ -12,14 +12,18 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <thread>
 
 #include "baseline/inline_loader.hpp"
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
 #include "loader/bulk_loader.hpp"
+#include "rdb/snapshot.hpp"
 #include "xml/serializer.hpp"
 
 namespace {
@@ -168,6 +172,154 @@ void print_report() {
               << " records)\n\n";
 }
 
+/// Self-deleting scratch directory for the durability measurements.
+struct BenchDir {
+    std::string path;
+    BenchDir() {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "xmlrel-bench-XXXXXX")
+                               .string();
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr)
+            throw std::runtime_error("mkdtemp failed");
+        path = buf.data();
+    }
+    ~BenchDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+// === durability: what the WAL costs and what recovery buys back =============
+//
+// Loads one corpus three ways (in-memory, WAL per-commit fsync, no-WAL
+// with a single final snapshot), then times a cold recovery of the
+// WAL-backed directory and a checkpoint of the recovered state.  The
+// derived figures — WAL append throughput, snapshot write MB/s, recovery
+// ms per 10k records — land in BENCH_durability.json.
+void print_durability_report() {
+    std::cout << "=== durability: WAL / snapshot / recovery cost ===\n";
+    constexpr std::size_t kDocs = 64, kElems = 400;
+    bench::Corpus corpus = bench::Corpus::bibliography(kDocs, kElems);
+
+    // In-memory baseline: the same serial load with no durability at all.
+    double mem_s;
+    {
+        bench::Stack stack(gen::paper_dtd());
+        auto t0 = Clock::now();
+        for (auto& doc : corpus.docs) {
+            loader::LoadOptions options;
+            options.validate = false;
+            stack.loader->load(*doc, options);
+        }
+        mem_s = seconds_since(t0);
+    }
+
+    // WAL-backed load: every document commit appends + fsyncs.
+    BenchDir wal_dir;
+    double wal_s;
+    std::uint64_t wal_bytes;
+    {
+        rdb::Database db;
+        bench::Stack proto(gen::paper_dtd());
+        db.open(wal_dir.path);
+        rel::materialize(proto.schema, proto.mapping, db);
+        db.flush_wal();
+        loader::Loader loader(proto.logical, proto.mapping, proto.schema, db);
+        auto t0 = Clock::now();
+        for (auto& doc : corpus.docs) {
+            loader::LoadOptions options;
+            options.validate = false;
+            loader.load(*doc, options);
+        }
+        wal_s = seconds_since(t0);
+        wal_bytes = db.wal_bytes_appended();
+    }
+
+    // No-WAL load: nothing durable until one snapshot at the end.
+    BenchDir snap_dir;
+    double nowal_s;
+    {
+        rdb::Database db;
+        bench::Stack proto(gen::paper_dtd());
+        rdb::DurabilityOptions dopts;
+        dopts.use_wal = false;
+        db.open(snap_dir.path, dopts);
+        rel::materialize(proto.schema, proto.mapping, db);
+        loader::Loader loader(proto.logical, proto.mapping, proto.schema, db);
+        auto t0 = Clock::now();
+        for (auto& doc : corpus.docs) {
+            loader::LoadOptions options;
+            options.validate = false;
+            loader.load(*doc, options);
+        }
+        db.checkpoint();
+        nowal_s = seconds_since(t0);
+    }
+
+    // Cold recovery of the WAL-backed directory, then a checkpoint of the
+    // recovered state for the snapshot-write rate.
+    double recover_s, snap_write_s;
+    rdb::RecoveryReport recovery;
+    rdb::SnapshotStats snap;
+    {
+        rdb::Database db;
+        auto t0 = Clock::now();
+        recovery = db.open(wal_dir.path);
+        recover_s = seconds_since(t0);
+        t0 = Clock::now();
+        snap = db.checkpoint();
+        snap_write_s = seconds_since(t0);
+    }
+
+    double wal_mb_s = wal_bytes / wal_s / 1e6;
+    double wal_rec_s = recovery.records_replayed / wal_s;
+    double snap_mb_s = snap.bytes / snap_write_s / 1e6;
+    double rec_per_10k = recovery.records_replayed == 0
+                             ? 0
+                             : recover_s * 1e3 /
+                                   (recovery.records_replayed / 1e4);
+
+    TablePrinter table({"metric", "value", "unit"});
+    std::vector<std::pair<std::string, std::string>> rows = {
+        {"load, in-memory", format_double(corpus.total_elements / mem_s / 1e3, 1) + " k elem/s"},
+        {"load, WAL fsync-per-commit", format_double(corpus.total_elements / wal_s / 1e3, 1) + " k elem/s"},
+        {"load, no-WAL + final snapshot", format_double(corpus.total_elements / nowal_s / 1e3, 1) + " k elem/s"},
+        {"WAL append throughput", format_double(wal_mb_s, 1) + " MB/s (" + format_double(wal_rec_s / 1e3, 1) + " k rec/s)"},
+        {"snapshot write", format_double(snap_mb_s, 1) + " MB/s"},
+        {"recovery", format_double(rec_per_10k, 2) + " ms / 10k records"},
+    };
+    for (const auto& [metric, value] : rows) {
+        auto space = value.find(' ');
+        table.add_row({metric, value.substr(0, space), value.substr(space + 1)});
+    }
+    std::cout << table.to_string() << "\n";
+
+    std::ofstream out("BENCH_durability.json");
+    out << "{\n"
+        << "  \"corpus_docs\": " << kDocs << ",\n"
+        << "  \"corpus_elements\": " << corpus.total_elements << ",\n"
+        << "  \"load_elem_per_s_memory\": "
+        << static_cast<std::int64_t>(corpus.total_elements / mem_s) << ",\n"
+        << "  \"load_elem_per_s_wal\": "
+        << static_cast<std::int64_t>(corpus.total_elements / wal_s) << ",\n"
+        << "  \"load_elem_per_s_nowal_snapshot\": "
+        << static_cast<std::int64_t>(corpus.total_elements / nowal_s) << ",\n"
+        << "  \"wal_append_mb_per_s\": " << wal_mb_s << ",\n"
+        << "  \"wal_append_records_per_s\": "
+        << static_cast<std::int64_t>(wal_rec_s) << ",\n"
+        << "  \"wal_records\": " << recovery.records_replayed << ",\n"
+        << "  \"wal_bytes\": " << wal_bytes << ",\n"
+        << "  \"snapshot_write_mb_per_s\": " << snap_mb_s << ",\n"
+        << "  \"snapshot_bytes\": " << snap.bytes << ",\n"
+        << "  \"recovery_ms\": " << recover_s * 1e3 << ",\n"
+        << "  \"recovery_rows_restored\": " << recovery.rows_restored << ",\n"
+        << "  \"recovery_ms_per_10k_records\": " << rec_per_10k << "\n"
+        << "}\n";
+    std::cout << "wrote BENCH_durability.json\n\n";
+}
+
 void BM_Load_Mapping(benchmark::State& state) {
     bench::Corpus corpus =
         bench::Corpus::bibliography(static_cast<std::size_t>(state.range(0)), 400);
@@ -257,6 +409,7 @@ BENCHMARK(BM_XmlParse);
 
 int main(int argc, char** argv) {
     print_report();
+    print_durability_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

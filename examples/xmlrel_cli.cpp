@@ -7,6 +7,8 @@
 //
 //   xmlrel_cli load <dtd-file> <xml-file>... [--jobs N]
 //                               [--on-error fail|skip|quarantine]
+//                               [--data-dir DIR] [--checkpoint-every N]
+//                               [--no-wal] [--max-depth N]
 //                               [--sql "SELECT ..."]... [--query "/path"]...
 //                               [--reconstruct N]
 //       Map the DTD, validate and load the documents, then run SQL
@@ -19,9 +21,20 @@
 //       whole load back on the first bad document, skip drops bad
 //       documents and keeps the rest, quarantine additionally records
 //       each rejected document's text and error in xrel_quarantine.
+//       --data-dir makes the database durable: the directory is recovered
+//       on startup (checksummed snapshot + write-ahead-log replay, with
+//       the recovery report printed), every committed load survives a
+//       crash, and queries run against the recovered state.
+//       --checkpoint-every N writes a fresh snapshot after every N
+//       documents, bounding WAL replay time; --no-wal skips per-commit
+//       logging and persists through a single final snapshot instead
+//       (faster, but a crash mid-run loses the whole run).  --max-depth
+//       caps element nesting during parsing (a malformed-input guard;
+//       over-limit documents fail document-scoped under skip/quarantine).
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,6 +46,7 @@
 #include "loader/loader.hpp"
 #include "loader/reconstruct.hpp"
 #include "mapping/pipeline.hpp"
+#include "rdb/snapshot.hpp"
 #include "rel/materialize.hpp"
 #include "rel/translate.hpp"
 #include "sql/executor.hpp"
@@ -59,6 +73,8 @@ int usage() {
               << "  xmlrel_cli validate <dtd-file> <xml-file>...\n"
               << "  xmlrel_cli load <dtd-file> <xml-file>... [--jobs N] "
                  "[--on-error fail|skip|quarantine] "
+                 "[--data-dir DIR] [--checkpoint-every N] [--no-wal] "
+                 "[--max-depth N] "
                  "[--sql STMT]... [--query PATH]... [--reconstruct N]\n";
     return 2;
 }
@@ -107,6 +123,10 @@ int cmd_load(const std::vector<std::string>& args) {
     std::int64_t reconstruct_doc = -1;
     std::int64_t jobs = 1;  // 1 = serial loader; 0 = all hardware threads
     xr::loader::FailurePolicy on_error = xr::loader::FailurePolicy::kFailFast;
+    std::string data_dir;
+    std::int64_t checkpoint_every = 0;  // 0 = only where --no-wal requires one
+    bool use_wal = true;
+    std::int64_t max_depth = 0;  // 0 = parser default
 
     auto parse_policy = [&](const std::string& name) {
         if (name == "fail")
@@ -143,6 +163,18 @@ int cmd_load(const std::vector<std::string>& args) {
             auto v = int_arg(i);
             if (!v || *v < 0) return usage();
             jobs = *v;
+        } else if (args[i] == "--data-dir" && i + 1 < args.size()) {
+            data_dir = args[++i];
+        } else if (args[i] == "--checkpoint-every") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            checkpoint_every = *v;
+        } else if (args[i] == "--no-wal") {
+            use_wal = false;
+        } else if (args[i] == "--max-depth") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            max_depth = *v;
         } else if (args[i] == "--on-error" && i + 1 < args.size()) {
             if (!parse_policy(args[++i])) return usage();
         } else if (args[i].rfind("--on-error=", 0) == 0) {
@@ -158,32 +190,94 @@ int cmd_load(const std::vector<std::string>& args) {
     }
     if (dtd_path.empty() || xml_paths.empty()) return usage();
 
+    if ((checkpoint_every > 0 || !use_wal) && data_dir.empty()) {
+        std::cerr << "error: --checkpoint-every and --no-wal require "
+                     "--data-dir\n";
+        return 2;
+    }
+
     xr::dtd::Dtd dtd = xr::dtd::parse_dtd(read_file(dtd_path));
     xr::mapping::MappingResult m = xr::mapping::map_dtd(dtd);
     xr::rel::RelationalSchema schema = xr::rel::translate(m);
     xr::rdb::Database db;
-    xr::rel::materialize(schema, m, db);
+    if (!data_dir.empty()) {
+        xr::rdb::DurabilityOptions dopts;
+        dopts.use_wal = use_wal;
+        xr::rdb::RecoveryReport recovery = db.open(data_dir, dopts);
+        std::cout << recovery.to_string() << "\n";
+        if (db.table_count() == 0) {
+            xr::rel::materialize(schema, m, db);
+            db.flush_wal();
+        }
+    } else {
+        xr::rel::materialize(schema, m, db);
+    }
     std::vector<std::string> texts;
     texts.reserve(xml_paths.size());
     for (const auto& path : xml_paths) texts.push_back(read_file(path));
 
+    // One load per --checkpoint-every chunk, snapshotting between chunks
+    // so recovery never replays more than a chunk's worth of WAL.
+    std::size_t chunk = checkpoint_every > 0
+                            ? static_cast<std::size_t>(checkpoint_every)
+                            : texts.size();
     xr::loader::LoadReport report;
-    if (jobs == 1) {
-        xr::loader::Loader loader(dtd, m, schema, db);
-        xr::loader::LoadOptions opt;
-        opt.on_error = on_error;
-        report = loader.load_texts(texts, opt);
-    } else {
-        xr::loader::BulkLoader loader(dtd, m, schema, db);
-        xr::loader::BulkLoadOptions opt;
-        opt.jobs = static_cast<std::size_t>(jobs);
-        opt.validate = true;
-        opt.on_error = on_error;
-        report = loader.load_texts(texts, opt);
+    report.policy = on_error;
+    auto merge_chunk = [&](xr::loader::LoadReport&& part, std::size_t base) {
+        report.stats.merge(part.stats);
+        report.stats.unresolved_references = part.stats.unresolved_references;
+        report.attempted += part.attempted;
+        report.loaded += part.loaded;
+        report.failed += part.failed;
+        report.quarantined += part.quarantined;
+        report.retryable += part.retryable;
+        report.leaked_pks += part.leaked_pks;
+        for (auto& o : part.outcomes) {
+            o.index += base;
+            report.outcomes.push_back(std::move(o));
+        }
+        for (auto& e : part.errors) report.errors.push_back(std::move(e));
+    };
+
+    xr::loader::Loader serial_loader(dtd, m, schema, db);
+    xr::loader::BulkLoader bulk_loader(dtd, m, schema, db);
+    for (std::size_t base = 0; base < texts.size(); base += chunk) {
+        std::vector<std::string> part(
+            texts.begin() + static_cast<std::ptrdiff_t>(base),
+            texts.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(base + chunk, texts.size())));
+        if (jobs == 1) {
+            xr::loader::LoadOptions opt;
+            opt.on_error = on_error;
+            if (max_depth > 0)
+                opt.parse.max_depth = static_cast<std::size_t>(max_depth);
+            merge_chunk(serial_loader.load_texts(part, opt), base);
+        } else {
+            xr::loader::BulkLoadOptions opt;
+            opt.jobs = static_cast<std::size_t>(jobs);
+            opt.validate = true;
+            opt.on_error = on_error;
+            if (max_depth > 0)
+                opt.parse.max_depth = static_cast<std::size_t>(max_depth);
+            merge_chunk(bulk_loader.load_texts(part, opt), base);
+        }
+        if (checkpoint_every > 0 && base + chunk < texts.size()) {
+            xr::rdb::SnapshotStats snap = db.checkpoint();
+            std::cout << "checkpoint: " << snap.tables << " table(s), "
+                      << snap.rows << " row(s), " << snap.bytes << " bytes\n";
+        }
+    }
+    if (jobs != 1)
         std::cout << "bulk-loaded " << report.loaded << " document(s) with "
                   << (jobs == 0 ? "all hardware threads"
                                 : std::to_string(jobs) + " worker(s)")
                   << "\n";
+    // Without a WAL nothing has reached disk yet; with --checkpoint-every
+    // the final chunk's WAL tail is folded into a last snapshot too.
+    if (!data_dir.empty() && (!use_wal || checkpoint_every > 0)) {
+        xr::rdb::SnapshotStats snap = db.checkpoint();
+        std::cout << "final snapshot: " << snap.rows << " row(s), "
+                  << snap.bytes << " bytes\n";
     }
     for (const auto& o : report.outcomes) {
         using Status = xr::loader::DocumentOutcome::Status;

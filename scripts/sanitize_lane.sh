@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# AddressSanitizer lane over the robustness-critical tests: the bulk-load
+# pipeline, the fault-injection matrix, and the durability layer
+# (snapshots, WAL, crash recovery).  The full suite under ASan is slow;
+# these labels cover every code path that handles torn/corrupt input or
+# runs concurrently, which is where the sanitizer earns its keep.
+#
+# Usage: scripts/sanitize_lane.sh [build-dir]   (default: build-asan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DXMLREL_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'bulk|fault|durability' \
+      --output-on-failure -j "$(nproc)"

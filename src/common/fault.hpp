@@ -22,6 +22,11 @@
 //   bulk.merge         per table merged (BulkLoader staging → storage)
 //   rdb.index_rebuild  per table index rebuild (Table::end_bulk)
 //   loader.resolve     per IDREF row visited during resolution
+//   wal.append         per WAL record buffered (Wal::append)
+//   wal.fsync          outermost-commit flush, before any byte moves
+//   snapshot.write     before the snapshot temp file is written
+//   snapshot.rename    before the temp file is renamed into place
+//   recovery.replay    per WAL record applied during Database::open
 #pragma once
 
 #include <atomic>

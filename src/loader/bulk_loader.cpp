@@ -160,7 +160,7 @@ LoadReport BulkLoader::load_texts(const std::vector<std::string>& texts,
         texts.size(),
         [&](std::size_t i, RowSink& sink, LoadStats& stats,
             const LoadOptions& lopt) {
-            auto doc = xml::parse_document(texts[i]);
+            auto doc = xml::parse_document(texts[i], lopt.parse);
             loader_.shred_document(*doc, base + static_cast<std::int64_t>(i),
                                    lopt, sink, stats);
         },
@@ -177,6 +177,7 @@ LoadReport BulkLoader::run(
     lopt.validate = options.validate;
     lopt.strict = options.strict;
     lopt.resolve_references = false;
+    lopt.parse = options.parse;
 
     LoadReport report;
     report.policy = options.on_error;
@@ -370,13 +371,26 @@ LoadReport BulkLoader::run(
 
     // Quarantine records are written after the load unit closed, so they
     // persist while the rejected documents' rows do not — and vanish with
-    // everything else if the load itself aborts.
+    // everything else if the load itself aborts.  Their own unit makes the
+    // writes atomic and flushes them through the WAL at commit.
     if (options.on_error == FailurePolicy::kQuarantine) {
-        for (const auto& outcome : report.outcomes) {
-            if (outcome.status != DocumentOutcome::Status::kQuarantined)
-                continue;
-            quarantine_document(db_, outcome, raw_text(outcome.index));
-            ++report.quarantined;
+        bool any = false;
+        for (const auto& outcome : report.outcomes)
+            any |= outcome.status == DocumentOutcome::Status::kQuarantined;
+        if (any) {
+            db_.begin_unit();
+            try {
+                for (const auto& outcome : report.outcomes) {
+                    if (outcome.status != DocumentOutcome::Status::kQuarantined)
+                        continue;
+                    quarantine_document(db_, outcome, raw_text(outcome.index));
+                    ++report.quarantined;
+                }
+                db_.commit_unit();
+            } catch (...) {
+                db_.rollback_unit();
+                throw;
+            }
         }
     }
     return report;

@@ -57,6 +57,8 @@ struct BulkLoadOptions {
     FailurePolicy on_error = FailurePolicy::kFailFast;
     /// Cap on formatted error strings kept in LoadReport::errors.
     std::size_t max_errors = 8;
+    /// Parser guards applied by load_texts (see LoadOptions::parse).
+    xml::ParseOptions parse;
 };
 
 class BulkLoader {

@@ -121,6 +121,19 @@ void Loader::build_plans() {
     text_segments_ = db_.table(rel::kTextSegmentsTable);
     overflow_ = db_.table(rel::kOverflowTable);
 
+    // Continue doc-id assignment where a recovered database left off —
+    // a Loader over a freshly open()ed data directory must not reuse ids
+    // already committed to xrel_docs.
+    if (const rdb::Table* docs = db_.table("xrel_docs")) {
+        int c = docs->def().column_index("doc");
+        if (c >= 0) {
+            for (const auto& row : docs->rows()) {
+                if (!row[c].is_null())
+                    next_doc_ = std::max(next_doc_, row[c].as_integer() + 1);
+            }
+        }
+    }
+
     // Reference plans, keyed later through entity plans.
     std::map<std::string, RefPlan*> ref_by_name;  // relationship name → plan
     for (const auto& t : schema_.tables()) {
@@ -322,7 +335,7 @@ LoadReport Loader::load_texts(const std::vector<std::string>& texts,
         texts.size(),
         [&](std::size_t i, RowSink& sink, LoadStats& stats,
             const LoadOptions& lopt) {
-            auto doc = xml::parse_document(texts[i]);
+            auto doc = xml::parse_document(texts[i], lopt.parse);
             shred_document(*doc, next_doc_++, lopt, sink, stats);
         },
         [&](std::size_t i) { return texts[i]; }, options);
@@ -404,13 +417,28 @@ LoadReport Loader::corpus_load(
         stats_.unresolved_references = unresolved_snapshot;
     }
 
-    // Quarantine records survive only when the load itself commits.
+    // Quarantine records survive only when the load itself commits.  They
+    // go through their own unit so the commit flushes them to the WAL —
+    // otherwise these depth-0 inserts would sit in the log buffer and a
+    // crash before the next load would silently drop them.
     if (options.on_error == FailurePolicy::kQuarantine) {
-        for (const auto& outcome : report.outcomes) {
-            if (outcome.status != DocumentOutcome::Status::kQuarantined)
-                continue;
-            quarantine_document(db_, outcome, raw_text(outcome.index));
-            ++report.quarantined;
+        bool any = false;
+        for (const auto& outcome : report.outcomes)
+            any |= outcome.status == DocumentOutcome::Status::kQuarantined;
+        if (any) {
+            db_.begin_unit();
+            try {
+                for (const auto& outcome : report.outcomes) {
+                    if (outcome.status != DocumentOutcome::Status::kQuarantined)
+                        continue;
+                    quarantine_document(db_, outcome, raw_text(outcome.index));
+                    ++report.quarantined;
+                }
+                db_.commit_unit();
+            } catch (...) {
+                db_.rollback_unit();
+                throw;
+            }
         }
     }
     return report;

@@ -1,19 +1,189 @@
 #include "rdb/database.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "rdb/snapshot.hpp"
+#include "rdb/wal.hpp"
 
 namespace xr::rdb {
+
+namespace fs = std::filesystem;
+
+Database::Database() = default;
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+
+std::string RecoveryReport::to_string() const {
+    std::ostringstream out;
+    out << "recovered '" << dir << "': ";
+    if (snapshot_path.empty())
+        out << "no snapshot";
+    else
+        out << "snapshot seq " << snapshot_seq << " (" << tables_restored
+            << " tables)";
+    if (snapshots_skipped > 0)
+        out << ", " << snapshots_skipped << " corrupt snapshot(s) skipped";
+    out << ", " << records_replayed << " WAL record(s) across " << wal_segments
+        << " segment(s)";
+    if (torn_bytes_dropped > 0)
+        out << ", " << torn_bytes_dropped << " torn byte(s) dropped";
+    if (units_rolled_back > 0)
+        out << ", " << units_rolled_back << " uncommitted unit(s) rolled back";
+    out << "; " << rows_restored << " row(s) live";
+    return out.str();
+}
+
+RecoveryReport Database::open(const std::string& dir,
+                              const DurabilityOptions& opts) {
+    if (!tables_.empty() || wal_ != nullptr || unit_depth_ != 0)
+        throw SchemaError("Database::open requires a fresh, empty database");
+    fs::create_directories(dir);
+
+    RecoveryReport report;
+    report.dir = dir;
+
+    std::vector<std::uint64_t> snaps;
+    std::vector<std::uint64_t> wals;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        std::uint64_t seq = 0;
+        std::string name = entry.path().filename().string();
+        if (parse_seq(name, "snapshot-", ".xrs", seq))
+            snaps.push_back(seq);
+        else if (parse_seq(name, "wal-", ".log", seq))
+            wals.push_back(seq);
+    }
+    std::sort(snaps.begin(), snaps.end());
+    std::sort(wals.begin(), wals.end());
+
+    // Recover into a scratch database so a failure midway never leaves
+    // *this half-populated.
+    Database scratch;
+
+    // Newest snapshot whose checksums verify wins; corrupt ones are
+    // skipped, falling back to an older image plus a longer replay.
+    std::uint64_t base = 0;
+    bool have_snapshot = false;
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+        std::string path = snapshot_file(dir, *it);
+        Database candidate;
+        try {
+            read_snapshot(path, candidate);
+        } catch (const Error&) {
+            ++report.snapshots_skipped;
+            continue;
+        }
+        scratch = std::move(candidate);
+        base = *it;
+        have_snapshot = true;
+        report.snapshot_path = std::move(path);
+        report.snapshot_seq = base;
+        break;
+    }
+    if (!have_snapshot && report.snapshots_skipped > 0 && wals.empty())
+        throw Error("cannot recover '" + dir +
+                    "': every snapshot is corrupt and no WAL segments exist");
+
+    // Replay wal-base .. wal-max in order.  Segments are created eagerly
+    // at open/checkpoint, so a hole in that range means a file was lost
+    // and the chain to the present is broken.
+    if (!wals.empty() && wals.back() >= base) {
+        std::uint64_t max_seq = wals.back();
+        for (std::uint64_t seq = base; seq <= max_seq; ++seq) {
+            std::string path = wal_file(dir, seq);
+            if (!fs::exists(path))
+                throw Error("cannot recover '" + dir + "': WAL segment " +
+                            std::to_string(seq) +
+                            " is missing from the chain (snapshot seq " +
+                            std::to_string(base) + ", newest segment " +
+                            std::to_string(max_seq) + ")");
+            WalReplayStats stats =
+                replay_wal(path, scratch, /*truncate_torn=*/seq == max_seq);
+            ++report.wal_segments;
+            report.records_replayed += stats.records;
+            report.torn_bytes_dropped += stats.torn_bytes;
+        }
+    }
+
+    // Units still open at end-of-log never committed; discard them the
+    // same way the in-memory machinery would have.
+    while (scratch.in_unit()) {
+        scratch.rollback_unit();
+        ++report.units_rolled_back;
+    }
+
+    tables_ = std::move(scratch.tables_);
+    fks_ = std::move(scratch.fks_);
+    report.tables_restored = tables_.size();
+    report.rows_restored = total_rows();
+
+    dir_ = dir;
+    dopts_ = opts;
+    wal_seq_ = wals.empty() ? base : std::max(base, wals.back());
+    if (opts.use_wal) {
+        wal_ = std::make_unique<Wal>(wal_file(dir_, wal_seq_),
+                                     opts.sync_on_commit);
+        for (auto& t : tables_) t->set_mutation_log(wal_.get());
+    }
+    return report;
+}
+
+SnapshotStats Database::checkpoint() {
+    if (!durable())
+        throw SchemaError("checkpoint() requires an open() data directory");
+    if (unit_depth_ != 0)
+        throw SchemaError("cannot checkpoint while a load unit is open");
+    if (wal_ != nullptr) wal_->flush(/*sync=*/true);
+
+    std::uint64_t next_seq = wal_seq_ + 1;
+    SnapshotStats stats = write_snapshot(*this, snapshot_file(dir_, next_seq));
+    // The snapshot is durable under its real name; rotate the WAL so the
+    // new segment starts exactly at the image it chains from.
+    if (wal_ != nullptr) {
+        for (auto& t : tables_) t->set_mutation_log(nullptr);
+        wal_.reset();
+        wal_ = std::make_unique<Wal>(wal_file(dir_, next_seq),
+                                     dopts_.sync_on_commit);
+        for (auto& t : tables_) t->set_mutation_log(wal_.get());
+    }
+    wal_seq_ = next_seq;
+    return stats;
+}
+
+void Database::flush_wal() {
+    if (wal_ != nullptr) wal_->flush(/*sync=*/true);
+}
+
+std::uint64_t Database::wal_bytes_appended() const {
+    return wal_ != nullptr ? wal_->bytes_appended() : 0;
+}
 
 Table& Database::create_table(TableDef def) {
     if (table(def.name) != nullptr)
         throw SchemaError("table '" + def.name + "' already exists");
     tables_.push_back(std::make_unique<Table>(std::move(def)));
-    if (bulk_) tables_.back()->begin_bulk();
-    for (std::size_t d = 0; d < unit_depth_; ++d) tables_.back()->begin_unit();
-    return *tables_.back();
+    Table& t = *tables_.back();
+    if (bulk_) t.begin_bulk();
+    for (std::size_t d = 0; d < unit_depth_; ++d) t.begin_unit();
+    if (wal_ != nullptr) {
+        try {
+            wal_->log_create_table(t.def());
+        } catch (...) {
+            // Keep memory and log agreed: an unlogged table must not
+            // exist, or later logged inserts into it would be
+            // unreplayable.
+            tables_.pop_back();
+            throw;
+        }
+        t.set_mutation_log(wal_.get());
+    }
+    return t;
 }
 
 void Database::begin_unit() {
+    if (wal_ != nullptr) wal_->log_begin_unit();
     for (auto& t : tables_) t->begin_unit();
     ++unit_depth_;
 }
@@ -21,6 +191,10 @@ void Database::begin_unit() {
 void Database::commit_unit() {
     if (unit_depth_ == 0)
         throw SchemaError("commit_unit without an open load unit");
+    // Durability first: flush (and fsync) the commit frame before the
+    // in-memory commit.  If this throws, the unit is still open and the
+    // caller's rollback leaves both sides at the pre-unit state.
+    if (wal_ != nullptr) wal_->log_commit_unit(/*outermost=*/unit_depth_ == 1);
     for (auto& t : tables_) t->commit_unit();
     --unit_depth_;
 }
@@ -31,6 +205,7 @@ void Database::rollback_unit() {
     for (auto& t : tables_) t->rollback_unit();
     --unit_depth_;
     bulk_ = false;  // an interrupted merge leaves no bracket behind
+    if (wal_ != nullptr) wal_->log_rollback_unit();
 }
 
 void Database::begin_bulk() {
@@ -51,7 +226,13 @@ void Database::drop_table(std::string_view name) {
                            [&](const auto& t) { return t->name() == name; });
     if (it == tables_.end())
         throw SchemaError("no table '" + std::string(name) + "' to drop");
+    if (wal_ != nullptr) wal_->log_drop_table(name);
     tables_.erase(it);
+}
+
+void Database::add_foreign_key(ForeignKeyDef fk) {
+    if (wal_ != nullptr) wal_->log_add_foreign_key(fk);
+    fks_.push_back(std::move(fk));
 }
 
 Table* Database::table(std::string_view name) {

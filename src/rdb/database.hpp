@@ -1,6 +1,15 @@
 // MiniRDB catalog: a named collection of tables with foreign-key metadata.
+//
+// A Database is in-memory by default.  open() attaches it to a data
+// directory, after which it recovers the newest durable state
+// (snapshot + WAL replay, see DESIGN.md §8) and logs every committed
+// mutation to a write-ahead log whose fsync boundary coincides with the
+// outermost load unit — the unit of atomicity is also the unit of
+// durability.  checkpoint() compacts the log into a fresh checksummed
+// snapshot.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -9,6 +18,9 @@
 #include "rdb/table.hpp"
 
 namespace xr::rdb {
+
+class Wal;
+struct SnapshotStats;
 
 /// Declared foreign key; enforcement happens via check_foreign_keys()
 /// (bulk loading first, verification after — the loader's deferred-IDREF
@@ -20,13 +32,68 @@ struct ForeignKeyDef {
     std::string ref_column;  ///< must be the referenced table's primary key
 };
 
+/// Knobs for open().
+struct DurabilityOptions {
+    /// Log mutations to a WAL.  Without it the database only persists at
+    /// explicit checkpoint() calls — everything since the last snapshot
+    /// is lost on a crash.
+    bool use_wal = true;
+    /// fsync the WAL on each outermost commit (the crash-safe default);
+    /// off, commits write() without syncing — faster, but a power loss
+    /// may drop recently committed units.
+    bool sync_on_commit = true;
+};
+
+/// What recovery found and did; returned by open().
+struct RecoveryReport {
+    std::string dir;
+    std::string snapshot_path;           ///< empty when starting from scratch
+    std::uint64_t snapshot_seq = 0;
+    std::size_t snapshots_skipped = 0;   ///< newer snapshots rejected as corrupt
+    std::size_t tables_restored = 0;
+    std::size_t rows_restored = 0;       ///< rows after snapshot + replay
+    std::size_t wal_segments = 0;        ///< segments replayed
+    std::size_t records_replayed = 0;
+    std::size_t torn_bytes_dropped = 0;  ///< truncated off the newest segment
+    std::size_t units_rolled_back = 0;   ///< uncommitted units discarded
+    [[nodiscard]] std::string to_string() const;
+};
+
 class Database {
 public:
-    Database() = default;
+    Database();
+    ~Database();
     Database(const Database&) = delete;
     Database& operator=(const Database&) = delete;
-    Database(Database&&) = default;
-    Database& operator=(Database&&) = default;
+    Database(Database&&) noexcept;
+    Database& operator=(Database&&) noexcept;
+
+    /// Attach this (still empty) database to `dir`, creating it if needed,
+    /// and recover: load the newest snapshot whose checksums verify
+    /// (falling back to older ones when a newer image is corrupt), replay
+    /// every WAL segment from that snapshot forward, truncate the torn
+    /// tail of the newest segment, and roll back units left uncommitted.
+    /// Throws xr::Error when the surviving files cannot produce a
+    /// consistent state (e.g. a torn record in a non-newest segment).
+    RecoveryReport open(const std::string& dir,
+                        const DurabilityOptions& opts = {});
+
+    /// Write a fresh snapshot and start a new WAL segment.  Requires an
+    /// open() data directory and no open load unit.  On failure the
+    /// previous snapshot + WAL remain authoritative.
+    SnapshotStats checkpoint();
+
+    /// Flush (and fsync) buffered WAL records outside a commit — callers
+    /// use it after depth-0 DDL like schema materialization.  No-op when
+    /// the WAL is off.
+    void flush_wal();
+
+    [[nodiscard]] bool durable() const { return !dir_.empty(); }
+    [[nodiscard]] const std::string& data_dir() const { return dir_; }
+    /// Sequence of the active snapshot/WAL generation.
+    [[nodiscard]] std::uint64_t storage_seq() const { return wal_seq_; }
+    /// Record bytes appended to the active WAL segment (bench metric).
+    [[nodiscard]] std::uint64_t wal_bytes_appended() const;
 
     Table& create_table(TableDef def);
     void drop_table(std::string_view name);
@@ -40,7 +107,7 @@ public:
     [[nodiscard]] std::vector<std::string> table_names() const;
     [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
 
-    void add_foreign_key(ForeignKeyDef fk) { fks_.push_back(std::move(fk)); }
+    void add_foreign_key(ForeignKeyDef fk);
     [[nodiscard]] const std::vector<ForeignKeyDef>& foreign_keys() const {
         return fks_;
     }
@@ -60,6 +127,12 @@ public:
     /// counters to the matching begin_unit() and closes any bulk bracket
     /// left open by an interrupted merge.  Tables created while a unit is
     /// open join it (they are emptied again on rollback).
+    ///
+    /// With a WAL attached, the outermost commit_unit() makes the unit
+    /// durable *before* committing in memory: if flushing the commit
+    /// frame fails, the exception propagates with the unit still open,
+    /// and the caller's rollback restores the pre-unit state on both
+    /// sides.
     void begin_unit();
     void commit_unit();
     void rollback_unit();
@@ -73,6 +146,12 @@ private:
     std::vector<ForeignKeyDef> fks_;
     bool bulk_ = false;
     std::size_t unit_depth_ = 0;
+
+    // -- durability state (empty / null while in-memory only) ----------------
+    std::string dir_;
+    DurabilityOptions dopts_;
+    std::uint64_t wal_seq_ = 0;
+    std::unique_ptr<Wal> wal_;
 };
 
 }  // namespace xr::rdb

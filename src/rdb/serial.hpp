@@ -1,0 +1,194 @@
+// Binary encode/decode helpers shared by the snapshot and WAL formats.
+//
+// Everything on disk is little-endian, length-prefixed, and read through
+// a bounds-checked reader that throws xr::Error (with the artifact name
+// in the message) instead of walking past a truncated buffer — recovery
+// code never trusts a byte it has not range-checked.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "rdb/table.hpp"
+#include "rdb/value.hpp"
+
+namespace xr::rdb::serial {
+
+// -- writing ------------------------------------------------------------------
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+    out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+    put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+}
+
+inline void put_string(std::string& out, std::string_view s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/// Value wire format: u8 type tag, then the payload for that type.
+inline void put_value(std::string& out, const Value& v) {
+    switch (v.type()) {
+        case ValueType::kNull:
+            put_u8(out, 0);
+            break;
+        case ValueType::kInteger:
+            put_u8(out, 1);
+            put_i64(out, v.as_integer());
+            break;
+        case ValueType::kReal:
+            put_u8(out, 2);
+            put_f64(out, v.as_real());
+            break;
+        case ValueType::kText:
+            put_u8(out, 3);
+            put_string(out, v.as_text());
+            break;
+    }
+}
+
+// -- reading ------------------------------------------------------------------
+
+/// Bounds-checked cursor over an on-disk payload.  `context` names the
+/// artifact ("snapshot 'x'", "WAL record 12") for error messages.
+class Reader {
+public:
+    Reader(std::string_view data, std::string context)
+        : data_(data), context_(std::move(context)) {}
+
+    [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+    std::uint8_t u8() {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64() {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string string() {
+        std::uint32_t len = u32();
+        need(len);
+        std::string s(data_.substr(pos_, len));
+        pos_ += len;
+        return s;
+    }
+
+    Value value() {
+        switch (u8()) {
+            case 0: return Value::null();
+            case 1: return Value(i64());
+            case 2: return Value(f64());
+            case 3: return Value(string());
+            default: throw Error(context_ + ": unknown value type tag");
+        }
+    }
+
+    /// Fail loudly if fewer than `n` bytes remain.
+    void need(std::size_t n) const {
+        if (data_.size() - pos_ < n)
+            throw Error(context_ + ": truncated (need " + std::to_string(n) +
+                        " bytes, " + std::to_string(data_.size() - pos_) +
+                        " left)");
+    }
+
+private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    std::string context_;
+};
+
+// -- composite codecs shared by the WAL and snapshot formats ------------------
+
+inline void put_table_def(std::string& out, const TableDef& def) {
+    put_string(out, def.name);
+    put_u32(out, static_cast<std::uint32_t>(def.columns.size()));
+    for (const ColumnDef& c : def.columns) {
+        put_string(out, c.name);
+        put_u8(out, static_cast<std::uint8_t>(c.type));
+        put_u8(out, c.not_null ? 1 : 0);
+        put_u8(out, c.primary_key ? 1 : 0);
+    }
+}
+
+inline TableDef read_table_def(Reader& in) {
+    TableDef def;
+    def.name = in.string();
+    std::uint32_t cols = in.u32();
+    def.columns.reserve(cols);
+    for (std::uint32_t i = 0; i < cols; ++i) {
+        ColumnDef c;
+        c.name = in.string();
+        c.type = static_cast<ValueType>(in.u8());
+        c.not_null = in.u8() != 0;
+        c.primary_key = in.u8() != 0;
+        def.columns.push_back(std::move(c));
+    }
+    return def;
+}
+
+inline void put_row(std::string& out, const Row& row) {
+    put_u32(out, static_cast<std::uint32_t>(row.size()));
+    for (const Value& v : row) put_value(out, v);
+}
+
+inline Row read_row(Reader& in) {
+    std::uint32_t cells = in.u32();
+    Row row;
+    row.reserve(cells);
+    for (std::uint32_t i = 0; i < cells; ++i) row.push_back(in.value());
+    return row;
+}
+
+}  // namespace xr::rdb::serial

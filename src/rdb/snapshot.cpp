@@ -1,0 +1,271 @@
+#include "rdb/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/fault.hpp"
+#include "rdb/database.hpp"
+#include "rdb/serial.hpp"
+
+namespace xr::rdb {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'X', 'R', 'S', 'N', 'A', 'P', '1', '\n'};
+constexpr std::uint32_t kVersion = 1;
+
+enum SectionType : std::uint8_t {
+    kTableSection = 1,
+    kForeignKeySection = 2,
+    kEndSection = 3,
+};
+
+void put_section(std::string& out, std::uint8_t type,
+                 const std::string& payload) {
+    std::size_t start = out.size();
+    serial::put_u8(out, type);
+    serial::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    serial::put_u32(out, checksum::crc32(std::string_view(out).substr(
+                             start, 5 + payload.size())));
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+    std::string dir = fs::path(path).parent_path().string();
+    if (dir.empty()) dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;  // best effort — not all filesystems allow it
+    ::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+std::string snapshot_file(const std::string& dir, std::uint64_t seq) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "snapshot-%06llu.xrs",
+                  static_cast<unsigned long long>(seq));
+    return (fs::path(dir) / name).string();
+}
+
+bool parse_seq(const std::string& name, const std::string& prefix,
+               const std::string& suffix, std::uint64_t& seq) {
+    if (name.size() <= prefix.size() + suffix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+        return false;
+    std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty()) return false;
+    seq = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9') return false;
+        seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+}
+
+SnapshotStats write_snapshot(const Database& db, const std::string& path) {
+    if (db.in_unit())
+        throw SchemaError(
+            "cannot write a snapshot while a load unit is open: '" + path +
+            "'");
+    fault::maybe_fail("snapshot.write");
+
+    SnapshotStats stats;
+    std::string image(kMagic, sizeof(kMagic));
+    serial::put_u32(image, kVersion);
+
+    for (const std::string& name : db.table_names()) {
+        const Table& t = db.require(name);
+        std::string payload;
+        serial::put_table_def(payload, t.def());
+        serial::put_i64(payload, t.peek_next_pk());
+        auto indexes = t.index_defs();
+        serial::put_u32(payload, static_cast<std::uint32_t>(indexes.size()));
+        for (const Table::IndexDef& idx : indexes) {
+            serial::put_string(payload, idx.column);
+            serial::put_u8(payload, static_cast<std::uint8_t>(idx.kind));
+        }
+        serial::put_u64(payload, t.row_count());
+        for (const Row& row : t.rows()) serial::put_row(payload, row);
+        put_section(image, kTableSection, payload);
+        ++stats.tables;
+        stats.rows += t.row_count();
+    }
+
+    {
+        std::string payload;
+        serial::put_u32(
+            payload, static_cast<std::uint32_t>(db.foreign_keys().size()));
+        for (const ForeignKeyDef& fk : db.foreign_keys()) {
+            serial::put_string(payload, fk.table);
+            serial::put_string(payload, fk.column);
+            serial::put_string(payload, fk.ref_table);
+            serial::put_string(payload, fk.ref_column);
+        }
+        put_section(image, kForeignKeySection, payload);
+    }
+    put_section(image, kEndSection, {});
+    stats.bytes = image.size();
+
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw Error("cannot create snapshot temp file '" + tmp +
+                    "': " + std::strerror(errno));
+    const char* data = image.data();
+    std::size_t left = image.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw Error("snapshot write to '" + tmp +
+                        "' failed: " + std::strerror(err));
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw Error("snapshot fsync of '" + tmp +
+                    "' failed: " + std::strerror(err));
+    }
+    ::close(fd);
+
+    try {
+        fault::maybe_fail("snapshot.rename");
+    } catch (...) {
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ::unlink(tmp.c_str());
+        throw Error("cannot rename snapshot '" + tmp + "' -> '" + path +
+                    "': " + ec.message());
+    }
+    sync_parent_dir(path);
+    return stats;
+}
+
+SnapshotStats read_snapshot(const std::string& path, Database& db) {
+    if (db.table_count() != 0)
+        throw SchemaError("read_snapshot requires an empty database");
+
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            throw Error("cannot open snapshot '" + path + "'");
+        std::ostringstream tmp;
+        tmp << in.rdbuf();
+        data = std::move(tmp).str();
+    }
+    const std::string context = "snapshot '" + path + "'";
+    if (data.size() < sizeof(kMagic) + 4 ||
+        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        throw Error(context + ": bad magic (not a snapshot file)");
+    serial::Reader header(
+        std::string_view(data).substr(sizeof(kMagic), 4), context);
+    if (std::uint32_t v = header.u32(); v != kVersion)
+        throw Error(context + ": unsupported version " + std::to_string(v));
+
+    SnapshotStats stats;
+    stats.bytes = data.size();
+    std::size_t pos = sizeof(kMagic) + 4;
+    bool saw_end = false;
+    std::size_t section_no = 0;
+    while (!saw_end) {
+        std::string section_ctx =
+            context + " section " + std::to_string(section_no);
+        std::size_t left = data.size() - pos;
+        if (left < 9)
+            throw Error(section_ctx + ": truncated before the end marker");
+        auto type = static_cast<std::uint8_t>(data[pos]);
+        serial::Reader head(std::string_view(data).substr(pos + 1, 4),
+                            section_ctx);
+        std::uint32_t len = head.u32();
+        if (left < 9 + static_cast<std::size_t>(len))
+            throw Error(section_ctx + ": truncated payload (header claims " +
+                        std::to_string(len) + " bytes, " +
+                        std::to_string(left - 9) + " present)");
+        serial::Reader tail(
+            std::string_view(data).substr(pos + 5 + len, 4), section_ctx);
+        if (checksum::crc32(std::string_view(data).substr(pos, 5 + len)) !=
+            tail.u32())
+            throw Error(section_ctx + ": CRC mismatch — snapshot is corrupt");
+
+        serial::Reader in(std::string_view(data).substr(pos + 5, len),
+                          section_ctx);
+        switch (type) {
+            case kTableSection: {
+                Table& t = db.create_table(serial::read_table_def(in));
+                std::int64_t next_pk = in.i64();
+                std::uint32_t nindexes = in.u32();
+                std::vector<Table::IndexDef> indexes;
+                indexes.reserve(nindexes);
+                for (std::uint32_t i = 0; i < nindexes; ++i) {
+                    Table::IndexDef idx;
+                    idx.column = in.string();
+                    idx.kind = static_cast<IndexKind>(in.u8());
+                    indexes.push_back(std::move(idx));
+                }
+                std::uint64_t nrows = in.u64();
+                std::vector<Row> rows;
+                rows.reserve(nrows);
+                for (std::uint64_t i = 0; i < nrows; ++i)
+                    rows.push_back(serial::read_row(in));
+                t.insert_batch(std::move(rows), /*validate_rows=*/false);
+                t.restore_next_pk(next_pk);
+                for (const Table::IndexDef& idx : indexes)
+                    t.create_index(idx.column, idx.kind);
+                if (!in.at_end())
+                    throw Error(section_ctx + ": trailing bytes after rows");
+                ++stats.tables;
+                stats.rows += nrows;
+                break;
+            }
+            case kForeignKeySection: {
+                std::uint32_t count = in.u32();
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    ForeignKeyDef fk;
+                    fk.table = in.string();
+                    fk.column = in.string();
+                    fk.ref_table = in.string();
+                    fk.ref_column = in.string();
+                    db.add_foreign_key(std::move(fk));
+                }
+                break;
+            }
+            case kEndSection:
+                saw_end = true;
+                break;
+            default:
+                throw Error(section_ctx + ": unknown section type " +
+                            std::to_string(type));
+        }
+        pos += 9 + len;
+        ++section_no;
+    }
+    return stats;
+}
+
+}  // namespace xr::rdb

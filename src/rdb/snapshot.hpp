@@ -1,0 +1,53 @@
+// Checksummed binary snapshots of a whole MiniRDB database (DESIGN.md §8).
+//
+// A snapshot is a point-in-time image: file magic + version, then a
+// sequence of sections framed exactly like WAL records — u8 type |
+// u32 payload_len | payload | u32 crc (CRC over type + length +
+// payload).  Section types: 1 = one table (definition, pk counter,
+// secondary-index definitions, row data), 2 = foreign keys, 3 = end
+// marker.  The end marker is mandatory; a file that stops before it is
+// truncated and rejected, as is any section whose CRC does not match.
+//
+// Snapshots are written atomically: the image goes to `<path>.tmp`,
+// is fsynced, renamed over `path`, and the directory is fsynced — a
+// crash at any point leaves either the old snapshot or the new one,
+// never a half-written file under the real name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xr::rdb {
+
+class Database;
+
+/// snapshot-<seq>.xrs inside `dir`.  A snapshot with sequence N captures
+/// the database state at the moment wal-N.log was started: recovery
+/// loads snapshot-N then replays wal segments with sequence >= N.
+[[nodiscard]] std::string snapshot_file(const std::string& dir,
+                                        std::uint64_t seq);
+
+/// Parse a snapshot/WAL filename back into its sequence number; returns
+/// false when `name` is not of the given family ("snapshot-NNN.xrs" /
+/// "wal-NNN.log").
+[[nodiscard]] bool parse_seq(const std::string& name, const std::string& prefix,
+                             const std::string& suffix, std::uint64_t& seq);
+
+struct SnapshotStats {
+    std::size_t tables = 0;
+    std::size_t rows = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// Serialize `db` into an atomic, checksummed snapshot at `path`.
+/// Refuses while a load unit is open (an image of uncommitted state
+/// would poison replay).  Fault points: `snapshot.write` before the
+/// temp file is written, `snapshot.rename` before it moves into place.
+SnapshotStats write_snapshot(const Database& db, const std::string& path);
+
+/// Load the snapshot at `path` into `db`, which must be empty.  Every
+/// section is CRC-verified before a byte of it is trusted; corruption
+/// or truncation throws xr::Error naming the file and section.
+SnapshotStats read_snapshot(const std::string& path, Database& db);
+
+}  // namespace xr::rdb

@@ -109,6 +109,7 @@ std::int64_t Table::do_insert(Row&& row, bool validate_row) {
         bump_next_pk(pk);
     }
     if (!bulk_) index_row(id);
+    if (log_ != nullptr) log_->log_insert(*this, rows_[id]);
     return pk;
 }
 
@@ -244,6 +245,7 @@ void Table::update(RowId id, std::string_view column, Value value) {
         }
     }
     rows_[id][i] = std::move(value);
+    if (log_ != nullptr) log_->log_update(*this, id, i, rows_[id][i]);
 }
 
 std::size_t Table::delete_where(std::string_view column, const Value& value) {
@@ -274,6 +276,7 @@ std::size_t Table::delete_where(std::string_view column, const Value& value) {
             pk_index_.emplace(rows_[id][pk_column_].as_integer(), id);
     }
     rebuild_indexes();
+    if (log_ != nullptr) log_->log_delete_where(*this, i, value);
     return removed;
 }
 
@@ -291,6 +294,7 @@ void Table::create_index(std::string_view column, IndexKind kind) {
         else idx.ordered.emplace(rows_[id][i], id);
     }
     indexes_.push_back(std::move(idx));
+    if (log_ != nullptr) log_->log_create_index(*this, column, kind);
 }
 
 bool Table::has_index(std::string_view column) const {

@@ -41,6 +41,27 @@ using RowId = std::uint32_t;
 
 enum class IndexKind { kHash, kOrdered };
 
+class Table;
+
+/// Observer of durable table mutations, implemented by the write-ahead
+/// log and attached by Database when a data directory is open.  Hooks run
+/// *after* the in-memory mutation succeeded (redo logging): a logged
+/// record that never commits is discarded by recovery, and an in-memory
+/// mutation whose logging throws is undone by the enclosing load unit's
+/// rollback.  Calls follow the same single-threaded contract as the
+/// mutations themselves.
+class MutationLog {
+public:
+    virtual ~MutationLog() = default;
+    virtual void log_insert(const Table& table, const Row& row) = 0;
+    virtual void log_update(const Table& table, RowId row, int column,
+                            const Value& value) = 0;
+    virtual void log_delete_where(const Table& table, int column,
+                                  const Value& value) = 0;
+    virtual void log_create_index(const Table& table, std::string_view column,
+                                  IndexKind kind) = 0;
+};
+
 class Table {
 public:
     explicit Table(TableDef def);
@@ -145,12 +166,41 @@ public:
     // -- secondary indexes ----------------------------------------------------
     void create_index(std::string_view column, IndexKind kind = IndexKind::kHash);
     [[nodiscard]] bool has_index(std::string_view column) const;
+
+    /// Declared secondary indexes, in creation order — the snapshot writer
+    /// persists these so a recovered table has identical access paths.
+    struct IndexDef {
+        std::string column;
+        IndexKind kind = IndexKind::kHash;
+    };
+    [[nodiscard]] std::vector<IndexDef> index_defs() const {
+        std::vector<IndexDef> defs;
+        defs.reserve(indexes_.size());
+        for (const SecondaryIndex& idx : indexes_)
+            defs.push_back({def_.columns[idx.column].name, idx.kind});
+        return defs;
+    }
     /// Matching row ids via index; throws SchemaError if not indexed.
     [[nodiscard]] std::vector<RowId> index_lookup(std::string_view column,
                                                   const Value& value) const;
     /// Matching row ids using the index when present, else a scan.
     [[nodiscard]] std::vector<RowId> lookup(std::string_view column,
                                             const Value& value) const;
+
+    /// Attach (or detach, with nullptr) the mutation observer.  Owned by
+    /// Database; plain Tables stay log-free.
+    void set_mutation_log(MutationLog* log) { log_ = log; }
+
+    /// Restore the pk counter from a snapshot.  Recovery only: the saved
+    /// counter may sit above max(pk)+1 when ranges leaked before the
+    /// snapshot, and re-creating those gaps keeps key allocation
+    /// bit-identical across a restart.
+    void restore_next_pk(std::int64_t next) {
+        next_pk_.store(next, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t peek_next_pk() const {
+        return next_pk_.load(std::memory_order_relaxed);
+    }
 
     /// Rough memory footprint in bytes (bench metric).
     [[nodiscard]] std::size_t memory_bytes() const;
@@ -162,6 +212,7 @@ private:
     TableDef def_;
     int pk_column_ = -1;
     std::atomic<std::int64_t> next_pk_{1};
+    MutationLog* log_ = nullptr;
     bool bulk_ = false;
     std::vector<Row> rows_;
     std::unordered_map<std::int64_t, RowId> pk_index_;

@@ -206,11 +206,15 @@ private:
                     throw ParseError("duplicate attribute '" + name + "'", where);
             }
             attrs.push_back({std::move(name), std::move(value)});
+            if (attrs.size() > options_.max_attributes)
+                cur_.fail("maximum attribute count exceeded (" +
+                          std::to_string(options_.max_attributes) + ")");
         }
     }
 
     void parse_content() {
         std::string text;
+        std::size_t children = 0;
         SourceLocation text_start = cur_.location();
 
         auto flush_text = [&] {
@@ -240,6 +244,9 @@ private:
                 text_start = cur_.location();
             } else if (cur_.peek() == '<') {
                 flush_text();
+                if (++children > options_.max_children)
+                    cur_.fail("maximum child-element count exceeded (" +
+                              std::to_string(options_.max_children) + ")");
                 parse_element();
                 text_start = cur_.location();
             } else {

@@ -38,6 +38,12 @@ struct ParseOptions {
     std::size_t max_depth = 2048;
     /// Guard against entity-expansion blowups (billion-laughs).
     std::size_t max_entity_expansion = 1u << 20;
+    /// Guard against start tags carrying absurd numbers of attributes.
+    std::size_t max_attributes = 4096;
+    /// Guard against elements with absurd fan-out (child elements per
+    /// parent); wide documents otherwise exhaust memory before depth or
+    /// entity guards ever trigger.
+    std::size_t max_children = 1u << 20;
 };
 
 /// Receiver of parse events, in document order.

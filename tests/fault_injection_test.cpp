@@ -13,6 +13,7 @@
 #include "common/fault.hpp"
 #include "helpers.hpp"
 #include "loader/bulk_loader.hpp"
+#include "rdb/snapshot.hpp"
 #include "rel/translate.hpp"
 
 namespace xr {
@@ -169,6 +170,36 @@ TEST(FaultInjection, SerialQuarantineKeepsFaultedDocumentText) {
               article(1));
     EXPECT_EQ(q->rows()[0][q->def().column_index("error_type")].to_string(),
               "fault");
+}
+
+TEST(FaultInjection, QuarantineRowsSurviveRestart) {
+    // Quarantine writes go through their own WAL-flushed unit, so a
+    // reopened data directory still knows which document was rejected and
+    // why — the round trip covers both the WAL replay path and (after a
+    // checkpoint) the snapshot path.
+    test::TempDir dir;
+    {
+        test::DurableStack stack(gen::paper_dtd(), dir.path());
+        loader::LoadOptions options;
+        options.on_error = loader::FailurePolicy::kQuarantine;
+        ArmedFault armed("loader.shred", shred_hits_per_doc() + 1);
+        loader::LoadReport report =
+            stack.loader->load_texts(corpus(3), options);
+        fault::disarm();
+        ASSERT_EQ(report.quarantined, 1u);
+    }
+    for (bool checkpoint : {false, true}) {
+        test::DurableStack reopened(gen::paper_dtd(), dir.path());
+        const rdb::Table* q = reopened.db.table(loader::kQuarantineTable);
+        ASSERT_NE(q, nullptr) << "checkpoint=" << checkpoint;
+        ASSERT_EQ(q->row_count(), 1u) << "checkpoint=" << checkpoint;
+        EXPECT_EQ(q->rows()[0][q->def().column_index("raw_xml")].to_string(),
+                  article(1));
+        EXPECT_EQ(q->rows()[0][q->def().column_index("error_type")].to_string(),
+                  "fault");
+        // Second pass reopens from a snapshot instead of pure WAL replay.
+        if (!checkpoint) reopened.db.checkpoint();
+    }
 }
 
 TEST(FaultInjection, SerialResolveFaultRollsBackWholeCorpus) {

@@ -1,8 +1,12 @@
 // Shared fixtures for the test suite.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "dtd/parser.hpp"
@@ -14,6 +18,32 @@
 #include "xml/parser.hpp"
 
 namespace xr::test {
+
+/// Self-deleting scratch directory for durability tests.
+class TempDir {
+public:
+    TempDir() {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "xmlrel-test-XXXXXX")
+                               .string();
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr)
+            throw std::runtime_error("mkdtemp failed for " + tmpl);
+        path_ = buf.data();
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
 
 /// The whole stack for one DTD: mapping, schema, database, loader.
 struct Stack {
@@ -37,6 +67,40 @@ struct Stack {
         mapping = mapping::map_dtd(logical, options);
         schema = rel::translate(mapping);
         rel::materialize(schema, mapping, db);
+        loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
+    }
+};
+
+/// The Stack, backed by a data directory: the database is open()ed (and
+/// thus recovered) before the schema materializes.  On a reopen the
+/// recovered tables are kept and materialization is skipped — the Loader
+/// then resumes doc-id assignment where the recovered xrel_docs left off.
+struct DurableStack {
+    dtd::Dtd logical;
+    mapping::MappingResult mapping;
+    rel::RelationalSchema schema;
+    rdb::Database db;
+    rdb::RecoveryReport recovery;
+    std::unique_ptr<loader::Loader> loader;
+
+    DurableStack(const std::string& dtd_text, const std::string& dir,
+                 const rdb::DurabilityOptions& opts = {},
+                 const mapping::MappingOptions& mopts = {})
+        : DurableStack(dtd::parse_dtd(dtd_text), dir, opts, mopts) {}
+
+    DurableStack(dtd::Dtd dtd, const std::string& dir,
+                 const rdb::DurabilityOptions& opts = {},
+                 const mapping::MappingOptions& mopts = {}) {
+        logical = std::move(dtd);
+        mapping = mapping::map_dtd(logical, mopts);
+        schema = rel::translate(mapping);
+        recovery = db.open(dir, opts);
+        if (db.table_count() == 0) {
+            rel::materialize(schema, mapping, db);
+            // Depth-0 DDL only hits the WAL at the next commit; force it
+            // out so the schema survives even if no document ever does.
+            db.flush_wal();
+        }
         loader = std::make_unique<loader::Loader>(logical, mapping, schema, db);
     }
 };

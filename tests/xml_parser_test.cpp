@@ -1,6 +1,7 @@
 // XML parser: well-formedness, references, CDATA, DOCTYPE capture, errors.
 #include <gtest/gtest.h>
 
+#include "helpers.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 
@@ -174,6 +175,63 @@ TEST(XmlParser, MaxDepthEnforced) {
     EXPECT_THROW(parse_document(text, options), ParseError);
     options.max_depth = 128;
     EXPECT_NO_THROW(parse_document(text, options));
+}
+
+TEST(XmlParser, MaxAttributesEnforced) {
+    std::string text = "<a";
+    for (int i = 0; i < 8; ++i)
+        text += " k" + std::to_string(i) + "=\"v\"";
+    text += "/>";
+    ParseOptions options;
+    options.max_attributes = 4;
+    try {
+        parse_document(text, options);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("maximum attribute count"),
+                  std::string::npos);
+    }
+    options.max_attributes = 8;
+    EXPECT_NO_THROW(parse_document(text, options));
+    // The stock defaults accept an ordinary document.
+    EXPECT_NO_THROW(parse_document(text));
+}
+
+TEST(XmlParser, MaxChildrenEnforced) {
+    // The limit is per element: six siblings trip a cap of four even
+    // though each nested level is well under it.
+    std::string text = "<a>";
+    for (int i = 0; i < 6; ++i) text += "<b><c/></b>";
+    text += "</a>";
+    ParseOptions options;
+    options.max_children = 4;
+    try {
+        parse_document(text, options);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("maximum child-element count"),
+                  std::string::npos);
+    }
+    options.max_children = 6;
+    EXPECT_NO_THROW(parse_document(text, options));
+    EXPECT_NO_THROW(parse_document(text));
+}
+
+TEST(XmlParser, LoaderAppliesParseLimits) {
+    // LoadOptions::parse reaches the parser: a corpus whose documents
+    // exceed the configured depth fails document-scoped, not globally.
+    test::Stack stack(gen::paper_dtd());
+    std::string deep = "<article><title>";
+    for (int i = 0; i < 6; ++i) deep += "<x>";
+    deep += "t";
+    for (int i = 0; i < 6; ++i) deep += "</x>";
+    deep += "</title></article>";
+    loader::LoadOptions options;
+    options.on_error = loader::FailurePolicy::kSkip;
+    options.parse.max_depth = 4;
+    loader::LoadReport report = stack.loader->load_texts({deep}, options);
+    EXPECT_EQ(report.loaded, 0u);
+    EXPECT_EQ(report.failed, 1u);
 }
 
 TEST(XmlParser, LocationsPointAtTags) {
