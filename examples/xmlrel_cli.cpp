@@ -11,6 +11,7 @@
 //                               [--no-wal] [--max-depth N]
 //                               [--sql "SELECT ..."]... [--query "/path"]...
 //                               [--reconstruct N]
+//                               [--serve-threads N] [--cache-mb M]
 //       Map the DTD, validate and load the documents, then run SQL
 //       statements and/or path queries (shown with their generated SQL),
 //       and optionally reconstruct document N back to XML.  With
@@ -31,11 +32,18 @@
 //       (faster, but a crash mid-run loses the whole run).  --max-depth
 //       caps element nesting during parsing (a malformed-input guard;
 //       over-limit documents fail document-scoped under skip/quarantine).
+//       --serve-threads N runs the --sql/--query workload through the
+//       concurrent query service instead of inline: N worker threads,
+//       snapshot-isolated reads, plan + result caches (sized by
+//       --cache-mb, default 16), with cache statistics printed at the
+//       end.  Serve mode prints result rows rather than materialized
+//       XML for path queries.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
 #include <algorithm>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -46,6 +54,7 @@
 #include "loader/loader.hpp"
 #include "loader/reconstruct.hpp"
 #include "mapping/pipeline.hpp"
+#include "query/service.hpp"
 #include "rdb/snapshot.hpp"
 #include "rel/materialize.hpp"
 #include "rel/translate.hpp"
@@ -75,7 +84,8 @@ int usage() {
                  "[--on-error fail|skip|quarantine] "
                  "[--data-dir DIR] [--checkpoint-every N] [--no-wal] "
                  "[--max-depth N] "
-                 "[--sql STMT]... [--query PATH]... [--reconstruct N]\n";
+                 "[--sql STMT]... [--query PATH]... [--reconstruct N] "
+                 "[--serve-threads N] [--cache-mb M]\n";
     return 2;
 }
 
@@ -126,7 +136,9 @@ int cmd_load(const std::vector<std::string>& args) {
     std::string data_dir;
     std::int64_t checkpoint_every = 0;  // 0 = only where --no-wal requires one
     bool use_wal = true;
-    std::int64_t max_depth = 0;  // 0 = parser default
+    std::int64_t max_depth = 0;   // 0 = parser default
+    std::int64_t serve_threads = 0;  // 0 = inline execution (no service)
+    std::int64_t cache_mb = 16;
 
     auto parse_policy = [&](const std::string& name) {
         if (name == "fail")
@@ -175,6 +187,14 @@ int cmd_load(const std::vector<std::string>& args) {
             auto v = int_arg(i);
             if (!v || *v <= 0) return usage();
             max_depth = *v;
+        } else if (args[i] == "--serve-threads") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            serve_threads = *v;
+        } else if (args[i] == "--cache-mb") {
+            auto v = int_arg(i);
+            if (!v || *v < 0) return usage();
+            cache_mb = *v;
         } else if (args[i] == "--on-error" && i + 1 < args.size()) {
             if (!parse_policy(args[++i])) return usage();
         } else if (args[i].rfind("--on-error=", 0) == 0) {
@@ -312,12 +332,54 @@ int cmd_load(const std::vector<std::string>& args) {
         }
     }
 
-    for (const auto& stmt : sql_statements) {
-        std::cout << "\nsql> " << stmt << "\n";
-        std::cout << xr::sql::execute(db, stmt).to_string();
+    if (serve_threads > 0) {
+        // Serve mode: the whole --sql/--query workload goes through the
+        // query service — submitted up front, drained by the worker pool,
+        // results printed in submission order.
+        xr::query::ServiceOptions sopts;
+        sopts.threads = static_cast<std::size_t>(serve_threads);
+        sopts.result_cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+        xr::query::QueryService service(db, m, schema, sopts);
+        std::vector<std::future<xr::query::QueryService::Result>> sql_futures;
+        std::vector<std::future<xr::query::QueryService::Result>> path_futures;
+        for (const auto& stmt : sql_statements)
+            sql_futures.push_back(service.submit_sql(stmt));
+        for (const auto& text : path_queries)
+            path_futures.push_back(service.submit_path(text));
+        for (std::size_t i = 0; i < sql_futures.size(); ++i) {
+            std::cout << "\nsql> " << sql_statements[i] << "\n";
+            try {
+                std::cout << sql_futures[i].get()->to_string();
+            } catch (const xr::Error& e) {
+                std::cout << "  error: " << e.what() << "\n";
+            }
+        }
+        for (std::size_t i = 0; i < path_futures.size(); ++i) {
+            std::cout << "\nquery> " << path_queries[i] << "\n";
+            try {
+                std::cout << "  sql: "
+                          << service.translate(path_queries[i]).sql << "\n"
+                          << path_futures[i].get()->to_string();
+            } catch (const xr::QueryError& e) {
+                std::cout << "  not translatable (" << e.what() << ")\n";
+            }
+        }
+        xr::query::ServiceStats sst = service.stats();
+        std::cout << "\nserved " << sst.sql_queries << " sql + "
+                  << sst.path_queries << " path queries on " << serve_threads
+                  << " thread(s); result cache " << sst.result_cache.hits
+                  << " hit(s) / " << sst.result_cache.misses
+                  << " miss(es); plan cache " << sst.plan_cache.hits
+                  << " hit(s) / " << sst.plan_cache.misses << " miss(es)\n";
     }
 
-    if (!path_queries.empty()) {
+    if (serve_threads == 0)
+        for (const auto& stmt : sql_statements) {
+            std::cout << "\nsql> " << stmt << "\n";
+            std::cout << xr::sql::execute(db, stmt).to_string();
+        }
+
+    if (serve_threads == 0 && !path_queries.empty()) {
         xr::xquery::SqlTranslator translator(m, schema);
         xr::loader::Reconstructor reconstructor(m, schema, db);
         for (const auto& text : path_queries) {

@@ -1,18 +1,39 @@
 #!/usr/bin/env sh
-# AddressSanitizer lane over the robustness-critical tests: the bulk-load
-# pipeline, the fault-injection matrix, and the durability layer
-# (snapshots, WAL, crash recovery).  The full suite under ASan is slow;
-# these labels cover every code path that handles torn/corrupt input or
-# runs concurrently, which is where the sanitizer earns its keep.
+# Sanitizer lanes over the robustness-critical tests.
 #
-# Usage: scripts/sanitize_lane.sh [build-dir]   (default: build-asan)
+# ASan lane (default): the bulk-load pipeline, the fault-injection matrix,
+# and the durability layer (snapshots, WAL, crash recovery) — every code
+# path that handles torn/corrupt input.  The full suite under ASan is
+# slow; these labels are where the sanitizer earns its keep.
+#
+# TSan lane (`thread`): the differential query fuzzer and the concurrent
+# serving tests — readers racing loads and checkpoints, the worker pool,
+# the caches, and shared ExecStats.
+#
+# Usage: scripts/sanitize_lane.sh [address|thread] [build-dir]
+#        (defaults: address, build-asan / build-tsan)
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${1:-build-asan}
+LANE=${1:-address}
+
+case "$LANE" in
+  address)
+    BUILD_DIR=${2:-build-asan}
+    LABELS='bulk|fault|durability'
+    ;;
+  thread)
+    BUILD_DIR=${2:-build-tsan}
+    LABELS='query|concurrency'
+    ;;
+  *)
+    echo "usage: $0 [address|thread] [build-dir]" >&2
+    exit 2
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DXMLREL_SANITIZE=address
+      -DXMLREL_SANITIZE="$LANE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'bulk|fault|durability' \
+ctest --test-dir "$BUILD_DIR" -L "$LABELS" \
       --output-on-failure -j "$(nproc)"

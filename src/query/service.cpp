@@ -1,0 +1,220 @@
+#include "query/service.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "sql/parser.hpp"
+#include "xquery/query.hpp"
+
+namespace xr::query {
+
+namespace {
+
+/// Approximate heap footprint of a result set, for the cache byte budget.
+std::size_t estimate_bytes(const sql::ResultSet& rs) {
+    std::size_t bytes = sizeof(sql::ResultSet);
+    for (const auto& c : rs.columns) bytes += sizeof(std::string) + c.size();
+    for (const auto& row : rs.rows) {
+        bytes += sizeof(rdb::Row) + row.size() * sizeof(rdb::Value);
+        for (const auto& v : row)
+            if (v.type() == rdb::ValueType::kText) bytes += v.as_text().size();
+    }
+    return bytes;
+}
+
+}  // namespace
+
+QueryService::QueryService(rdb::Database& db, ServiceOptions options)
+    : db_(db), options_(options) {
+    for (std::size_t i = 0; i < options_.threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+QueryService::QueryService(rdb::Database& db,
+                           const mapping::MappingResult& mapping,
+                           const rel::RelationalSchema& schema,
+                           ServiceOptions options)
+    : QueryService(db, options) {
+    translator_ = std::make_unique<xquery::SqlTranslator>(mapping, schema);
+    plan_cache_ = std::make_unique<xquery::TranslationCache>(
+        *translator_, options_.plan_cache_entries);
+}
+
+QueryService::~QueryService() {
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+QueryService::Result QueryService::sql(const std::string& text) {
+    sql::Statement stmt = sql::parse(text);
+    if (stmt.kind != sql::Statement::Kind::kSelect) {
+        execute_write(text);
+        return std::make_shared<const sql::ResultSet>();
+    }
+    sql_queries_.fetch_add(1, std::memory_order_relaxed);
+    rdb::ReadSnapshot snapshot = db_.read_snapshot();
+    // The parsed statement is private to this call, so executing it
+    // directly (instead of re-parsing inside sql::execute) is safe.
+    return run_select(
+        "sql:" + text,
+        [&] { return sql::execute_select(db_, stmt.select, &exec_stats_); },
+        snapshot);
+}
+
+QueryService::Result QueryService::path(const std::string& text) {
+    xquery::Translation t = translate(text);
+    path_queries_.fetch_add(1, std::memory_order_relaxed);
+    rdb::ReadSnapshot snapshot = db_.read_snapshot();
+    // Keyed by the *normalized* query (embedded in the translated SQL via
+    // the plan cache): textual variants of one query share an entry.
+    return run_select(
+        "path:" + t.sql,
+        [&] { return sql::execute(db_, t.sql, &exec_stats_); }, snapshot);
+}
+
+xquery::Translation QueryService::translate(const std::string& text) {
+    if (translator_ == nullptr)
+        throw QueryError(
+            "this query service was built without a mapping; "
+            "path queries are not available");
+    xquery::PathQuery q = xquery::parse_query(text);
+    if (plan_cache_ != nullptr) return plan_cache_->get(q);
+    return translator_->translate(q);
+}
+
+std::future<QueryService::Result> QueryService::submit_sql(std::string text) {
+    return enqueue([this, text = std::move(text)] { return sql(text); });
+}
+
+std::future<QueryService::Result> QueryService::submit_path(std::string text) {
+    return enqueue([this, text = std::move(text)] { return path(text); });
+}
+
+void QueryService::execute_write(const std::string& text) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    db_.begin_unit();
+    try {
+        sql::execute(db_, text, &exec_stats_);
+    } catch (...) {
+        db_.rollback_unit();
+        throw;
+    }
+    db_.commit_unit();  // watermark bump → cached results become stale
+}
+
+QueryService::Result QueryService::run_select(
+    const std::string& cache_key,
+    const std::function<sql::ResultSet()>& exec,
+    const rdb::ReadSnapshot& snapshot) {
+    bool caching = options_.result_cache_bytes > 0;
+    if (caching) {
+        if (Result hit = lookup_cache(cache_key, snapshot.watermark()))
+            return hit;
+    }
+    Result result = std::make_shared<const sql::ResultSet>(exec());
+    if (caching) insert_cache(cache_key, snapshot.watermark(), result);
+    return result;
+}
+
+QueryService::Result QueryService::lookup_cache(const std::string& key,
+                                                std::uint64_t watermark) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(key);
+    if (it == cache_index_.end()) {
+        ++cache_stats_.misses;
+        return nullptr;
+    }
+    if (it->second->watermark != watermark) {
+        // Computed against an older committed state: invalidate lazily.
+        ++cache_stats_.invalidated;
+        ++cache_stats_.misses;
+        cache_bytes_ -= it->second->bytes;
+        lru_.erase(it->second);
+        cache_index_.erase(it);
+        return nullptr;
+    }
+    ++cache_stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->result;
+}
+
+void QueryService::insert_cache(const std::string& key,
+                                std::uint64_t watermark,
+                                const Result& result) {
+    std::size_t bytes = estimate_bytes(*result);
+    if (bytes > options_.result_cache_bytes) return;  // would evict everything
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+        // Raced with another miss on the same key; keep the newer entry.
+        cache_bytes_ -= it->second->bytes;
+        lru_.erase(it->second);
+        cache_index_.erase(it);
+    }
+    lru_.push_front(CacheEntry{key, watermark, bytes, result});
+    cache_index_.emplace(key, lru_.begin());
+    cache_bytes_ += bytes;
+    while (cache_bytes_ > options_.result_cache_bytes && lru_.size() > 1) {
+        cache_bytes_ -= lru_.back().bytes;
+        cache_index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++cache_stats_.evicted;
+    }
+}
+
+std::future<QueryService::Result> QueryService::enqueue(
+    std::function<Result()> job) {
+    std::packaged_task<Result()> task(std::move(job));
+    std::future<Result> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (stopping_)
+            throw Error("query service is shutting down; submission refused");
+        queue_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+    return future;
+}
+
+void QueryService::worker_loop() {
+    for (;;) {
+        std::packaged_task<Result()> task;
+        {
+            std::unique_lock<std::mutex> lock(queue_mu_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // exceptions land in the future
+    }
+}
+
+ServiceStats QueryService::stats() const {
+    ServiceStats s;
+    s.sql_queries = sql_queries_.load(std::memory_order_relaxed);
+    s.path_queries = path_queries_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        s.result_cache = cache_stats_;
+    }
+    if (plan_cache_ != nullptr) s.plan_cache = plan_cache_->stats();
+    s.exec = exec_stats_;
+    return s;
+}
+
+void QueryService::clear_result_cache() {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    lru_.clear();
+    cache_index_.clear();
+    cache_bytes_ = 0;
+}
+
+}  // namespace xr::query

@@ -1,0 +1,173 @@
+// Concurrent query serving over a loaded database (DESIGN.md §9).
+//
+// QueryService is the session layer the paper's "query processing"
+// section implies once documents are relational: clients hand it SQL or
+// path-query text; a pool of worker threads executes them against the
+// shared MiniRDB instance.  Three mechanisms make that safe and fast:
+//
+//   * every SELECT runs under a rdb::ReadSnapshot — a shared latch plus
+//     the commit watermark observed at acquisition, so a query sees one
+//     committed state even while loads or checkpoints run;
+//   * translated plans are cached (xquery::TranslationCache) keyed by
+//     normalized path-query text — translation is pure, so plan entries
+//     never go stale;
+//   * result sets are cached under a byte budget, each entry tagged with
+//     the commit watermark it was computed at.  A lookup whose entry
+//     carries an older watermark is an *invalidation*: the entry is
+//     dropped and the query re-executes.  The watermark bumps on every
+//     outermost commit and DDL, so a commit implicitly flushes every
+//     stale result without the writers knowing the cache exists.
+//
+// Writes (INSERT / CREATE ...) funnel through execute_write(), which
+// serializes them on an internal mutex and brackets each in a load unit —
+// honouring the single-writer contract of rdb's unit machinery and giving
+// readers atomic visibility of each statement.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mapping/pipeline.hpp"
+#include "rdb/database.hpp"
+#include "rel/schema.hpp"
+#include "sql/executor.hpp"
+#include "xquery/plan_cache.hpp"
+#include "xquery/sql_translate.hpp"
+
+namespace xr::query {
+
+struct ServiceOptions {
+    /// Worker threads for submit_*() futures (sync calls run inline on
+    /// the caller's thread and need no workers).
+    std::size_t threads = 4;
+    /// Result-cache byte budget; 0 disables result caching.
+    std::size_t result_cache_bytes = 16u << 20;
+    /// Plan-cache entry capacity; 0 disables plan caching.
+    std::size_t plan_cache_entries = 256;
+};
+
+/// Result-cache counters (plan-cache counters live in PlanCacheStats).
+struct ResultCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidated = 0;  ///< dropped on watermark mismatch
+    std::uint64_t evicted = 0;      ///< dropped by the byte budget
+
+    [[nodiscard]] double hit_ratio() const {
+        std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+};
+
+struct ServiceStats {
+    std::uint64_t sql_queries = 0;   ///< SELECTs served (cached or not)
+    std::uint64_t path_queries = 0;  ///< path queries served
+    std::uint64_t writes = 0;        ///< statements through execute_write
+    ResultCacheStats result_cache;
+    xquery::PlanCacheStats plan_cache;
+    sql::ExecStats exec;  ///< aggregate over all served queries
+};
+
+class QueryService {
+public:
+    /// Results are shared immutable snapshots: the cache and any number
+    /// of clients may hold the same ResultSet concurrently.
+    using Result = std::shared_ptr<const sql::ResultSet>;
+
+    /// SQL-only service (no path queries; path()/translate() throw).
+    explicit QueryService(rdb::Database& db, ServiceOptions options = {});
+
+    /// Full service: path queries translate through `mapping`/`schema`,
+    /// which must outlive the service and stay frozen while it runs.
+    QueryService(rdb::Database& db, const mapping::MappingResult& mapping,
+                 const rel::RelationalSchema& schema,
+                 ServiceOptions options = {});
+
+    ~QueryService();
+    QueryService(const QueryService&) = delete;
+    QueryService& operator=(const QueryService&) = delete;
+
+    /// Execute a SELECT synchronously on the caller's thread.  Throws
+    /// xr::Error subclasses on parse/execution failure.  Non-SELECT
+    /// statements are routed to execute_write() (and never cached).
+    Result sql(const std::string& text);
+
+    /// Execute a path query (translated to SQL) synchronously.
+    Result path(const std::string& text);
+
+    /// Translate a path query without executing it (CLI/EXPLAIN use);
+    /// hits the plan cache like path() does.
+    [[nodiscard]] xquery::Translation translate(const std::string& text);
+
+    /// Enqueue for a worker thread; the future carries the result or the
+    /// exception the sync call would have thrown.
+    std::future<Result> submit_sql(std::string text);
+    std::future<Result> submit_path(std::string text);
+
+    /// Execute a mutating statement: serialized against other writes,
+    /// wrapped in its own load unit (commit bumps the watermark, which
+    /// invalidates affected cached results on their next lookup).
+    void execute_write(const std::string& text);
+
+    [[nodiscard]] ServiceStats stats() const;
+    /// Drop every cached result (plan cache is left alone — plans cannot
+    /// go stale).  Mostly for tests and benches.
+    void clear_result_cache();
+
+private:
+    struct CacheEntry {
+        std::string key;
+        std::uint64_t watermark = 0;
+        std::size_t bytes = 0;
+        Result result;
+    };
+
+    Result run_select(const std::string& cache_key,
+                      const std::function<sql::ResultSet()>& exec,
+                      const rdb::ReadSnapshot& snapshot);
+    Result lookup_cache(const std::string& key, std::uint64_t watermark);
+    void insert_cache(const std::string& key, std::uint64_t watermark,
+                      const Result& result);
+    std::future<Result> enqueue(std::function<Result()> job);
+    void worker_loop();
+
+    rdb::Database& db_;
+    ServiceOptions options_;
+    std::unique_ptr<xquery::SqlTranslator> translator_;
+    std::unique_ptr<xquery::TranslationCache> plan_cache_;
+
+    // Result cache (front of lru_ = most recently used).
+    mutable std::mutex cache_mu_;
+    std::list<CacheEntry> lru_;
+    std::map<std::string, std::list<CacheEntry>::iterator> cache_index_;
+    std::size_t cache_bytes_ = 0;
+    ResultCacheStats cache_stats_;
+
+    // Counters outside the cache lock.
+    std::atomic<std::uint64_t> sql_queries_{0};
+    std::atomic<std::uint64_t> path_queries_{0};
+    std::atomic<std::uint64_t> writes_{0};
+    sql::ExecStats exec_stats_;
+
+    std::mutex write_mu_;  ///< serializes execute_write() callers
+
+    // Worker pool.
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<std::packaged_task<Result()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace xr::query

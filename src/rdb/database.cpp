@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 
 #include "rdb/snapshot.hpp"
@@ -12,9 +13,51 @@ namespace xr::rdb {
 namespace fs = std::filesystem;
 
 Database::Database() = default;
-Database::~Database() = default;
-Database::Database(Database&&) noexcept = default;
-Database& Database::operator=(Database&&) noexcept = default;
+
+Database::~Database() {
+    // A database destroyed with a unit still open (error paths, tests)
+    // would otherwise destroy an exclusively-held latch.
+    if (unit_depth_ > 0) latch_.unlock();
+}
+
+// The latch and watermark are per-object (a std::shared_mutex cannot
+// move); moving is only legal with no open unit and no readers, so the
+// fresh latch of the destination is equivalent to the source's idle one.
+Database::Database(Database&& other) noexcept
+    : tables_(std::move(other.tables_)),
+      fks_(std::move(other.fks_)),
+      bulk_(other.bulk_),
+      unit_depth_(other.unit_depth_),
+      dir_(std::move(other.dir_)),
+      dopts_(other.dopts_),
+      wal_seq_(other.wal_seq_),
+      wal_(std::move(other.wal_)) {
+    commit_watermark_.store(
+        other.commit_watermark_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.bulk_ = false;
+    other.unit_depth_ = 0;
+    other.wal_seq_ = 0;
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+    if (this == &other) return *this;
+    tables_ = std::move(other.tables_);
+    fks_ = std::move(other.fks_);
+    bulk_ = other.bulk_;
+    unit_depth_ = other.unit_depth_;
+    dir_ = std::move(other.dir_);
+    dopts_ = other.dopts_;
+    wal_seq_ = other.wal_seq_;
+    wal_ = std::move(other.wal_);
+    commit_watermark_.store(
+        other.commit_watermark_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.bulk_ = false;
+    other.unit_depth_ = 0;
+    other.wal_seq_ = 0;
+    return *this;
+}
 
 std::string RecoveryReport::to_string() const {
     std::ostringstream out;
@@ -70,7 +113,9 @@ RecoveryReport Database::open(const std::string& dir,
         std::string path = snapshot_file(dir, *it);
         Database candidate;
         try {
-            read_snapshot(path, candidate);
+            // Qualified: the unqualified name resolves to the
+            // Database::read_snapshot() latch member in this scope.
+            xr::rdb::read_snapshot(path, candidate);
         } catch (const Error&) {
             ++report.snapshots_skipped;
             continue;
@@ -135,6 +180,10 @@ SnapshotStats Database::checkpoint() {
         throw SchemaError("checkpoint() requires an open() data directory");
     if (unit_depth_ != 0)
         throw SchemaError("cannot checkpoint while a load unit is open");
+    // Exclusive for the whole snapshot + WAL rotation: the image must be
+    // a single consistent state, and rotating the mutation log while a
+    // reader holds a snapshot would tear wal_bytes_appended() readers.
+    std::unique_lock<std::shared_mutex> guard(latch_);
     if (wal_ != nullptr) wal_->flush(/*sync=*/true);
 
     std::uint64_t next_seq = wal_seq_ + 1;
@@ -160,7 +209,15 @@ std::uint64_t Database::wal_bytes_appended() const {
     return wal_ != nullptr ? wal_->bytes_appended() : 0;
 }
 
+std::uint64_t Database::wal_lsn() const {
+    return wal_ != nullptr ? wal_->lsn() : 0;
+}
+
 Table& Database::create_table(TableDef def) {
+    // Depth-0 DDL is its own (tiny) exclusive section; inside a unit the
+    // latch is already held by this thread.
+    std::unique_lock<std::shared_mutex> guard(latch_, std::defer_lock);
+    if (unit_depth_ == 0) guard.lock();
     if (table(def.name) != nullptr)
         throw SchemaError("table '" + def.name + "' already exists");
     tables_.push_back(std::make_unique<Table>(std::move(def)));
@@ -179,12 +236,25 @@ Table& Database::create_table(TableDef def) {
         }
         t.set_mutation_log(wal_.get());
     }
+    if (unit_depth_ == 0)
+        commit_watermark_.fetch_add(1, std::memory_order_release);
     return t;
 }
 
 void Database::begin_unit() {
-    if (wal_ != nullptr) wal_->log_begin_unit();
-    for (auto& t : tables_) t->begin_unit();
+    // The outermost unit takes the latch exclusively: concurrent readers
+    // drain first, then see nothing until the unit commits or rolls back.
+    // Nested begins run on the thread that already holds the latch, which
+    // is why testing unit_depth_ before locking is race-free (writers are
+    // single-threaded per the unit contract).
+    if (unit_depth_ == 0) latch_.lock();
+    try {
+        if (wal_ != nullptr) wal_->log_begin_unit();
+        for (auto& t : tables_) t->begin_unit();
+    } catch (...) {
+        if (unit_depth_ == 0) latch_.unlock();
+        throw;
+    }
     ++unit_depth_;
 }
 
@@ -197,6 +267,12 @@ void Database::commit_unit() {
     if (wal_ != nullptr) wal_->log_commit_unit(/*outermost=*/unit_depth_ == 1);
     for (auto& t : tables_) t->commit_unit();
     --unit_depth_;
+    if (unit_depth_ == 0) {
+        // Publish the new epoch before readers can acquire the latch, so
+        // any snapshot over the committed state carries a fresh watermark.
+        commit_watermark_.fetch_add(1, std::memory_order_release);
+        latch_.unlock();
+    }
 }
 
 void Database::rollback_unit() {
@@ -206,6 +282,9 @@ void Database::rollback_unit() {
     --unit_depth_;
     bulk_ = false;  // an interrupted merge leaves no bracket behind
     if (wal_ != nullptr) wal_->log_rollback_unit();
+    // No watermark bump: readers never observed the discarded rows, so
+    // every cached result tagged with the current epoch is still valid.
+    if (unit_depth_ == 0) latch_.unlock();
 }
 
 void Database::begin_bulk() {
@@ -222,12 +301,14 @@ void Database::drop_table(std::string_view name) {
     if (unit_depth_ > 0)
         throw SchemaError("cannot drop '" + std::string(name) +
                           "' while a load unit is open");
+    std::unique_lock<std::shared_mutex> guard(latch_);
     auto it = std::find_if(tables_.begin(), tables_.end(),
                            [&](const auto& t) { return t->name() == name; });
     if (it == tables_.end())
         throw SchemaError("no table '" + std::string(name) + "' to drop");
     if (wal_ != nullptr) wal_->log_drop_table(name);
     tables_.erase(it);
+    commit_watermark_.fetch_add(1, std::memory_order_release);
 }
 
 void Database::add_foreign_key(ForeignKeyDef fk) {

@@ -7,10 +7,19 @@
 // outermost load unit — the unit of atomicity is also the unit of
 // durability.  checkpoint() compacts the log into a fresh checksummed
 // snapshot.
+//
+// Concurrency (DESIGN.md §9): mutations stay single-writer (the load
+// unit contract), but any number of reader threads may query through
+// read_snapshot(), which latches out the writer for the snapshot's
+// lifetime.  The exclusive latch spans the *outermost* load unit, so
+// readers only ever observe committed states; commit_watermark() names
+// those states for cache invalidation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,12 +68,35 @@ struct RecoveryReport {
     [[nodiscard]] std::string to_string() const;
 };
 
+/// A consistent read view of the database (DESIGN.md §9).
+///
+/// Holds the database latch in shared mode for its lifetime, so row
+/// storage and indexes cannot change underneath the reader: the outermost
+/// load unit, checkpoint() and depth-0 DDL all take the latch exclusively.
+/// `watermark` is the commit watermark observed at acquisition — the
+/// epoch caches key their entries by.  Snapshots are cheap (no copying)
+/// and many may be open at once; writers wait for all of them to close.
+class ReadSnapshot {
+public:
+    ReadSnapshot(std::shared_lock<std::shared_mutex>&& lock,
+                 std::uint64_t watermark)
+        : lock_(std::move(lock)), watermark_(watermark) {}
+
+    [[nodiscard]] std::uint64_t watermark() const { return watermark_; }
+
+private:
+    std::shared_lock<std::shared_mutex> lock_;
+    std::uint64_t watermark_ = 0;
+};
+
 class Database {
 public:
     Database();
     ~Database();
     Database(const Database&) = delete;
     Database& operator=(const Database&) = delete;
+    /// Moving requires no open load unit and no concurrent readers (the
+    /// latch itself stays with each object; only data moves).
     Database(Database&&) noexcept;
     Database& operator=(Database&&) noexcept;
 
@@ -138,6 +170,33 @@ public:
     void rollback_unit();
     [[nodiscard]] bool in_unit() const { return unit_depth_ > 0; }
 
+    // -- concurrent reads (DESIGN.md §9) -------------------------------------
+    /// Open a consistent read view.  Blocks while a load unit, checkpoint
+    /// or depth-0 DDL holds the latch exclusively; once acquired, every
+    /// table read is stable until the snapshot is destroyed.  Must not be
+    /// called from the thread that currently holds a load unit open (the
+    /// latch is not recursive).
+    [[nodiscard]] ReadSnapshot read_snapshot() const {
+        // Acquire the latch first: the watermark read then happens with
+        // no writer active, so it matches the state the snapshot sees.
+        std::shared_lock<std::shared_mutex> lock(latch_);
+        std::uint64_t mark = commit_watermark_.load(std::memory_order_acquire);
+        return ReadSnapshot{std::move(lock), mark};
+    }
+
+    /// Monotonic count of committed outermost load units and depth-0 DDL
+    /// statements — the cache-invalidation epoch: a cached result tagged
+    /// with an older watermark may no longer reflect table contents.
+    /// Rolled-back units do not advance it (readers never saw their rows).
+    [[nodiscard]] std::uint64_t commit_watermark() const {
+        return commit_watermark_.load(std::memory_order_acquire);
+    }
+
+    /// Records appended to the active WAL segment (the durable LSN); 0
+    /// while in-memory.  Advances with each logged mutation, so it also
+    /// serves as a fine-grained change tick for durable databases.
+    [[nodiscard]] std::uint64_t wal_lsn() const;
+
     [[nodiscard]] std::size_t total_rows() const;
     [[nodiscard]] std::size_t memory_bytes() const;
 
@@ -146,6 +205,15 @@ private:
     std::vector<ForeignKeyDef> fks_;
     bool bulk_ = false;
     std::size_t unit_depth_ = 0;
+
+    // -- concurrency state (DESIGN.md §9) ------------------------------------
+    // Reader-writer latch: queries hold it shared via ReadSnapshot; the
+    // outermost load unit, checkpoint() and depth-0 DDL hold it exclusive.
+    // Writers remain single-threaded among themselves (the unit contract);
+    // the latch only fences them against concurrent readers, which is why
+    // the depth test before acquiring is safe.
+    mutable std::shared_mutex latch_;
+    std::atomic<std::uint64_t> commit_watermark_{0};
 
     // -- durability state (empty / null while in-memory only) ----------------
     std::string dir_;

@@ -72,6 +72,7 @@ void Wal::append(std::uint8_t type, std::string_view payload) {
         std::string_view(buf_).substr(frame_start, 5 + payload.size()));
     serial::put_u32(buf_, crc);
     appended_ += kFrameOverhead + payload.size();
+    ++records_;
     if (buf_.size() >= kSpillBytes) flush(/*sync=*/false);
 }
 
@@ -181,7 +182,10 @@ void Wal::log_commit_unit(bool outermost) {
         // Nothing was written (injected failure fires pre-write): take
         // the commit frame back so the on-disk unit stays uncommitted,
         // matching the rollback the caller is about to perform.
-        if (buf_.size() > mark) buf_.resize(mark);
+        if (buf_.size() > mark) {
+            buf_.resize(mark);
+            --records_;
+        }
         throw;
     }
 }

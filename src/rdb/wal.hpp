@@ -80,6 +80,11 @@ public:
     [[nodiscard]] const std::string& path() const { return path_; }
     /// Total record bytes appended (buffered + written) — bench metric.
     [[nodiscard]] std::uint64_t bytes_appended() const { return appended_; }
+    /// Records appended to this segment — the log sequence number of the
+    /// most recent mutation.  Together with the segment's seq it totally
+    /// orders everything the database ever logged; the query layer uses
+    /// it as a fine-grained durable change tick.
+    [[nodiscard]] std::uint64_t lsn() const { return records_; }
 
 private:
     void append(std::uint8_t type, std::string_view payload);
@@ -92,6 +97,7 @@ private:
     bool broken_ = false;
     std::string buf_;
     std::uint64_t appended_ = 0;
+    std::uint64_t records_ = 0;
 };
 
 struct WalReplayStats {

@@ -353,6 +353,10 @@ public:
 
         if (stmt_.limit && result.rows.size() > *stmt_.limit)
             result.rows.resize(*stmt_.limit);
+
+        // Publish counters only now that the execution finished: callers
+        // sharing one ExecStats across threads see whole-query totals.
+        if (stats_ != nullptr) stats_->add(local_);
         return result;
     }
 
@@ -360,13 +364,14 @@ private:
     rdb::Database& db_;
     SelectStmt& stmt_;
     ExecStats* stats_;
+    ExecStats local_;  ///< this execution's counters; folded in at the end
     std::vector<BoundTable> tables_;
     std::vector<Stage> stages_;
     std::vector<const Expr*> final_filters_;
     std::vector<int> order_output_idx_;  ///< -1 = evaluate against the row ctx
 
-    void count(std::size_t ExecStats::*member, std::size_t n = 1) {
-        if (stats_ != nullptr) stats_->*member += n;
+    void count(std::atomic<std::size_t> ExecStats::*member, std::size_t n = 1) {
+        (local_.*member).fetch_add(n, std::memory_order_relaxed);
     }
 
     void bind_tables() {

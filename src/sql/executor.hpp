@@ -13,6 +13,8 @@
 // comparisons are apples-to-apples.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,21 +40,65 @@ struct ResultSet {
     [[nodiscard]] std::string to_string() const;
 };
 
-/// Statistics of the last execution (join strategy visibility for benches).
+/// Execution statistics (join strategy visibility for benches and the
+/// query service).  Counters are atomic so one ExecStats may be shared by
+/// concurrent executions — each execution accumulates privately and folds
+/// its totals in with one add() per counter when it finishes, so partial
+/// counts of an in-flight query are never observable.  Copying snapshots
+/// the counters (relaxed), which is how per-session stats aggregate.
 struct ExecStats {
-    std::size_t rows_scanned = 0;
-    std::size_t index_lookups = 0;
-    std::size_t hash_joins = 0;
-    std::size_t nested_loop_joins = 0;
+    std::atomic<std::size_t> rows_scanned{0};
+    std::atomic<std::size_t> index_lookups{0};
+    std::atomic<std::size_t> hash_joins{0};
+    std::atomic<std::size_t> nested_loop_joins{0};
+
+    ExecStats() = default;
+    ExecStats(const ExecStats& other) { *this = other; }
+    ExecStats& operator=(const ExecStats& other) {
+        if (this == &other) return *this;
+        rows_scanned = other.rows_scanned.load(std::memory_order_relaxed);
+        index_lookups = other.index_lookups.load(std::memory_order_relaxed);
+        hash_joins = other.hash_joins.load(std::memory_order_relaxed);
+        nested_loop_joins =
+            other.nested_loop_joins.load(std::memory_order_relaxed);
+        return *this;
+    }
+
+    /// Fold another execution's counters in (thread safe on *this).
+    void add(const ExecStats& other) {
+        rows_scanned.fetch_add(
+            other.rows_scanned.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        index_lookups.fetch_add(
+            other.index_lookups.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        hash_joins.fetch_add(other.hash_joins.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        nested_loop_joins.fetch_add(
+            other.nested_loop_joins.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+
+    void reset() {
+        rows_scanned = 0;
+        index_lookups = 0;
+        hash_joins = 0;
+        nested_loop_joins = 0;
+    }
 };
 
 /// Execute any statement.  DDL/DML statements return an empty result.
+/// Re-entrant: concurrent calls (each with its own freshly parsed SQL)
+/// may share `db` — under a rdb::ReadSnapshot for SELECTs — and may share
+/// one `stats` object.
 ResultSet execute(rdb::Database& db, std::string_view sql,
                   ExecStats* stats = nullptr);
 
 /// Execute an already-parsed SELECT.  Binding annotations are written into
 /// the AST, so the statement is taken by mutable reference; re-execution of
-/// the same statement is fine (binding is idempotent).
+/// the same statement is fine (binding is idempotent), but two *threads*
+/// must not share one SelectStmt — give each its own parse (the query
+/// service does exactly that; plan caching caches SQL text, not ASTs).
 ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
                          ExecStats* stats = nullptr);
 

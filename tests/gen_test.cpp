@@ -168,6 +168,36 @@ TEST(Corpora, OrdersDocumentsValidate) {
     }
 }
 
+// Corpus-level determinism: the replayable-seed contract the differential
+// query fuzzer depends on.  Same seed → byte-identical serialized corpus
+// (and byte-identical generated DTD text); a different seed diverges.
+TEST(Corpora, DeterministicForSeed) {
+    auto serialize_all = [](const auto& corpus) {
+        std::string all;
+        for (const auto& doc : corpus) all += xml::serialize(*doc);
+        return all;
+    };
+    EXPECT_EQ(serialize_all(bibliography_corpus(4, 80, 33)),
+              serialize_all(bibliography_corpus(4, 80, 33)));
+    EXPECT_NE(serialize_all(bibliography_corpus(4, 80, 33)),
+              serialize_all(bibliography_corpus(4, 80, 34)));
+    EXPECT_EQ(serialize_all(orders_corpus(4, 60, 5)),
+              serialize_all(orders_corpus(4, 60, 5)));
+    EXPECT_NE(serialize_all(orders_corpus(4, 60, 5)),
+              serialize_all(orders_corpus(4, 60, 6)));
+
+    // Derived-seed DTD + conforming documents, as the fuzzer builds them.
+    DtdGenParams dp;
+    dp.seed = 77;
+    dtd::Dtd a = generate_dtd(dp);
+    dtd::Dtd b = generate_dtd(dp);
+    EXPECT_EQ(a.to_string(), b.to_string());
+    DocGenParams gp;
+    gp.seed = 78;
+    EXPECT_EQ(xml::serialize(*generate_document(a, gp)),
+              xml::serialize(*generate_document(b, gp)));
+}
+
 TEST(Corpora, CorpusSizesScale) {
     auto small = bibliography_corpus(3, 50, 1);
     auto large = bibliography_corpus(3, 500, 1);
