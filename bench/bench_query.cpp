@@ -12,12 +12,15 @@
 // Expected shape: DOM wins on tiny corpora (no join overhead); SQL wins as
 // the corpus grows when the predicate is selective and indexed; full-path
 // enumeration stays DOM-friendly.  The crossover is the result.
-// The serving section answers the follow-on question: what does the
-// relational side buy once queries arrive *concurrently*?  N client
-// threads replay a mixed workload through query::QueryService; the shared
-// result cache turns each distinct query's cost into one cold execution
-// plus cheap hits, so aggregate throughput scales with the client count
-// even on a single core.  Results land in BENCH_query.json.
+// The cold-path section compares descendant ('//') queries with every
+// cache disabled: the structural-index interval plans against the legacy
+// navigational join chains, cold (parse + translate + execute) and warm
+// (execute only).  The serving section answers the follow-on question:
+// what does the relational side buy once queries arrive *concurrently*?
+// N client threads replay a mixed workload through query::QueryService;
+// the shared result cache turns each distinct query's cost into one cold
+// execution plus cheap hits, so aggregate throughput scales with the
+// client count even on a single core.  Results land in BENCH_query.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -113,6 +116,77 @@ void print_report() {
 }
 
 // ---------------------------------------------------------------------------
+// Cold path: descendant queries with every cache disabled, interval plan
+// vs the legacy navigational join chain.  "Cold" pays the full pipeline —
+// parse, translate, SQL parse, execute — exactly what a first-seen query
+// costs through the service; "warm" re-executes the already-translated
+// plan.  The structural index turns a root '//x' into a bare table scan
+// and a nested '//' into one (pre, post) range probe, which is where the
+// ~900us legacy cold path goes to die.
+
+struct ColdRecord {
+    std::string query;
+    std::size_t rows = 0;
+    std::size_t interval_joins = 0;
+    std::size_t legacy_joins = 0;
+    double interval_cold_us = 0;
+    double legacy_cold_us = 0;
+    double interval_warm_us = 0;
+    double legacy_warm_us = 0;
+
+    double cold_speedup() const { return legacy_cold_us / interval_cold_us; }
+};
+
+std::vector<ColdRecord> cold_path_records(Loaded& loaded) {
+    const char* kDescendant[] = {
+        "//author",
+        "//name",
+        "/article//author",
+        "/article[title = 'XML RDBMS']//author",
+        "count(//name)",
+    };
+    xquery::SqlTranslator translator(loaded.stack.mapping,
+                                     loaded.stack.schema);
+    xquery::TranslateOptions interval;
+    xquery::TranslateOptions legacy;
+    legacy.use_struct_index = false;
+
+    std::vector<ColdRecord> records;
+    for (const char* text : kDescendant) {
+        auto cold = [&](const xquery::TranslateOptions& opts) {
+            return time_us([&] {
+                xquery::Translation t =
+                    translator.translate(xquery::parse_query(text), opts);
+                (void)sql::execute(loaded.stack.db, t.sql);
+            });
+        };
+        auto warm = [&](const xquery::TranslateOptions& opts) {
+            xquery::Translation t =
+                translator.translate(xquery::parse_query(text), opts);
+            sql::SelectStmt stmt = sql::parse_select(t.sql);
+            return time_us(
+                [&] { (void)sql::execute_select(loaded.stack.db, stmt); });
+        };
+
+        ColdRecord rec;
+        rec.query = text;
+        xquery::Translation it =
+            translator.translate(xquery::parse_query(text), interval);
+        xquery::Translation lt =
+            translator.translate(xquery::parse_query(text), legacy);
+        rec.rows = sql::execute(loaded.stack.db, it.sql).row_count();
+        rec.interval_joins = it.join_count;
+        rec.legacy_joins = lt.join_count;
+        rec.interval_cold_us = cold(interval);
+        rec.legacy_cold_us = cold(legacy);
+        rec.interval_warm_us = warm(interval);
+        rec.legacy_warm_us = warm(legacy);
+        records.push_back(rec);
+    }
+    return records;
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent serving: queries/sec at 1/2/4/8 client threads.
 
 /// Distinct queries per client round — enough variety that the result
@@ -195,24 +269,60 @@ ServeRecord serve_once(Loaded& loaded, std::size_t threads,
     return rec;
 }
 
-void emit_serving_json(const std::vector<ServeRecord>& records) {
+void emit_json(const std::vector<ServeRecord>& serving,
+               const std::vector<ColdRecord>& cold) {
     std::ofstream out("BENCH_query.json");
-    out << "[\n";
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const ServeRecord& r = records[i];
-        out << "  {\"threads\": " << r.threads << ", \"jobs\": " << r.jobs
+    out << "{\n  \"serving\": [\n";
+    for (std::size_t i = 0; i < serving.size(); ++i) {
+        const ServeRecord& r = serving[i];
+        out << "    {\"threads\": " << r.threads << ", \"jobs\": " << r.jobs
             << ", \"seconds\": " << r.seconds << ", \"qps\": " << r.qps
             << ", \"speedup_vs_1\": " << r.speedup
             << ", \"result_hit_ratio\": " << r.result_hit_ratio
             << ", \"plan_hit_ratio\": " << r.plan_hit_ratio
             << ", \"cold_us\": " << r.cold_us
             << ", \"warm_us\": " << r.warm_us << "}"
-            << (i + 1 < records.size() ? "," : "") << "\n";
+            << (i + 1 < serving.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "  ],\n  \"cold_path\": [\n";
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        const ColdRecord& r = cold[i];
+        out << "    {\"query\": \"" << r.query << "\", \"rows\": " << r.rows
+            << ", \"interval_joins\": " << r.interval_joins
+            << ", \"legacy_joins\": " << r.legacy_joins
+            << ", \"interval_cold_us\": " << r.interval_cold_us
+            << ", \"legacy_cold_us\": " << r.legacy_cold_us
+            << ", \"interval_warm_us\": " << r.interval_warm_us
+            << ", \"legacy_warm_us\": " << r.legacy_warm_us
+            << ", \"cold_speedup\": " << r.cold_speedup() << "}"
+            << (i + 1 < cold.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
 }
 
-void serving_report() {
+Loaded& corpus512();
+
+std::vector<ColdRecord> cold_path_report() {
+    std::cout << "=== §5-cold: descendant queries, caches off — interval "
+                 "plans vs legacy join chains ===\n";
+    std::vector<ColdRecord> records = cold_path_records(corpus512());
+    TablePrinter table({"query", "rows", "ivl joins", "leg joins",
+                        "ivl cold us", "leg cold us", "cold x", "ivl warm us",
+                        "leg warm us"});
+    for (const ColdRecord& r : records)
+        table.add_row({r.query, std::to_string(r.rows),
+                       std::to_string(r.interval_joins),
+                       std::to_string(r.legacy_joins),
+                       format_double(r.interval_cold_us, 1),
+                       format_double(r.legacy_cold_us, 1),
+                       format_double(r.cold_speedup(), 1),
+                       format_double(r.interval_warm_us, 1),
+                       format_double(r.legacy_warm_us, 1)});
+    std::cout << table.to_string() << "\n";
+    return records;
+}
+
+void serving_report(const std::vector<ColdRecord>& cold) {
     std::cout << "=== §5-serve: concurrent serving through the query "
                  "service (shared caches) ===\n";
     Loaded loaded(256);
@@ -236,9 +346,9 @@ void serving_report() {
         records.push_back(rec);
     }
     std::cout << table.to_string();
-    emit_serving_json(records);
-    std::cout << "wrote BENCH_query.json (" << records.size()
-              << " records)\n\n";
+    emit_json(records, cold);
+    std::cout << "wrote BENCH_query.json (" << records.size() << " serving + "
+              << cold.size() << " cold-path records)\n\n";
 }
 
 // google-benchmark series at a fixed, substantial corpus size.
@@ -281,7 +391,7 @@ BENCHMARK(BM_SqlTranslate);
 
 int main(int argc, char** argv) {
     print_report();
-    serving_report();
+    serving_report(cold_path_report());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -37,7 +37,10 @@
 //       snapshot-isolated reads, plan + result caches (sized by
 //       --cache-mb, default 16), with cache statistics printed at the
 //       end.  Serve mode prints result rows rather than materialized
-//       XML for path queries.
+//       XML for path queries.  --no-struct-index disables the structural
+//       (pre, post) interval index for '//' / [ancestor::] translation,
+//       falling back to the legacy join-chain expansion; --explain prints
+//       an EXPLAIN-lite line (chosen plan + notes) for each path query.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
@@ -85,7 +88,8 @@ int usage() {
                  "[--data-dir DIR] [--checkpoint-every N] [--no-wal] "
                  "[--max-depth N] "
                  "[--sql STMT]... [--query PATH]... [--reconstruct N] "
-                 "[--serve-threads N] [--cache-mb M]\n";
+                 "[--serve-threads N] [--cache-mb M] "
+                 "[--no-struct-index] [--explain]\n";
     return 2;
 }
 
@@ -139,6 +143,8 @@ int cmd_load(const std::vector<std::string>& args) {
     std::int64_t max_depth = 0;   // 0 = parser default
     std::int64_t serve_threads = 0;  // 0 = inline execution (no service)
     std::int64_t cache_mb = 16;
+    bool use_struct_index = true;
+    bool explain = false;
 
     auto parse_policy = [&](const std::string& name) {
         if (name == "fail")
@@ -195,6 +201,10 @@ int cmd_load(const std::vector<std::string>& args) {
             auto v = int_arg(i);
             if (!v || *v < 0) return usage();
             cache_mb = *v;
+        } else if (args[i] == "--no-struct-index") {
+            use_struct_index = false;
+        } else if (args[i] == "--explain") {
+            explain = true;
         } else if (args[i] == "--on-error" && i + 1 < args.size()) {
             if (!parse_policy(args[++i])) return usage();
         } else if (args[i].rfind("--on-error=", 0) == 0) {
@@ -339,6 +349,7 @@ int cmd_load(const std::vector<std::string>& args) {
         xr::query::ServiceOptions sopts;
         sopts.threads = static_cast<std::size_t>(serve_threads);
         sopts.result_cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+        sopts.use_struct_index = use_struct_index;
         xr::query::QueryService service(db, m, schema, sopts);
         std::vector<std::future<xr::query::QueryService::Result>> sql_futures;
         std::vector<std::future<xr::query::QueryService::Result>> path_futures;
@@ -357,9 +368,17 @@ int cmd_load(const std::vector<std::string>& args) {
         for (std::size_t i = 0; i < path_futures.size(); ++i) {
             std::cout << "\nquery> " << path_queries[i] << "\n";
             try {
-                std::cout << "  sql: "
-                          << service.translate(path_queries[i]).sql << "\n"
-                          << path_futures[i].get()->to_string();
+                xr::xquery::Translation t = service.translate(path_queries[i]);
+                std::cout << "  sql: " << t.sql << "\n";
+                if (explain)
+                    std::cout << "  plan: "
+                              << (t.interval_plan ? "interval" : "navigational")
+                              << ", " << t.join_count << " join(s)"
+                              << (t.plan_notes.empty()
+                                      ? ""
+                                      : "; " + t.plan_notes)
+                              << "\n";
+                std::cout << path_futures[i].get()->to_string();
             } catch (const xr::QueryError& e) {
                 std::cout << "  not translatable (" << e.what() << ")\n";
             }
@@ -386,8 +405,18 @@ int cmd_load(const std::vector<std::string>& args) {
             std::cout << "\nquery> " << text << "\n";
             auto q = xr::xquery::parse_query(text);
             try {
-                auto t = translator.translate(q);
+                xr::xquery::TranslateOptions topts;
+                topts.use_struct_index = use_struct_index;
+                auto t = translator.translate(q, topts);
                 std::cout << "  sql: " << t.sql << "\n";
+                if (explain)
+                    std::cout << "  plan: "
+                              << (t.interval_plan ? "interval" : "navigational")
+                              << ", " << t.join_count << " join(s)"
+                              << (t.plan_notes.empty()
+                                      ? ""
+                                      : "; " + t.plan_notes)
+                              << "\n";
                 auto results =
                     xr::xquery::materialize_results(db, t, reconstructor);
                 std::cout << xr::xml::serialize(*results,

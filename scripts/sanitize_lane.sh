@@ -2,13 +2,15 @@
 # Sanitizer lanes over the robustness-critical tests.
 #
 # ASan lane (default): the bulk-load pipeline, the fault-injection matrix,
-# and the durability layer (snapshots, WAL, crash recovery) — every code
-# path that handles torn/corrupt input.  The full suite under ASan is
-# slow; these labels are where the sanitizer earns its keep.
+# the durability layer (snapshots, WAL, crash recovery), and the
+# structural-index tests — every code path that handles torn/corrupt
+# input or label arithmetic.  The full suite under ASan is slow; these
+# labels are where the sanitizer earns its keep.
 #
-# TSan lane (`thread`): the differential query fuzzer and the concurrent
+# TSan lane (`thread`): the differential query fuzzer, the concurrent
 # serving tests — readers racing loads and checkpoints, the worker pool,
-# the caches, and shared ExecStats.
+# the caches, and shared ExecStats — plus the structural-index tests,
+# whose bulk label merge and range-scan counters are shared state.
 #
 # Usage: scripts/sanitize_lane.sh [address|thread] [build-dir]
 #        (defaults: address, build-asan / build-tsan)
@@ -20,11 +22,11 @@ LANE=${1:-address}
 case "$LANE" in
   address)
     BUILD_DIR=${2:-build-asan}
-    LABELS='bulk|fault|durability'
+    LABELS='bulk|fault|durability|index'
     ;;
   thread)
     BUILD_DIR=${2:-build-tsan}
-    LABELS='query|concurrency'
+    LABELS='query|concurrency|index'
     ;;
   *)
     echo "usage: $0 [address|thread] [build-dir]" >&2

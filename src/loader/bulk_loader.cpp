@@ -123,7 +123,7 @@ private:
 BulkLoader::BulkLoader(const dtd::Dtd& logical,
                        const mapping::MappingResult& mapping,
                        const rel::RelationalSchema& schema, rdb::Database& db)
-    : db_(db), loader_(logical, mapping, schema, db) {}
+    : db_(db), schema_(schema), loader_(logical, mapping, schema, db) {}
 
 std::int64_t BulkLoader::next_doc_base() const {
     std::int64_t base = 1;
@@ -133,6 +133,24 @@ std::int64_t BulkLoader::next_doc_base() const {
             for (const auto& row : docs->rows()) {
                 if (!row[c].is_null())
                     base = std::max(base, row[c].as_integer() + 1);
+            }
+        }
+    }
+    return base;
+}
+
+std::int64_t BulkLoader::next_label_base() const {
+    // First structural label past everything already committed — the same
+    // watermark the serial Loader recovers from xrel_docs.
+    std::int64_t base = 0;
+    if (const rdb::Table* docs = db_.table("xrel_docs")) {
+        int b = docs->def().column_index("label_base");
+        int s = docs->def().column_index("label_span");
+        if (b >= 0 && s >= 0) {
+            for (const auto& row : docs->rows()) {
+                if (!row[b].is_null() && !row[s].is_null())
+                    base = std::max(base,
+                                    row[b].as_integer() + row[s].as_integer());
             }
         }
     }
@@ -232,6 +250,7 @@ LoadReport BulkLoader::run(
                 sinks[w].commit_doc();
                 state.stats.merge(doc_stats);
                 outcome.doc = base + static_cast<std::int64_t>(i);
+                outcome.label_span = doc_stats.label_span;
             } catch (...) {
                 sinks[w].rollback_doc();
                 LoadErrorInfo info = classify_load_error();
@@ -305,17 +324,27 @@ LoadReport BulkLoader::run(
             // indistinguishable from a corpus that never contained the
             // failed documents.
             std::map<std::int64_t, std::int64_t> doc_remap;
+            // Workers labelled each document starting at 0; survivors now
+            // get consecutive global intervals in corpus order — the same
+            // bases a serial load of only these documents would assign.
+            std::map<std::int64_t, std::int64_t> label_shift;  // prov doc → base
+            std::int64_t label_cursor = next_label_base();
             for (auto& outcome : report.outcomes) {
                 if (outcome.status != DocumentOutcome::Status::kLoaded)
                     continue;
                 std::int64_t dense =
                     base + static_cast<std::int64_t>(doc_remap.size());
                 doc_remap[outcome.doc] = dense;
+                label_shift[outcome.doc] = label_cursor;
+                label_cursor += outcome.label_span;
                 outcome.doc = dense;
             }
             bool identity = true;
             for (const auto& [from, to] : doc_remap)
                 if (from != to) identity = false;
+            bool any_shift = false;
+            for (const auto& [doc, shift] : label_shift)
+                if (shift != 0) any_shift = true;
 
             // Merge: batched appends with index maintenance deferred to
             // one rebuild pass.  Rows come from the trusted shredding
@@ -326,6 +355,23 @@ LoadReport BulkLoader::run(
                 fault::maybe_fail("bulk.merge");
                 rdb::Table* table = db_.table(name);
                 int doc_col = table->def().column_index("doc");
+                // Label columns that need the per-document shift: the
+                // entity tables' pre/post (role-checked — an XML attribute
+                // that happens to be called "pre" is untouched) and
+                // xrel_docs' recorded label_base.
+                std::vector<int> shift_cols;
+                if (const rel::TableSchema* ts = schema_.table(name)) {
+                    for (const char* lc : {"pre", "post"}) {
+                        const rel::Column* c = ts->column(lc);
+                        if (c != nullptr && c->role == rel::ColumnRole::kLabel)
+                            shift_cols.push_back(ts->column_index(lc));
+                    }
+                    if (name == "xrel_docs") {
+                        int c = ts->column_index("label_base");
+                        if (c >= 0) shift_cols.push_back(c);
+                    }
+                }
+                if (!any_shift) shift_cols.clear();
                 std::size_t total = 0;
                 for (auto& sink : sinks) {
                     if (auto* rows = sink.staged_for(table))
@@ -336,12 +382,25 @@ LoadReport BulkLoader::run(
                 for (auto& sink : sinks) {
                     auto* rows = sink.staged_for(table);
                     if (rows == nullptr || rows->empty()) continue;
-                    if (!identity && doc_col >= 0) {
+                    if (doc_col >= 0 && (!identity || !shift_cols.empty())) {
                         for (rdb::Row& row : *rows) {
                             if (row[doc_col].is_null()) continue;
-                            auto it = doc_remap.find(row[doc_col].as_integer());
-                            if (it != doc_remap.end())
-                                row[doc_col] = rdb::Value(it->second);
+                            std::int64_t prov = row[doc_col].as_integer();
+                            if (!shift_cols.empty()) {
+                                auto sit = label_shift.find(prov);
+                                if (sit != label_shift.end()) {
+                                    for (int c : shift_cols) {
+                                        if (row[c].is_null()) continue;
+                                        row[c] = rdb::Value(
+                                            row[c].as_integer() + sit->second);
+                                    }
+                                }
+                            }
+                            if (!identity) {
+                                auto it = doc_remap.find(prov);
+                                if (it != doc_remap.end())
+                                    row[doc_col] = rdb::Value(it->second);
+                            }
                         }
                     }
                     table->insert_batch(std::move(*rows),

@@ -87,10 +87,12 @@ public:
 
 private:
     rdb::Database& db_;
+    const rel::RelationalSchema& schema_;
     Loader loader_;
     LoadStats stats_;
 
     [[nodiscard]] std::int64_t next_doc_base() const;
+    [[nodiscard]] std::int64_t next_label_base() const;
     LoadReport run(std::size_t count,
                    const std::function<void(std::size_t, RowSink&, LoadStats&,
                                             const LoadOptions&)>& shred_one,

@@ -126,11 +126,14 @@ void Loader::build_plans() {
     // already committed to xrel_docs.
     if (const rdb::Table* docs = db_.table("xrel_docs")) {
         int c = docs->def().column_index("doc");
-        if (c >= 0) {
-            for (const auto& row : docs->rows()) {
-                if (!row[c].is_null())
-                    next_doc_ = std::max(next_doc_, row[c].as_integer() + 1);
-            }
+        int b = docs->def().column_index("label_base");
+        int s = docs->def().column_index("label_span");
+        for (const auto& row : docs->rows()) {
+            if (c >= 0 && !row[c].is_null())
+                next_doc_ = std::max(next_doc_, row[c].as_integer() + 1);
+            if (b >= 0 && s >= 0 && !row[b].is_null() && !row[s].is_null())
+                next_label_ = std::max(
+                    next_label_, row[b].as_integer() + row[s].as_integer());
         }
     }
 
@@ -218,6 +221,9 @@ void Loader::build_plans() {
         plan.doc_col = col(*plan.table, "doc");
         plan.pcdata_col = col(*plan.table, "pcdata");
         plan.raw_col = col(*plan.table, "raw_xml");
+        plan.pre_col = col(*plan.table, "pre");
+        plan.post_col = col(*plan.table, "post");
+        plan.level_col = col(*plan.table, "level");
 
         for (const auto& c : plan.table->columns) {
             if (c.role == rel::ColumnRole::kAttribute)
@@ -297,11 +303,14 @@ void Loader::build_plans() {
 std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
     DirectSink sink;
     std::int64_t saved_doc = next_doc_;
+    std::int64_t saved_label = next_label_;
     LoadStats doc_stats;
     db_.begin_unit();
     try {
         std::int64_t doc_id =
-            shred_document(doc, next_doc_++, options, sink, doc_stats);
+            shred_document(doc, next_doc_++, options, sink, doc_stats,
+                           next_label_);
+        next_label_ += doc_stats.label_span;
         if (options.resolve_references) resolve_references(doc_stats);
         db_.commit_unit();
         // Lifetime stats absorb the document only once it committed;
@@ -314,6 +323,7 @@ std::int64_t Loader::load(xml::Document& doc, const LoadOptions& options) {
     } catch (...) {
         db_.rollback_unit();
         next_doc_ = saved_doc;
+        next_label_ = saved_label;
         throw;
     }
 }
@@ -324,7 +334,9 @@ LoadReport Loader::load_corpus(const std::vector<xml::Document*>& docs,
         docs.size(),
         [&](std::size_t i, RowSink& sink, LoadStats& stats,
             const LoadOptions& lopt) {
-            shred_document(*docs[i], next_doc_++, lopt, sink, stats);
+            shred_document(*docs[i], next_doc_++, lopt, sink, stats,
+                           next_label_);
+            next_label_ += stats.label_span;
         },
         [&](std::size_t i) { return xml::serialize(*docs[i]); }, options);
 }
@@ -336,7 +348,8 @@ LoadReport Loader::load_texts(const std::vector<std::string>& texts,
         [&](std::size_t i, RowSink& sink, LoadStats& stats,
             const LoadOptions& lopt) {
             auto doc = xml::parse_document(texts[i], lopt.parse);
-            shred_document(*doc, next_doc_++, lopt, sink, stats);
+            shred_document(*doc, next_doc_++, lopt, sink, stats, next_label_);
+            next_label_ += stats.label_span;
         },
         [&](std::size_t i) { return texts[i]; }, options);
 }
@@ -355,6 +368,7 @@ LoadReport Loader::corpus_load(
 
     DirectSink sink;
     std::int64_t corpus_doc_mark = next_doc_;
+    std::int64_t corpus_label_mark = next_label_;
     db_.begin_unit();  // corpus unit: fail_fast (and any infrastructure
                        // failure) restores the pre-load state exactly
     try {
@@ -362,6 +376,7 @@ LoadReport Loader::corpus_load(
             DocumentOutcome outcome;
             outcome.index = i;
             std::int64_t saved_doc = next_doc_;
+            std::int64_t saved_label = next_label_;
             LoadStats doc_stats;
             db_.begin_unit();  // document unit
             try {
@@ -372,9 +387,14 @@ LoadReport Loader::corpus_load(
                 ++report.loaded;
             } catch (...) {
                 // Roll the document back completely — rows, indexes, pk
-                // counters and its doc id — before deciding what's next.
+                // counters, its doc id and its label interval — before
+                // deciding what's next.  Returning the label watermark
+                // keeps intervals dense; even when later documents already
+                // claimed higher bases the resulting gap is harmless
+                // (disjoint ranges cannot fake containment).
                 db_.rollback_unit();
                 next_doc_ = saved_doc;
+                next_label_ = saved_label;
                 LoadErrorInfo info = classify_load_error();
                 outcome.status = options.on_error == FailurePolicy::kQuarantine
                                      ? DocumentOutcome::Status::kQuarantined
@@ -398,6 +418,7 @@ LoadReport Loader::corpus_load(
             // over pre-existing data, doc counter restored).
             db_.rollback_unit();
             next_doc_ = corpus_doc_mark;
+            next_label_ = corpus_label_mark;
         } else {
             // Single resolution pass; a failure here is infrastructure-
             // scoped and rolls back the whole corpus regardless of policy.
@@ -407,6 +428,7 @@ LoadReport Loader::corpus_load(
     } catch (...) {
         db_.rollback_unit();
         next_doc_ = corpus_doc_mark;
+        next_label_ = corpus_label_mark;
         throw;
     }
     // Lifetime stats: merged only once the corpus committed.  Unresolved
@@ -446,7 +468,8 @@ LoadReport Loader::corpus_load(
 
 std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
                                     const LoadOptions& options, RowSink& sink,
-                                    LoadStats& stats) const {
+                                    LoadStats& stats,
+                                    std::int64_t label_base) const {
     if (options.validate) {
         validate::ValidateOptions vopt;
         vopt.apply_defaults = true;
@@ -456,11 +479,14 @@ std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
     if (doc.root() == nullptr)
         throw ValidationError("cannot load a document without a root element");
 
+    std::int64_t label = label_base;
     std::int64_t root_pk =
-        load_element(*doc.root(), doc_id, options, sink, stats);
+        load_element(*doc.root(), doc_id, options, sink, stats, label, 0);
+    stats.label_span = label - label_base;
     if (rdb::Table* docs = db_.table("xrel_docs")) {
         sink.append(*docs, {Value::null(), Value(doc_id),
-                            Value(doc.root()->name()), Value(root_pk)});
+                            Value(doc.root()->name()), Value(root_pk),
+                            Value(label_base), Value(stats.label_span)});
     }
     ++stats.documents;
     return doc_id;
@@ -468,7 +494,8 @@ std::int64_t Loader::shred_document(xml::Document& doc, std::int64_t doc_id,
 
 std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                                   const LoadOptions& options, RowSink& sink,
-                                  LoadStats& stats) const {
+                                  LoadStats& stats, std::int64_t& label,
+                                  std::int64_t level) const {
     fault::maybe_fail("loader.shred");
     ++stats.elements_visited;
     auto plan_it = entity_plans_.find(e.name());
@@ -484,6 +511,10 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
 
     rdb::Row row = null_row(*plan.table);
     if (plan.doc_col >= 0) row[plan.doc_col] = Value(doc);
+    // Dietz interval label: pre ticks at entry, post after the children
+    // (below), so descendant(d, a) ⇔ a.pre < d.pre < a.post.
+    if (plan.pre_col >= 0) row[plan.pre_col] = Value(label++);
+    if (plan.level_col >= 0) row[plan.level_col] = Value(level);
     for (const auto& attr : e.attributes()) {
         auto it = plan.attr_columns.find(attr.name);
         if (it != plan.attr_columns.end()) row[it->second] = Value(attr.value);
@@ -549,7 +580,8 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
     // Structure.
     switch (plan.mode) {
         case EntityPlan::Mode::kChildren:
-            load_children(e, plan, row, pk, doc, options, sink, stats);
+            load_children(e, plan, row, pk, doc, options, sink, stats, label,
+                          level);
             break;
         case EntityPlan::Mode::kMixed: {
             // Element members of mixed content become NESTED rows and text
@@ -586,7 +618,8 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
                     store_overflow(child, plan.entity, pk, doc, i, sink, stats);
                     continue;
                 }
-                std::int64_t cpk = load_element(child, doc, options, sink, stats);
+                std::int64_t cpk = load_element(child, doc, options, sink,
+                                                stats, label, level + 1);
                 if (cpk < 0) continue;
                 const NestedPlan& np = *it->second;
                 rdb::Row nrow = null_row(*np.table);
@@ -604,6 +637,7 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
             break;
     }
 
+    if (plan.post_col >= 0) row[plan.post_col] = Value(label++);
     sink.append(*plan.storage, std::move(row));
     ++stats.entity_rows;
     return pk;
@@ -612,7 +646,8 @@ std::int64_t Loader::load_element(const xml::Element& e, std::int64_t doc,
 void Loader::load_children(const xml::Element& e, const EntityPlan& plan,
                            rdb::Row& parent_row, std::int64_t parent_pk,
                            std::int64_t doc, const LoadOptions& options,
-                           RowSink& sink, LoadStats& stats) const {
+                           RowSink& sink, LoadStats& stats,
+                           std::int64_t& label, std::int64_t level) const {
     std::vector<xml::Element*> children = e.child_elements();
     std::vector<std::string_view> names;
     names.reserve(children.size());
@@ -634,7 +669,7 @@ void Loader::load_children(const xml::Element& e, const EntityPlan& plan,
                 continue;
             }
             std::int64_t cpk = load_element(*children[i], doc, options, sink,
-                                            stats);
+                                            stats, label, level + 1);
             if (cpk < 0) continue;
             const NestedPlan& np = *it->second;
             rdb::Row nrow = null_row(*np.table);
@@ -732,7 +767,7 @@ void Loader::load_children(const xml::Element& e, const EntityPlan& plan,
                 }
 
                 std::int64_t cpk = load_element(child, doc, options, sink,
-                                                stats);
+                                                stats, label, level + 1);
                 if (cpk < 0) break;
 
                 if (ctx.is_group) {

@@ -26,6 +26,8 @@ std::size_t estimate_bytes(const sql::ResultSet& rs) {
 
 QueryService::QueryService(rdb::Database& db, ServiceOptions options)
     : db_(db), options_(options) {
+    use_struct_index_.store(options_.use_struct_index,
+                            std::memory_order_relaxed);
     for (std::size_t i = 0; i < options_.threads; ++i)
         workers_.emplace_back([this] { worker_loop(); });
 }
@@ -82,8 +84,10 @@ xquery::Translation QueryService::translate(const std::string& text) {
             "this query service was built without a mapping; "
             "path queries are not available");
     xquery::PathQuery q = xquery::parse_query(text);
-    if (plan_cache_ != nullptr) return plan_cache_->get(q);
-    return translator_->translate(q);
+    xquery::TranslateOptions topts;
+    topts.use_struct_index = use_struct_index_.load(std::memory_order_relaxed);
+    if (plan_cache_ != nullptr) return plan_cache_->get(q, topts);
+    return translator_->translate(q, topts);
 }
 
 std::future<QueryService::Result> QueryService::submit_sql(std::string text) {

@@ -55,6 +55,10 @@ struct ServiceOptions {
     std::size_t result_cache_bytes = 16u << 20;
     /// Plan-cache entry capacity; 0 disables plan caching.
     std::size_t plan_cache_entries = 256;
+    /// Initial state of the session's structural-index toggle (SET-style,
+    /// see set_struct_index()): translate '//' and [ancestor::] through
+    /// the (pre, post) interval labels, or use the legacy expansions.
+    bool use_struct_index = true;
 };
 
 /// Result-cache counters (plan-cache counters live in PlanCacheStats).
@@ -110,6 +114,17 @@ public:
     /// hits the plan cache like path() does.
     [[nodiscard]] xquery::Translation translate(const std::string& text);
 
+    /// SET-style session toggle for the structural interval index.  Plans
+    /// from both modes coexist in the plan cache under distinct keys, and
+    /// result-cache keys embed the translated SQL, so flipping the toggle
+    /// never serves a result computed under the other plan.
+    void set_struct_index(bool on) {
+        use_struct_index_.store(on, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool struct_index() const {
+        return use_struct_index_.load(std::memory_order_relaxed);
+    }
+
     /// Enqueue for a worker thread; the future carries the result or the
     /// exception the sync call would have thrown.
     std::future<Result> submit_sql(std::string text);
@@ -158,6 +173,7 @@ private:
     std::atomic<std::uint64_t> sql_queries_{0};
     std::atomic<std::uint64_t> path_queries_{0};
     std::atomic<std::uint64_t> writes_{0};
+    std::atomic<bool> use_struct_index_{true};
     sql::ExecStats exec_stats_;
 
     std::mutex write_mu_;  ///< serializes execute_write() callers

@@ -326,6 +326,42 @@ std::vector<RowId> Table::index_lookup(std::string_view column,
                       "'");
 }
 
+bool Table::has_ordered_index(std::string_view column) const {
+    int i = def_.column_index(column);
+    for (const auto& idx : indexes_)
+        if (idx.column == i && idx.kind == IndexKind::kOrdered) return true;
+    return false;
+}
+
+std::vector<RowId> Table::index_range_lookup(std::string_view column,
+                                             const Value* lo, bool lo_strict,
+                                             const Value* hi,
+                                             bool hi_strict) const {
+    int i = def_.column_index(column);
+    for (const auto& idx : indexes_) {
+        if (idx.column != i || idx.kind != IndexKind::kOrdered) continue;
+        // NULL keys sort first in the ordered index but compare unknown in
+        // SQL, so an unbounded lower end still starts past them.
+        auto it = lo == nullptr
+                      ? idx.ordered.upper_bound(Value::null())
+                      : (lo_strict ? idx.ordered.upper_bound(*lo)
+                                   : idx.ordered.lower_bound(*lo));
+        std::vector<RowId> out;
+        for (; it != idx.ordered.end(); ++it) {
+            if (it->first.is_null()) continue;
+            if (hi != nullptr) {
+                auto ord = it->first.index_order(*hi);
+                if (hi_strict ? ord >= 0 : ord > 0) break;
+            }
+            out.push_back(it->second);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+    throw SchemaError("no ordered index on '" + def_.name + "." +
+                      std::string(column) + "'");
+}
+
 std::vector<RowId> Table::lookup(std::string_view column,
                                  const Value& value) const {
     if (has_index(column)) return index_lookup(column, value);

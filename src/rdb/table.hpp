@@ -183,6 +183,15 @@ public:
     /// Matching row ids via index; throws SchemaError if not indexed.
     [[nodiscard]] std::vector<RowId> index_lookup(std::string_view column,
                                                   const Value& value) const;
+    /// True when `column` carries an *ordered* secondary index (range scans).
+    [[nodiscard]] bool has_ordered_index(std::string_view column) const;
+    /// Row ids whose `column` value lies in the given range, found by
+    /// binary search on the ordered index.  A null bound pointer leaves
+    /// that side unbounded; `*_strict` selects < / > over <= / >=.  Throws
+    /// SchemaError when the column has no ordered index.
+    [[nodiscard]] std::vector<RowId> index_range_lookup(
+        std::string_view column, const Value* lo, bool lo_strict,
+        const Value* hi, bool hi_strict) const;
     /// Matching row ids using the index when present, else a scan.
     [[nodiscard]] std::vector<RowId> lookup(std::string_view column,
                                             const Value& value) const;

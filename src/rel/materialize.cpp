@@ -113,6 +113,11 @@ void materialize(const RelationalSchema& schema,
                 table.create_index("parent_pk", options.index_kind);
                 break;
             case TableKind::kEntity:
+                // Structural index: interval containment joins binary-search
+                // this sorted-by-pre index instead of scanning (DESIGN.md §10).
+                if (t.column("pre") != nullptr)
+                    table.create_index("pre", rdb::IndexKind::kOrdered);
+                break;
             case TableKind::kMetadata:
                 break;
         }

@@ -25,6 +25,7 @@ enum class ColumnRole {
     kText,        ///< character data of a PCDATA/mixed element
     kRawXml,      ///< serialized subtree of an ANY element
     kIdValue,     ///< unresolved ID/IDREF token text
+    kLabel,       ///< structural interval label (pre / post / level)
     kMeta,        ///< metadata table payload
 };
 

@@ -18,6 +18,11 @@ Column ord_column() {
     return {"ord", ValueType::kInteger, false, false, ColumnRole::kOrdinal, "", ""};
 }
 
+Column label_column(std::string name) {
+    return {std::move(name), ValueType::kInteger, false, false,
+            ColumnRole::kLabel, "", ""};
+}
+
 Column fk_column(std::string name, std::string references, bool not_null,
                  std::string source) {
     return {std::move(name), ValueType::kInteger, not_null, false,
@@ -79,7 +84,8 @@ private:
         maybe_doc(t);
 
         IdentifierPool columns;
-        for (const char* reserved : {"pk", "doc", "ord", "pcdata", "raw_xml"})
+        for (const char* reserved :
+             {"pk", "doc", "ord", "pcdata", "raw_xml", "pre", "post", "level"})
             columns.reserve(reserved);
 
         for (const auto& a : e.attributes) {
@@ -97,6 +103,12 @@ private:
         } else if (e.has_text) {
             t.columns.push_back({"pcdata", ValueType::kText, false, false,
                                  ColumnRole::kText, "", ""});
+        }
+        if (options_.structural_labels) {
+            // Dietz interval labels: descendant(d, a) ⇔ a.pre < d.pre < a.post.
+            t.columns.push_back(label_column("pre"));
+            t.columns.push_back(label_column("post"));
+            t.columns.push_back(label_column("level"));
         }
         schema_.add_table(std::move(t));
     }
@@ -318,7 +330,9 @@ private:
         // root (filled by the loader; reconstruction starts here).
         add("xrel_docs", {meta_col("doc", ValueType::kInteger),
                           meta_col("root_entity"),
-                          meta_col("root_pk", ValueType::kInteger)});
+                          meta_col("root_pk", ValueType::kInteger),
+                          meta_col("label_base", ValueType::kInteger),
+                          meta_col("label_span", ValueType::kInteger)});
     }
 };
 

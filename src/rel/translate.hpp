@@ -35,6 +35,10 @@ struct TranslateOptions {
     bool ordinal_only_where_repeatable = false;
     /// Emit the xrel_* metadata table definitions.
     bool metadata_tables = true;
+    /// Add `(pre, post, level)` structural interval labels to every entity
+    /// table (DESIGN.md §10) — the basis for descendant/ancestor interval
+    /// containment joins.
+    bool structural_labels = true;
 };
 
 [[nodiscard]] RelationalSchema translate(const mapping::MappingResult& mapping,

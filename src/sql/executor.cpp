@@ -271,6 +271,15 @@ struct Stage {
     const Expr* driving_eq_literal = nullptr;
     int driving_column = -1;
     bool driving_index = false;
+    // Structural (interval) join: range bounds on one ordered-indexed
+    // column of this stage's table, the bound expressions referencing only
+    // earlier tables.  Evaluated per outer context and answered by binary
+    // search — how a.pre < d.pre AND d.pre < a.post containment runs.
+    int range_column = -1;
+    const Expr* range_lo = nullptr;
+    bool range_lo_strict = false;
+    const Expr* range_hi = nullptr;
+    bool range_hi_strict = false;
     std::vector<const Expr*> residual;  ///< filters applied at this stage
 };
 
@@ -330,13 +339,46 @@ public:
         ResultSet result;
         expand_columns(result);
 
-        std::vector<std::vector<RowId>> contexts;
-        enumerate([&](const std::vector<RowId>& ctx) {
-            contexts.push_back(ctx);
-        });
+        // A bare COUNT(*) over one unfiltered table needs no row
+        // enumeration at all — the table knows its cardinality.  This is
+        // the cold path of a structural count(//x), which translates to
+        // exactly 'SELECT COUNT(*) FROM x'.
+        if (aggregate && bare_count_star()) {
+            result.rows.push_back(Row{rdb::Value(
+                static_cast<std::int64_t>(tables_[0].table->row_count()))});
+            if (stats_ != nullptr) stats_->add(local_);
+            return result;
+        }
 
-        if (aggregate) run_aggregate(eval, contexts, result);
-        else run_plain(eval, contexts, result);
+        if (aggregate || !stmt_.order_by.empty()) {
+            // Aggregation and sorting need every row context at once.
+            std::vector<std::vector<RowId>> contexts;
+            enumerate([&](const std::vector<RowId>& ctx) {
+                contexts.push_back(ctx);
+            });
+            if (aggregate) run_aggregate(eval, contexts, result);
+            else run_plain(eval, contexts, result);
+        } else {
+            // Plain unsorted selects project straight out of the join
+            // enumeration — no materialized context list, no second pass.
+            // This keeps the cold path of a bare structural scan (a
+            // join-free '//x' interval plan) at one row copy per result.
+            enumerate([&](const std::vector<RowId>& ctx) {
+                Row out;
+                out.reserve(stmt_.items.size());
+                for (const auto& item : stmt_.items) {
+                    if (item.star) {
+                        for (std::size_t t = 0; t < tables_.size(); ++t) {
+                            const Row& r = tables_[t].table->row(ctx[t]);
+                            out.insert(out.end(), r.begin(), r.end());
+                        }
+                    } else {
+                        out.push_back(eval.eval(*item.expr, ctx));
+                    }
+                }
+                result.rows.push_back(std::move(out));
+            });
+        }
 
         if (stmt_.distinct) {
             std::set<std::vector<std::string>> seen;
@@ -372,6 +414,25 @@ private:
 
     void count(std::atomic<std::size_t> ExecStats::*member, std::size_t n = 1) {
         (local_.*member).fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// 'SELECT COUNT(*) FROM t' with no filter, grouping or sort — the
+    /// answer is the table's row count.
+    [[nodiscard]] bool bare_count_star() const {
+        if (stages_.size() != 1 || stmt_.where != nullptr ||
+            !stmt_.group_by.empty() || stmt_.having != nullptr ||
+            stmt_.distinct || !stmt_.order_by.empty() ||
+            stmt_.items.size() != 1)
+            return false;
+        const Stage& s = stages_[0];
+        if (!s.residual.empty() || s.driving_eq_literal != nullptr)
+            return false;
+        const auto& item = stmt_.items[0];
+        if (item.star) return false;
+        const Expr& e = *item.expr;
+        return e.kind == Expr::Kind::kAggregate &&
+               e.fn == AggregateFn::kCount && !e.distinct &&
+               e.right != nullptr && e.right->kind == Expr::Kind::kStar;
     }
 
     void bind_tables() {
@@ -439,6 +500,61 @@ private:
                 stages_[s].inner_column = inner->bound_column;
                 used[c] = true;
                 break;
+            }
+        }
+
+        // Range probes for stages that found no equi-join driver: inequality
+        // conjuncts bounding one ordered-indexed column of the stage's table
+        // by expressions over earlier tables become a binary-searched range
+        // scan instead of a nested loop.  At most one lower and one upper
+        // bound, both on the same column; any further conjunct stays a
+        // residual filter.
+        for (std::size_t s = 1; s < stages_.size(); ++s) {
+            Stage& st = stages_[s];
+            if (st.probe_outer != nullptr) continue;
+            for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+                if (used[c]) continue;
+                const Expr* e = conjuncts[c];
+                if (e->kind != Expr::Kind::kBinary) continue;
+                if (e->op != BinaryOp::kLt && e->op != BinaryOp::kLe &&
+                    e->op != BinaryOp::kGt && e->op != BinaryOp::kGe)
+                    continue;
+                // Normalize to: column-of-stage-s OP outer-expr.
+                const Expr *col = nullptr, *bound = nullptr;
+                bool col_on_left = false;
+                auto classify = [&](const Expr* side, const Expr* other,
+                                    bool left) {
+                    if (col == nullptr && side->kind == Expr::Kind::kColumn &&
+                        side->bound_table == static_cast<int>(s) &&
+                        max_table(*other) < static_cast<int>(s)) {
+                        col = side;
+                        bound = other;
+                        col_on_left = left;
+                    }
+                };
+                classify(e->left.get(), e->right.get(), true);
+                classify(e->right.get(), e->left.get(), false);
+                if (col == nullptr) continue;
+                if (st.range_column >= 0 && st.range_column != col->bound_column)
+                    continue;
+                const std::string& name =
+                    tables_[s].table->def().columns[col->bound_column].name;
+                if (!tables_[s].table->has_ordered_index(name)) continue;
+                // `col OP bound` with col on the right flips the direction.
+                bool greater = e->op == BinaryOp::kGt || e->op == BinaryOp::kGe;
+                if (!col_on_left) greater = !greater;
+                bool strict = e->op == BinaryOp::kGt || e->op == BinaryOp::kLt;
+                if (greater) {
+                    if (st.range_lo != nullptr) continue;
+                    st.range_lo = bound;
+                    st.range_lo_strict = strict;
+                } else {
+                    if (st.range_hi != nullptr) continue;
+                    st.range_hi = bound;
+                    st.range_hi_strict = strict;
+                }
+                st.range_column = col->bound_column;
+                used[c] = true;
             }
         }
 
@@ -547,6 +663,29 @@ private:
                     for (auto it = range.first; it != range.second; ++it)
                         accept(it->second);
                 }
+                return;
+            }
+
+            if (stage.range_column >= 0) {
+                const std::string& col =
+                    t->def().columns[stage.range_column].name;
+                Value lo, hi;
+                const Value *lop = nullptr, *hip = nullptr;
+                if (stage.range_lo != nullptr) {
+                    lo = eval.eval(*stage.range_lo, ctx);
+                    if (lo.is_null()) return;  // unknown bound: no matches
+                    lop = &lo;
+                }
+                if (stage.range_hi != nullptr) {
+                    hi = eval.eval(*stage.range_hi, ctx);
+                    if (hi.is_null()) return;
+                    hip = &hi;
+                }
+                count(&ExecStats::range_scans);
+                for (RowId id :
+                     t->index_range_lookup(col, lop, stage.range_lo_strict,
+                                           hip, stage.range_hi_strict))
+                    accept(id);
                 return;
             }
 

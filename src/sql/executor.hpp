@@ -51,6 +51,9 @@ struct ExecStats {
     std::atomic<std::size_t> index_lookups{0};
     std::atomic<std::size_t> hash_joins{0};
     std::atomic<std::size_t> nested_loop_joins{0};
+    /// Structural-join probes: binary-searched ranges on an ordered index
+    /// (interval containment joins, DESIGN.md §10).
+    std::atomic<std::size_t> range_scans{0};
 
     ExecStats() = default;
     ExecStats(const ExecStats& other) { *this = other; }
@@ -61,6 +64,7 @@ struct ExecStats {
         hash_joins = other.hash_joins.load(std::memory_order_relaxed);
         nested_loop_joins =
             other.nested_loop_joins.load(std::memory_order_relaxed);
+        range_scans = other.range_scans.load(std::memory_order_relaxed);
         return *this;
     }
 
@@ -77,6 +81,9 @@ struct ExecStats {
         nested_loop_joins.fetch_add(
             other.nested_loop_joins.load(std::memory_order_relaxed),
             std::memory_order_relaxed);
+        range_scans.fetch_add(
+            other.range_scans.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
     }
 
     void reset() {
@@ -84,6 +91,7 @@ struct ExecStats {
         index_lookups = 0;
         hash_joins = 0;
         nested_loop_joins = 0;
+        range_scans = 0;
     }
 };
 

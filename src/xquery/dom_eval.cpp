@@ -1,5 +1,7 @@
 #include "xquery/dom_eval.hpp"
 
+#include <set>
+
 namespace xr::xquery {
 
 namespace {
@@ -56,6 +58,14 @@ bool element_matches(const xml::Element& e, const Predicate& p) {
                 bool eq = v == p.literal;
                 if (p.op == "=" ? eq : !eq) return true;
             }
+            return false;
+        }
+        case Predicate::Kind::kAncestor: {
+            if (p.path.elements.empty()) return false;
+            const std::string& name = p.path.elements.front();
+            for (const xml::Element* a = e.parent(); a != nullptr;
+                 a = a->parent())
+                if (a->name() == name) return true;
             return false;
         }
     }
@@ -154,6 +164,17 @@ DomResult evaluate(const std::vector<const xml::Document*>& corpus,
         if (step.attribute || step.text_fn) break;
         std::vector<const xml::Element*> next;
         apply_step(current, step, next);
+        if (step.descendant) {
+            // Nested '//' contexts can reach the same element through more
+            // than one context node; the result is a node *set* (the SQL
+            // side deduplicates with DISTINCT), so drop repeats, keeping
+            // first-occurrence order.
+            std::set<const xml::Element*> seen;
+            std::vector<const xml::Element*> unique;
+            for (const auto* e : next)
+                if (seen.insert(e).second) unique.push_back(e);
+            next = std::move(unique);
+        }
         current = std::move(next);
     }
 

@@ -3,7 +3,13 @@
 namespace xr::xquery {
 
 Translation TranslationCache::get(const PathQuery& query) {
-    std::string key = query.to_string();
+    return get(query, TranslateOptions{});
+}
+
+Translation TranslationCache::get(const PathQuery& query,
+                                  const TranslateOptions& options) {
+    std::string key =
+        (options.use_struct_index ? "S:" : "L:") + query.to_string();
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -12,7 +18,7 @@ Translation TranslationCache::get(const PathQuery& query) {
         return it->second->translation;
     }
     ++stats_.misses;
-    Translation t = translator_.translate(query);  // may throw; not cached
+    Translation t = translator_.translate(query, options);  // may throw; not cached
     if (capacity_ == 0) return t;
     lru_.push_front(Entry{key, t});
     index_.emplace(std::move(key), lru_.begin());

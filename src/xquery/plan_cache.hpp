@@ -48,7 +48,12 @@ public:
     /// Translate `query`, serving repeats from the cache.  Throws
     /// xr::QueryError exactly as SqlTranslator::translate does (failures
     /// are not cached — an untranslatable query stays an error).
+    /// Translations under different TranslateOptions get distinct keys
+    /// (the flag is folded into the key), so toggling the structural
+    /// index never serves a plan from the other mode.
     [[nodiscard]] Translation get(const PathQuery& query);
+    [[nodiscard]] Translation get(const PathQuery& query,
+                                  const TranslateOptions& options);
 
     [[nodiscard]] PlanCacheStats stats() const;
     [[nodiscard]] std::size_t size() const;

@@ -91,6 +91,12 @@ private:
             if (p.position == 0) cur_.fail("positions are 1-based");
             return p;
         }
+        if (cur_.lookahead("ancestor::")) {
+            cur_.consume("ancestor::");
+            p.kind = Predicate::Kind::kAncestor;
+            p.path.elements.push_back(name("element name"));
+            return p;
+        }
         p.path = rel_path();
         cur_.skip_space();
         if (cur_.consume("!=")) p.op = "!=";
@@ -169,6 +175,9 @@ std::string Predicate::to_string() const {
         case Kind::kExists: return path.to_string();
         case Kind::kCompare:
             return path.to_string() + " " + op + " '" + literal + "'";
+        case Kind::kAncestor:
+            return "ancestor::" +
+                   (path.elements.empty() ? "?" : path.elements.front());
     }
     return "?";
 }

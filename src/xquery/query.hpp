@@ -10,7 +10,8 @@
 //   /book/author[@id = 'a1']                 — attribute predicates
 //   /article/author[2]                       — positional predicates
 //   /monograph/title/text()                  — text extraction
-//   //author                                  — descendant axis (DOM only)
+//   //author                                  — descendant axis
+//   /article//name[ancestor::author]          — ancestor predicates
 //   /article/contactauthor/@authorid         — attribute extraction
 //   count(/article/author)                   — aggregation
 //
@@ -42,6 +43,7 @@ struct Predicate {
         kCompare,   ///< [relpath op 'literal']
         kExists,    ///< [relpath]
         kPosition,  ///< [n] — 1-based among same-name siblings
+        kAncestor,  ///< [ancestor::name] — an enclosing element exists
     };
     Kind kind = Kind::kExists;
     RelPath path;

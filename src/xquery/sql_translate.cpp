@@ -115,6 +115,48 @@ std::vector<const SqlTranslator::Hop*> SqlTranslator::find_path(
     return {};
 }
 
+std::vector<std::vector<const SqlTranslator::Hop*>>
+SqlTranslator::find_descendant_paths(const std::string& from,
+                                     const std::string& to,
+                                     std::size_t max_paths,
+                                     bool* exhausted) const {
+    // Depth-first over simple paths (no node revisited): a cycle reachable
+    // on a from→to route would unroll into infinitely many join chains, so
+    // the moment one is seen the search is marked exhausted — recursive
+    // DTDs genuinely need recursive SQL, which this dialect does not have.
+    // The expansion budget bounds pathological fan-out the same way.
+    *exhausted = false;
+    std::vector<std::vector<const Hop*>> paths;
+    std::vector<const Hop*> path;
+    std::set<std::string> on_stack{from};
+    std::size_t budget = 20000;
+    auto dfs = [&](auto&& self, const std::string& node) -> void {
+        if (paths.size() >= max_paths) return;
+        if (budget == 0) {
+            *exhausted = true;
+            return;
+        }
+        --budget;
+        auto it = edges_.find(node);
+        if (it == edges_.end()) return;
+        for (const Hop& hop : it->second) {
+            if (!on_stack.insert(hop.to).second) {
+                *exhausted = true;
+                continue;
+            }
+            path.push_back(&hop);
+            if (hop.to == to && hop.kind != Hop::Kind::kGroup)
+                paths.push_back(path);
+            self(self, hop.to);
+            path.pop_back();
+            on_stack.erase(hop.to);
+            if (paths.size() >= max_paths) return;
+        }
+    };
+    dfs(dfs, from);
+    return paths;
+}
+
 namespace {
 
 /// Builder for the FROM/JOIN/WHERE clauses.
@@ -152,22 +194,33 @@ struct NodeCtx {
 }  // namespace
 
 Translation SqlTranslator::translate(const PathQuery& query) const {
+    return translate(query, TranslateOptions{});
+}
+
+Translation SqlTranslator::translate(const PathQuery& query,
+                                     const TranslateOptions& options) const {
     if (query.steps.empty()) throw QueryError("empty path query");
     const Step& root_step = query.steps.front();
     if (root_step.attribute || root_step.text_fn)
         throw QueryError("the root step must be an element");
     for (const auto& step : query.steps) {
-        if (step.descendant)
-            throw QueryError(
-                "the descendant axis ('//') has no SQL translation in this "
-                "dialect (it would need recursive queries)");
         if (step.name == "*")
             throw QueryError(
                 "the '*' wildcard step has no SQL translation in this "
                 "dialect (it would need a UNION over every child table)");
+        if (step.descendant && (step.attribute || step.text_fn))
+            throw QueryError(
+                "the descendant axis ('//') is only translatable for "
+                "element steps");
     }
 
     SqlBuilder sql;
+    bool interval_plan = false;
+    std::string plan_notes;
+    auto note = [&](const std::string& clause) {
+        if (!plan_notes.empty()) plan_notes += "; ";
+        plan_notes += clause;
+    };
 
     auto node_table = [&](const std::string& node) -> const rel::TableSchema* {
         auto it = node_tables_.find(node);
@@ -176,13 +229,36 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
         return it->second;
     };
 
+    // Structural-label plumbing (DESIGN.md §10).  Interval plans need the
+    // (pre, post) label columns on both ends of the containment join, and
+    // they count *rows*, so a target that was distilled anywhere in the
+    // mapping (its instances became parent columns, not rows) would
+    // silently under-count — reject it instead.
+    auto has_labels = [](const rel::TableSchema* t) {
+        const rel::Column* c = t->column("pre");
+        return c != nullptr && c->role == rel::ColumnRole::kLabel &&
+               t->column("post") != nullptr;
+    };
+    auto entity_target = [&](const std::string& name) -> const rel::TableSchema* {
+        const rel::TableSchema* t = node_table(name);
+        if (t->kind != rel::TableKind::kEntity)
+            throw QueryError("'" + name + "' does not map to an entity table");
+        for (const auto& d : mapping_.metadata.distilled)
+            if (d.original_child == name)
+                throw QueryError(
+                    "'" + name + "' was distilled into a parent column "
+                    "somewhere in the mapping; structural plans need "
+                    "element rows");
+        if (!has_labels(t))
+            throw QueryError(
+                "'" + name + "' carries no structural (pre, post) labels "
+                "(structural_labels was disabled at mapping time)");
+        return t;
+    };
+
     // Navigate one element step from `ctx`, appending joins.
-    auto navigate = [&](const NodeCtx& ctx,
-                        const std::string& child) -> NodeCtx {
-        std::vector<const Hop*> path = find_path(ctx.node, child);
-        if (path.empty())
-            throw QueryError("no relationship path from '" + ctx.node + "' to '" +
-                             child + "'");
+    auto emit_hops = [&](const NodeCtx& ctx,
+                         const std::vector<const Hop*>& path) -> NodeCtx {
         NodeCtx current = ctx;
         for (const Hop* hop : path) {
             switch (hop->kind) {
@@ -230,6 +306,50 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
             }
         }
         return current;
+    };
+
+    auto navigate = [&](const NodeCtx& ctx,
+                        const std::string& child) -> NodeCtx {
+        std::vector<const Hop*> path = find_path(ctx.node, child);
+        if (path.empty())
+            throw QueryError("no relationship path from '" + ctx.node + "' to '" +
+                             child + "'");
+        return emit_hops(ctx, path);
+    };
+
+    // Navigate a descendant ('//') step from `ctx`.  With the structural
+    // index this is one interval containment join — strict pre-enclosure,
+    // valid across documents because per-document label ranges are
+    // disjoint.  Without it, the legacy expansion unrolls the step into
+    // the join chain when exactly one relationship path exists.
+    auto navigate_descendant = [&](const NodeCtx& ctx,
+                                   const std::string& name) -> NodeCtx {
+        if (options.use_struct_index) {
+            const rel::TableSchema* target = entity_target(name);
+            if (!has_labels(ctx.table))
+                throw QueryError(
+                    "'" + ctx.node + "' carries no structural (pre, post) "
+                    "labels ('//' needs an entity context)");
+            std::string d = sql.alias();
+            sql.joins.push_back("JOIN " + target->name + " " + d + " ON " + d +
+                                ".pre > " + ctx.alias + ".pre AND " + d +
+                                ".pre < " + ctx.alias + ".post");
+            interval_plan = true;
+            note("//" + name + ": interval containment join");
+            return {name, d, target, "", ""};
+        }
+        bool exhausted = false;
+        auto paths = find_descendant_paths(ctx.node, name, 2, &exhausted);
+        if (paths.empty() && !exhausted)
+            throw QueryError("no relationship path from '" + ctx.node +
+                             "' to '" + name + "'");
+        if (paths.size() != 1 || exhausted)
+            throw QueryError(
+                "'//" + name + "' from '" + ctx.node + "' has no unique "
+                "join-chain expansion (structural index disabled)");
+        note("//" + name + ": legacy join chain (" +
+             std::to_string(paths.front().size()) + " hops)");
+        return emit_hops(ctx, paths.front());
     };
 
     // Attribute access on an entity context: a plain column, or — for an
@@ -364,13 +484,88 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
                     sql.where.push_back(expr + op + sql_quote(pred.literal));
                     break;
                 }
+                case Predicate::Kind::kAncestor: {
+                    // [ancestor::name] by interval enclosure: an ancestor's
+                    // interval strictly contains the context's pre label.
+                    // Duplicate matches (same-name nested ancestors) are
+                    // deduplicated by the DISTINCT / COUNT(DISTINCT) yields.
+                    if (!options.use_struct_index)
+                        throw QueryError(
+                            "[ancestor::...] has no SQL translation without "
+                            "the structural index");
+                    const std::string& name = pred.path.elements.front();
+                    const rel::TableSchema* anc = entity_target(name);
+                    if (!has_labels(ctx.table))
+                        throw QueryError(
+                            "'" + ctx.node + "' carries no structural "
+                            "(pre, post) labels ([ancestor::...] needs an "
+                            "entity context)");
+                    std::string a = sql.alias();
+                    sql.joins.push_back("JOIN " + anc->name + " " + a + " ON " +
+                                        a + ".pre < " + ctx.alias +
+                                        ".pre AND " + ctx.alias + ".pre < " +
+                                        a + ".post");
+                    interval_plan = true;
+                    note("[ancestor::" + name + "]: interval containment join");
+                    break;
+                }
             }
         }
     };
 
-    // Root.
-    NodeCtx ctx{root_step.name, sql.alias(), node_table(root_step.name), "", ""};
-    sql.from = ctx.table->name + " " + ctx.alias;
+    // Root.  A root descendant step ('//x') selects every x element; with
+    // the structural index that is simply the entity table itself — every
+    // row IS an x element — so the plan is a bare table scan with no joins
+    // at all.  The legacy expansion anchors at a document-root entity (no
+    // incoming relationship edge) and unrolls the unique chain down to x.
+    NodeCtx ctx;
+    if (root_step.descendant) {
+        if (options.use_struct_index) {
+            const rel::TableSchema* target = entity_target(root_step.name);
+            ctx = {root_step.name, sql.alias(), target, "", ""};
+            sql.from = ctx.table->name + " " + ctx.alias;
+            interval_plan = true;
+            note("//" + root_step.name + ": entity table scan");
+        } else {
+            std::set<std::string> has_incoming;
+            for (const auto& [node, hops] : edges_) {
+                (void)node;
+                for (const Hop& hop : hops) has_incoming.insert(hop.to);
+            }
+            std::vector<std::pair<std::string, std::vector<const Hop*>>>
+                candidates;
+            bool exhausted = false;
+            for (const auto& [node, table] : node_tables_) {
+                if (table == nullptr || table->kind != rel::TableKind::kEntity)
+                    continue;
+                if (has_incoming.count(node) != 0) continue;
+                if (node == root_step.name) candidates.push_back({node, {}});
+                bool ex = false;
+                for (auto& p :
+                     find_descendant_paths(node, root_step.name, 2, &ex))
+                    candidates.push_back({node, std::move(p)});
+                exhausted = exhausted || ex;
+                if (candidates.size() > 1) break;
+            }
+            if (candidates.empty() && !exhausted)
+                throw QueryError("no relationship path to '" + root_step.name +
+                                 "' from any document root");
+            if (candidates.size() != 1 || exhausted)
+                throw QueryError(
+                    "'//" + root_step.name + "' has no unique join-chain "
+                    "expansion (structural index disabled)");
+            ctx = {candidates.front().first, sql.alias(),
+                   node_table(candidates.front().first), "", ""};
+            sql.from = ctx.table->name + " " + ctx.alias;
+            note("//" + root_step.name + ": legacy join chain (" +
+                 std::to_string(candidates.front().second.size()) +
+                 " hops from '" + ctx.node + "')");
+            ctx = emit_hops(ctx, candidates.front().second);
+        }
+    } else {
+        ctx = {root_step.name, sql.alias(), node_table(root_step.name), "", ""};
+        sql.from = ctx.table->name + " " + ctx.alias;
+    }
     apply_predicates(ctx, root_step);
 
     // Element steps.
@@ -395,6 +590,14 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
             }
             break;
         }
+        if (step.descendant) {
+            if (!sql.group_by.empty())
+                throw QueryError(
+                    "positional predicate must be on the final element step");
+            ctx = navigate_descendant(ctx, step.name);
+            apply_predicates(ctx, step);
+            continue;
+        }
         // Distilled final element step yields a value column directly.
         bool is_last = i + 1 == query.steps.size();
         if (is_last && step.predicates.empty()) {
@@ -417,6 +620,10 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
     Translation out;
     out.target_entity = ctx.node;
     const bool grouped = !sql.group_by.empty();  // positional predicate used
+    // Joins are the only source of duplicate result rows (pks are unique
+    // within a table), so a join-free plan — notably the '//x' entity table
+    // scan — skips deduplication entirely.
+    const bool dedup = !grouped && !sql.joins.empty();
     if (query.count) {
         out.yield = Translation::Yield::kCount;
         if (grouped)
@@ -426,19 +633,23 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
         if (!final_value.empty()) {
             sql.where.push_back(final_value + " IS NOT NULL");
             out.sql = sql.render("COUNT(" + final_value + ")");
-        } else {
+        } else if (dedup) {
             out.sql = sql.render("COUNT(DISTINCT " + ctx.alias + ".pk)");
+        } else {
+            out.sql = sql.render("COUNT(*)");
         }
     } else if (!final_value.empty()) {
         out.yield = Translation::Yield::kStrings;
         // Grouping already deduplicates; otherwise DISTINCT does.
-        out.sql = sql.render((grouped ? "" : "DISTINCT ") + ctx.alias + ".pk, " +
+        out.sql = sql.render((dedup ? "DISTINCT " : "") + ctx.alias + ".pk, " +
                              final_value);
     } else {
         out.yield = Translation::Yield::kNodes;
-        out.sql = sql.render((grouped ? "" : "DISTINCT ") + ctx.alias + ".pk");
+        out.sql = sql.render((dedup ? "DISTINCT " : "") + ctx.alias + ".pk");
     }
     out.join_count = sql.joins.size();
+    out.interval_plan = interval_plan;
+    out.plan_notes = plan_notes;
     return out;
 }
 

@@ -9,6 +9,13 @@
 // enforced by the inner joins themselves).  Positional predicates have no
 // relational equivalent here and raise QueryError — the documented
 // limitation the paper's metadata discussion anticipates.
+//
+// Descendant ('//') steps and [ancestor::name] predicates translate via
+// the structural (pre, post) interval labels (DESIGN.md §10): descendant
+// containment is a single range join instead of a join chain.  The legacy
+// expansion — unroll '//' into the unique NESTED join chain when one
+// exists — stays available behind TranslateOptions::use_struct_index for
+// differential testing and for schemas loaded without labels.
 #pragma once
 
 #include <map>
@@ -20,6 +27,15 @@
 #include "xquery/query.hpp"
 
 namespace xr::xquery {
+
+/// Per-translation knobs (the query service exposes them per session).
+struct TranslateOptions {
+    /// Use the structural (pre, post) interval labels for '//' steps and
+    /// [ancestor::name] predicates.  When false, '//' falls back to the
+    /// legacy unique-join-chain expansion and ancestor predicates raise
+    /// QueryError — the pre-index behaviour, kept for differential tests.
+    bool use_struct_index = true;
+};
 
 struct Translation {
     std::string sql;
@@ -34,6 +50,10 @@ struct Translation {
     /// Entity whose rows the query selects (kNodes / kStrings) — result
     /// materialization reconstructs elements of this type from the pks.
     std::string target_entity;
+    /// True when any step or predicate used an interval containment plan.
+    bool interval_plan = false;
+    /// EXPLAIN-lite: one clause per non-trivial planning decision.
+    std::string plan_notes;
 };
 
 class SqlTranslator {
@@ -44,6 +64,8 @@ public:
     /// Translate a parsed query; throws xr::QueryError when the query has
     /// no relational equivalent (unknown names, positional predicates).
     [[nodiscard]] Translation translate(const PathQuery& query) const;
+    [[nodiscard]] Translation translate(const PathQuery& query,
+                                        const TranslateOptions& options) const;
 
 private:
     struct Hop {
@@ -69,6 +91,14 @@ private:
 
     [[nodiscard]] std::vector<const Hop*> find_path(const std::string& from,
                                                     const std::string& to) const;
+    /// Exhaustive hop-path enumeration for the legacy '//' expansion:
+    /// element nodes may be intermediate (a descendant step skips levels).
+    /// Stops after `max_paths`; sets *exhausted when the search hit a cycle
+    /// or its expansion budget, in which case the result is a lower bound
+    /// and the caller must treat the step as untranslatable.
+    [[nodiscard]] std::vector<std::vector<const Hop*>> find_descendant_paths(
+        const std::string& from, const std::string& to, std::size_t max_paths,
+        bool* exhausted) const;
 };
 
 }  // namespace xr::xquery

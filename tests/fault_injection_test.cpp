@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,9 @@
 #include "loader/bulk_loader.hpp"
 #include "rdb/snapshot.hpp"
 #include "rel/translate.hpp"
+#include "sql/executor.hpp"
+#include "xquery/query.hpp"
+#include "xquery/sql_translate.hpp"
 
 namespace xr {
 namespace {
@@ -358,6 +363,75 @@ TEST(FaultInjection, BulkQuarantineRecordsFaultedDocument) {
     ASSERT_LT(failed_index, 6u);
     EXPECT_EQ(q->rows()[0][q->def().column_index("raw_xml")].to_string(),
               article(static_cast<int>(failed_index)));
+}
+
+// Quarantined / rolled-back documents must not corrupt the structural
+// interval labels (DESIGN.md §10): the survivors' (pre, post) intervals
+// stay unique, well formed, and properly nested — a failed document only
+// leaves a harmless gap in the label space — and interval descendant
+// plans keep counting exactly the surviving rows.
+TEST(FaultInjection, FaultedDocumentsPreserveIntervalLabelOrdering) {
+    for (auto policy : {loader::FailurePolicy::kSkip,
+                        loader::FailurePolicy::kQuarantine}) {
+        for (int jobs : {1, 4}) {
+            test::Stack stack(gen::paper_dtd());
+            loader::BulkLoader bl(stack.logical, stack.mapping, stack.schema,
+                                  stack.db);
+            loader::BulkLoadOptions options;
+            options.jobs = jobs;
+            options.on_error = policy;
+            ArmedFault armed("loader.shred", 2);
+            loader::LoadReport report = bl.load_texts(corpus(6), options);
+            fault::disarm();
+            ASSERT_EQ(report.loaded, 5u) << "jobs " << jobs;
+
+            // Collect every entity row's labels and re-check the Dietz
+            // invariants across the gap the faulted document left behind.
+            struct Interval {
+                std::int64_t pre, post, level;
+            };
+            std::vector<Interval> ivs;
+            for (const auto& t : stack.schema.tables()) {
+                if (t.kind != rel::TableKind::kEntity) continue;
+                const rdb::Table& table = stack.db.require(t.name);
+                int pre = table.def().column_index("pre");
+                int post = table.def().column_index("post");
+                int level = table.def().column_index("level");
+                if (pre < 0) continue;
+                for (const auto& row : table.rows())
+                    ivs.push_back(
+                        {row[static_cast<std::size_t>(pre)].as_integer(),
+                         row[static_cast<std::size_t>(post)].as_integer(),
+                         row[static_cast<std::size_t>(level)].as_integer()});
+            }
+            ASSERT_FALSE(ivs.empty());
+            std::sort(ivs.begin(), ivs.end(),
+                      [](const Interval& a, const Interval& b) {
+                          return a.pre < b.pre;
+                      });
+            std::set<std::int64_t> labels;
+            std::vector<Interval> open;
+            for (const auto& iv : ivs) {
+                EXPECT_LT(iv.pre, iv.post);
+                EXPECT_TRUE(labels.insert(iv.pre).second);
+                EXPECT_TRUE(labels.insert(iv.post).second);
+                while (!open.empty() && open.back().post < iv.pre)
+                    open.pop_back();
+                if (!open.empty()) EXPECT_LT(iv.post, open.back().post);
+                EXPECT_EQ(iv.level, static_cast<std::int64_t>(open.size()));
+                open.push_back(iv);
+            }
+
+            // The interval descendant plan sees only survivors, and a
+            // follow-up load continues cleanly past the gap.
+            xquery::SqlTranslator tr(stack.mapping, stack.schema);
+            xquery::Translation t =
+                tr.translate(xquery::parse_query("count(//author)"));
+            EXPECT_EQ(sql::execute(stack.db, t.sql).scalar().as_integer(), 5);
+            ASSERT_NO_THROW(bl.load_texts({article(7)}, {}));
+            EXPECT_EQ(sql::execute(stack.db, t.sql).scalar().as_integer(), 6);
+        }
+    }
 }
 
 }  // namespace

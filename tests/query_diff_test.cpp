@@ -8,7 +8,13 @@
 // query must agree on cardinality, and on the value multiset for string
 // queries.  Queries the translator rejects (QueryError) are skipped and
 // counted; the paper documents those limitations (positional predicates,
-// descendant axis over SQL).
+// wildcards).
+//
+// Descendant ('//') steps and [ancestor::name] predicates get a THREE-way
+// oracle: the structural interval plan (DESIGN.md §10), the DOM, and —
+// when it exists — the legacy join-chain expansion, each required to
+// agree.  Legacy legs that are untranslatable (ambiguous chains) are
+// fine; the interval plan is the one that must always work.
 //
 // Replayable: the base seed prints at the start of the run and every
 // divergence reports the DTD seed plus the exact query text.  Override
@@ -57,6 +63,10 @@ struct FuzzWorld {
 
     /// element name → child element names (content-model edges).
     std::map<std::string, std::vector<std::string>> children;
+    /// Transitive closure of `children` ('//' target pools)…
+    std::map<std::string, std::vector<std::string>> descendants;
+    /// …and its inverse ([ancestor::] candidate pools).
+    std::map<std::string, std::vector<std::string>> ancestors;
     /// element name → its CDATA-ish attribute names.
     std::map<std::string, std::vector<std::string>> attributes;
     /// element names whose content is text-only.
@@ -114,6 +124,24 @@ std::unique_ptr<FuzzWorld> make_world(std::uint64_t dtd_seed,
         if (decl.content.is_text_only()) w->pcdata.insert(decl.name);
     }
 
+    for (const auto& [name, kids] : w->children) {
+        (void)kids;
+        std::set<std::string> seen;
+        std::vector<std::string> frontier{name};
+        while (!frontier.empty()) {
+            std::string cur = std::move(frontier.back());
+            frontier.pop_back();
+            auto it = w->children.find(cur);
+            if (it == w->children.end()) continue;
+            for (const auto& c : it->second)
+                if (seen.insert(c).second) frontier.push_back(c);
+        }
+        for (const auto& d : seen) {
+            w->descendants[name].push_back(d);
+            w->ancestors[d].push_back(name);
+        }
+    }
+
     query::ServiceOptions sopts;
     sopts.threads = 2;
     w->service = std::make_unique<query::QueryService>(
@@ -131,24 +159,46 @@ std::string pick_literal(const std::vector<std::string>* pool,
 }
 
 std::string random_query(const FuzzWorld& w, std::mt19937_64& rng) {
-    // Random root-anchored walk along content-model edges.
-    std::vector<std::string> path{w.root};
+    // Random root-anchored walk along content-model edges; '//' hops jump
+    // straight to a transitive descendant (exercising the structural
+    // interval plans), and [ancestor::name] predicates test the reverse.
+    auto desc_pool =
+        [&](const std::string& n) -> const std::vector<std::string>* {
+        auto it = w.descendants.find(n);
+        if (it == w.descendants.end() || it->second.empty()) return nullptr;
+        return &it->second;
+    };
+    std::vector<std::pair<bool, std::string>> path;  // (via '//', name)
+    if (rng() % 5 == 0 && desc_pool(w.root) != nullptr) {
+        const auto& pool = *desc_pool(w.root);
+        path.emplace_back(true, rng() % 6 == 0 ? w.root
+                                               : pool[rng() % pool.size()]);
+    } else {
+        path.emplace_back(false, w.root);
+    }
     std::size_t depth = 1 + rng() % 3;
     while (path.size() <= depth) {
-        auto it = w.children.find(path.back());
+        const std::string& cur = path.back().second;
+        if (rng() % 6 == 0) {
+            if (const auto* pool = desc_pool(cur)) {
+                path.emplace_back(true, (*pool)[rng() % pool->size()]);
+                continue;
+            }
+        }
+        auto it = w.children.find(cur);
         if (it == w.children.end() || it->second.empty()) break;
-        path.push_back(it->second[rng() % it->second.size()]);
+        path.emplace_back(false, it->second[rng() % it->second.size()]);
     }
 
     std::string q;
-    for (const auto& step : path) q += "/" + step;
-    const std::string& last = path.back();
+    for (const auto& [desc, step] : path) q += (desc ? "//" : "/") + step;
+    const std::string& last = path.back().second;
 
     // Optional predicate on the final step.
     if (rng() % 3 == 0) {
         auto ait = w.attributes.find(last);
         auto cit = w.children.find(last);
-        switch (rng() % 3) {
+        switch (rng() % 4) {
             case 0:  // attribute compare: [@a = 'v']
                 if (ait != w.attributes.end() && !ait->second.empty()) {
                     const std::string& attr =
@@ -166,7 +216,7 @@ std::string random_query(const FuzzWorld& w, std::mt19937_64& rng) {
                 if (cit != w.children.end() && !cit->second.empty())
                     q += "[" + cit->second[rng() % cit->second.size()] + "]";
                 break;
-            default:  // child text compare: [c = 'v']
+            case 2:  // child text compare: [c = 'v']
                 if (cit != w.children.end() && !cit->second.empty()) {
                     const std::string& child =
                         cit->second[rng() % cit->second.size()];
@@ -178,6 +228,19 @@ std::string random_query(const FuzzWorld& w, std::mt19937_64& rng) {
                          "']";
                 }
                 break;
+            default: {  // [ancestor::a] — usually real, sometimes a miss
+                auto anc = w.ancestors.find(last);
+                if (anc != w.ancestors.end() && !anc->second.empty() &&
+                    rng() % 5 != 0) {
+                    q += "[ancestor::" +
+                         anc->second[rng() % anc->second.size()] + "]";
+                } else if (!w.children.empty()) {
+                    auto it = w.children.begin();
+                    std::advance(it, rng() % w.children.size());
+                    q += "[ancestor::" + it->first + "]";
+                }
+                break;
+            }
         }
     }
 
@@ -237,6 +300,8 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     std::uint64_t compared = 0;
     std::uint64_t skipped = 0;
     std::uint64_t attempts = 0;
+    std::uint64_t interval_plans = 0;
+    std::uint64_t legacy_runs = 0;
     while (compared < target) {
         ASSERT_LT(attempts, target * 20)
             << "fuzzer can't reach " << target << " translatable queries: "
@@ -257,13 +322,35 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
         expect_agreement(w, text, t, *rs);
         if (::testing::Test::HasFailure()) break;
         ++compared;
+        if (!t.interval_plan) continue;
+        // Third leg: the legacy join-chain expansion, when one exists,
+        // must agree with the interval plan (and hence with the DOM).
+        ++interval_plans;
+        w.service->set_struct_index(false);
+        try {
+            Translation legacy = w.service->translate(text);
+            EXPECT_FALSE(legacy.interval_plan) << text;
+            query::QueryService::Result legacy_rs = w.service->path(text);
+            ++legacy_runs;
+            expect_agreement(w, text, legacy, *legacy_rs);
+        } catch (const QueryError&) {
+            // No unique chain (or an ancestor predicate) — DOM-only there.
+        }
+        w.service->set_struct_index(true);
+        if (::testing::Test::HasFailure()) break;
     }
     EXPECT_GE(compared, target);
+    // The '//' / [ancestor::] generation must actually exercise interval
+    // plans, and a healthy share must also have a legacy expansion so the
+    // three-way oracle has teeth.
+    EXPECT_GT(interval_plans, target / 20);
     // Generation walks real content-model edges, so most queries must
     // translate; a skip-dominated run means the generator regressed.
     EXPECT_LT(skipped, attempts / 2)
         << compared << " compared vs " << skipped << " skipped";
-    std::cout << "[query-diff] " << compared << " agreements, " << skipped
+    std::cout << "[query-diff] " << compared << " agreements ("
+              << interval_plans << " interval plans, " << legacy_runs
+              << " with a legacy leg), " << skipped
               << " untranslatable (skipped), across " << worlds.size()
               << " random DTDs\n";
 
@@ -271,7 +358,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     // check the serving layer actually sat in the compared path.
     std::uint64_t served = 0;
     for (const auto& w : worlds) served += w->service->stats().path_queries;
-    EXPECT_EQ(served, compared);
+    EXPECT_EQ(served, compared + legacy_runs);
 }
 
 }  // namespace
