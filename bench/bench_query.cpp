@@ -23,10 +23,13 @@
 // client count even on a single core.  Results land in BENCH_query.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
@@ -242,7 +245,7 @@ ServeRecord serve_once(Loaded& loaded, std::size_t threads,
         time_us([&] { (void)service.path(workload.front()); }) ;
     service.clear_result_cache();
 
-    std::vector<std::future<query::QueryService::Result>> futures;
+    std::vector<query::QueryService::Submission> futures;
     futures.reserve(threads * rounds * workload.size());
     auto t0 = Clock::now();
     for (std::size_t r = 0; r < rounds; ++r)
@@ -269,8 +272,152 @@ ServeRecord serve_once(Loaded& loaded, std::size_t threads,
     return rec;
 }
 
+// ---------------------------------------------------------------------------
+// Overload sweep (§6): clients at 1×/2×/4×/8× worker capacity against a
+// bounded admission queue and a per-query deadline.  The questions the
+// sweep answers: how much offered load gets shed (typed Overloaded, not
+// queue collapse), how many admitted queries still miss their deadline,
+// and — the resilience acceptance bar — whether the latency of the
+// queries the service *does* admit stays near the unloaded baseline
+// instead of degrading with offered load.
+
+struct OverloadRecord {
+    std::size_t clients = 0;
+    std::size_t offered = 0;       ///< submissions attempted
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    double shed_rate = 0;          ///< shed / offered
+    double miss_rate = 0;          ///< expired / admitted
+    double p50_us = 0;             ///< completed-query client latency
+    double p99_us = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(p * static_cast<double>(v.size() - 1))];
+}
+
+std::vector<OverloadRecord> overload_sweep(Loaded& loaded,
+                                           double& unloaded_p99) {
+    constexpr std::size_t kWorkers = 2;
+    constexpr int kRounds = 20;
+    std::vector<std::string> workload = serving_workload();
+
+    // Unloaded baseline: one client, unbounded service, warm caches —
+    // the p99 the overloaded runs are held against.
+    {
+        query::ServiceOptions opts;
+        opts.threads = kWorkers;
+        query::QueryService service(loaded.stack.db, loaded.stack.mapping,
+                                    loaded.stack.schema, opts);
+        for (const auto& q : workload) (void)service.path(q);
+        std::vector<double> lat;
+        for (int r = 0; r < kRounds; ++r)
+            for (const auto& q : workload) {
+                auto t0 = Clock::now();
+                (void)service.submit_path(q).get();
+                lat.push_back(std::chrono::duration<double, std::micro>(
+                                  Clock::now() - t0)
+                                  .count());
+            }
+        unloaded_p99 = percentile(lat, 0.99);
+    }
+
+    std::vector<OverloadRecord> records;
+    for (std::size_t mult : {1, 2, 4, 8}) {
+        query::ServiceOptions opts;
+        opts.threads = kWorkers;
+        opts.max_queue = 8;
+        opts.default_deadline = std::chrono::milliseconds(20);
+        query::QueryService service(loaded.stack.db, loaded.stack.mapping,
+                                    loaded.stack.schema, opts);
+        for (const auto& q : workload) (void)service.path(q);
+
+        std::size_t clients = kWorkers * mult;
+        std::vector<std::vector<double>> lats(clients);
+        std::atomic<std::uint64_t> offered{0};
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (std::size_t c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                for (int r = 0; r < kRounds; ++r)
+                    for (std::size_t i = 0; i < workload.size(); ++i) {
+                        offered.fetch_add(1, std::memory_order_relaxed);
+                        auto t0 = Clock::now();
+                        try {
+                            (void)service
+                                .submit_path(
+                                    workload[(i + c) % workload.size()])
+                                .get();
+                            lats[c].push_back(
+                                std::chrono::duration<double, std::micro>(
+                                    Clock::now() - t0)
+                                    .count());
+                        } catch (const Overloaded&) {
+                            // Shed at admission — the resilient outcome.
+                        } catch (const CancelledError&) {
+                            // Deadline missed after admission; counted by
+                            // the service as expired.
+                        }
+                    }
+            });
+        for (auto& t : threads) t.join();
+
+        query::ServiceStats st = service.stats();
+        OverloadRecord rec;
+        rec.clients = clients;
+        rec.offered = offered.load();
+        rec.admitted = st.overload.admitted;
+        rec.shed = st.overload.shed;
+        rec.expired = st.overload.expired;
+        rec.shed_rate = rec.offered == 0
+                            ? 0
+                            : static_cast<double>(rec.shed) /
+                                  static_cast<double>(rec.offered);
+        rec.miss_rate = rec.admitted == 0
+                            ? 0
+                            : static_cast<double>(rec.expired) /
+                                  static_cast<double>(rec.admitted);
+        std::vector<double> all;
+        for (auto& l : lats) all.insert(all.end(), l.begin(), l.end());
+        rec.p50_us = percentile(all, 0.5);
+        rec.p99_us = percentile(all, 0.99);
+        records.push_back(rec);
+    }
+    return records;
+}
+
+Loaded& corpus512();
+
+void overload_report(std::vector<OverloadRecord>& out, double& unloaded_p99) {
+    std::cout << "=== §6-overload: saturating clients vs bounded admission "
+                 "(2 workers, queue 8, 20ms deadline) ===\n";
+    out = overload_sweep(corpus512(), unloaded_p99);
+    TablePrinter table({"clients", "offered", "admitted", "shed", "expired",
+                        "shed rate", "miss rate", "p50 us", "p99 us",
+                        "p99 vs unloaded"});
+    for (const OverloadRecord& r : out)
+        table.add_row({std::to_string(r.clients), std::to_string(r.offered),
+                       std::to_string(r.admitted), std::to_string(r.shed),
+                       std::to_string(r.expired),
+                       format_double(r.shed_rate, 3),
+                       format_double(r.miss_rate, 3),
+                       format_double(r.p50_us, 1), format_double(r.p99_us, 1),
+                       format_double(unloaded_p99 == 0
+                                         ? 0
+                                         : r.p99_us / unloaded_p99,
+                                     2)});
+    std::cout << table.to_string();
+    std::cout << "unloaded p99: " << format_double(unloaded_p99, 1)
+              << " us\n\n";
+}
+
 void emit_json(const std::vector<ServeRecord>& serving,
-               const std::vector<ColdRecord>& cold) {
+               const std::vector<ColdRecord>& cold,
+               const std::vector<OverloadRecord>& overload,
+               double unloaded_p99) {
     std::ofstream out("BENCH_query.json");
     out << "{\n  \"serving\": [\n";
     for (std::size_t i = 0; i < serving.size(); ++i) {
@@ -297,7 +444,20 @@ void emit_json(const std::vector<ServeRecord>& serving,
             << ", \"cold_speedup\": " << r.cold_speedup() << "}"
             << (i + 1 < cold.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"overload\": {\n    \"unloaded_p99_us\": "
+        << unloaded_p99 << ",\n    \"sweep\": [\n";
+    for (std::size_t i = 0; i < overload.size(); ++i) {
+        const OverloadRecord& r = overload[i];
+        out << "      {\"clients\": " << r.clients
+            << ", \"offered\": " << r.offered
+            << ", \"admitted\": " << r.admitted << ", \"shed\": " << r.shed
+            << ", \"expired\": " << r.expired
+            << ", \"shed_rate\": " << r.shed_rate
+            << ", \"deadline_miss_rate\": " << r.miss_rate
+            << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+            << "}" << (i + 1 < overload.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }\n}\n";
 }
 
 Loaded& corpus512();
@@ -322,7 +482,9 @@ std::vector<ColdRecord> cold_path_report() {
     return records;
 }
 
-void serving_report(const std::vector<ColdRecord>& cold) {
+void serving_report(const std::vector<ColdRecord>& cold,
+                    const std::vector<OverloadRecord>& overload,
+                    double unloaded_p99) {
     std::cout << "=== §5-serve: concurrent serving through the query "
                  "service (shared caches) ===\n";
     Loaded loaded(256);
@@ -346,9 +508,10 @@ void serving_report(const std::vector<ColdRecord>& cold) {
         records.push_back(rec);
     }
     std::cout << table.to_string();
-    emit_json(records, cold);
+    emit_json(records, cold, overload, unloaded_p99);
     std::cout << "wrote BENCH_query.json (" << records.size() << " serving + "
-              << cold.size() << " cold-path records)\n\n";
+              << cold.size() << " cold-path + " << overload.size()
+              << " overload records)\n\n";
 }
 
 // google-benchmark series at a fixed, substantial corpus size.
@@ -391,7 +554,11 @@ BENCHMARK(BM_SqlTranslate);
 
 int main(int argc, char** argv) {
     print_report();
-    serving_report(cold_path_report());
+    std::vector<ColdRecord> cold = cold_path_report();
+    std::vector<OverloadRecord> overload;
+    double unloaded_p99 = 0;
+    overload_report(overload, unloaded_p99);
+    serving_report(cold, overload, unloaded_p99);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -37,7 +37,12 @@
 //       snapshot-isolated reads, plan + result caches (sized by
 //       --cache-mb, default 16), with cache statistics printed at the
 //       end.  Serve mode prints result rows rather than materialized
-//       XML for path queries.  --no-struct-index disables the structural
+//       XML for path queries.  --deadline-ms bounds each served query
+//       (expired queries report "deadline exceeded"), --max-queue bounds
+//       the admission queue (excess submissions are shed with a
+//       retry-after hint), and --row-budget caps the rows any one query
+//       may materialize; the end-of-run statistics include the
+//       admitted/shed/expired counts and queue-wait percentiles.  --no-struct-index disables the structural
 //       (pre, post) interval index for '//' / [ancestor::] translation,
 //       falling back to the legacy join-chain expansion; --explain prints
 //       an EXPLAIN-lite line (chosen plan + notes) for each path query.
@@ -45,6 +50,7 @@
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -89,6 +95,7 @@ int usage() {
                  "[--max-depth N] "
                  "[--sql STMT]... [--query PATH]... [--reconstruct N] "
                  "[--serve-threads N] [--cache-mb M] "
+                 "[--deadline-ms N] [--max-queue N] [--row-budget N] "
                  "[--no-struct-index] [--explain]\n";
     return 2;
 }
@@ -143,6 +150,9 @@ int cmd_load(const std::vector<std::string>& args) {
     std::int64_t max_depth = 0;   // 0 = parser default
     std::int64_t serve_threads = 0;  // 0 = inline execution (no service)
     std::int64_t cache_mb = 16;
+    std::int64_t deadline_ms = 0;  // 0 = no per-query deadline
+    std::int64_t max_queue = 0;    // 0 = unbounded admission
+    std::int64_t row_budget = 0;   // 0 = unlimited materialization
     bool use_struct_index = true;
     bool explain = false;
 
@@ -201,6 +211,18 @@ int cmd_load(const std::vector<std::string>& args) {
             auto v = int_arg(i);
             if (!v || *v < 0) return usage();
             cache_mb = *v;
+        } else if (args[i] == "--deadline-ms") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            deadline_ms = *v;
+        } else if (args[i] == "--max-queue") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            max_queue = *v;
+        } else if (args[i] == "--row-budget") {
+            auto v = int_arg(i);
+            if (!v || *v <= 0) return usage();
+            row_budget = *v;
         } else if (args[i] == "--no-struct-index") {
             use_struct_index = false;
         } else if (args[i] == "--explain") {
@@ -350,23 +372,48 @@ int cmd_load(const std::vector<std::string>& args) {
         sopts.threads = static_cast<std::size_t>(serve_threads);
         sopts.result_cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
         sopts.use_struct_index = use_struct_index;
+        sopts.default_deadline = std::chrono::milliseconds(deadline_ms);
+        sopts.max_queue = static_cast<std::size_t>(max_queue);
+        sopts.row_budget = static_cast<std::size_t>(row_budget);
         xr::query::QueryService service(db, m, schema, sopts);
-        std::vector<std::future<xr::query::QueryService::Result>> sql_futures;
-        std::vector<std::future<xr::query::QueryService::Result>> path_futures;
-        for (const auto& stmt : sql_statements)
-            sql_futures.push_back(service.submit_sql(stmt));
-        for (const auto& text : path_queries)
-            path_futures.push_back(service.submit_path(text));
-        for (std::size_t i = 0; i < sql_futures.size(); ++i) {
-            std::cout << "\nsql> " << sql_statements[i] << "\n";
+        // A shed submission never yields a handle; keep slots aligned
+        // with the workload so results print in submission order.
+        std::vector<std::optional<xr::query::QueryService::Submission>>
+            sql_subs;
+        std::vector<std::optional<xr::query::QueryService::Submission>>
+            path_subs;
+        auto submit = [&](auto&& fn) {
             try {
-                std::cout << sql_futures[i].get()->to_string();
+                return std::optional<xr::query::QueryService::Submission>(
+                    fn());
+            } catch (const xr::Overloaded& e) {
+                std::cout << "  shed: " << e.what() << "\n";
+                return std::optional<xr::query::QueryService::Submission>();
+            }
+        };
+        for (const auto& stmt : sql_statements)
+            sql_subs.push_back(submit([&] { return service.submit_sql(stmt); }));
+        for (const auto& text : path_queries)
+            path_subs.push_back(
+                submit([&] { return service.submit_path(text); }));
+        for (std::size_t i = 0; i < sql_subs.size(); ++i) {
+            std::cout << "\nsql> " << sql_statements[i] << "\n";
+            if (!sql_subs[i]) {
+                std::cout << "  shed at admission\n";
+                continue;
+            }
+            try {
+                std::cout << sql_subs[i]->get()->to_string();
             } catch (const xr::Error& e) {
                 std::cout << "  error: " << e.what() << "\n";
             }
         }
-        for (std::size_t i = 0; i < path_futures.size(); ++i) {
+        for (std::size_t i = 0; i < path_subs.size(); ++i) {
             std::cout << "\nquery> " << path_queries[i] << "\n";
+            if (!path_subs[i]) {
+                std::cout << "  shed at admission\n";
+                continue;
+            }
             try {
                 xr::xquery::Translation t = service.translate(path_queries[i]);
                 std::cout << "  sql: " << t.sql << "\n";
@@ -378,9 +425,11 @@ int cmd_load(const std::vector<std::string>& args) {
                                       ? ""
                                       : "; " + t.plan_notes)
                               << "\n";
-                std::cout << path_futures[i].get()->to_string();
+                std::cout << path_subs[i]->get()->to_string();
             } catch (const xr::QueryError& e) {
                 std::cout << "  not translatable (" << e.what() << ")\n";
+            } catch (const xr::CancelledError& e) {
+                std::cout << "  " << e.what() << "\n";
             }
         }
         xr::query::ServiceStats sst = service.stats();
@@ -390,6 +439,12 @@ int cmd_load(const std::vector<std::string>& args) {
                   << " hit(s) / " << sst.result_cache.misses
                   << " miss(es); plan cache " << sst.plan_cache.hits
                   << " hit(s) / " << sst.plan_cache.misses << " miss(es)\n";
+        const xr::query::OverloadStats& ov = sst.overload;
+        std::cout << "admission: " << ov.admitted << " admitted, " << ov.shed
+                  << " shed, " << ov.expired << " expired, " << ov.cancelled
+                  << " cancelled; queue high-water " << ov.queue_high_water
+                  << ", wait p50 " << ov.p50_queue_wait_us << "us / p99 "
+                  << ov.p99_queue_wait_us << "us\n";
     }
 
     if (serve_threads == 0)

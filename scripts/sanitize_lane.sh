@@ -2,15 +2,17 @@
 # Sanitizer lanes over the robustness-critical tests.
 #
 # ASan lane (default): the bulk-load pipeline, the fault-injection matrix,
-# the durability layer (snapshots, WAL, crash recovery), and the
-# structural-index tests — every code path that handles torn/corrupt
-# input or label arithmetic.  The full suite under ASan is slow; these
-# labels are where the sanitizer earns its keep.
+# the durability layer (snapshots, WAL, crash recovery), the
+# structural-index tests, and the overload/cancellation lifecycle —
+# every code path that handles torn/corrupt input, label arithmetic, or
+# mid-query unwinding.  The full suite under ASan is slow; these labels
+# are where the sanitizer earns its keep.
 #
 # TSan lane (`thread`): the differential query fuzzer, the concurrent
 # serving tests — readers racing loads and checkpoints, the worker pool,
 # the caches, and shared ExecStats — plus the structural-index tests,
-# whose bulk label merge and range-scan counters are shared state.
+# whose bulk label merge and range-scan counters are shared state, and
+# the overload tests (admission racing shutdown, abandon-cancel).
 #
 # Usage: scripts/sanitize_lane.sh [address|thread] [build-dir]
 #        (defaults: address, build-asan / build-tsan)
@@ -22,11 +24,11 @@ LANE=${1:-address}
 case "$LANE" in
   address)
     BUILD_DIR=${2:-build-asan}
-    LABELS='bulk|fault|durability|index'
+    LABELS='bulk|fault|durability|index|overload'
     ;;
   thread)
     BUILD_DIR=${2:-build-tsan}
-    LABELS='query|concurrency|index'
+    LABELS='query|concurrency|index|overload'
     ;;
   *)
     echo "usage: $0 [address|thread] [build-dir]" >&2

@@ -22,4 +22,10 @@ Error::Error(std::string message, SourceLocation where)
       where_(where),
       bare_(std::move(message)) {}
 
+Overloaded::Overloaded(std::size_t queue_depth, std::uint64_t retry_after_ms)
+    : Error("service overloaded: queue depth " + std::to_string(queue_depth) +
+            "; retry after ~" + std::to_string(retry_after_ms) + "ms"),
+      queue_depth_(queue_depth),
+      retry_after_ms_(retry_after_ms) {}
+
 }  // namespace xr

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -63,6 +64,60 @@ public:
 /// Semantic errors in queries (unknown table, type mismatch, untranslatable
 /// path step).
 class QueryError : public Error {
+public:
+    using Error::Error;
+};
+
+// -- request-lifecycle taxonomy (DESIGN.md §11) -----------------------------
+//
+// A query that stops before completing does so for one of three reasons, and
+// callers (retry loops, the CLI, the admission layer) treat them differently:
+// an explicit cancellation is final, a deadline miss may be retried with a
+// longer budget, a resource-budget hit needs a narrower query.  All three
+// share CancelledError so "the query was stopped cooperatively" is one catch.
+
+/// The query was stopped before completing (cancel, deadline or budget).
+class CancelledError : public Error {
+public:
+    using Error::Error;
+};
+
+/// The client (or the service, on abandon) requested cancellation.
+class QueryCancelled : public CancelledError {
+public:
+    using CancelledError::CancelledError;
+};
+
+/// The query's deadline passed before it finished; queue wait counts.
+class DeadlineExceeded : public CancelledError {
+public:
+    using CancelledError::CancelledError;
+};
+
+/// A per-query materialization budget (rows or bytes) was exhausted.
+class ResourceExhausted : public CancelledError {
+public:
+    using CancelledError::CancelledError;
+};
+
+/// Admission control shed the request: the service's queue is full.  Carries
+/// the observed queue depth and a suggested retry-after so well-behaved
+/// clients can back off instead of hammering a saturated service.
+class Overloaded : public Error {
+public:
+    Overloaded(std::size_t queue_depth, std::uint64_t retry_after_ms);
+
+    [[nodiscard]] std::size_t queue_depth() const { return queue_depth_; }
+    [[nodiscard]] std::uint64_t retry_after_ms() const { return retry_after_ms_; }
+
+private:
+    std::size_t queue_depth_ = 0;
+    std::uint64_t retry_after_ms_ = 0;
+};
+
+/// The service is shutting down; late submissions are rejected rather than
+/// enqueued (a job accepted after the workers drain would never resolve).
+class ShuttingDown : public Error {
 public:
     using Error::Error;
 };

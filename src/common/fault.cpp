@@ -1,6 +1,7 @@
 #include "common/fault.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 
 namespace xr::fault {
@@ -18,10 +19,11 @@ std::mutex g_mutex;
 std::string g_point;
 long g_countdown = 0;
 bool g_abort = false;
+long g_fires_left = 0;
 std::atomic<long> g_hits{0};
 std::atomic<bool> g_fired{false};
 
-/// One-time arming from XMLREL_FAULT_INJECT="point[:count[:abort]]".
+/// One-time arming from XMLREL_FAULT_INJECT="point[:count[:abort|repeat]]".
 struct EnvArm {
     EnvArm() {
         const char* spec = std::getenv("XMLREL_FAULT_INJECT");
@@ -30,27 +32,32 @@ struct EnvArm {
         std::string point = s;
         long count = 1;
         bool abort_instead = false;
+        long fires = 1;
         if (auto colon = s.find(':'); colon != std::string::npos) {
             point = s.substr(0, colon);
             std::string rest = s.substr(colon + 1);
             if (auto colon2 = rest.find(':'); colon2 != std::string::npos) {
-                abort_instead = rest.substr(colon2 + 1) == "abort";
+                std::string mode = rest.substr(colon2 + 1);
+                abort_instead = mode == "abort";
+                if (mode == "repeat") fires = std::numeric_limits<long>::max();
                 rest = rest.substr(0, colon2);
             }
             if (!rest.empty()) count = std::strtol(rest.c_str(), nullptr, 10);
         }
-        arm(point, count < 1 ? 1 : count, abort_instead);
+        arm(point, count < 1 ? 1 : count, abort_instead, fires);
     }
 };
 const EnvArm g_env_arm;
 
 }  // namespace
 
-void arm(std::string_view point, long countdown, bool abort_instead) {
+void arm(std::string_view point, long countdown, bool abort_instead,
+         long fires) {
     std::scoped_lock lock(g_mutex);
     g_point = point;
     g_countdown = countdown < 1 ? 1 : countdown;
     g_abort = abort_instead;
+    g_fires_left = fires < 1 ? 1 : fires;
     g_hits.store(0, std::memory_order_relaxed);
     g_fired.store(false, std::memory_order_relaxed);
     detail::g_armed.store(true, std::memory_order_release);
@@ -74,9 +81,15 @@ void hit(const char* point) {
     if (!g_armed.load(std::memory_order_relaxed) || g_point != point) return;
     g_hits.fetch_add(1, std::memory_order_relaxed);
     if (--g_countdown > 0) return;
-    // One-shot: disarm before throwing so recovery paths that re-enter
-    // the same point (e.g. an index rebuild during rollback) run clean.
-    g_armed.store(false, std::memory_order_release);
+    // With fires left, stay armed and fail on every subsequent hit (retry
+    // exhaustion testing); the final fire disarms before throwing so
+    // recovery paths that re-enter the same point (e.g. an index rebuild
+    // during rollback) run clean.
+    if (--g_fires_left > 0) {
+        g_countdown = 1;
+    } else {
+        g_armed.store(false, std::memory_order_release);
+    }
     g_fired.store(true, std::memory_order_release);
     if (g_abort) std::abort();
     std::string message = "injected fault at '" + g_point + "'";

@@ -10,11 +10,14 @@
 // Arming:
 //   * programmatic — fault::arm("loader.shred", 3) throws InjectedFault
 //     on the 3rd hit of that point, then disarms itself (one-shot, so at
-//     most one failure fires per arm even with concurrent workers);
-//   * environment — XMLREL_FAULT_INJECT="point[:count[:abort]]" arms the
-//     point at process start; the optional `abort` mode calls
+//     most one failure fires per arm even with concurrent workers); a
+//     `fires` count > 1 keeps the point armed and failing on every
+//     subsequent hit until that many faults have fired — how tests force
+//     retry loops to exhaust their attempts;
+//   * environment — XMLREL_FAULT_INJECT="point[:count[:abort|repeat]]"
+//     arms the point at process start; the optional `abort` mode calls
 //     std::abort() instead of throwing (crash-style testing of external
-//     supervisors).
+//     supervisors), `repeat` keeps firing on every hit.
 //
 // Fault-point catalogue (kept in sync with DESIGN.md §7):
 //   xml.parse          entry of xml::parse_document
@@ -27,6 +30,9 @@
 //   snapshot.write     before the snapshot temp file is written
 //   snapshot.rename    before the temp file is renamed into place
 //   recovery.replay    per WAL record applied during Database::open
+//   service.admit      per submission, inside QueryService admission
+//   exec.cancel_poll   per cancellation poll in the SQL executor
+//   write.retry        per attempt of QueryService::execute_write
 #pragma once
 
 #include <atomic>
@@ -57,9 +63,14 @@ inline void maybe_fail(const char* point) {
 }
 
 /// Arm `point` to fail on its `countdown`-th hit (1 = next hit).  With
-/// `abort_instead` the process aborts rather than throwing.  Re-arming
-/// replaces any previous arm.  Must not race with in-flight loads.
-void arm(std::string_view point, long countdown = 1, bool abort_instead = false);
+/// `abort_instead` the process aborts rather than throwing.  `fires` is
+/// the total number of faults to inject: after the first fires, every
+/// further hit fires too until `fires` failures happened (so retry loops
+/// can be made to exhaust deterministically); the usual one-shot is
+/// fires = 1.  Re-arming replaces any previous arm.  Must not race with
+/// in-flight loads.
+void arm(std::string_view point, long countdown = 1, bool abort_instead = false,
+         long fires = 1);
 
 /// Disarm without firing.
 void disarm();

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/fault.hpp"
 #include "common/table_printer.hpp"
 #include "sql/parser.hpp"
 
@@ -283,10 +284,19 @@ struct Stage {
     std::vector<const Expr*> residual;  ///< filters applied at this stage
 };
 
+/// Approximate heap footprint of one output row, for byte budgets.
+std::size_t approx_row_bytes(const Row& row) {
+    std::size_t bytes = sizeof(Row) + row.size() * sizeof(Value);
+    for (const auto& v : row)
+        if (v.type() == rdb::ValueType::kText) bytes += v.as_text().size();
+    return bytes;
+}
+
 class SelectExecutor {
 public:
-    SelectExecutor(rdb::Database& db, SelectStmt& stmt, ExecStats* stats)
-        : db_(db), stmt_(stmt), stats_(stats) {}
+    SelectExecutor(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
+                   const CancelToken& cancel)
+        : db_(db), stmt_(stmt), stats_(stats), cancel_(cancel) {}
 
     ResultSet run() {
         bind_tables();
@@ -351,9 +361,12 @@ public:
         }
 
         if (aggregate || !stmt_.order_by.empty()) {
-            // Aggregation and sorting need every row context at once.
+            // Aggregation and sorting need every row context at once; each
+            // buffered context counts against the row budget — this
+            // intermediate buffer is exactly the memory a budget guards.
             std::vector<std::vector<RowId>> contexts;
             enumerate([&](const std::vector<RowId>& ctx) {
+                cancel_.charge_rows();
                 contexts.push_back(ctx);
             });
             if (aggregate) run_aggregate(eval, contexts, result);
@@ -376,6 +389,7 @@ public:
                         out.push_back(eval.eval(*item.expr, ctx));
                     }
                 }
+                charge_output(out);
                 result.rows.push_back(std::move(out));
             });
         }
@@ -384,6 +398,7 @@ public:
             std::set<std::vector<std::string>> seen;
             std::vector<Row> unique;
             for (auto& row : result.rows) {
+                poll_cancel();
                 std::vector<std::string> key;
                 key.reserve(row.size());
                 for (const auto& v : row) key.push_back(v.to_string());
@@ -406,6 +421,8 @@ private:
     rdb::Database& db_;
     SelectStmt& stmt_;
     ExecStats* stats_;
+    const CancelToken& cancel_;
+    std::size_t since_poll_ = 0;  ///< rows since the last cancellation poll
     ExecStats local_;  ///< this execution's counters; folded in at the end
     std::vector<BoundTable> tables_;
     std::vector<Stage> stages_;
@@ -414,6 +431,27 @@ private:
 
     void count(std::atomic<std::size_t> ExecStats::*member, std::size_t n = 1) {
         (local_.*member).fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Cancellation checkpoint (DESIGN.md §11): every kCancelPollInterval
+    /// rows — whether scanned during join enumeration / range scans or
+    /// visited by a final pass — the executor arms the `exec.cancel_poll`
+    /// fault point and polls the token.  A fired deadline / cancel unwinds
+    /// as the matching CancelledError with no state to clean up (SELECTs
+    /// have no side effects; the local stats fold simply never happens).
+    void poll_cancel() {
+        if (++since_poll_ < kCancelPollInterval) return;
+        since_poll_ = 0;
+        count(&ExecStats::cancel_polls);
+        fault::maybe_fail("exec.cancel_poll");
+        cancel_.check();
+    }
+
+    /// Budget accounting for one materialized output row.
+    void charge_output(const Row& row) {
+        if (!cancel_.active()) return;
+        cancel_.charge_rows();
+        cancel_.charge_bytes(approx_row_bytes(row));
     }
 
     /// 'SELECT COUNT(*) FROM t' with no filter, grouping or sort — the
@@ -625,6 +663,7 @@ private:
             auto accept = [&](RowId id) {
                 ctx[s] = id;
                 count(&ExecStats::rows_scanned);
+                poll_cancel();
                 for (const Expr* r : stage.residual)
                     if (!truthy(eval.eval(*r, ctx))) return;
                 if (s + 1 == stages_.size()) emit(ctx);
@@ -715,6 +754,7 @@ private:
                    const std::vector<std::vector<RowId>>& contexts,
                    ResultSet& result) {
         for (const auto& ctx : contexts) {
+            poll_cancel();
             Row out;
             for (const auto& item : stmt_.items) {
                 if (item.star) {
@@ -726,6 +766,7 @@ private:
                     out.push_back(eval.eval(*item.expr, ctx));
                 }
             }
+            charge_output(out);
             result.rows.push_back(std::move(out));
         }
         sort_rows(eval, contexts, result);
@@ -743,6 +784,7 @@ private:
         std::vector<Keyed> keyed;
         keyed.reserve(result.rows.size());
         for (std::size_t i = 0; i < result.rows.size(); ++i) {
+            poll_cancel();
             Keyed k;
             k.row = std::move(result.rows[i]);
             for (std::size_t j = 0; j < stmt_.order_by.size(); ++j) {
@@ -810,6 +852,7 @@ private:
         std::map<std::vector<std::string>, Group> groups;
 
         for (const auto& ctx : contexts) {
+            poll_cancel();
             std::vector<std::string> key;
             for (const auto& g : stmt_.group_by)
                 key.push_back(eval.eval(*g, ctx).to_string());
@@ -862,6 +905,7 @@ private:
                     throw QueryError("'*' cannot appear in an aggregate select");
                 out.push_back(eval_out(*item.expr));
             }
+            charge_output(out);
             result.rows.push_back(std::move(out));
         }
 
@@ -956,11 +1000,12 @@ std::string ResultSet::to_string() const {
     return printer.to_string();
 }
 
-ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats) {
+ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats,
+                  const CancelToken& cancel) {
     Statement stmt = parse(sql);
     switch (stmt.kind) {
         case Statement::Kind::kSelect:
-            return execute_select(db, stmt.select, stats);
+            return execute_select(db, stmt.select, stats, cancel);
         case Statement::Kind::kInsert: {
             Table* t = db.table(stmt.insert.table);
             if (t == nullptr)
@@ -1012,9 +1057,9 @@ ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats) {
     return {};
 }
 
-ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
-                         ExecStats* stats) {
-    SelectExecutor executor(db, stmt, stats);
+ResultSet execute_select(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
+                         const CancelToken& cancel) {
+    SelectExecutor executor(db, stmt, stats, cancel);
     return executor.run();
 }
 

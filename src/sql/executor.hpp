@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "rdb/database.hpp"
 #include "sql/ast.hpp"
 
@@ -54,6 +55,10 @@ struct ExecStats {
     /// Structural-join probes: binary-searched ranges on an ordered index
     /// (interval containment joins, DESIGN.md §10).
     std::atomic<std::size_t> range_scans{0};
+    /// Cancellation checkpoints reached (one per kCancelPollInterval rows,
+    /// DESIGN.md §11) — tests assert on this to prove a long-running query
+    /// actually polls its token.
+    std::atomic<std::size_t> cancel_polls{0};
 
     ExecStats() = default;
     ExecStats(const ExecStats& other) { *this = other; }
@@ -65,6 +70,7 @@ struct ExecStats {
         nested_loop_joins =
             other.nested_loop_joins.load(std::memory_order_relaxed);
         range_scans = other.range_scans.load(std::memory_order_relaxed);
+        cancel_polls = other.cancel_polls.load(std::memory_order_relaxed);
         return *this;
     }
 
@@ -84,6 +90,9 @@ struct ExecStats {
         range_scans.fetch_add(
             other.range_scans.load(std::memory_order_relaxed),
             std::memory_order_relaxed);
+        cancel_polls.fetch_add(
+            other.cancel_polls.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
     }
 
     void reset() {
@@ -92,15 +101,27 @@ struct ExecStats {
         hash_joins = 0;
         nested_loop_joins = 0;
         range_scans = 0;
+        cancel_polls = 0;
     }
 };
+
+/// Rows accepted between cancellation checkpoints (DESIGN.md §11): every
+/// kCancelPollInterval-th row of join enumeration / range scans, and the
+/// same cadence through final-pass aggregation, sorting and DISTINCT, the
+/// executor polls its CancelToken (and the `exec.cancel_poll` fault point).
+/// Small enough that even a 1ms deadline fires promptly mid-join, large
+/// enough that an uncancellable query pays ~one atomic load per row.
+inline constexpr std::size_t kCancelPollInterval = 64;
 
 /// Execute any statement.  DDL/DML statements return an empty result.
 /// Re-entrant: concurrent calls (each with its own freshly parsed SQL)
 /// may share `db` — under a rdb::ReadSnapshot for SELECTs — and may share
-/// one `stats` object.
+/// one `stats` object.  `cancel` is polled cooperatively (see
+/// kCancelPollInterval); the default inert token never fires and costs
+/// nothing.
 ResultSet execute(rdb::Database& db, std::string_view sql,
-                  ExecStats* stats = nullptr);
+                  ExecStats* stats = nullptr,
+                  const CancelToken& cancel = {});
 
 /// Execute an already-parsed SELECT.  Binding annotations are written into
 /// the AST, so the statement is taken by mutable reference; re-execution of
@@ -108,6 +129,7 @@ ResultSet execute(rdb::Database& db, std::string_view sql,
 /// must not share one SelectStmt — give each its own parse (the query
 /// service does exactly that; plan caching caches SQL text, not ASTs).
 ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
-                         ExecStats* stats = nullptr);
+                         ExecStats* stats = nullptr,
+                         const CancelToken& cancel = {});
 
 }  // namespace xr::sql

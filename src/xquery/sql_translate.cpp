@@ -118,13 +118,15 @@ std::vector<const SqlTranslator::Hop*> SqlTranslator::find_path(
 std::vector<std::vector<const SqlTranslator::Hop*>>
 SqlTranslator::find_descendant_paths(const std::string& from,
                                      const std::string& to,
-                                     std::size_t max_paths,
-                                     bool* exhausted) const {
+                                     std::size_t max_paths, bool* exhausted,
+                                     const CancelToken& cancel) const {
     // Depth-first over simple paths (no node revisited): a cycle reachable
     // on a from→to route would unroll into infinitely many join chains, so
     // the moment one is seen the search is marked exhausted — recursive
     // DTDs genuinely need recursive SQL, which this dialect does not have.
-    // The expansion budget bounds pathological fan-out the same way.
+    // The expansion budget bounds pathological fan-out the same way, and a
+    // deadline / cancel fires between steps so a deep-nesting schema cannot
+    // pin a worker inside translation (DESIGN.md §11).
     *exhausted = false;
     std::vector<std::vector<const Hop*>> paths;
     std::vector<const Hop*> path;
@@ -136,6 +138,7 @@ SqlTranslator::find_descendant_paths(const std::string& from,
             *exhausted = true;
             return;
         }
+        if (budget % 64 == 0) cancel.check();
         --budget;
         auto it = edges_.find(node);
         if (it == edges_.end()) return;
@@ -199,6 +202,7 @@ Translation SqlTranslator::translate(const PathQuery& query) const {
 
 Translation SqlTranslator::translate(const PathQuery& query,
                                      const TranslateOptions& options) const {
+    options.cancel.check();
     if (query.steps.empty()) throw QueryError("empty path query");
     const Step& root_step = query.steps.front();
     if (root_step.attribute || root_step.text_fn)
@@ -339,7 +343,8 @@ Translation SqlTranslator::translate(const PathQuery& query,
             return {name, d, target, "", ""};
         }
         bool exhausted = false;
-        auto paths = find_descendant_paths(ctx.node, name, 2, &exhausted);
+        auto paths =
+            find_descendant_paths(ctx.node, name, 2, &exhausted, options.cancel);
         if (paths.empty() && !exhausted)
             throw QueryError("no relationship path from '" + ctx.node +
                              "' to '" + name + "'");
@@ -541,8 +546,8 @@ Translation SqlTranslator::translate(const PathQuery& query,
                 if (has_incoming.count(node) != 0) continue;
                 if (node == root_step.name) candidates.push_back({node, {}});
                 bool ex = false;
-                for (auto& p :
-                     find_descendant_paths(node, root_step.name, 2, &ex))
+                for (auto& p : find_descendant_paths(node, root_step.name, 2,
+                                                     &ex, options.cancel))
                     candidates.push_back({node, std::move(p)});
                 exhausted = exhausted || ex;
                 if (candidates.size() > 1) break;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "mapping/pipeline.hpp"
 #include "rel/schema.hpp"
 #include "xquery/query.hpp"
@@ -35,6 +36,11 @@ struct TranslateOptions {
     /// legacy unique-join-chain expansion and ancestor predicates raise
     /// QueryError — the pre-index behaviour, kept for differential tests.
     bool use_struct_index = true;
+    /// Cooperative cancellation handle (DESIGN.md §11): polled inside the
+    /// legacy '//' chain-expansion DFS, whose fan-out on pathological
+    /// schemas is the one translation-time cost worth a deadline.  Does not
+    /// participate in plan-cache keys (an inert token is the default).
+    CancelToken cancel;
 };
 
 struct Translation {
@@ -95,10 +101,11 @@ private:
     /// element nodes may be intermediate (a descendant step skips levels).
     /// Stops after `max_paths`; sets *exhausted when the search hit a cycle
     /// or its expansion budget, in which case the result is a lower bound
-    /// and the caller must treat the step as untranslatable.
+    /// and the caller must treat the step as untranslatable.  `cancel` is
+    /// polled every few DFS steps.
     [[nodiscard]] std::vector<std::vector<const Hop*>> find_descendant_paths(
         const std::string& from, const std::string& to, std::size_t max_paths,
-        bool* exhausted) const;
+        bool* exhausted, const CancelToken& cancel) const;
 };
 
 }  // namespace xr::xquery

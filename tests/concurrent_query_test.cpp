@@ -158,7 +158,7 @@ TEST(ConcurrentQuery, WorkerPoolServesFutures) {
 
     std::int64_t expected =
         count_of(service.path("count(/article/author)"));
-    std::vector<std::future<query::QueryService::Result>> futures;
+    std::vector<query::QueryService::Submission> futures;
     for (int i = 0; i < 64; ++i) {
         futures.push_back(service.submit_path("count(/article/author)"));
         futures.push_back(
@@ -177,6 +177,35 @@ TEST(ConcurrentQuery, WorkerPoolServesFutures) {
 
     // A failing query travels through the future as its exception.
     EXPECT_THROW(service.submit_path("/nosuch/path").get(), QueryError);
+}
+
+// Regression: a result bigger than the whole cache budget must be
+// refused up front (admitting it would evict everything for an entry
+// that can never amortize) and counted, so an operator can tell a
+// too-small budget from a cold cache.  Small results still cache.
+TEST(ConcurrentQuery, OversizedResultsCountedNotCached) {
+    Stack stack(gen::paper_dtd());
+    query::ServiceOptions opts;
+    opts.threads = 0;
+    opts.result_cache_bytes = 512;
+    query::QueryService service(stack.db, stack.mapping, stack.schema, opts);
+    service.execute_write("CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
+    service.execute_write("INSERT INTO kv (k, v) VALUES (1, '" +
+                          std::string(2000, 'x') + "')");
+
+    (void)service.sql("SELECT * FROM kv");  // ~2KB result vs 512B budget
+    (void)service.sql("SELECT * FROM kv");
+    query::ServiceStats st = service.stats();
+    EXPECT_EQ(st.result_cache.oversized, 2u);
+    EXPECT_EQ(st.result_cache.hits, 0u);
+    EXPECT_EQ(st.result_cache.evicted, 0u);
+
+    // A COUNT fits comfortably and caches as before.
+    (void)service.sql("SELECT COUNT(*) FROM kv");
+    (void)service.sql("SELECT COUNT(*) FROM kv");
+    st = service.stats();
+    EXPECT_EQ(st.result_cache.hits, 1u);
+    EXPECT_EQ(st.result_cache.oversized, 2u);
 }
 
 // Regression: ExecStats shared by concurrent executions must not lose
