@@ -36,6 +36,7 @@
 #include "query/service.hpp"
 #include "sql/executor.hpp"
 #include "sql/parser.hpp"
+#include "sql/planner.hpp"
 #include "xquery/dom_eval.hpp"
 #include "xquery/sql_translate.hpp"
 
@@ -190,6 +191,81 @@ std::vector<ColdRecord> cold_path_records(Loaded& loaded) {
 }
 
 // ---------------------------------------------------------------------------
+// Cost-based planner: as-translated join order vs the planner's pick.
+// The translator emits joins in path order (root outward), so a selective
+// predicate at the *tail* of the path — e.g. an indexed lastname — leaves
+// the as-written plan scanning the root table and filtering last.  The
+// planner drives from the selective table instead.  Timings are cold-path
+// (SQL parse + plan + execute per rep); q_error is max(est/actual,
+// actual/est) of the planner's join-cardinality estimate vs the actual
+// result rows, the standard estimate-quality metric.
+
+struct PlannerRecord {
+    std::string query;
+    std::size_t rows = 0;
+    std::size_t joins = 0;
+    bool reordered = false;
+    std::string shape;
+    double est_rows = 0;
+    double q_error = 0;
+    double planner_us = 0;
+    double as_written_us = 0;
+
+    double speedup() const {
+        return planner_us == 0 ? 1.0 : as_written_us / planner_us;
+    }
+};
+
+std::vector<PlannerRecord> planner_records(Loaded& loaded) {
+    const char* kJoinQueries[] = {
+        "/article/author[name/lastname = 'Smith']",
+        "/article/author/name[lastname = 'Smith']",
+        "/article[title = 'XML RDBMS']/author",
+        "count(/article/author/name)",
+        "/article/contactauthor",
+    };
+    // Fresh full-scan statistics (the incremental per-commit folds are
+    // already in place; analyze pins exact counts for the report).
+    loaded.stack.db.analyze();
+    xquery::SqlTranslator translator(loaded.stack.mapping,
+                                     loaded.stack.schema);
+
+    std::vector<PlannerRecord> records;
+    for (const char* text : kJoinQueries) {
+        xquery::Translation t =
+            translator.translate(xquery::parse_query(text));
+        auto run = [&](bool enable) {
+            sql::PlannerOptions popts;
+            popts.enable = enable;
+            return time_us([&] {
+                sql::SelectStmt stmt = sql::parse_select(t.sql);
+                (void)sql::execute_select(loaded.stack.db, stmt, nullptr, {},
+                                          &popts);
+            });
+        };
+
+        PlannerRecord rec;
+        rec.query = text;
+        rec.joins = t.join_count;
+        sql::SelectStmt stmt = sql::parse_select(t.sql);
+        sql::PlanInfo info = sql::plan_select(loaded.stack.db, stmt);
+        rec.reordered = info.reordered;
+        rec.shape = info.shape();
+        rec.est_rows = info.est_rows;
+        rec.rows = sql::execute_select(loaded.stack.db, stmt).row_count();
+        // DISTINCT/aggregates make actual rows a lower bound on the join
+        // cardinality the estimate targets; clamp so q_error >= 1.
+        double actual = std::max<double>(1.0, rec.rows);
+        double est = std::max(1.0, rec.est_rows);
+        rec.q_error = std::max(est / actual, actual / est);
+        rec.as_written_us = run(false);
+        rec.planner_us = run(true);
+        records.push_back(rec);
+    }
+    return records;
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent serving: queries/sec at 1/2/4/8 client threads.
 
 /// Distinct queries per client round — enough variety that the result
@@ -245,26 +321,38 @@ ServeRecord serve_once(Loaded& loaded, std::size_t threads,
         time_us([&] { (void)service.path(workload.front()); }) ;
     service.clear_result_cache();
 
+    // Submit batches until the run is long enough to trust: a fixed round
+    // count gave the low-thread configs only ~100 jobs each, so their qps
+    // was dominated by scheduler noise rather than service throughput.
+    // Every config now runs at least kMinJobs jobs *and* kMinSeconds of
+    // wall clock, whichever bound bites later.
+    constexpr double kMinSeconds = 0.25;
+    constexpr std::size_t kMinJobs = 2000;
     std::vector<query::QueryService::Submission> futures;
     futures.reserve(threads * rounds * workload.size());
+    std::size_t jobs = 0;
+    double seconds = 0;
     auto t0 = Clock::now();
-    for (std::size_t r = 0; r < rounds; ++r)
-        for (std::size_t c = 0; c < threads; ++c)
-            // Each client starts at its own offset so concurrent clients
-            // are not in lockstep on the same key.
-            for (std::size_t i = 0; i < workload.size(); ++i)
-                futures.push_back(service.submit_path(
-                    workload[(i + c) % workload.size()]));
-    for (auto& f : futures) (void)f.get();
-    double seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    do {
+        futures.clear();
+        for (std::size_t r = 0; r < rounds; ++r)
+            for (std::size_t c = 0; c < threads; ++c)
+                // Each client starts at its own offset so concurrent
+                // clients are not in lockstep on the same key.
+                for (std::size_t i = 0; i < workload.size(); ++i)
+                    futures.push_back(service.submit_path(
+                        workload[(i + c) % workload.size()]));
+        for (auto& f : futures) (void)f.get();
+        jobs += futures.size();
+        seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (seconds < kMinSeconds || jobs < kMinJobs);
 
     query::ServiceStats st = service.stats();
     ServeRecord rec;
     rec.threads = threads;
-    rec.jobs = futures.size();
+    rec.jobs = jobs;
     rec.seconds = seconds;
-    rec.qps = static_cast<double>(futures.size()) / seconds;
+    rec.qps = static_cast<double>(jobs) / seconds;
     rec.result_hit_ratio = st.result_cache.hit_ratio();
     rec.plan_hit_ratio = st.plan_cache.hit_ratio();
     rec.cold_us = cold_us;
@@ -416,6 +504,7 @@ void overload_report(std::vector<OverloadRecord>& out, double& unloaded_p99) {
 
 void emit_json(const std::vector<ServeRecord>& serving,
                const std::vector<ColdRecord>& cold,
+               const std::vector<PlannerRecord>& planner,
                const std::vector<OverloadRecord>& overload,
                double unloaded_p99) {
     std::ofstream out("BENCH_query.json");
@@ -443,6 +532,20 @@ void emit_json(const std::vector<ServeRecord>& serving,
             << ", \"legacy_warm_us\": " << r.legacy_warm_us
             << ", \"cold_speedup\": " << r.cold_speedup() << "}"
             << (i + 1 < cold.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"planner\": [\n";
+    for (std::size_t i = 0; i < planner.size(); ++i) {
+        const PlannerRecord& r = planner[i];
+        out << "    {\"query\": \"" << r.query << "\", \"rows\": " << r.rows
+            << ", \"joins\": " << r.joins
+            << ", \"reordered\": " << (r.reordered ? "true" : "false")
+            << ", \"shape\": \"" << r.shape << "\""
+            << ", \"est_rows\": " << r.est_rows
+            << ", \"q_error\": " << r.q_error
+            << ", \"planner_cold_us\": " << r.planner_us
+            << ", \"as_written_cold_us\": " << r.as_written_us
+            << ", \"speedup\": " << r.speedup() << "}"
+            << (i + 1 < planner.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"overload\": {\n    \"unloaded_p99_us\": "
         << unloaded_p99 << ",\n    \"sweep\": [\n";
@@ -482,7 +585,25 @@ std::vector<ColdRecord> cold_path_report() {
     return records;
 }
 
+std::vector<PlannerRecord> planner_report() {
+    std::cout << "=== §13-plan: cost-based join order vs as-translated "
+                 "(cold path, stats analyzed) ===\n";
+    std::vector<PlannerRecord> records = planner_records(corpus512());
+    TablePrinter table({"query", "rows", "joins", "reord", "q_err",
+                        "planned us", "as written us", "speedup", "shape"});
+    for (const PlannerRecord& r : records)
+        table.add_row({r.query, std::to_string(r.rows),
+                       std::to_string(r.joins), r.reordered ? "yes" : "no",
+                       format_double(r.q_error, 1),
+                       format_double(r.planner_us, 1),
+                       format_double(r.as_written_us, 1),
+                       format_double(r.speedup(), 2), r.shape});
+    std::cout << table.to_string() << "\n";
+    return records;
+}
+
 void serving_report(const std::vector<ColdRecord>& cold,
+                    const std::vector<PlannerRecord>& planner,
                     const std::vector<OverloadRecord>& overload,
                     double unloaded_p99) {
     std::cout << "=== §5-serve: concurrent serving through the query "
@@ -508,10 +629,10 @@ void serving_report(const std::vector<ColdRecord>& cold,
         records.push_back(rec);
     }
     std::cout << table.to_string();
-    emit_json(records, cold, overload, unloaded_p99);
+    emit_json(records, cold, planner, overload, unloaded_p99);
     std::cout << "wrote BENCH_query.json (" << records.size() << " serving + "
-              << cold.size() << " cold-path + " << overload.size()
-              << " overload records)\n\n";
+              << cold.size() << " cold-path + " << planner.size()
+              << " planner + " << overload.size() << " overload records)\n\n";
 }
 
 // google-benchmark series at a fixed, substantial corpus size.
@@ -555,10 +676,11 @@ BENCHMARK(BM_SqlTranslate);
 int main(int argc, char** argv) {
     print_report();
     std::vector<ColdRecord> cold = cold_path_report();
+    std::vector<PlannerRecord> planner = planner_report();
     std::vector<OverloadRecord> overload;
     double unloaded_p99 = 0;
     overload_report(overload, unloaded_p99);
-    serving_report(cold, overload, unloaded_p99);
+    serving_report(cold, planner, overload, unloaded_p99);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

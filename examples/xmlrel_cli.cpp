@@ -45,7 +45,11 @@
 //       admitted/shed/expired counts and queue-wait percentiles.  --no-struct-index disables the structural
 //       (pre, post) interval index for '//' / [ancestor::] translation,
 //       falling back to the legacy join-chain expansion; --explain prints
-//       an EXPLAIN-lite line (chosen plan + notes) for each path query.
+//       an EXPLAIN line per path query: the translation summary plus the
+//       cost-based plan (per-stage access path, estimated rows and cost).
+//       --analyze rebuilds table statistics (ANALYZE) after loading and
+//       prints the report; --no-planner disables the cost-based join
+//       reordering so statements run exactly as translated/written.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
@@ -68,6 +72,8 @@
 #include "rel/materialize.hpp"
 #include "rel/translate.hpp"
 #include "sql/executor.hpp"
+#include "sql/parser.hpp"
+#include "sql/planner.hpp"
 #include "validate/validator.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -96,7 +102,8 @@ int usage() {
                  "[--sql STMT]... [--query PATH]... [--reconstruct N] "
                  "[--serve-threads N] [--cache-mb M] "
                  "[--deadline-ms N] [--max-queue N] [--row-budget N] "
-                 "[--no-struct-index] [--explain]\n";
+                 "[--no-struct-index] [--explain] [--analyze] "
+                 "[--no-planner]\n";
     return 2;
 }
 
@@ -155,6 +162,8 @@ int cmd_load(const std::vector<std::string>& args) {
     std::int64_t row_budget = 0;   // 0 = unlimited materialization
     bool use_struct_index = true;
     bool explain = false;
+    bool analyze = false;
+    bool use_planner = true;
 
     auto parse_policy = [&](const std::string& name) {
         if (name == "fail")
@@ -227,6 +236,10 @@ int cmd_load(const std::vector<std::string>& args) {
             use_struct_index = false;
         } else if (args[i] == "--explain") {
             explain = true;
+        } else if (args[i] == "--analyze") {
+            analyze = true;
+        } else if (args[i] == "--no-planner") {
+            use_planner = false;
         } else if (args[i] == "--on-error" && i + 1 < args.size()) {
             if (!parse_policy(args[++i])) return usage();
         } else if (args[i].rfind("--on-error=", 0) == 0) {
@@ -352,6 +365,26 @@ int cmd_load(const std::vector<std::string>& args) {
                   << xr::loader::to_string(report.policy) << ")";
     std::cout << "\n";
 
+    if (analyze) std::cout << db.analyze().to_string() << "\n";
+
+    // EXPLAIN rendering for a translated path query: the translation
+    // summary plus the cost-based plan over the generated SQL.
+    auto print_explain = [&](const xr::xquery::Translation& t) {
+        std::cout << "  plan: "
+                  << (t.interval_plan ? "interval" : "navigational") << ", "
+                  << t.join_count << " join(s)"
+                  << (t.plan_notes.empty() ? "" : "; " + t.plan_notes) << "\n";
+        try {
+            xr::sql::SelectStmt stmt = xr::sql::parse_select(t.sql);
+            xr::sql::PlannerOptions popts;
+            popts.enable = use_planner;
+            xr::sql::PlanInfo info = xr::sql::plan_select(db, stmt, popts);
+            std::cout << "  " << info.to_string() << "\n";
+        } catch (const xr::Error& e) {
+            std::cout << "  plan: (not costed: " << e.what() << ")\n";
+        }
+    };
+
     // Parsed DOM views back the --query DOM-evaluation fallback; under
     // skip/quarantine a rejected document may not parse at all.
     std::vector<std::unique_ptr<xr::xml::Document>> docs;
@@ -372,6 +405,7 @@ int cmd_load(const std::vector<std::string>& args) {
         sopts.threads = static_cast<std::size_t>(serve_threads);
         sopts.result_cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
         sopts.use_struct_index = use_struct_index;
+        sopts.use_planner = use_planner;
         sopts.default_deadline = std::chrono::milliseconds(deadline_ms);
         sopts.max_queue = static_cast<std::size_t>(max_queue);
         sopts.row_budget = static_cast<std::size_t>(row_budget);
@@ -417,14 +451,12 @@ int cmd_load(const std::vector<std::string>& args) {
             try {
                 xr::xquery::Translation t = service.translate(path_queries[i]);
                 std::cout << "  sql: " << t.sql << "\n";
-                if (explain)
-                    std::cout << "  plan: "
-                              << (t.interval_plan ? "interval" : "navigational")
-                              << ", " << t.join_count << " join(s)"
-                              << (t.plan_notes.empty()
-                                      ? ""
-                                      : "; " + t.plan_notes)
-                              << "\n";
+                if (explain) {
+                    // Plan under a read snapshot: statistics and tables
+                    // stay stable while the service is draining writes.
+                    xr::rdb::ReadSnapshot snap = db.read_snapshot();
+                    print_explain(t);
+                }
                 std::cout << path_subs[i]->get()->to_string();
             } catch (const xr::QueryError& e) {
                 std::cout << "  not translatable (" << e.what() << ")\n";
@@ -447,10 +479,13 @@ int cmd_load(const std::vector<std::string>& args) {
                   << ov.p99_queue_wait_us << "us\n";
     }
 
+    xr::sql::PlannerOptions planner_opts;
+    planner_opts.enable = use_planner;
     if (serve_threads == 0)
         for (const auto& stmt : sql_statements) {
             std::cout << "\nsql> " << stmt << "\n";
-            std::cout << xr::sql::execute(db, stmt).to_string();
+            std::cout << xr::sql::execute(db, stmt, nullptr, {}, &planner_opts)
+                             .to_string();
         }
 
     if (serve_threads == 0 && !path_queries.empty()) {
@@ -464,14 +499,7 @@ int cmd_load(const std::vector<std::string>& args) {
                 topts.use_struct_index = use_struct_index;
                 auto t = translator.translate(q, topts);
                 std::cout << "  sql: " << t.sql << "\n";
-                if (explain)
-                    std::cout << "  plan: "
-                              << (t.interval_plan ? "interval" : "navigational")
-                              << ", " << t.join_count << " join(s)"
-                              << (t.plan_notes.empty()
-                                      ? ""
-                                      : "; " + t.plan_notes)
-                              << "\n";
+                if (explain) print_explain(t);
                 auto results =
                     xr::xquery::materialize_results(db, t, reconstructor);
                 std::cout << xr::xml::serialize(*results,

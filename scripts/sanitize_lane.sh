@@ -14,8 +14,16 @@
 # whose bulk label merge and range-scan counters are shared state, and
 # the overload tests (admission racing shutdown, abandon-cancel).
 #
-# Usage: scripts/sanitize_lane.sh [address|thread] [build-dir]
-#        (defaults: address, build-asan / build-tsan)
+# UBSan lane (`undefined`): the planner's selectivity/cost arithmetic
+# (double math over row counts, bitmask subset walks), the structural
+# interval label arithmetic and the query fuzzer — the code where a
+# silent overflow would skew a plan rather than crash.
+#
+# Both ASan and TSan lanes also carry the planner label: statistics are
+# folded on the commit path and read by concurrent planning threads.
+#
+# Usage: scripts/sanitize_lane.sh [address|thread|undefined] [build-dir]
+#        (defaults: address, build-asan / build-tsan / build-ubsan)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,14 +32,18 @@ LANE=${1:-address}
 case "$LANE" in
   address)
     BUILD_DIR=${2:-build-asan}
-    LABELS='bulk|fault|durability|index|overload'
+    LABELS='bulk|fault|durability|index|overload|planner'
     ;;
   thread)
     BUILD_DIR=${2:-build-tsan}
-    LABELS='query|concurrency|index|overload'
+    LABELS='query|concurrency|index|overload|planner'
+    ;;
+  undefined)
+    BUILD_DIR=${2:-build-ubsan}
+    LABELS='planner|index|query'
     ;;
   *)
-    echo "usage: $0 [address|thread] [build-dir]" >&2
+    echo "usage: $0 [address|thread|undefined] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -36,6 +36,7 @@ QueryService::QueryService(rdb::Database& db, ServiceOptions options)
     : db_(db), options_(options) {
     use_struct_index_.store(options_.use_struct_index,
                             std::memory_order_relaxed);
+    use_planner_.store(options_.use_planner, std::memory_order_relaxed);
     for (std::size_t i = 0; i < options_.threads; ++i)
         workers_.emplace_back([this] { worker_loop(); });
 }
@@ -98,13 +99,18 @@ QueryService::Result QueryService::sql(const std::string& text,
     }
     sql_queries_.fetch_add(1, std::memory_order_relaxed);
     cancel.check();  // don't take the latch for an already-dead query
+    sql::PlannerOptions popts;
+    popts.enable = use_planner_.load(std::memory_order_relaxed);
     rdb::ReadSnapshot snapshot = db_.read_snapshot();
     // The parsed statement is private to this call, so executing it
     // directly (instead of re-parsing inside sql::execute) is safe.
+    // Planner-off results get their own cache namespace; the default
+    // (planner-on) keys stay unprefixed so existing entries survive.
     return run_select(
-        "sql:" + text,
+        (popts.enable ? "sql:" : "np:sql:") + text,
         [&] {
-            return sql::execute_select(db_, stmt.select, &exec_stats_, cancel);
+            return sql::execute_select(db_, stmt.select, &exec_stats_, cancel,
+                                       &popts);
         },
         snapshot);
 }
@@ -118,12 +124,14 @@ QueryService::Result QueryService::path(const std::string& text,
     xquery::Translation t = translate_with(text, cancel);
     path_queries_.fetch_add(1, std::memory_order_relaxed);
     cancel.check();
+    sql::PlannerOptions popts;
+    popts.enable = use_planner_.load(std::memory_order_relaxed);
     rdb::ReadSnapshot snapshot = db_.read_snapshot();
     // Keyed by the *normalized* query (embedded in the translated SQL via
     // the plan cache): textual variants of one query share an entry.
     return run_select(
-        "path:" + t.sql,
-        [&] { return sql::execute(db_, t.sql, &exec_stats_, cancel); },
+        (popts.enable ? "path:" : "np:path:") + t.sql,
+        [&] { return sql::execute(db_, t.sql, &exec_stats_, cancel, &popts); },
         snapshot);
 }
 
@@ -141,7 +149,8 @@ xquery::Translation QueryService::translate_with(const std::string& text,
     xquery::TranslateOptions topts;
     topts.use_struct_index = use_struct_index_.load(std::memory_order_relaxed);
     topts.cancel = cancel;
-    if (plan_cache_ != nullptr) return plan_cache_->get(q, topts);
+    if (plan_cache_ != nullptr)
+        return plan_cache_->get(q, topts, db_.stats_epoch());
     return translator_->translate(q, topts);
 }
 

@@ -53,6 +53,16 @@ struct DurabilityOptions {
     bool sync_on_commit = true;
 };
 
+/// What analyze() measured; see Database::analyze().
+struct AnalyzeReport {
+    std::size_t tables = 0;        ///< tables analyzed
+    std::size_t columns = 0;       ///< column statistics rebuilt
+    std::uint64_t rows = 0;        ///< rows scanned
+    std::uint64_t epoch = 0;       ///< statistics epoch after the rebuild
+    bool persisted = false;        ///< written to the xrel_stats catalog
+    [[nodiscard]] std::string to_string() const;
+};
+
 /// What recovery found and did; returned by open().
 struct RecoveryReport {
     std::string dir;
@@ -147,6 +157,26 @@ public:
     /// Verify every non-NULL FK value resolves; returns violation messages.
     [[nodiscard]] std::vector<std::string> check_foreign_keys() const;
 
+    // -- statistics (DESIGN.md §13) -------------------------------------------
+    /// Rebuild every table's statistics from scratch (fresh sketches, so
+    /// NDV estimates reflect current contents, not incremental history),
+    /// bump the statistics epoch, and persist the results to the
+    /// `xrel_stats` catalog table — dropped and re-created under its own
+    /// committed unit, so the snapshot/WAL machinery carries statistics
+    /// across restarts like any other rows.  Requires no open load unit.
+    AnalyzeReport analyze();
+
+    /// Monotonic epoch for plan invalidation: bumped by analyze() and by
+    /// commits that grow a table materially (~2x) past its last bump.
+    /// Plan caches fold it into their keys, so a stale cached plan ages
+    /// out instead of serving forever (DESIGN.md §13).
+    [[nodiscard]] std::uint64_t stats_epoch() const {
+        return stats_epoch_.load(std::memory_order_acquire);
+    }
+
+    /// Name of the statistics catalog table analyze() maintains.
+    static constexpr std::string_view kStatsTable = "xrel_stats";
+
     /// Bulk-load bracketing: begin_bulk() switches every table to deferred
     /// secondary-index maintenance, end_bulk() rebuilds all indexes in one
     /// pass.  Tables created while the bracket is open join it.
@@ -214,6 +244,12 @@ private:
     // the depth test before acquiring is safe.
     mutable std::shared_mutex latch_;
     std::atomic<std::uint64_t> commit_watermark_{0};
+    std::atomic<std::uint64_t> stats_epoch_{0};
+
+    /// Recovery tail: install persisted statistics from xrel_stats where
+    /// they cover more rows than WAL replay already re-folded, then fold
+    /// any uncovered remainder so the planner has numbers immediately.
+    void load_stats_catalog();
 
     // -- durability state (empty / null while in-memory only) ----------------
     std::string dir_;

@@ -174,6 +174,10 @@ void Table::rollback_unit() {
     bool was_bulk = bulk_;
     bulk_ = false;
     if (changed || was_bulk) rebuild_indexes();
+
+    // Rows the statistics already covered may be gone (or their cells
+    // reverted); the next fold starts over.
+    if (changed && stats_.rows > rows_.size()) stats_.stale = true;
 }
 
 void Table::rebuild_indexes() {
@@ -276,8 +280,47 @@ std::size_t Table::delete_where(std::string_view column, const Value& value) {
             pk_index_.emplace(rows_[id][pk_column_].as_integer(), id);
     }
     rebuild_indexes();
+    stats_.stale = true;  // compaction: folded rows may be gone
     if (log_ != nullptr) log_->log_delete_where(*this, i, value);
     return removed;
+}
+
+void Table::refresh_stats() {
+    if (stats_.stale || stats_.rows > rows_.size()) {
+        rebuild_stats();
+        return;
+    }
+    if (stats_.columns.size() != def_.columns.size())
+        stats_.columns.assign(def_.columns.size(), ColumnStats());
+    for (std::size_t r = stats_.rows; r < rows_.size(); ++r)
+        for (std::size_t c = 0; c < stats_.columns.size(); ++c)
+            stats_.columns[c].fold(rows_[r][c]);
+    stats_.rows = rows_.size();
+}
+
+void Table::rebuild_stats() {
+    std::uint64_t epoch_rows = stats_.epoch_rows;
+    stats_ = TableStats{};
+    stats_.epoch_rows = epoch_rows;
+    stats_.columns.assign(def_.columns.size(), ColumnStats());
+    refresh_stats();
+}
+
+void Table::load_stats(TableStats stats) {
+    stats.rows = std::min<std::uint64_t>(stats.rows, rows_.size());
+    stats.epoch_rows = std::max(stats.epoch_rows, stats_.epoch_rows);
+    if (stats.columns.size() != def_.columns.size())
+        stats.columns.resize(def_.columns.size());
+    stats.stale = false;
+    stats_ = std::move(stats);
+}
+
+bool Table::note_material_growth() {
+    // +64 keeps tiny tables from bumping the epoch on every commit; past
+    // that, roughly each doubling of covered rows re-costs cached plans.
+    if (stats_.rows <= stats_.epoch_rows * 2 + 64) return false;
+    stats_.epoch_rows = stats_.rows;
+    return true;
 }
 
 void Table::create_index(std::string_view column, IndexKind kind) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "rdb/stats.hpp"
 #include "rdb/value.hpp"
 
 namespace xr::rdb {
@@ -211,6 +212,25 @@ public:
         return next_pk_.load(std::memory_order_relaxed);
     }
 
+    // -- statistics (DESIGN.md §13) -------------------------------------------
+    /// Current statistics; may cover fewer rows than row_count() between
+    /// folds.  Reading is safe wherever reading rows is (the planner reads
+    /// under a shared latch; folds happen under the exclusive one).
+    [[nodiscard]] const TableStats& stats() const { return stats_; }
+    /// Fold rows appended since the last fold into the statistics; a
+    /// stale table (compaction since the last fold) rebuilds from row
+    /// zero.  Called by Database::commit_unit() at the outermost commit.
+    void refresh_stats();
+    /// Full rebuild from current storage (ANALYZE).
+    void rebuild_stats();
+    /// Install recovered statistics (ndv hints, min/max, NULL counts);
+    /// the fold watermark is clamped to current storage.
+    void load_stats(TableStats stats);
+    /// Advance the per-table epoch watermark when the covered row count
+    /// grew materially (~2x) since the last bump; Database aggregates the
+    /// answer into its statistics epoch.
+    [[nodiscard]] bool note_material_growth();
+
     /// Rough memory footprint in bytes (bench metric).
     [[nodiscard]] std::size_t memory_bytes() const;
 
@@ -247,6 +267,7 @@ private:
         Value old_value;
     };
     std::vector<UndoCell> undo_;  ///< update() log, shared by nested frames
+    TableStats stats_;
 
     void validate(const Row& row) const;
     void index_row(RowId id);

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/fault.hpp"
 #include "common/table_printer.hpp"
@@ -284,6 +285,25 @@ struct Stage {
     std::vector<const Expr*> residual;  ///< filters applied at this stage
 };
 
+/// Row hashing/equality over Values for DISTINCT (NULLs compare equal,
+/// numerics compare numerically — the index_order convention).
+struct RowHasher {
+    std::size_t operator()(const Row& row) const {
+        std::size_t h = 0x9e3779b97f4a7c15ULL;
+        for (const auto& v : row) h = (h * 1099511628211ULL) ^ v.hash();
+        return h;
+    }
+};
+struct RowEqual {
+    bool operator()(const Row& a, const Row& b) const {
+        if (a.size() != b.size()) return false;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (a[i].index_order(b[i]) != std::strong_ordering::equal)
+                return false;
+        return true;
+    }
+};
+
 /// Approximate heap footprint of one output row, for byte budgets.
 std::size_t approx_row_bytes(const Row& row) {
     std::size_t bytes = sizeof(Row) + row.size() * sizeof(Value);
@@ -395,15 +415,15 @@ public:
         }
 
         if (stmt_.distinct) {
-            std::set<std::vector<std::string>> seen;
+            // Hash directly on the Values (Value::hash is consistent with
+            // index_order equality) — no per-cell string rendering, which
+            // dominated DISTINCT-heavy translated queries.
+            std::unordered_set<Row, RowHasher, RowEqual> seen;
+            seen.reserve(result.rows.size());
             std::vector<Row> unique;
             for (auto& row : result.rows) {
                 poll_cancel();
-                std::vector<std::string> key;
-                key.reserve(row.size());
-                for (const auto& v : row) key.push_back(v.to_string());
-                if (seen.insert(std::move(key)).second)
-                    unique.push_back(std::move(row));
+                if (seen.insert(row).second) unique.push_back(std::move(row));
             }
             result.rows = std::move(unique);
         }
@@ -541,15 +561,43 @@ private:
             }
         }
 
+        // Driving-table literal equality: consumed only when the column is
+        // actually indexed — otherwise the conjunct must stay a residual
+        // filter.  Chosen before range bounds so a literal-bounded range
+        // scan of the driving table only kicks in without an equality.
+        for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+            if (used[c]) continue;
+            const Expr* e = conjuncts[c];
+            if (e->kind != Expr::Kind::kBinary || e->op != BinaryOp::kEq) continue;
+            auto try_side = [&](const Expr* col, const Expr* lit) {
+                if (col->kind != Expr::Kind::kColumn || col->bound_table != 0 ||
+                    lit->kind != Expr::Kind::kLiteral ||
+                    stages_[0].driving_eq_literal != nullptr)
+                    return false;
+                const std::string& name =
+                    tables_[0].table->def().columns[col->bound_column].name;
+                if (!tables_[0].table->has_index(name)) return false;
+                stages_[0].driving_eq_literal = lit;
+                stages_[0].driving_column = col->bound_column;
+                return true;
+            };
+            if (try_side(e->left.get(), e->right.get()) ||
+                try_side(e->right.get(), e->left.get()))
+                used[c] = true;
+        }
+
         // Range probes for stages that found no equi-join driver: inequality
         // conjuncts bounding one ordered-indexed column of the stage's table
         // by expressions over earlier tables become a binary-searched range
         // scan instead of a nested loop.  At most one lower and one upper
         // bound, both on the same column; any further conjunct stays a
-        // residual filter.
-        for (std::size_t s = 1; s < stages_.size(); ++s) {
+        // residual filter.  Stage 0 qualifies too (max_table < 0 means the
+        // bounds are table-free): literal bounds on an ordered-indexed
+        // column turn the driving full scan into a binary-searched range.
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
             Stage& st = stages_[s];
             if (st.probe_outer != nullptr) continue;
+            if (s == 0 && st.driving_eq_literal != nullptr) continue;
             for (std::size_t c = 0; c < conjuncts.size(); ++c) {
                 if (used[c]) continue;
                 const Expr* e = conjuncts[c];
@@ -594,30 +642,6 @@ private:
                 st.range_column = col->bound_column;
                 used[c] = true;
             }
-        }
-
-        // Driving-table literal equality: consumed only when the column is
-        // actually indexed — otherwise the conjunct must stay a residual
-        // filter.
-        for (std::size_t c = 0; c < conjuncts.size(); ++c) {
-            if (used[c]) continue;
-            const Expr* e = conjuncts[c];
-            if (e->kind != Expr::Kind::kBinary || e->op != BinaryOp::kEq) continue;
-            auto try_side = [&](const Expr* col, const Expr* lit) {
-                if (col->kind != Expr::Kind::kColumn || col->bound_table != 0 ||
-                    lit->kind != Expr::Kind::kLiteral ||
-                    stages_[0].driving_eq_literal != nullptr)
-                    return false;
-                const std::string& name =
-                    tables_[0].table->def().columns[col->bound_column].name;
-                if (!tables_[0].table->has_index(name)) return false;
-                stages_[0].driving_eq_literal = lit;
-                stages_[0].driving_column = col->bound_column;
-                return true;
-            };
-            if (try_side(e->left.get(), e->right.get()) ||
-                try_side(e->right.get(), e->left.get()))
-                used[c] = true;
         }
 
         // Everything else becomes a residual at the earliest possible stage.
@@ -670,17 +694,14 @@ private:
                 else descend(s + 1);
             };
 
-            if (s == 0) {
-                if (stage.driving_eq_literal != nullptr && stage.driving_index) {
-                    const std::string& col =
-                        t->def().columns[stage.driving_column].name;
-                    count(&ExecStats::index_lookups);
-                    for (RowId id :
-                         t->index_lookup(col, stage.driving_eq_literal->literal))
-                        accept(id);
-                    return;
-                }
-                for (RowId id = 0; id < t->row_count(); ++id) accept(id);
+            if (s == 0 && stage.driving_eq_literal != nullptr &&
+                stage.driving_index) {
+                const std::string& col =
+                    t->def().columns[stage.driving_column].name;
+                count(&ExecStats::index_lookups);
+                for (RowId id :
+                     t->index_lookup(col, stage.driving_eq_literal->literal))
+                    accept(id);
                 return;
             }
 
@@ -706,6 +727,9 @@ private:
             }
 
             if (stage.range_column >= 0) {
+                // Stage 0 reaches here too: literal bounds evaluate against
+                // the (empty) outer context and binary-search the driving
+                // table's ordered index instead of scanning it.
                 const std::string& col =
                     t->def().columns[stage.range_column].name;
                 Value lo, hi;
@@ -728,7 +752,7 @@ private:
                 return;
             }
 
-            count(&ExecStats::nested_loop_joins);
+            if (s > 0) count(&ExecStats::nested_loop_joins);
             for (RowId id = 0; id < t->row_count(); ++id) accept(id);
         };
 
@@ -1001,11 +1025,11 @@ std::string ResultSet::to_string() const {
 }
 
 ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats,
-                  const CancelToken& cancel) {
+                  const CancelToken& cancel, const PlannerOptions* planner) {
     Statement stmt = parse(sql);
     switch (stmt.kind) {
         case Statement::Kind::kSelect:
-            return execute_select(db, stmt.select, stats, cancel);
+            return execute_select(db, stmt.select, stats, cancel, planner);
         case Statement::Kind::kInsert: {
             Table* t = db.table(stmt.insert.table);
             if (t == nullptr)
@@ -1058,7 +1082,12 @@ ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats,
 }
 
 ResultSet execute_select(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
-                         const CancelToken& cancel) {
+                         const CancelToken& cancel,
+                         const PlannerOptions* planner) {
+    PlannerOptions popts = planner != nullptr ? *planner : PlannerOptions{};
+    // The cost-based pass only changes anything for joins; single-table
+    // statements already get their access path from build_stages().
+    if (popts.enable && !stmt.joins.empty()) plan_select(db, stmt, popts);
     SelectExecutor executor(db, stmt, stats, cancel);
     return executor.run();
 }

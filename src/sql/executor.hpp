@@ -22,6 +22,7 @@
 #include "common/cancel.hpp"
 #include "rdb/database.hpp"
 #include "sql/ast.hpp"
+#include "sql/planner.hpp"
 
 namespace xr::sql {
 
@@ -118,18 +119,23 @@ inline constexpr std::size_t kCancelPollInterval = 64;
 /// may share `db` — under a rdb::ReadSnapshot for SELECTs — and may share
 /// one `stats` object.  `cancel` is polled cooperatively (see
 /// kCancelPollInterval); the default inert token never fires and costs
-/// nothing.
+/// nothing.  `planner` configures the cost-based pass for SELECTs
+/// (DESIGN.md §13); nullptr means default options (planner on).
 ResultSet execute(rdb::Database& db, std::string_view sql,
                   ExecStats* stats = nullptr,
-                  const CancelToken& cancel = {});
+                  const CancelToken& cancel = {},
+                  const PlannerOptions* planner = nullptr);
 
 /// Execute an already-parsed SELECT.  Binding annotations are written into
-/// the AST, so the statement is taken by mutable reference; re-execution of
-/// the same statement is fine (binding is idempotent), but two *threads*
-/// must not share one SelectStmt — give each its own parse (the query
-/// service does exactly that; plan caching caches SQL text, not ASTs).
+/// the AST — and the cost-based planner may rewrite the join order in
+/// place — so the statement is taken by mutable reference; re-execution of
+/// the same statement is fine (binding and planning are idempotent), but
+/// two *threads* must not share one SelectStmt — give each its own parse
+/// (the query service does exactly that; plan caching caches SQL text,
+/// not ASTs).
 ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
                          ExecStats* stats = nullptr,
-                         const CancelToken& cancel = {});
+                         const CancelToken& cancel = {},
+                         const PlannerOptions* planner = nullptr);
 
 }  // namespace xr::sql

@@ -1,0 +1,688 @@
+#include "sql/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+namespace xr::sql {
+
+namespace {
+
+using rdb::Table;
+using rdb::Value;
+
+constexpr double kInf = 1e300;
+
+double lg(double x) { return std::log2(x < 2.0 ? 2.0 : x); }
+
+double clamp_sel(double s) {
+    if (s < 1e-4) return 1e-4;
+    if (s > 1.0) return 1.0;
+    return s;
+}
+
+bool numeric(const Value& v, double& out) {
+    switch (v.type()) {
+        case rdb::ValueType::kInteger: out = static_cast<double>(v.as_integer()); return true;
+        case rdb::ValueType::kReal: out = v.as_real(); return true;
+        default: return false;
+    }
+}
+
+/// Per-table planning state: statistics-backed cardinality, the product
+/// of single-table predicate selectivities, and stage-0 access hints
+/// (what the executor can do when this table drives the pipeline).
+struct TableInfo {
+    TableRef ref;
+    Table* table = nullptr;
+    double rows = 0;
+    double local_sel = 1.0;
+    bool index_eq = false;  ///< literal equality on an indexed column
+    double index_eq_sel = 1.0;
+    std::string index_eq_col;
+    bool range_lit = false;  ///< literal bound on an ordered-indexed column
+    double range_lit_sel = 1.0;
+    std::string range_lit_col;
+};
+
+/// `col(t,c) = <expr over others>` — a probe the executor can drive when
+/// every `others` table is already placed.
+struct ProbeCand {
+    int t = -1;
+    int c = -1;
+    std::uint64_t others = 0;  ///< bitmask of tables the outer side reads
+};
+
+/// `col(t,c) OP <expr over others>` (normalized direction) — a range
+/// bound answerable by the ordered index once `others` are placed.
+struct RangeCand {
+    int t = -1;
+    int c = -1;
+    std::uint64_t others = 0;
+    bool lower = false;  ///< col > expr
+};
+
+struct Conjunct {
+    const Expr* expr = nullptr;
+    std::uint64_t tables = 0;  ///< bitmask of referenced tables
+    double sel = 0.5;
+    std::vector<ProbeCand> eq;
+    std::vector<RangeCand> range;
+};
+
+/// Column binding against the FROM/JOIN tables — same rules as the
+/// executor's binder, but failure is a "don't plan" signal, not an error
+/// (the executor will produce the diagnostic).
+class Resolver {
+public:
+    explicit Resolver(const std::vector<TableInfo>& tables) : tables_(tables) {}
+
+    [[nodiscard]] bool bind(Expr& e) const {
+        switch (e.kind) {
+            case Expr::Kind::kColumn:
+                return resolve(e);
+            case Expr::Kind::kBinary:
+                return bind(*e.left) && bind(*e.right);
+            case Expr::Kind::kNot:
+            case Expr::Kind::kIsNull:
+                return bind(*e.right);
+            case Expr::Kind::kAggregate:
+                return e.right == nullptr ||
+                       e.right->kind == Expr::Kind::kStar || bind(*e.right);
+            default:
+                return true;
+        }
+    }
+
+private:
+    const std::vector<TableInfo>& tables_;
+
+    [[nodiscard]] bool resolve(Expr& e) const {
+        if (!e.table.empty()) {
+            for (std::size_t t = 0; t < tables_.size(); ++t) {
+                if (tables_[t].ref.effective_alias() != e.table) continue;
+                int c = tables_[t].table->def().column_index(e.column);
+                if (c < 0) return false;
+                e.bound_table = static_cast<int>(t);
+                e.bound_column = c;
+                return true;
+            }
+            return false;
+        }
+        int found_t = -1, found_c = -1;
+        for (std::size_t t = 0; t < tables_.size(); ++t) {
+            int c = tables_[t].table->def().column_index(e.column);
+            if (c < 0) continue;
+            if (found_t >= 0) return false;  // ambiguous
+            found_t = static_cast<int>(t);
+            found_c = c;
+        }
+        if (found_t < 0) return false;
+        e.bound_table = found_t;
+        e.bound_column = found_c;
+        return true;
+    }
+};
+
+std::uint64_t expr_tables(const Expr& e) {
+    switch (e.kind) {
+        case Expr::Kind::kColumn:
+            return e.bound_table >= 0 ? (std::uint64_t{1} << e.bound_table) : 0;
+        case Expr::Kind::kBinary:
+            return expr_tables(*e.left) | expr_tables(*e.right);
+        case Expr::Kind::kNot:
+        case Expr::Kind::kIsNull:
+            return expr_tables(*e.right);
+        case Expr::Kind::kAggregate:
+            return e.right != nullptr && e.right->kind != Expr::Kind::kStar
+                       ? expr_tables(*e.right)
+                       : 0;
+        default:
+            return 0;
+    }
+}
+
+/// NDV of a column: primary keys are unique by construction; otherwise
+/// the statistics sketch answers, 0 meaning "unknown".
+double col_ndv(const TableInfo& ti, int c) {
+    if (ti.table->def().columns[c].primary_key) return ti.rows;
+    const auto& cols = ti.table->stats().columns;
+    if (static_cast<std::size_t>(c) < cols.size()) {
+        std::uint64_t n = cols[c].ndv();
+        if (n > 0) return static_cast<double>(n);
+    }
+    return 0;
+}
+
+double eq_sel(const TableInfo& ti, int c) {
+    double ndv = col_ndv(ti, c);
+    return ndv > 0 ? 1.0 / ndv : 0.1;
+}
+
+/// Selectivity of `col OP literal` (already normalized so the column is
+/// on the left).  Ranges interpolate against the statistics min/max.
+double cmp_sel(const TableInfo& ti, int c, BinaryOp op, const Value& lit) {
+    switch (op) {
+        case BinaryOp::kEq:
+            return eq_sel(ti, c);
+        case BinaryOp::kNe:
+            return 1.0 - eq_sel(ti, c);
+        case BinaryOp::kLike:
+            return 0.25;
+        default:
+            break;
+    }
+    const auto& cols = ti.table->stats().columns;
+    double v = 0, lo = 0, hi = 0;
+    if (static_cast<std::size_t>(c) < cols.size() && numeric(lit, v) &&
+        numeric(cols[c].min, lo) && numeric(cols[c].max, hi) && hi > lo) {
+        double frac = (v - lo) / (hi - lo);
+        frac = std::clamp(frac, 0.0, 1.0);
+        bool below = op == BinaryOp::kLt || op == BinaryOp::kLe;
+        return clamp_sel(below ? frac : 1.0 - frac);
+    }
+    return 1.0 / 3.0;
+}
+
+/// Selectivity of a single-table predicate subtree.
+double estimate_sel(const Expr& e, const TableInfo& ti) {
+    switch (e.kind) {
+        case Expr::Kind::kBinary: {
+            if (e.op == BinaryOp::kAnd)
+                return clamp_sel(estimate_sel(*e.left, ti) *
+                                 estimate_sel(*e.right, ti));
+            if (e.op == BinaryOp::kOr) {
+                double a = estimate_sel(*e.left, ti);
+                double b = estimate_sel(*e.right, ti);
+                return clamp_sel(a + b - a * b);
+            }
+            const Expr *col = nullptr, *lit = nullptr;
+            bool col_left = true;
+            if (e.left->kind == Expr::Kind::kColumn &&
+                e.right->kind == Expr::Kind::kLiteral) {
+                col = e.left.get();
+                lit = e.right.get();
+            } else if (e.right->kind == Expr::Kind::kColumn &&
+                       e.left->kind == Expr::Kind::kLiteral) {
+                col = e.right.get();
+                lit = e.left.get();
+                col_left = false;
+            }
+            if (col != nullptr) {
+                BinaryOp op = e.op;
+                if (!col_left) {  // literal OP col: flip the direction
+                    switch (op) {
+                        case BinaryOp::kLt: op = BinaryOp::kGt; break;
+                        case BinaryOp::kLe: op = BinaryOp::kGe; break;
+                        case BinaryOp::kGt: op = BinaryOp::kLt; break;
+                        case BinaryOp::kGe: op = BinaryOp::kLe; break;
+                        default: break;
+                    }
+                }
+                return cmp_sel(ti, col->bound_column, op, lit->literal);
+            }
+            switch (e.op) {
+                case BinaryOp::kEq: return 0.1;
+                case BinaryOp::kNe: return 0.9;
+                case BinaryOp::kLt:
+                case BinaryOp::kLe:
+                case BinaryOp::kGt:
+                case BinaryOp::kGe: return 1.0 / 3.0;
+                case BinaryOp::kLike: return 0.25;
+                default: return 0.5;
+            }
+        }
+        case Expr::Kind::kNot:
+            return clamp_sel(1.0 - estimate_sel(*e.right, ti));
+        case Expr::Kind::kIsNull: {
+            const auto& cols = ti.table->stats().columns;
+            double base = 0.1;
+            const std::uint64_t covered = ti.table->stats().rows;
+            if (e.right->kind == Expr::Kind::kColumn && covered > 0 &&
+                static_cast<std::size_t>(e.right->bound_column) < cols.size())
+                base = static_cast<double>(cols[e.right->bound_column].nulls) /
+                       static_cast<double>(covered);
+            return clamp_sel(e.negated ? 1.0 - base : base);
+        }
+        default:
+            return 0.5;
+    }
+}
+
+/// The executor's driving-table (stage 0) rules, mirrored: literal
+/// equality needs any index; a literal range bound needs the ordered one.
+void note_driving_hints(TableInfo& ti, const Expr& e) {
+    if (e.kind != Expr::Kind::kBinary) return;
+    const Expr *col = nullptr, *other = nullptr;
+    bool col_left = true;
+    auto pick = [&](const Expr* a, const Expr* b, bool left) {
+        if (col == nullptr && a->kind == Expr::Kind::kColumn &&
+            expr_tables(*b) == 0) {
+            col = a;
+            other = b;
+            col_left = left;
+        }
+    };
+    pick(e.left.get(), e.right.get(), true);
+    pick(e.right.get(), e.left.get(), false);
+    if (col == nullptr) return;
+    const std::string& name =
+        ti.table->def().columns[col->bound_column].name;
+    if (e.op == BinaryOp::kEq && other->kind == Expr::Kind::kLiteral &&
+        ti.table->has_index(name)) {
+        if (!ti.index_eq) {
+            ti.index_eq = true;
+            ti.index_eq_sel = eq_sel(ti, col->bound_column);
+            ti.index_eq_col = name;
+        }
+        return;
+    }
+    bool is_range = e.op == BinaryOp::kLt || e.op == BinaryOp::kLe ||
+                    e.op == BinaryOp::kGt || e.op == BinaryOp::kGe;
+    if (is_range && ti.table->has_ordered_index(name)) {
+        BinaryOp op = e.op;
+        if (!col_left) {
+            switch (op) {
+                case BinaryOp::kLt: op = BinaryOp::kGt; break;
+                case BinaryOp::kLe: op = BinaryOp::kGe; break;
+                case BinaryOp::kGt: op = BinaryOp::kLt; break;
+                case BinaryOp::kGe: op = BinaryOp::kLe; break;
+                default: break;
+            }
+        }
+        double sel = other->kind == Expr::Kind::kLiteral
+                         ? cmp_sel(ti, col->bound_column, op, other->literal)
+                         : 1.0 / 3.0;
+        if (!ti.range_lit) {
+            ti.range_lit = true;
+            ti.range_lit_sel = sel;
+            ti.range_lit_col = name;
+        } else if (ti.range_lit_col == name) {
+            ti.range_lit_sel = clamp_sel(ti.range_lit_sel * sel);
+        }
+    }
+}
+
+struct StepEval {
+    AccessPath path = AccessPath::kNestedLoop;
+    std::string detail;
+    double cost = 0;
+    double out = 0;
+};
+
+/// Cost of appending table `t` to the placed set `mask` (cardinality
+/// `card_in`), choosing the access path the executor would derive for
+/// that position.
+StepEval eval_step(const std::vector<TableInfo>& tables,
+                   const std::vector<Conjunct>& joins, std::uint64_t mask,
+                   int t, double card_in) {
+    const TableInfo& ti = tables[t];
+    StepEval ev;
+    double rows = ti.rows < 0 ? 0 : ti.rows;
+
+    if (mask == 0) {
+        ev.out = rows * ti.local_sel;
+        if (ti.index_eq) {
+            ev.path = AccessPath::kIndexEq;
+            ev.detail = ti.index_eq_col;
+            ev.cost = 1.0 + rows * ti.index_eq_sel;
+        } else if (ti.range_lit) {
+            ev.path = AccessPath::kRange;
+            ev.detail = ti.range_lit_col;
+            ev.cost = lg(rows) + rows * ti.range_lit_sel;
+        } else {
+            ev.path = AccessPath::kScan;
+            ev.cost = rows;
+        }
+        return ev;
+    }
+
+    std::uint64_t placed = mask | (std::uint64_t{1} << t);
+    std::uint64_t tbit = std::uint64_t{1} << t;
+    double join_sel = 1.0;
+    const ProbeCand* probe = nullptr;
+    const RangeCand* range = nullptr;
+    for (const auto& cj : joins) {
+        if ((cj.tables & tbit) == 0) continue;
+        if ((cj.tables & ~placed) != 0) continue;  // references unplaced tables
+        join_sel *= cj.sel;
+        if (probe == nullptr) {
+            for (const auto& cand : cj.eq)
+                if (cand.t == t && (cand.others & ~mask) == 0 &&
+                    (cand.others & tbit) == 0) {
+                    probe = &cand;
+                    break;
+                }
+        }
+        if (probe == nullptr && range == nullptr) {
+            for (const auto& cand : cj.range) {
+                if (cand.t != t || (cand.others & ~mask) != 0 ||
+                    (cand.others & tbit) != 0)
+                    continue;
+                const std::string& name =
+                    ti.table->def().columns[cand.c].name;
+                if (!ti.table->has_ordered_index(name)) continue;
+                range = &cand;
+                break;
+            }
+        }
+    }
+
+    double matches = rows * ti.local_sel * join_sel;
+    ev.out = card_in * matches;
+    if (probe != nullptr) {
+        const auto& coldef = ti.table->def().columns[probe->c];
+        ev.detail = coldef.name;
+        if (ti.table->has_index(coldef.name) || coldef.primary_key) {
+            ev.path = AccessPath::kProbe;
+            ev.cost = card_in * (1.0 + matches);
+        } else {
+            ev.path = AccessPath::kHashProbe;
+            ev.cost = rows + card_in * (1.0 + matches);
+        }
+    } else if (range != nullptr) {
+        ev.path = AccessPath::kRange;
+        ev.detail = ti.table->def().columns[range->c].name;
+        ev.cost = card_in * (lg(rows) + 1.0 + matches);
+    } else {
+        ev.path = AccessPath::kNestedLoop;
+        ev.cost = card_in * (rows < 1.0 ? 1.0 : rows);
+    }
+    return ev;
+}
+
+struct PathState {
+    double cost = kInf;
+    double card = 0;
+    std::vector<int> order;
+    std::vector<StepEval> steps;
+};
+
+PathState extend(const PathState& s, const std::vector<TableInfo>& tables,
+                 const std::vector<Conjunct>& joins, std::uint64_t mask,
+                 int t) {
+    PathState next = s;
+    StepEval ev = eval_step(tables, joins, mask, t, s.card);
+    next.cost = (s.cost >= kInf ? 0 : s.cost) + ev.cost;
+    next.card = ev.out;
+    next.order.push_back(t);
+    next.steps.push_back(std::move(ev));
+    return next;
+}
+
+/// Move every ON conjunct into WHERE and rewrite FROM/JOIN into `order`.
+/// All joins in this dialect are inner, so the merge and the reorder are
+/// result-preserving; the executor re-derives stage access paths (and
+/// residual pushdown) from the conjunct pool for the new order.
+void apply_order(SelectStmt& stmt, const std::vector<int>& order) {
+    std::vector<TableRef> refs;
+    refs.push_back(stmt.from);
+    for (auto& j : stmt.joins) refs.push_back(j.table);
+
+    std::vector<ExprPtr> parts;
+    if (stmt.where) parts.push_back(std::move(stmt.where));
+    for (auto& j : stmt.joins)
+        if (j.on) parts.push_back(std::move(j.on));
+    ExprPtr where;
+    for (auto& p : parts) {
+        where = where ? make_binary(BinaryOp::kAnd, std::move(where),
+                                    std::move(p))
+                      : std::move(p);
+    }
+
+    stmt.from = refs[static_cast<std::size_t>(order[0])];
+    std::vector<JoinClause> joins;
+    joins.reserve(order.size() - 1);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        JoinClause j;
+        j.table = refs[static_cast<std::size_t>(order[i])];
+        joins.push_back(std::move(j));
+    }
+    stmt.joins = std::move(joins);
+    stmt.where = std::move(where);
+}
+
+}  // namespace
+
+std::string_view to_string(AccessPath p) {
+    switch (p) {
+        case AccessPath::kScan: return "scan";
+        case AccessPath::kIndexEq: return "index_eq";
+        case AccessPath::kRange: return "range";
+        case AccessPath::kProbe: return "probe";
+        case AccessPath::kHashProbe: return "hash";
+        case AccessPath::kNestedLoop: return "nested_loop";
+    }
+    return "?";
+}
+
+std::string PlanInfo::shape() const {
+    std::string out;
+    for (const auto& s : stages) {
+        if (!out.empty()) out += ' ';
+        out += xr::sql::to_string(s.path);
+        out += '(';
+        out += s.alias;
+        if (!s.detail.empty()) {
+            out += '.';
+            out += s.detail;
+        }
+        out += ')';
+    }
+    return out;
+}
+
+std::string PlanInfo::to_string() const {
+    std::ostringstream out;
+    out << std::setprecision(4);
+    out << "plan: cost=" << total_cost << " est_rows=" << est_rows
+        << " stats_epoch=" << stats_epoch;
+    if (reordered) out << " (reordered)";
+    if (!planned) out << " (as written; not planned)";
+    for (const auto& s : stages) {
+        out << "\n  " << s.alias << " [" << s.table << "] "
+            << xr::sql::to_string(s.path);
+        if (!s.detail.empty()) out << " on " << s.detail;
+        out << "  est_rows=" << s.est_rows << " cost=" << s.est_cost;
+    }
+    return out.str();
+}
+
+PlanInfo plan_select(rdb::Database& db, SelectStmt& stmt,
+                     const PlannerOptions& options) {
+    PlanInfo info;
+    info.stats_epoch = db.stats_epoch();
+
+    std::vector<TableInfo> tables;
+    auto add = [&](const TableRef& ref) {
+        Table* t = db.table(ref.table);
+        if (t == nullptr) return false;
+        TableInfo ti;
+        ti.ref = ref;
+        ti.table = t;
+        ti.rows = static_cast<double>(t->row_count());
+        tables.push_back(std::move(ti));
+        return true;
+    };
+    if (!add(stmt.from)) return info;
+    for (auto& j : stmt.joins)
+        if (!add(j.table)) return info;
+    std::size_t n = tables.size();
+    if (n == 0 || n > 63) return info;
+
+    bool has_star = false;
+    for (const auto& item : stmt.items)
+        if (item.star) has_star = true;
+
+    Resolver resolver(tables);
+    for (auto& j : stmt.joins)
+        if (j.on && !resolver.bind(*j.on)) return info;
+    if (stmt.where && !resolver.bind(*stmt.where)) return info;
+
+    // Split the predicate pool into conjuncts, the order the executor
+    // sees them in (ON clauses in join order, then WHERE).
+    std::vector<const Expr*> leaves;
+    std::function<void(const Expr*)> walk = [&](const Expr* e) {
+        if (e->kind == Expr::Kind::kBinary && e->op == BinaryOp::kAnd) {
+            walk(e->left.get());
+            walk(e->right.get());
+            return;
+        }
+        leaves.push_back(e);
+    };
+    for (const auto& j : stmt.joins)
+        if (j.on) walk(j.on.get());
+    if (stmt.where) walk(stmt.where.get());
+
+    std::vector<Conjunct> joins;  // multi-table conjuncts only
+    for (const Expr* e : leaves) {
+        std::uint64_t refs = expr_tables(*e);
+        int popcount = 0;
+        for (std::uint64_t m = refs; m != 0; m &= m - 1) ++popcount;
+        if (popcount <= 1) {
+            if (popcount == 1) {
+                int t = 0;
+                while ((refs & (std::uint64_t{1} << t)) == 0) ++t;
+                tables[t].local_sel = clamp_sel(
+                    tables[t].local_sel * estimate_sel(*e, tables[t]));
+                note_driving_hints(tables[t], *e);
+            }
+            continue;  // table-free conjuncts don't affect ordering
+        }
+        Conjunct cj;
+        cj.expr = e;
+        cj.tables = refs;
+        if (e->kind == Expr::Kind::kBinary) {
+            auto cand_sides = [&](const Expr* a, const Expr* b, bool left) {
+                if (a->kind != Expr::Kind::kColumn) return;
+                std::uint64_t others = expr_tables(*b);
+                if (e->op == BinaryOp::kEq) {
+                    cj.eq.push_back({a->bound_table, a->bound_column, others});
+                } else if (e->op == BinaryOp::kLt || e->op == BinaryOp::kLe ||
+                           e->op == BinaryOp::kGt || e->op == BinaryOp::kGe) {
+                    bool greater =
+                        e->op == BinaryOp::kGt || e->op == BinaryOp::kGe;
+                    if (!left) greater = !greater;
+                    cj.range.push_back(
+                        {a->bound_table, a->bound_column, others, greater});
+                }
+            };
+            cand_sides(e->left.get(), e->right.get(), true);
+            cand_sides(e->right.get(), e->left.get(), false);
+            if (e->op == BinaryOp::kEq) {
+                // 1/max(ndv) over the bare-column sides; both unknown
+                // falls back to a generic equi-join guess.
+                double ndv = 0;
+                for (const auto& cand : cj.eq)
+                    ndv = std::max(ndv, col_ndv(tables[cand.t], cand.c));
+                cj.sel = ndv > 0 ? 1.0 / ndv : 0.05;
+            } else {
+                cj.sel = 1.0 / 3.0;  // refined below for containment pairs
+            }
+        }
+        joins.push_back(std::move(cj));
+    }
+
+    // Containment-pair refinement: a lower and an upper bound on the same
+    // column of the same table, both provided by one other table (the
+    // `a.pre < d.pre AND d.pre < a.post` interval join), select together
+    // roughly one ancestor per bounded row — 1/rows(bounder) — instead of
+    // two independent thirds.
+    for (std::size_t i = 0; i < joins.size(); ++i) {
+        for (const auto& ci : joins[i].range) {
+            if (!ci.lower) continue;
+            for (std::size_t j = 0; j < joins.size(); ++j) {
+                if (j == i) continue;
+                for (const auto& cjr : joins[j].range) {
+                    if (cjr.lower || cjr.t != ci.t || cjr.c != ci.c ||
+                        cjr.others != ci.others)
+                        continue;
+                    int popcount = 0;
+                    for (std::uint64_t m = ci.others; m != 0; m &= m - 1)
+                        ++popcount;
+                    if (popcount != 1) continue;
+                    int other = 0;
+                    while ((ci.others & (std::uint64_t{1} << other)) == 0)
+                        ++other;
+                    double r = tables[other].rows;
+                    joins[i].sel = clamp_sel(r > 1.0 ? 1.0 / r : 1.0);
+                    joins[j].sel = 1.0;
+                }
+            }
+        }
+    }
+
+    info.planned = true;
+
+    // As-written baseline.
+    PathState base;
+    base.cost = kInf;
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        base = extend(base, tables, joins, mask, static_cast<int>(i));
+        mask |= std::uint64_t{1} << i;
+    }
+
+    PathState winner = base;
+    bool try_reorder = options.enable && n >= 2 && !has_star;
+    if (try_reorder && n <= options.dp_table_limit) {
+        // Selinger-style exhaustive left-deep DP over subsets.
+        std::vector<PathState> best(std::size_t{1} << n);
+        for (std::size_t t = 0; t < n; ++t)
+            best[std::size_t{1} << t] = extend(PathState{}, tables, joins, 0,
+                                               static_cast<int>(t));
+        for (std::uint64_t m = 1; m < (std::uint64_t{1} << n); ++m) {
+            if (best[m].cost >= kInf) continue;
+            for (std::size_t t = 0; t < n; ++t) {
+                std::uint64_t bit = std::uint64_t{1} << t;
+                if ((m & bit) != 0) continue;
+                PathState cand =
+                    extend(best[m], tables, joins, m, static_cast<int>(t));
+                PathState& slot = best[m | bit];
+                if (cand.cost < slot.cost) slot = std::move(cand);
+            }
+        }
+        PathState& full = best[(std::uint64_t{1} << n) - 1];
+        if (full.cost < winner.cost * 0.99) winner = std::move(full);
+    } else if (try_reorder) {
+        // Greedy: cheapest driving table, then min-cost-increment.
+        PathState g;
+        std::uint64_t placed = 0;
+        for (std::size_t step = 0; step < n; ++step) {
+            PathState pick;
+            for (std::size_t t = 0; t < n; ++t) {
+                std::uint64_t bit = std::uint64_t{1} << t;
+                if ((placed & bit) != 0) continue;
+                PathState cand =
+                    extend(g, tables, joins, placed, static_cast<int>(t));
+                if (cand.cost < pick.cost ||
+                    (cand.cost == pick.cost && cand.card < pick.card))
+                    pick = std::move(cand);
+            }
+            placed |= std::uint64_t{1} << pick.order.back();
+            g = std::move(pick);
+        }
+        if (g.cost < winner.cost * 0.99) winner = std::move(g);
+    }
+
+    std::vector<int> identity(n);
+    for (std::size_t i = 0; i < n; ++i) identity[i] = static_cast<int>(i);
+    info.reordered = winner.order != identity;
+    info.total_cost = winner.cost;
+    info.est_rows = winner.card;
+    info.stages.reserve(n);
+    for (std::size_t i = 0; i < winner.order.size(); ++i) {
+        const TableInfo& ti = tables[static_cast<std::size_t>(winner.order[i])];
+        const StepEval& ev = winner.steps[i];
+        info.stages.push_back({ti.ref.effective_alias(), ti.ref.table, ev.path,
+                               ev.detail, ev.out, ev.cost});
+    }
+
+    if (info.reordered) apply_order(stmt, winner.order);
+    return info;
+}
+
+}  // namespace xr::sql

@@ -1,0 +1,90 @@
+// Cost-based planning for SELECTs over MiniRDB (DESIGN.md §13).
+//
+// The xquery translator emits join chains in *path order* — fine for
+// `/a/b/c` walked root-down, terrible when the selective predicate sits
+// at the tail of the chain.  plan_select() re-costs the translated (or
+// hand-written) statement using per-table statistics (rdb/stats.hpp):
+// sargable single-table predicates estimate per-table selectivity,
+// equi-/range-join conjuncts estimate join selectivity, and a Selinger-
+// style left-deep search (exhaustive DP up to dp_table_limit tables,
+// greedy beyond) picks the join order with the cheapest access-path-
+// aware cost.  The winning order is written back into the statement —
+// ON conjuncts merge into WHERE (all joins in this dialect are inner),
+// and the executor's existing stage builder then re-derives index
+// probes, range scans and residual placement for the new order, which
+// is also what pushes sargable predicates to their earliest stage.
+//
+// The pass is purely a rewrite: it never changes the result multiset,
+// only the enumeration order — verified continuously by the SQL-vs-DOM
+// differential fuzzer running with the planner on and off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdb/database.hpp"
+#include "sql/ast.hpp"
+
+namespace xr::sql {
+
+struct PlannerOptions {
+    /// Master switch: off leaves the statement exactly as written (the
+    /// as-translated baseline the fuzzer and benches compare against).
+    bool enable = true;
+    /// Exhaustive dynamic-programming join search up to this many tables;
+    /// larger chains fall back to a greedy min-cost-increment order.
+    std::size_t dp_table_limit = 7;
+};
+
+/// Access path the executor will use for one stage of the chosen order.
+enum class AccessPath {
+    kScan,        ///< full scan of the driving table
+    kIndexEq,     ///< driving table: literal equality via index
+    kRange,       ///< binary-searched range on an ordered index
+    kProbe,       ///< equi-join probe via existing index / pk lookup
+    kHashProbe,   ///< equi-join probe via ad-hoc hash build
+    kNestedLoop,  ///< no usable join conjunct: scan per outer row
+};
+
+[[nodiscard]] std::string_view to_string(AccessPath p);
+
+/// One stage of the (re)ordered pipeline, for EXPLAIN and plan-shape
+/// tests.  est_rows is the estimated *cumulative* cardinality after the
+/// stage; est_cost the stage's incremental cost in row-visit units.
+struct StagePlan {
+    std::string alias;
+    std::string table;
+    AccessPath path = AccessPath::kScan;
+    std::string detail;  ///< column driving the access path, if any
+    double est_rows = 0;
+    double est_cost = 0;
+};
+
+struct PlanInfo {
+    bool planned = false;    ///< the pass ran (resolvable tables)
+    bool reordered = false;  ///< chosen order differs from as-written
+    double total_cost = 0;
+    double est_rows = 0;     ///< final cardinality estimate
+    std::uint64_t stats_epoch = 0;
+    std::vector<StagePlan> stages;  ///< in chosen execution order
+
+    /// Compact plan fingerprint for golden tests: one token per stage,
+    /// `path(alias)` or `path(alias.column)`, space-separated.
+    [[nodiscard]] std::string shape() const;
+    /// Multi-line EXPLAIN rendering with costs.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Cost and (when options.enable and it wins) reorder `stmt` in place.
+/// Reads table statistics under whatever latch the caller already holds
+/// (the query service plans inside its ReadSnapshot).  Statements the
+/// pass cannot reason about — unknown tables, ambiguous columns, `SELECT
+/// *` with joins (column order depends on table order) — are left
+/// untouched with planned=false; the executor then reports the error or
+/// runs the statement as written.
+PlanInfo plan_select(rdb::Database& db, SelectStmt& stmt,
+                     const PlannerOptions& options = {});
+
+}  // namespace xr::sql

@@ -7,9 +7,10 @@ Translation TranslationCache::get(const PathQuery& query) {
 }
 
 Translation TranslationCache::get(const PathQuery& query,
-                                  const TranslateOptions& options) {
-    std::string key =
-        (options.use_struct_index ? "S:" : "L:") + query.to_string();
+                                  const TranslateOptions& options,
+                                  std::uint64_t stats_epoch) {
+    std::string key = (options.use_struct_index ? "S:" : "L:") +
+                      std::to_string(stats_epoch) + ":" + query.to_string();
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {

@@ -14,7 +14,10 @@
 // oracle: the structural interval plan (DESIGN.md §10), the DOM, and —
 // when it exists — the legacy join-chain expansion, each required to
 // agree.  Legacy legs that are untranslatable (ambiguous chains) are
-// fine; the interval plan is the one that must always work.
+// fine; the interval plan is the one that must always work.  A sampled
+// planner-off leg re-executes queries with the cost-based join reorder
+// (DESIGN.md §13) disabled, so planned and as-written orders are both
+// held to the DOM's answer.
 //
 // Replayable: the base seed prints at the start of the run and every
 // divergence reports the DTD seed plus the exact query text.  Override
@@ -302,6 +305,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     std::uint64_t attempts = 0;
     std::uint64_t interval_plans = 0;
     std::uint64_t legacy_runs = 0;
+    std::uint64_t planner_off_runs = 0;
     while (compared < target) {
         ASSERT_LT(attempts, target * 20)
             << "fuzzer can't reach " << target << " translatable queries: "
@@ -322,6 +326,22 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
         expect_agreement(w, text, t, *rs);
         if (::testing::Test::HasFailure()) break;
         ++compared;
+        // Planner-off oracle: the cost-based pass may have reordered the
+        // translated joins; re-running with the planner disabled (every
+        // third query — it is the same SQL, so sample) must agree with
+        // the DOM too.  The "np:" result-cache namespace guarantees this
+        // is a genuine re-execution, not a cache hit on the planned run.
+        if (attempts % 3 == 0) {
+            w.service->set_planner(false);
+            query::QueryService::Result np_rs = w.service->path(text);
+            ++planner_off_runs;
+            expect_agreement(w, text, t, *np_rs);
+            w.service->set_planner(true);
+            if (::testing::Test::HasFailure()) break;
+        }
+        // Halfway through, rebuild one world's statistics: the epoch bump
+        // must re-key cached plans, never corrupt in-flight serving.
+        if (compared == target / 2) w.stack->db.analyze();
         if (!t.interval_plan) continue;
         // Third leg: the legacy join-chain expansion, when one exists,
         // must agree with the interval plan (and hence with the DOM).
@@ -348,9 +368,11 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     // translate; a skip-dominated run means the generator regressed.
     EXPECT_LT(skipped, attempts / 2)
         << compared << " compared vs " << skipped << " skipped";
+    EXPECT_GT(planner_off_runs, 0u);
     std::cout << "[query-diff] " << compared << " agreements ("
               << interval_plans << " interval plans, " << legacy_runs
-              << " with a legacy leg), " << skipped
+              << " with a legacy leg, " << planner_off_runs
+              << " planner-off), " << skipped
               << " untranslatable (skipped), across " << worlds.size()
               << " random DTDs\n";
 
@@ -358,7 +380,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     // check the serving layer actually sat in the compared path.
     std::uint64_t served = 0;
     for (const auto& w : worlds) served += w->service->stats().path_queries;
-    EXPECT_EQ(served, compared + legacy_runs);
+    EXPECT_EQ(served, compared + legacy_runs + planner_off_runs);
 }
 
 }  // namespace
