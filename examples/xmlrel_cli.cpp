@@ -50,6 +50,14 @@
 //       --analyze rebuilds table statistics (ANALYZE) after loading and
 //       prints the report; --no-planner disables the cost-based join
 //       reordering so statements run exactly as translated/written.
+//       --verify runs the online integrity checker after loading and
+//       prints the report (exit 1 if it finds errors); --salvage opens
+//       --data-dir in salvage mode — corrupt snapshot sections and WAL
+//       records are skipped instead of failing recovery, documents they
+//       damaged are quarantined in xrel_quarantine, and the repaired
+//       state is re-checkpointed.  With --data-dir the <xml-file> list
+//       may be empty, so `load schema.dtd --data-dir d --verify` checks
+//       an existing database and `... --salvage --verify` repairs one.
 //
 //   xmlrel_cli validate <dtd-file> <xml-file>...
 //       Validate documents against the DTD and report every issue.
@@ -68,6 +76,7 @@
 #include "loader/reconstruct.hpp"
 #include "mapping/pipeline.hpp"
 #include "query/service.hpp"
+#include "rdb/integrity.hpp"
 #include "rdb/snapshot.hpp"
 #include "rel/materialize.hpp"
 #include "rel/translate.hpp"
@@ -103,7 +112,11 @@ int usage() {
                  "[--serve-threads N] [--cache-mb M] "
                  "[--deadline-ms N] [--max-queue N] [--row-budget N] "
                  "[--no-struct-index] [--explain] [--analyze] "
-                 "[--no-planner]\n";
+                 "[--no-planner] [--verify] [--salvage]\n"
+              << "    (with --data-dir the <xml-file> list may be empty: "
+                 "--verify checks an\n"
+              << "     existing database, --salvage repairs a corrupted "
+                 "one)\n";
     return 2;
 }
 
@@ -164,6 +177,8 @@ int cmd_load(const std::vector<std::string>& args) {
     bool explain = false;
     bool analyze = false;
     bool use_planner = true;
+    bool verify = false;
+    bool salvage = false;
 
     auto parse_policy = [&](const std::string& name) {
         if (name == "fail")
@@ -240,6 +255,10 @@ int cmd_load(const std::vector<std::string>& args) {
             analyze = true;
         } else if (args[i] == "--no-planner") {
             use_planner = false;
+        } else if (args[i] == "--verify") {
+            verify = true;
+        } else if (args[i] == "--salvage") {
+            salvage = true;
         } else if (args[i] == "--on-error" && i + 1 < args.size()) {
             if (!parse_policy(args[++i])) return usage();
         } else if (args[i].rfind("--on-error=", 0) == 0) {
@@ -253,11 +272,19 @@ int cmd_load(const std::vector<std::string>& args) {
             xml_paths.push_back(args[i]);
         }
     }
-    if (dtd_path.empty() || xml_paths.empty()) return usage();
+    // Without --data-dir there is nothing to do but load, so documents
+    // are required; with one, a document-less run can still recover,
+    // verify or salvage an existing database.
+    if (dtd_path.empty()) return usage();
+    if (xml_paths.empty() && data_dir.empty()) return usage();
 
     if ((checkpoint_every > 0 || !use_wal) && data_dir.empty()) {
         std::cerr << "error: --checkpoint-every and --no-wal require "
                      "--data-dir\n";
+        return 2;
+    }
+    if (salvage && data_dir.empty()) {
+        std::cerr << "error: --salvage requires --data-dir\n";
         return 2;
     }
 
@@ -268,6 +295,7 @@ int cmd_load(const std::vector<std::string>& args) {
     if (!data_dir.empty()) {
         xr::rdb::DurabilityOptions dopts;
         dopts.use_wal = use_wal;
+        if (salvage) dopts.recovery = xr::rdb::RecoveryMode::kSalvage;
         xr::rdb::RecoveryReport recovery = db.open(data_dir, dopts);
         std::cout << recovery.to_string() << "\n";
         if (db.table_count() == 0) {
@@ -366,6 +394,12 @@ int cmd_load(const std::vector<std::string>& args) {
     std::cout << "\n";
 
     if (analyze) std::cout << db.analyze().to_string() << "\n";
+
+    if (verify) {
+        xr::rdb::IntegrityReport integrity = db.verify();
+        std::cout << "\n" << integrity.to_string() << "\n";
+        if (!integrity.clean()) return 1;
+    }
 
     // EXPLAIN rendering for a translated path query: the translation
     // summary plus the cost-based plan over the generated SQL.

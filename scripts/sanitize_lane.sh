@@ -2,9 +2,10 @@
 # Sanitizer lanes over the robustness-critical tests.
 #
 # ASan lane (default): the bulk-load pipeline, the fault-injection matrix,
-# the durability layer (snapshots, WAL, crash recovery), the
-# structural-index tests, and the overload/cancellation lifecycle —
-# every code path that handles torn/corrupt input, label arithmetic, or
+# the durability layer (snapshots, WAL, crash recovery), the integrity
+# checker and corruption fuzzers, the structural-index tests, the
+# overload/cancellation lifecycle, and a short torture campaign — every
+# code path that handles torn/corrupt input, label arithmetic, or
 # mid-query unwinding.  The full suite under ASan is slow; these labels
 # are where the sanitizer earns its keep.
 #
@@ -16,7 +17,8 @@
 #
 # UBSan lane (`undefined`): the planner's selectivity/cost arithmetic
 # (double math over row counts, bitmask subset walks), the structural
-# interval label arithmetic and the query fuzzer — the code where a
+# interval label arithmetic, the query fuzzer and the integrity checker
+# (which sums attacker-controlled label spans) — the code where a
 # silent overflow would skew a plan rather than crash.
 #
 # Both ASan and TSan lanes also carry the planner label: statistics are
@@ -32,7 +34,11 @@ LANE=${1:-address}
 case "$LANE" in
   address)
     BUILD_DIR=${2:-build-asan}
-    LABELS='bulk|fault|durability|index|overload|planner'
+    LABELS='bulk|fault|durability|integrity|index|overload|planner|torture'
+    # Keep the sanitized torture leg short; scripts/torture.sh owns the
+    # long campaign on the plain build.
+    XMLREL_TORTURE_ITERS=${XMLREL_TORTURE_ITERS:-10}
+    export XMLREL_TORTURE_ITERS
     ;;
   thread)
     BUILD_DIR=${2:-build-tsan}
@@ -40,7 +46,7 @@ case "$LANE" in
     ;;
   undefined)
     BUILD_DIR=${2:-build-ubsan}
-    LABELS='planner|index|query'
+    LABELS='planner|index|query|integrity'
     ;;
   *)
     echo "usage: $0 [address|thread|undefined] [build-dir]" >&2

@@ -22,6 +22,27 @@ Error::Error(std::string message, SourceLocation where)
       where_(where),
       bare_(std::move(message)) {}
 
+namespace {
+std::string compose_corruption(const std::string& message,
+                               const std::string& file, std::uint64_t offset,
+                               const std::string& section) {
+    std::string where = file;
+    if (!section.empty()) where += (where.empty() ? "" : " ") + section;
+    if (where.empty()) return message;
+    return where + " (byte offset " + std::to_string(offset) + "): " + message;
+}
+}  // namespace
+
+CorruptionError::CorruptionError(std::string message)
+    : Error(std::move(message)) {}
+
+CorruptionError::CorruptionError(std::string message, std::string file,
+                                 std::uint64_t offset, std::string section)
+    : Error(compose_corruption(message, file, offset, section)),
+      file_(std::move(file)),
+      offset_(offset),
+      section_(std::move(section)) {}
+
 Overloaded::Overloaded(std::size_t queue_depth, std::uint64_t retry_after_ms)
     : Error("service overloaded: queue depth " + std::to_string(queue_depth) +
             "; retry after ~" + std::to_string(retry_after_ms) + "ms"),

@@ -122,4 +122,30 @@ public:
     using Error::Error;
 };
 
+// -- storage integrity (DESIGN.md §14) --------------------------------------
+
+/// On-disk state that fails its own self-description: a bad checksum,
+/// an impossible length, an out-of-range id, a record that cannot be
+/// applied.  Carries the artifact (`file`), the byte `offset` of the
+/// damaged frame, and the `section` ("section 3", "record 17") so
+/// callers — recovery, the salvage path, the torture harness — can say
+/// exactly what was damaged rather than "something failed".  Distinct
+/// from ParseError (user input) and SchemaError (caller logic): a
+/// CorruptionError always means the *storage* broke its contract.
+class CorruptionError : public Error {
+public:
+    explicit CorruptionError(std::string message);
+    CorruptionError(std::string message, std::string file,
+                    std::uint64_t offset, std::string section = {});
+
+    [[nodiscard]] const std::string& file() const { return file_; }
+    [[nodiscard]] std::uint64_t offset() const { return offset_; }
+    [[nodiscard]] const std::string& section() const { return section_; }
+
+private:
+    std::string file_;
+    std::uint64_t offset_ = 0;
+    std::string section_;
+};
+
 }  // namespace xr

@@ -1,5 +1,7 @@
 #include "common/fault.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
@@ -51,8 +53,41 @@ const EnvArm g_env_arm;
 
 }  // namespace
 
-void arm(std::string_view point, long countdown, bool abort_instead,
+const std::vector<std::string_view>& known_points() {
+    // Kept in sync with the catalogue comment at the top of fault.hpp
+    // and DESIGN.md §7.  Sorted so the rejection message reads well.
+    static const std::vector<std::string_view> kPoints = {
+        "bulk.merge",       "exec.cancel_poll", "loader.resolve",
+        "loader.shred",     "rdb.index_rebuild", "recovery.replay",
+        "service.admit",    "snapshot.rename",  "snapshot.verify",
+        "snapshot.write",   "wal.append",       "wal.fsync",
+        "write.retry",      "xml.parse",
+    };
+    return kPoints;
+}
+
+bool arm(std::string_view point, long countdown, bool abort_instead,
          long fires) {
+    const auto& known = known_points();
+    if (std::find(known.begin(), known.end(), point) == known.end()) {
+        std::string names;
+        for (std::string_view p : known) {
+            if (!names.empty()) names += ", ";
+            names += p;
+        }
+        std::fprintf(stderr,
+                     "xmlrel: fault: unknown fault point '%.*s' — not arming "
+                     "(known points: %s)\n",
+                     static_cast<int>(point.size()), point.data(),
+                     names.c_str());
+        // A rejected arm still clears any previous arming: the caller
+        // asked for a fresh fault state and must not inherit a stale one.
+        std::scoped_lock lock(g_mutex);
+        g_hits.store(0, std::memory_order_relaxed);
+        g_fired.store(false, std::memory_order_relaxed);
+        detail::g_armed.store(false, std::memory_order_release);
+        return false;
+    }
     std::scoped_lock lock(g_mutex);
     g_point = point;
     g_countdown = countdown < 1 ? 1 : countdown;
@@ -61,6 +96,7 @@ void arm(std::string_view point, long countdown, bool abort_instead,
     g_hits.store(0, std::memory_order_relaxed);
     g_fired.store(false, std::memory_order_relaxed);
     detail::g_armed.store(true, std::memory_order_release);
+    return true;
 }
 
 void disarm() {

@@ -33,11 +33,17 @@
 //   service.admit      per submission, inside QueryService admission
 //   exec.cancel_poll   per cancellation poll in the SQL executor
 //   write.retry        per attempt of QueryService::execute_write
+//   snapshot.verify    before checkpoint() re-reads the snapshot it wrote
+//
+// The catalogue is compiled into known_points(); arm() refuses names
+// that are not in it (a typo'd XMLREL_FAULT_INJECT used to arm a point
+// that could never fire, silently testing nothing).
 #pragma once
 
 #include <atomic>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -69,8 +75,16 @@ inline void maybe_fail(const char* point) {
 /// can be made to exhaust deterministically); the usual one-shot is
 /// fires = 1.  Re-arming replaces any previous arm.  Must not race with
 /// in-flight loads.
-void arm(std::string_view point, long countdown = 1, bool abort_instead = false,
+///
+/// Unknown point names are rejected: a warning goes to stderr, the armed
+/// state is left untouched, and arm() returns false.  Returns true when
+/// the point was armed.
+bool arm(std::string_view point, long countdown = 1, bool abort_instead = false,
          long fires = 1);
+
+/// Every fault-point name compiled into the binary (the catalogue
+/// above), sorted.  arm() accepts exactly these.
+[[nodiscard]] const std::vector<std::string_view>& known_points();
 
 /// Disarm without firing.
 void disarm();

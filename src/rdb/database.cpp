@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fault.hpp"
 #include "rdb/snapshot.hpp"
 #include "rdb/wal.hpp"
 
@@ -65,6 +66,31 @@ Database& Database::operator=(Database&& other) noexcept {
     return *this;
 }
 
+bool SalvageReport::any() const {
+    return snapshot_sections_dropped > 0 || snapshot_bytes_dropped > 0 ||
+           wal_records_skipped > 0 || wal_bytes_dropped > 0 ||
+           wal_segments_missing > 0 || docs_quarantined > 0 || rows_purged > 0;
+}
+
+std::string SalvageReport::to_string() const {
+    if (!attempted) return "salvage: not attempted";
+    if (!any()) return "salvage: nothing to repair";
+    std::ostringstream out;
+    out << "salvage:";
+    if (snapshot_sections_dropped > 0)
+        out << " " << snapshot_sections_dropped << " snapshot section(s) ("
+            << snapshot_bytes_dropped << " bytes) dropped,";
+    if (wal_bytes_dropped > 0)
+        out << " " << wal_bytes_dropped << " unreadable WAL byte(s) dropped,";
+    if (wal_records_skipped > 0)
+        out << " " << wal_records_skipped << " WAL record(s) skipped,";
+    if (wal_segments_missing > 0)
+        out << " " << wal_segments_missing << " WAL segment(s) missing,";
+    out << " " << docs_quarantined << " document(s) quarantined, " << rows_purged
+        << " row(s) purged";
+    return out.str();
+}
+
 std::string RecoveryReport::to_string() const {
     std::ostringstream out;
     out << "recovered '" << dir << "': ";
@@ -82,6 +108,7 @@ std::string RecoveryReport::to_string() const {
     if (units_rolled_back > 0)
         out << ", " << units_rolled_back << " uncommitted unit(s) rolled back";
     out << "; " << rows_restored << " row(s) live";
+    if (salvage.attempted && salvage.any()) out << "; " << salvage.to_string();
     return out.str();
 }
 
@@ -93,6 +120,9 @@ RecoveryReport Database::open(const std::string& dir,
 
     RecoveryReport report;
     report.dir = dir;
+    const bool salvage = opts.recovery == RecoveryMode::kSalvage;
+    SalvageReport& sr = report.salvage;
+    sr.attempted = salvage;
 
     std::vector<std::uint64_t> snaps;
     std::vector<std::uint64_t> wals;
@@ -133,9 +163,41 @@ RecoveryReport Database::open(const std::string& dir,
         report.snapshot_seq = base;
         break;
     }
-    if (!have_snapshot && report.snapshots_skipped > 0 && wals.empty())
-        throw Error("cannot recover '" + dir +
-                    "': every snapshot is corrupt and no WAL segments exist");
+    // No snapshot read cleanly.  Strict recovery can still rebuild from
+    // WAL segments alone; salvage first tries to keep what a partial
+    // read of the newest damaged snapshot yields (a clean *older*
+    // snapshot plus full replay is lossless and already preferred above).
+    if (!have_snapshot && report.snapshots_skipped > 0) {
+        if (salvage) {
+            for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+                std::string path = snapshot_file(dir, *it);
+                Database candidate;
+                SalvageReport trial;
+                try {
+                    read_snapshot_salvage(path, candidate, trial);
+                } catch (const Error& e) {
+                    sr.notes.push_back("unsalvageable snapshot '" + path +
+                                       "': " + e.bare_message());
+                    continue;
+                }
+                scratch = std::move(candidate);
+                base = *it;
+                have_snapshot = true;
+                report.snapshot_path = std::move(path);
+                report.snapshot_seq = base;
+                sr.snapshot_sections_dropped += trial.snapshot_sections_dropped;
+                sr.snapshot_bytes_dropped += trial.snapshot_bytes_dropped;
+                sr.notes.insert(sr.notes.end(), trial.notes.begin(),
+                                trial.notes.end());
+                break;
+            }
+        }
+        if (!have_snapshot && wals.empty())
+            throw CorruptionError(
+                "cannot recover '" + dir +
+                    "': every snapshot is corrupt and no WAL segments exist",
+                dir, 0, "recovery");
+    }
 
     // Replay wal-base .. wal-max in order.  Segments are created eagerly
     // at open/checkpoint, so a hole in that range means a file was lost
@@ -144,14 +206,26 @@ RecoveryReport Database::open(const std::string& dir,
         std::uint64_t max_seq = wals.back();
         for (std::uint64_t seq = base; seq <= max_seq; ++seq) {
             std::string path = wal_file(dir, seq);
-            if (!fs::exists(path))
-                throw Error("cannot recover '" + dir + "': WAL segment " +
+            if (!fs::exists(path)) {
+                if (!salvage)
+                    throw CorruptionError(
+                        "cannot recover '" + dir + "': WAL segment " +
                             std::to_string(seq) +
                             " is missing from the chain (snapshot seq " +
                             std::to_string(base) + ", newest segment " +
-                            std::to_string(max_seq) + ")");
+                            std::to_string(max_seq) + ")",
+                        path, 0, "recovery");
+                ++sr.wal_segments_missing;
+                sr.notes.push_back("WAL segment " + std::to_string(seq) +
+                                   " missing from the chain");
+                continue;
+            }
+            WalReplayMode mode =
+                salvage ? WalReplayMode::kSalvage
+                        : (seq == max_seq ? WalReplayMode::kTail
+                                          : WalReplayMode::kMidChain);
             WalReplayStats stats =
-                replay_wal(path, scratch, /*truncate_torn=*/seq == max_seq);
+                replay_wal(path, scratch, mode, salvage ? &sr : nullptr);
             ++report.wal_segments;
             report.records_replayed += stats.records;
             report.torn_bytes_dropped += stats.torn_bytes;
@@ -167,18 +241,45 @@ RecoveryReport Database::open(const std::string& dir,
 
     tables_ = std::move(scratch.tables_);
     fks_ = std::move(scratch.fks_);
-    report.tables_restored = tables_.size();
-    report.rows_restored = total_rows();
 
     dir_ = dir;
     dopts_ = opts;
     wal_seq_ = wals.empty() ? base : std::max(base, wals.back());
+
+    if (salvage) {
+        // Repair pass: quarantine and purge every document whose
+        // invariants the surviving data breaks.  The mutations are
+        // unlogged (no WAL is attached yet); the checkpoint below makes
+        // them durable and rotates the damaged files out of the chain —
+        // a salvage open always ends on a freshly verified snapshot, so
+        // the next strict open never re-reads damaged files.
+        salvage_repair(*this, sr);
+        checkpoint();
+    }
+
+    report.tables_restored = tables_.size();
+    report.rows_restored = total_rows();
+
     if (opts.use_wal) {
         wal_ = std::make_unique<Wal>(wal_file(dir_, wal_seq_),
                                      opts.sync_on_commit);
         for (auto& t : tables_) t->set_mutation_log(wal_.get());
     }
-    load_stats_catalog();
+    if (!salvage) {
+        load_stats_catalog();
+    } else {
+        try {
+            load_stats_catalog();
+        } catch (const Error&) {
+            // A salvaged xrel_stats can be self-consistent yet carry the
+            // wrong column types; statistics are advisory, so drop the
+            // catalog rather than fail the open.
+            sr.notes.push_back(
+                "stats catalog unreadable after salvage — dropped");
+            drop_table(kStatsTable);
+            load_stats_catalog();
+        }
+    }
     return report;
 }
 
@@ -194,7 +295,51 @@ SnapshotStats Database::checkpoint() {
     if (wal_ != nullptr) wal_->flush(/*sync=*/true);
 
     std::uint64_t next_seq = wal_seq_ + 1;
-    SnapshotStats stats = write_snapshot(*this, snapshot_file(dir_, next_seq));
+    const std::string snap_path = snapshot_file(dir_, next_seq);
+    SnapshotStats stats = write_snapshot(*this, snap_path);
+
+    if (dopts_.verify_checkpoints) {
+        // Read the image back before the WAL rotates: a snapshot that
+        // cannot be re-read (disk fault, write-path bug) must not become
+        // the recovery chain's new base.  On failure the file is removed
+        // and the previous snapshot + WAL stay authoritative.
+        try {
+            fault::maybe_fail("snapshot.verify");
+            Database check;
+            xr::rdb::read_snapshot(snap_path, check);
+            if (check.tables_.size() != tables_.size())
+                throw CorruptionError(
+                    "checkpoint verification: snapshot holds " +
+                        std::to_string(check.tables_.size()) +
+                        " table(s), database has " +
+                        std::to_string(tables_.size()),
+                    snap_path, 0, "verify");
+            for (auto& t : tables_) {
+                const Table* c = check.table(t->def().name);
+                if (c == nullptr)
+                    throw CorruptionError("checkpoint verification: table '" +
+                                              t->def().name +
+                                              "' missing from the snapshot",
+                                          snap_path, 0, "verify");
+                if (c->row_count() != t->row_count())
+                    throw CorruptionError(
+                        "checkpoint verification: table '" + t->def().name +
+                            "' has " + std::to_string(c->row_count()) +
+                            " row(s) in the snapshot, " +
+                            std::to_string(t->row_count()) + " in memory",
+                        snap_path, 0, "verify");
+                if (c->peek_next_pk() != t->peek_next_pk())
+                    throw CorruptionError(
+                        "checkpoint verification: table '" + t->def().name +
+                            "' pk counter disagrees with the snapshot",
+                        snap_path, 0, "verify");
+            }
+        } catch (...) {
+            std::error_code ec;
+            fs::remove(snap_path, ec);
+            throw;
+        }
+    }
     // The snapshot is durable under its real name; rotate the WAL so the
     // new segment starts exactly at the image it chains from.
     if (wal_ != nullptr) {
@@ -206,6 +351,13 @@ SnapshotStats Database::checkpoint() {
     }
     wal_seq_ = next_seq;
     return stats;
+}
+
+IntegrityReport Database::verify() const {
+    // Snapshot-isolated: the shared latch keeps writers out for the
+    // whole pass, so every invariant is checked against one state.
+    ReadSnapshot guard = read_snapshot();
+    return verify_database(*this);
 }
 
 void Database::flush_wal() {

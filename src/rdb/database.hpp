@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rdb/integrity.hpp"
 #include "rdb/table.hpp"
 
 namespace xr::rdb {
@@ -41,6 +42,21 @@ struct ForeignKeyDef {
     std::string ref_column;  ///< must be the referenced table's primary key
 };
 
+/// How open() treats damaged storage (DESIGN.md §14).
+enum class RecoveryMode {
+    /// Any corruption that cannot be explained by a crash (bad snapshot
+    /// with no fallback, mid-segment WAL damage, broken chain) fails the
+    /// open with a typed xr::CorruptionError.  The default: never build
+    /// a state the operator did not ask for.
+    kStrict,
+    /// Best-effort repair: skip corrupt snapshot sections and WAL
+    /// records, quarantine every document whose invariants broke, purge
+    /// its rows, and checkpoint the repaired state so the damaged files
+    /// leave the recovery chain.  Everything dropped is accounted in
+    /// RecoveryReport::salvage — lossy, never silent.
+    kSalvage,
+};
+
 /// Knobs for open().
 struct DurabilityOptions {
     /// Log mutations to a WAL.  Without it the database only persists at
@@ -51,6 +67,32 @@ struct DurabilityOptions {
     /// off, commits write() without syncing — faster, but a power loss
     /// may drop recently committed units.
     bool sync_on_commit = true;
+    /// Strict (fail on damage) or salvage (repair, quarantine, report).
+    RecoveryMode recovery = RecoveryMode::kStrict;
+    /// checkpoint() re-reads the snapshot it just wrote before rotating
+    /// the WAL: a checkpoint that cannot be read back must not become
+    /// the recovery chain's new base.  Costs one extra read of the
+    /// image; disable only in benchmarks.
+    bool verify_checkpoints = true;
+};
+
+/// What the salvage path dropped and repaired; embedded in
+/// RecoveryReport when open() ran with RecoveryMode::kSalvage.
+struct SalvageReport {
+    bool attempted = false;  ///< open() ran in salvage mode
+    std::size_t snapshot_sections_dropped = 0;
+    std::uint64_t snapshot_bytes_dropped = 0;
+    std::size_t wal_records_skipped = 0;   ///< valid frames that failed to apply
+    std::uint64_t wal_bytes_dropped = 0;   ///< unreadable WAL bytes resynced past
+    std::size_t wal_segments_missing = 0;  ///< holes in the segment chain
+    std::size_t docs_quarantined = 0;      ///< documents purged by the repair pass
+    std::size_t rows_purged = 0;           ///< rows removed with them
+    std::vector<std::string> notes;        ///< human-readable drop log
+
+    /// True when salvage dropped or repaired anything — i.e. the
+    /// recovered state differs from what a strict open would need.
+    [[nodiscard]] bool any() const;
+    [[nodiscard]] std::string to_string() const;
 };
 
 /// What analyze() measured; see Database::analyze().
@@ -75,6 +117,7 @@ struct RecoveryReport {
     std::size_t records_replayed = 0;
     std::size_t torn_bytes_dropped = 0;  ///< truncated off the newest segment
     std::size_t units_rolled_back = 0;   ///< uncommitted units discarded
+    SalvageReport salvage;               ///< drops/repairs (salvage mode only)
     [[nodiscard]] std::string to_string() const;
 };
 
@@ -115,15 +158,31 @@ public:
     /// (falling back to older ones when a newer image is corrupt), replay
     /// every WAL segment from that snapshot forward, truncate the torn
     /// tail of the newest segment, and roll back units left uncommitted.
-    /// Throws xr::Error when the surviving files cannot produce a
-    /// consistent state (e.g. a torn record in a non-newest segment).
+    /// In strict mode (the default), throws xr::CorruptionError when the
+    /// surviving files cannot produce a consistent state (mid-segment
+    /// WAL damage, a torn record in a non-newest segment, every snapshot
+    /// corrupt).  With RecoveryMode::kSalvage, damage is skipped and
+    /// repaired instead: broken documents are quarantined and purged,
+    /// the result is checkpointed, and RecoveryReport::salvage accounts
+    /// every drop.
     RecoveryReport open(const std::string& dir,
                         const DurabilityOptions& opts = {});
 
     /// Write a fresh snapshot and start a new WAL segment.  Requires an
-    /// open() data directory and no open load unit.  On failure the
-    /// previous snapshot + WAL remain authoritative.
+    /// open() data directory and no open load unit.  Unless
+    /// DurabilityOptions::verify_checkpoints is off, the snapshot is
+    /// re-read and cross-checked (table/row/pk-counter agreement)
+    /// *before* the WAL rotates — a checkpoint that cannot be read back
+    /// is deleted and the previous snapshot + WAL remain authoritative.
+    /// Fault point: `snapshot.verify` before the verification read.
     SnapshotStats checkpoint();
+
+    /// Online integrity check (DESIGN.md §14): takes a read snapshot and
+    /// validates every per-table and cross-table invariant — see
+    /// rdb/integrity.hpp for the catalogue.  Safe to run concurrently
+    /// with readers and between writer units; must not be called from a
+    /// thread holding a load unit open (the latch is not recursive).
+    [[nodiscard]] IntegrityReport verify() const;
 
     /// Flush (and fsync) buffered WAL records outside a commit — callers
     /// use it after depth-0 DDL like schema materialization.  No-op when

@@ -1,9 +1,11 @@
 // Binary encode/decode helpers shared by the snapshot and WAL formats.
 //
 // Everything on disk is little-endian, length-prefixed, and read through
-// a bounds-checked reader that throws xr::Error (with the artifact name
-// in the message) instead of walking past a truncated buffer — recovery
-// code never trusts a byte it has not range-checked.
+// a bounds-checked reader that throws xr::CorruptionError (with the
+// artifact name, and when known the file and byte offset) instead of
+// walking past a truncated buffer — recovery code never trusts a byte it
+// has not range-checked, and every length that sizes an allocation is
+// capped against the bytes actually present.
 #pragma once
 
 #include <cstdint>
@@ -72,11 +74,20 @@ inline void put_value(std::string& out, const Value& v) {
 // -- reading ------------------------------------------------------------------
 
 /// Bounds-checked cursor over an on-disk payload.  `context` names the
-/// artifact ("snapshot 'x'", "WAL record 12") for error messages.
+/// artifact ("snapshot 'x'", "WAL record 12") for error messages; when
+/// the caller knows the containing file and the payload's byte offset in
+/// it, the second constructor threads them into every CorruptionError.
 class Reader {
 public:
     Reader(std::string_view data, std::string context)
         : data_(data), context_(std::move(context)) {}
+
+    Reader(std::string_view data, std::string context, std::string file,
+           std::uint64_t base_offset)
+        : data_(data),
+          context_(std::move(context)),
+          file_(std::move(file)),
+          base_offset_(base_offset) {}
 
     [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
     [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -131,22 +142,39 @@ public:
             case 1: return Value(i64());
             case 2: return Value(f64());
             case 3: return Value(string());
-            default: throw Error(context_ + ": unknown value type tag");
+            default: fail("unknown value type tag");
         }
     }
 
     /// Fail loudly if fewer than `n` bytes remain.
     void need(std::size_t n) const {
         if (data_.size() - pos_ < n)
-            throw Error(context_ + ": truncated (need " + std::to_string(n) +
-                        " bytes, " + std::to_string(data_.size() - pos_) +
-                        " left)");
+            fail("truncated (need " + std::to_string(n) + " bytes, " +
+                 std::to_string(data_.size() - pos_) + " left)");
+    }
+
+    /// Validate a count that is about to size an allocation: each of the
+    /// `count` items occupies at least `min_item_bytes`, so a count that
+    /// claims more items than the remaining bytes could hold is corrupt —
+    /// reject it before reserve() turns it into a giant allocation.
+    void need_items(std::uint64_t count, std::size_t min_item_bytes,
+                    const char* what) const {
+        if (count > remaining() / (min_item_bytes == 0 ? 1 : min_item_bytes))
+            fail("implausible " + std::string(what) + " count " +
+                 std::to_string(count) + " (" + std::to_string(remaining()) +
+                 " bytes left)");
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw CorruptionError(what, file_, base_offset_ + pos_, context_);
     }
 
 private:
     std::string_view data_;
     std::size_t pos_ = 0;
     std::string context_;
+    std::string file_;
+    std::uint64_t base_offset_ = 0;
 };
 
 // -- composite codecs shared by the WAL and snapshot formats ------------------
@@ -166,11 +194,17 @@ inline TableDef read_table_def(Reader& in) {
     TableDef def;
     def.name = in.string();
     std::uint32_t cols = in.u32();
+    // Each column is at least name-len(4) + type + not_null + primary_key.
+    in.need_items(cols, 7, "column");
     def.columns.reserve(cols);
     for (std::uint32_t i = 0; i < cols; ++i) {
         ColumnDef c;
         c.name = in.string();
-        c.type = static_cast<ValueType>(in.u8());
+        std::uint8_t type = in.u8();
+        if (type > static_cast<std::uint8_t>(ValueType::kText))
+            in.fail("unknown column type tag " + std::to_string(type) +
+                    " for column '" + c.name + "'");
+        c.type = static_cast<ValueType>(type);
         c.not_null = in.u8() != 0;
         c.primary_key = in.u8() != 0;
         def.columns.push_back(std::move(c));
@@ -185,6 +219,7 @@ inline void put_row(std::string& out, const Row& row) {
 
 inline Row read_row(Reader& in) {
     std::uint32_t cells = in.u32();
+    in.need_items(cells, 1, "cell");  // a null cell is one tag byte
     Row row;
     row.reserve(cells);
     for (std::uint32_t i = 0; i < cells; ++i) row.push_back(in.value());

@@ -50,6 +50,43 @@ void sync_parent_dir(const std::string& path) {
     ::close(fd);
 }
 
+std::uint32_t le32_at(std::string_view data, std::size_t pos) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data[pos + i]))
+             << (8 * i);
+    return v;
+}
+
+/// True when a structurally valid, CRC-checked section frame with a
+/// known type starts at `pos`.
+bool section_frame_at(std::string_view data, std::size_t pos,
+                      std::uint8_t& type, std::uint32_t& len) {
+    if (data.size() - pos < 9) return false;
+    type = static_cast<std::uint8_t>(data[pos]);
+    if (type < kTableSection || type > kEndSection) return false;
+    len = le32_at(data, pos + 1);
+    if (data.size() - pos < 9 + static_cast<std::size_t>(len)) return false;
+    return checksum::crc32(data.substr(pos, 5 + len)) ==
+           le32_at(data, pos + 5 + len);
+}
+
+/// Salvage resynchronization: the offset of the next valid section
+/// frame at or after `from`, or npos.  The scan is capped so a huge
+/// file of garbage cannot turn salvage into an O(n²) CRC sweep.
+constexpr std::size_t kResyncWindow = std::size_t{4} << 20;
+
+std::size_t find_next_valid_section(std::string_view data, std::size_t from) {
+    std::size_t limit = std::min(data.size(), from + kResyncWindow);
+    for (std::size_t off = from; off < limit && data.size() - off >= 9; ++off) {
+        std::uint8_t type;
+        std::uint32_t len;
+        if (section_frame_at(data, off, type, len)) return off;
+    }
+    return std::string::npos;
+}
+
 }  // namespace
 
 std::string snapshot_file(const std::string& dir, std::uint64_t seq) {
@@ -166,7 +203,15 @@ SnapshotStats write_snapshot(const Database& db, const std::string& path) {
     return stats;
 }
 
-SnapshotStats read_snapshot(const std::string& path, Database& db) {
+namespace {
+
+/// Shared strict/salvage reader.  `report == nullptr` is strict: the
+/// first damaged byte throws CorruptionError.  With a report, damaged
+/// or unappliable sections are dropped (resyncing on the next valid
+/// frame) and accounted.
+SnapshotStats read_snapshot_impl(const std::string& path, Database& db,
+                                 SalvageReport* report) {
+    const bool salvage = report != nullptr;
     if (db.table_count() != 0)
         throw SchemaError("read_snapshot requires an empty database");
 
@@ -180,92 +225,201 @@ SnapshotStats read_snapshot(const std::string& path, Database& db) {
         data = std::move(tmp).str();
     }
     const std::string context = "snapshot '" + path + "'";
+    // The header is non-negotiable even under salvage: without magic and
+    // version this is not a snapshot, and "salvaging" an arbitrary file
+    // would invent data.
     if (data.size() < sizeof(kMagic) + 4 ||
         std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
-        throw Error(context + ": bad magic (not a snapshot file)");
-    serial::Reader header(
-        std::string_view(data).substr(sizeof(kMagic), 4), context);
-    if (std::uint32_t v = header.u32(); v != kVersion)
-        throw Error(context + ": unsupported version " + std::to_string(v));
+        throw CorruptionError("bad magic (not a snapshot file)", path, 0,
+                              "header");
+    if (std::uint32_t v = le32_at(data, sizeof(kMagic)); v != kVersion)
+        throw CorruptionError("unsupported version " + std::to_string(v), path,
+                              sizeof(kMagic), "header");
 
     SnapshotStats stats;
     stats.bytes = data.size();
     std::size_t pos = sizeof(kMagic) + 4;
     bool saw_end = false;
     std::size_t section_no = 0;
-    while (!saw_end) {
-        std::string section_ctx =
-            context + " section " + std::to_string(section_no);
+
+    auto drop_region = [&](std::size_t upto, const std::string& why) {
+        ++report->snapshot_sections_dropped;
+        report->snapshot_bytes_dropped += upto - pos;
+        report->notes.push_back(context + " section " +
+                                std::to_string(section_no) + ": dropped " +
+                                std::to_string(upto - pos) + " bytes (" + why +
+                                ")");
+        pos = upto;
+        ++section_no;
+    };
+
+    while (!saw_end && pos < data.size()) {
+        const std::string section_name = "section " + std::to_string(section_no);
+        const std::string section_ctx = context + " " + section_name;
         std::size_t left = data.size() - pos;
-        if (left < 9)
-            throw Error(section_ctx + ": truncated before the end marker");
-        auto type = static_cast<std::uint8_t>(data[pos]);
-        serial::Reader head(std::string_view(data).substr(pos + 1, 4),
-                            section_ctx);
-        std::uint32_t len = head.u32();
-        if (left < 9 + static_cast<std::size_t>(len))
-            throw Error(section_ctx + ": truncated payload (header claims " +
-                        std::to_string(len) + " bytes, " +
-                        std::to_string(left - 9) + " present)");
-        serial::Reader tail(
-            std::string_view(data).substr(pos + 5 + len, 4), section_ctx);
-        if (checksum::crc32(std::string_view(data).substr(pos, 5 + len)) !=
-            tail.u32())
-            throw Error(section_ctx + ": CRC mismatch — snapshot is corrupt");
+
+        // Frame checks, reported individually so the error says *how* the
+        // frame is broken, not just that it is.
+        std::string damage;
+        auto type = static_cast<std::uint8_t>(left >= 1 ? data[pos] : 0);
+        std::uint32_t len = 0;
+        if (left < 9) {
+            damage = "truncated before the end marker";
+        } else {
+            len = le32_at(data, pos + 1);
+            if (left < 9 + static_cast<std::size_t>(len))
+                damage = "truncated payload (header claims " +
+                         std::to_string(len) + " bytes, " +
+                         std::to_string(left - 9) + " present)";
+            else if (checksum::crc32(std::string_view(data).substr(
+                         pos, 5 + len)) != le32_at(data, pos + 5 + len))
+                damage = "CRC mismatch — snapshot is corrupt";
+            else if (type < kTableSection || type > kEndSection)
+                damage = "unknown section type " + std::to_string(type);
+        }
+        if (!damage.empty()) {
+            if (!salvage)
+                throw CorruptionError(damage, path, pos, section_name);
+            std::size_t next = find_next_valid_section(data, pos + 1);
+            if (next == std::string::npos) {
+                drop_region(data.size(), damage + "; no later valid section");
+                break;
+            }
+            drop_region(next, damage);
+            continue;
+        }
 
         serial::Reader in(std::string_view(data).substr(pos + 5, len),
-                          section_ctx);
-        switch (type) {
-            case kTableSection: {
-                Table& t = db.create_table(serial::read_table_def(in));
-                std::int64_t next_pk = in.i64();
-                std::uint32_t nindexes = in.u32();
-                std::vector<Table::IndexDef> indexes;
-                indexes.reserve(nindexes);
-                for (std::uint32_t i = 0; i < nindexes; ++i) {
-                    Table::IndexDef idx;
-                    idx.column = in.string();
-                    idx.kind = static_cast<IndexKind>(in.u8());
-                    indexes.push_back(std::move(idx));
+                          section_ctx, path, pos + 5);
+        try {
+            switch (type) {
+                case kTableSection: {
+                    TableDef def = serial::read_table_def(in);
+                    const std::string tname = def.name;
+                    Table& t = db.create_table(std::move(def));
+                    try {
+                        std::int64_t next_pk = in.i64();
+                        std::uint32_t nindexes = in.u32();
+                        // name-len(4) + kind byte per index definition
+                        in.need_items(nindexes, 5, "index");
+                        std::vector<Table::IndexDef> indexes;
+                        indexes.reserve(nindexes);
+                        for (std::uint32_t i = 0; i < nindexes; ++i) {
+                            Table::IndexDef idx;
+                            idx.column = in.string();
+                            std::uint8_t kind = in.u8();
+                            if (kind >
+                                static_cast<std::uint8_t>(IndexKind::kOrdered))
+                                in.fail("unknown index kind tag " +
+                                        std::to_string(kind));
+                            idx.kind = static_cast<IndexKind>(kind);
+                            indexes.push_back(std::move(idx));
+                        }
+                        std::uint64_t nrows = in.u64();
+                        in.need_items(nrows, 4, "row");
+                        std::vector<Row> rows;
+                        rows.reserve(nrows);
+                        for (std::uint64_t i = 0; i < nrows; ++i)
+                            rows.push_back(serial::read_row(in));
+                        // Full per-row validation: a snapshot is not a
+                        // trusted pipeline, it is bytes from a disk.
+                        t.insert_batch(std::move(rows),
+                                       /*validate_rows=*/true);
+                        t.restore_next_pk(next_pk);
+                        for (const Table::IndexDef& idx : indexes)
+                            t.create_index(idx.column, idx.kind);
+                        if (!in.at_end())
+                            in.fail("trailing bytes after rows");
+                        ++stats.tables;
+                        stats.rows += nrows;
+                    } catch (...) {
+                        // Never leave a half-restored table behind.
+                        db.drop_table(tname);
+                        throw;
+                    }
+                    break;
                 }
-                std::uint64_t nrows = in.u64();
-                std::vector<Row> rows;
-                rows.reserve(nrows);
-                for (std::uint64_t i = 0; i < nrows; ++i)
-                    rows.push_back(serial::read_row(in));
-                t.insert_batch(std::move(rows), /*validate_rows=*/false);
-                t.restore_next_pk(next_pk);
-                for (const Table::IndexDef& idx : indexes)
-                    t.create_index(idx.column, idx.kind);
-                if (!in.at_end())
-                    throw Error(section_ctx + ": trailing bytes after rows");
-                ++stats.tables;
-                stats.rows += nrows;
-                break;
-            }
-            case kForeignKeySection: {
-                std::uint32_t count = in.u32();
-                for (std::uint32_t i = 0; i < count; ++i) {
-                    ForeignKeyDef fk;
-                    fk.table = in.string();
-                    fk.column = in.string();
-                    fk.ref_table = in.string();
-                    fk.ref_column = in.string();
-                    db.add_foreign_key(std::move(fk));
+                case kForeignKeySection: {
+                    std::uint32_t count = in.u32();
+                    // four length-prefixed names per constraint
+                    in.need_items(count, 16, "foreign key");
+                    for (std::uint32_t i = 0; i < count; ++i) {
+                        ForeignKeyDef fk;
+                        fk.table = in.string();
+                        fk.column = in.string();
+                        fk.ref_table = in.string();
+                        fk.ref_column = in.string();
+                        if (salvage) {
+                            // A constraint on a dropped table is expected;
+                            // keep the rest.
+                            try {
+                                db.add_foreign_key(std::move(fk));
+                            } catch (const Error& e) {
+                                report->notes.push_back(
+                                    section_ctx + ": skipped foreign key: " +
+                                    e.bare_message());
+                            }
+                        } else {
+                            db.add_foreign_key(std::move(fk));
+                        }
+                    }
+                    break;
                 }
-                break;
+                case kEndSection:
+                    saw_end = true;
+                    break;
             }
-            case kEndSection:
-                saw_end = true;
-                break;
-            default:
-                throw Error(section_ctx + ": unknown section type " +
-                            std::to_string(type));
+        } catch (const CorruptionError&) {
+            if (!salvage) throw;
+            std::size_t next = find_next_valid_section(data, pos + 9 + len);
+            drop_region(next == std::string::npos ? data.size()
+                                                  : std::min(next, data.size()),
+                        "unreadable payload");
+            continue;
+        } catch (const Error& e) {
+            // A CRC-valid section the database refuses (duplicate table,
+            // duplicate pk, type mismatch): semantic corruption.
+            if (!salvage)
+                throw CorruptionError("cannot apply section: " +
+                                          std::string(e.what()),
+                                      path, pos, section_name);
+            drop_region(pos + 9 + len, std::string("unappliable section: ") +
+                                           e.bare_message());
+            continue;
         }
-        pos += 9 + len;
+        pos += 9 + static_cast<std::size_t>(len);
         ++section_no;
     }
+
+    if (!saw_end) {
+        if (!salvage)
+            throw CorruptionError("truncated before the end marker", path, pos,
+                                  "section " + std::to_string(section_no));
+        report->notes.push_back(context + ": end marker missing");
+    } else if (pos != data.size()) {
+        // A well-formed snapshot ends exactly at the end marker; trailing
+        // bytes mean the file grew after it was sealed.
+        if (!salvage)
+            throw CorruptionError("trailing bytes after the end marker (" +
+                                      std::to_string(data.size() - pos) +
+                                      " bytes)",
+                                  path, pos, "trailer");
+        report->notes.push_back(
+            context + ": ignored " + std::to_string(data.size() - pos) +
+            " trailing bytes after the end marker");
+    }
     return stats;
+}
+
+}  // namespace
+
+SnapshotStats read_snapshot(const std::string& path, Database& db) {
+    return read_snapshot_impl(path, db, nullptr);
+}
+
+SnapshotStats read_snapshot_salvage(const std::string& path, Database& db,
+                                    SalvageReport& report) {
+    return read_snapshot_impl(path, db, &report);
 }
 
 }  // namespace xr::rdb

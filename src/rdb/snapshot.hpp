@@ -20,6 +20,7 @@
 namespace xr::rdb {
 
 class Database;
+struct SalvageReport;
 
 /// snapshot-<seq>.xrs inside `dir`.  A snapshot with sequence N captures
 /// the database state at the moment wal-N.log was started: recovery
@@ -46,8 +47,20 @@ struct SnapshotStats {
 SnapshotStats write_snapshot(const Database& db, const std::string& path);
 
 /// Load the snapshot at `path` into `db`, which must be empty.  Every
-/// section is CRC-verified before a byte of it is trusted; corruption
-/// or truncation throws xr::Error naming the file and section.
+/// section is CRC-verified before a byte of it is trusted, every count
+/// is bounds-checked against the bytes present, and every type/kind tag
+/// is validated; corruption or truncation throws xr::CorruptionError
+/// carrying the file, byte offset and section.
 SnapshotStats read_snapshot(const std::string& path, Database& db);
+
+/// Salvage variant (DESIGN.md §14): sections that fail their CRC, parse
+/// or apply are dropped — the reader resynchronizes on the next valid
+/// section frame and keeps going — instead of failing the whole read.
+/// Dropped sections/bytes are accounted in `report`.  Only the header
+/// (magic + version) is non-negotiable: a file that is not a snapshot
+/// at all still throws xr::CorruptionError so recovery can fall back to
+/// an older snapshot.
+SnapshotStats read_snapshot_salvage(const std::string& path, Database& db,
+                                    SalvageReport& report);
 
 }  // namespace xr::rdb

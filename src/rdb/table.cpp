@@ -1,8 +1,10 @@
 #include "rdb/table.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/fault.hpp"
+#include "rdb/integrity.hpp"
 
 namespace xr::rdb {
 
@@ -424,6 +426,138 @@ void Table::index_row(RowId id) {
         const Value& v = rows_[id][idx.column];
         if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
         else idx.ordered.emplace(v, id);
+    }
+}
+
+void Table::verify_into(IntegrityReport& report) const {
+    ++report.tables_checked;
+    const int doc_col = def_.column_index("doc");
+    auto doc_of = [&](const Row& row) -> std::int64_t {
+        if (doc_col < 0 || doc_col >= static_cast<int>(row.size())) return -1;
+        const Value& v = row[doc_col];
+        return v.type() == ValueType::kInteger ? v.as_integer() : -1;
+    };
+    auto issue = [&](const char* check, std::int64_t doc, std::string detail,
+                     IntegrityIssue::Severity severity =
+                         IntegrityIssue::Severity::kError) {
+        report.add({severity, check, def_.name, doc, std::move(detail)});
+    };
+
+    // Rows against the schema (the same rules validate() enforces on the
+    // way in — a stored row that no longer passes them was corrupted).
+    std::int64_t max_pk = std::numeric_limits<std::int64_t>::min();
+    for (RowId id = 0; id < rows_.size(); ++id) {
+        const Row& row = rows_[id];
+        ++report.rows_checked;
+        if (row.size() != def_.columns.size()) {
+            issue("row-arity", doc_of(row),
+                  "row " + std::to_string(id) + " has " +
+                      std::to_string(row.size()) + " cells, schema has " +
+                      std::to_string(def_.columns.size()));
+            continue;
+        }
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const ColumnDef& col = def_.columns[c];
+            const Value& v = row[c];
+            if (v.is_null()) {
+                if (col.not_null && static_cast<int>(c) != pk_column_)
+                    issue("not-null", doc_of(row),
+                          "row " + std::to_string(id) +
+                              ": NULL in NOT NULL column '" + col.name + "'");
+                continue;
+            }
+            bool ok = true;
+            switch (col.type) {
+                case ValueType::kInteger: ok = v.type() == ValueType::kInteger; break;
+                case ValueType::kReal:
+                    ok = v.type() == ValueType::kReal ||
+                         v.type() == ValueType::kInteger;
+                    break;
+                case ValueType::kText: ok = v.type() == ValueType::kText; break;
+                case ValueType::kNull: ok = false; break;
+            }
+            if (!ok)
+                issue("cell-type", doc_of(row),
+                      "row " + std::to_string(id) + " column '" + col.name +
+                          "': expected " + std::string(to_string(col.type)) +
+                          ", got " + std::string(to_string(v.type())));
+        }
+        if (pk_column_ >= 0 &&
+            row[pk_column_].type() == ValueType::kInteger)
+            max_pk = std::max(max_pk, row[pk_column_].as_integer());
+    }
+
+    // Primary-key index: exactly one entry per row, pointing back at it.
+    if (pk_column_ >= 0) {
+        if (pk_index_.size() != rows_.size())
+            issue("pk-index", -1,
+                  "pk index has " + std::to_string(pk_index_.size()) +
+                      " entries for " + std::to_string(rows_.size()) + " rows");
+        for (RowId id = 0; id < rows_.size(); ++id) {
+            const Row& row = rows_[id];
+            if (row.size() != def_.columns.size() ||
+                row[pk_column_].type() != ValueType::kInteger)
+                continue;  // already reported above
+            auto it = pk_index_.find(row[pk_column_].as_integer());
+            if (it == pk_index_.end() || it->second != id)
+                issue("pk-index", doc_of(row),
+                      "row " + std::to_string(id) + " pk " +
+                          row[pk_column_].to_string() +
+                          " missing or mismapped in pk index");
+        }
+        std::int64_t next = next_pk_.load(std::memory_order_relaxed);
+        if (!rows_.empty() && max_pk != std::numeric_limits<std::int64_t>::min()
+            && next <= max_pk)
+            issue("pk-counter", -1,
+                  "next_pk " + std::to_string(next) + " <= max stored pk " +
+                      std::to_string(max_pk) + " (future inserts would collide)");
+    }
+
+    // Secondary indexes: every entry resolves to a live row whose cell
+    // matches the key, counts agree, and ordered indexes are sorted.
+    if (bulk_) {
+        issue("index-deferred", -1,
+              "bulk mode: secondary index checks skipped",
+              IntegrityIssue::Severity::kWarning);
+        return;
+    }
+    for (const SecondaryIndex& idx : indexes_) {
+        ++report.indexes_checked;
+        const std::string& col = def_.columns[idx.column].name;
+        std::size_t entries =
+            idx.kind == IndexKind::kHash ? idx.hash.size() : idx.ordered.size();
+        if (entries != rows_.size())
+            issue("index-size", -1,
+                  "index on '" + col + "' has " + std::to_string(entries) +
+                      " entries for " + std::to_string(rows_.size()) + " rows");
+        auto check_entry = [&](const Value& key, RowId id) {
+            if (id >= rows_.size()) {
+                issue("index-entry", -1,
+                      "index on '" + col + "' maps key " + key.to_string() +
+                          " to out-of-range row " + std::to_string(id));
+                return;
+            }
+            const Row& row = rows_[id];
+            if (static_cast<std::size_t>(idx.column) < row.size() &&
+                !(row[idx.column] == key))
+                issue("index-entry", doc_of(row),
+                      "index on '" + col + "' maps key " + key.to_string() +
+                          " to row " + std::to_string(id) +
+                          " whose cell is " + row[idx.column].to_string());
+        };
+        if (idx.kind == IndexKind::kHash) {
+            for (const auto& [key, id] : idx.hash) check_entry(key, id);
+        } else {
+            const Value* prev = nullptr;
+            for (const auto& [key, id] : idx.ordered) {
+                check_entry(key, id);
+                if (prev != nullptr && key < *prev)
+                    issue("index-order", -1,
+                          "ordered index on '" + col +
+                              "' is out of order at key " + key.to_string());
+                prev = &key;
+            }
+        }
     }
 }
 

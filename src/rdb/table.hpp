@@ -43,6 +43,7 @@ using RowId = std::uint32_t;
 enum class IndexKind { kHash, kOrdered };
 
 class Table;
+struct IntegrityReport;
 
 /// Observer of durable table mutations, implemented by the write-ahead
 /// log and attached by Database when a data directory is open.  Hooks run
@@ -230,6 +231,15 @@ public:
     /// grew materially (~2x) since the last bump; Database aggregates the
     /// answer into its statistics epoch.
     [[nodiscard]] bool note_material_growth();
+
+    // -- integrity (DESIGN.md §14) --------------------------------------------
+    /// Append this table's integrity findings to `report`: row arity and
+    /// cell types against the schema, NOT NULL, pk uniqueness and
+    /// pk-index agreement, pk-counter monotonicity, and for every
+    /// secondary index entry-count, key↔row agreement, in-range row ids
+    /// and (ordered indexes) sortedness.  Read-only; index checks are
+    /// skipped (with a warning) while bulk mode has them deferred.
+    void verify_into(IntegrityReport& report) const;
 
     /// Rough memory footprint in bytes (bench metric).
     [[nodiscard]] std::size_t memory_bytes() const;

@@ -40,6 +40,48 @@ constexpr std::size_t kFrameOverhead = 1 + 4 + 4;
 /// Buffered bytes that trigger an early (non-fsync) spill to disk.
 constexpr std::size_t kSpillBytes = 1u << 20;
 
+std::uint32_t le32_at(std::string_view data, std::size_t pos) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data[pos + i]))
+             << (8 * i);
+    return v;
+}
+
+/// True when a structurally valid, CRC-checked record frame with a
+/// known type starts at `pos`.
+bool record_frame_at(std::string_view data, std::size_t pos,
+                     std::uint8_t& type, std::uint32_t& len) {
+    if (data.size() - pos < kFrameOverhead) return false;
+    type = static_cast<std::uint8_t>(data[pos]);
+    if (type < kBeginUnit || type > kDeleteWhere) return false;
+    len = le32_at(data, pos + 1);
+    if (data.size() - pos < kFrameOverhead + static_cast<std::size_t>(len))
+        return false;
+    return checksum::crc32(data.substr(pos, 5 + len)) ==
+           le32_at(data, pos + 5 + len);
+}
+
+/// Offset of the next valid record frame at or after `from`, or npos.
+/// This is what separates a torn tail (nothing valid follows — a crash
+/// mid-append) from mid-segment corruption (valid frames follow — a
+/// crash cannot explain that; something rewrote bytes).  The scan is
+/// capped so a garbage tail cannot turn classification into an O(n²)
+/// CRC sweep.
+constexpr std::size_t kResyncWindow = std::size_t{4} << 20;
+
+std::size_t find_next_valid_record(std::string_view data, std::size_t from) {
+    std::size_t limit = std::min(data.size(), from + kResyncWindow);
+    for (std::size_t off = from;
+         off < limit && data.size() - off >= kFrameOverhead; ++off) {
+        std::uint8_t type;
+        std::uint32_t len;
+        if (record_frame_at(data, off, type, len)) return off;
+    }
+    return std::string::npos;
+}
+
 }  // namespace
 
 std::string wal_file(const std::string& dir, std::uint64_t seq) {
@@ -200,7 +242,10 @@ void Wal::log_rollback_unit() noexcept {
 }
 
 WalReplayStats replay_wal(const std::string& path, Database& db,
-                          bool truncate_torn) {
+                          WalReplayMode mode, SalvageReport* report) {
+    const bool salvage = mode == WalReplayMode::kSalvage;
+    if (salvage && report == nullptr)
+        throw SchemaError("replay_wal: salvage mode requires a report");
     WalReplayStats stats;
     std::string data;
     {
@@ -212,29 +257,59 @@ WalReplayStats replay_wal(const std::string& path, Database& db,
     }
 
     std::size_t pos = 0;
+    std::size_t record_no = 0;
     while (pos < data.size()) {
-        std::size_t left = data.size() - pos;
-        if (left < kFrameOverhead) break;  // torn header
-        auto type = static_cast<std::uint8_t>(data[pos]);
-        std::uint32_t len = 0;
-        for (int i = 0; i < 4; ++i)
-            len |= static_cast<std::uint32_t>(
-                       static_cast<unsigned char>(data[pos + 1 + i]))
-                   << (8 * i);
-        if (left < kFrameOverhead + len) break;  // valid header, torn payload
-        std::uint32_t stored = 0;
-        for (int i = 0; i < 4; ++i)
-            stored |= static_cast<std::uint32_t>(
-                          static_cast<unsigned char>(data[pos + 5 + len + i]))
-                      << (8 * i);
-        if (checksum::crc32(std::string_view(data).substr(pos, 5 + len)) !=
-            stored)
-            break;  // corrupted frame: everything behind it is suspect
+        std::uint8_t type;
+        std::uint32_t len;
+        if (!record_frame_at(data, pos, type, len)) {
+            // Damaged frame.  A crash mid-append leaves nothing valid
+            // after it (writes are sequential); a valid frame further on
+            // means the hole was *overwritten*, i.e. real corruption that
+            // truncation would silently turn into data loss.
+            std::size_t next = find_next_valid_record(data, pos + 1);
+            if (next != std::string::npos) {
+                if (!salvage)
+                    throw CorruptionError(
+                        "bad record frame but valid records follow at offset " +
+                            std::to_string(next) +
+                            " — mid-segment corruption, not a torn tail",
+                        path, pos, "record " + std::to_string(record_no));
+                report->wal_bytes_dropped += next - pos;
+                report->notes.push_back(
+                    "WAL '" + path + "': dropped " + std::to_string(next - pos) +
+                    " unreadable bytes at offset " + std::to_string(pos));
+                stats.bytes_dropped += next - pos;
+                pos = next;
+                continue;
+            }
+            // True torn tail.
+            stats.torn_bytes = data.size() - pos;
+            if (mode == WalReplayMode::kMidChain)
+                throw CorruptionError(
+                    "torn record at offset " + std::to_string(pos) +
+                        " but this is not the newest segment; the recovery "
+                        "chain is broken",
+                    path, pos, "record " + std::to_string(record_no));
+            if (mode == WalReplayMode::kTail) {
+                std::error_code ec;
+                fs::resize_file(path, pos, ec);
+                if (ec)
+                    throw Error("cannot truncate torn tail of WAL '" + path +
+                                "': " + ec.message());
+            } else {
+                report->notes.push_back(
+                    "WAL '" + path + "': torn tail of " +
+                    std::to_string(stats.torn_bytes) + " bytes at offset " +
+                    std::to_string(pos));
+            }
+            break;
+        }
 
         fault::maybe_fail("recovery.replay");
         std::string context =
-            "WAL '" + path + "' record " + std::to_string(stats.records);
-        serial::Reader in(std::string_view(data).substr(pos + 5, len), context);
+            "WAL '" + path + "' record " + std::to_string(record_no);
+        serial::Reader in(std::string_view(data).substr(pos + 5, len), context,
+                          path, pos + 5);
         try {
             switch (type) {
                 case kBeginUnit:
@@ -252,7 +327,11 @@ WalReplayStats replay_wal(const std::string& path, Database& db,
                 case kCreateIndex: {
                     Table& t = db.require(in.string());
                     std::string column = in.string();
-                    t.create_index(column, static_cast<IndexKind>(in.u8()));
+                    std::uint8_t kind = in.u8();
+                    if (kind > static_cast<std::uint8_t>(IndexKind::kOrdered))
+                        in.fail("unknown index kind tag " +
+                                std::to_string(kind));
+                    t.create_index(column, static_cast<IndexKind>(kind));
                     break;
                 }
                 case kDropTable:
@@ -276,6 +355,10 @@ WalReplayStats replay_wal(const std::string& path, Database& db,
                     Table& t = db.require(in.string());
                     auto row = static_cast<RowId>(in.u32());
                     std::uint32_t col = in.u32();
+                    if (row >= t.row_count())
+                        throw Error("row id " + std::to_string(row) +
+                                    " out of range (" +
+                                    std::to_string(t.row_count()) + " rows)");
                     if (col >= t.column_count())
                         throw Error("column index out of range");
                     t.update(row, t.def().columns[col].name, in.value());
@@ -295,24 +378,19 @@ WalReplayStats replay_wal(const std::string& path, Database& db,
         } catch (const fault::InjectedFault&) {
             throw;
         } catch (const Error& e) {
-            throw Error(context + ": " + e.bare_message());
+            if (!salvage)
+                throw CorruptionError(e.bare_message(), path, pos,
+                                      "record " + std::to_string(record_no));
+            ++stats.records_skipped;
+            ++report->wal_records_skipped;
+            report->notes.push_back(context + ": skipped: " + e.bare_message());
+            pos += kFrameOverhead + len;
+            ++record_no;
+            continue;
         }
         ++stats.records;
         pos += kFrameOverhead + len;
-    }
-
-    stats.torn_bytes = data.size() - pos;
-    if (stats.torn_bytes > 0) {
-        if (!truncate_torn)
-            throw Error("WAL '" + path + "' has a torn record at offset " +
-                        std::to_string(pos) +
-                        " but is not the newest segment; the recovery chain "
-                        "is broken");
-        std::error_code ec;
-        fs::resize_file(path, pos, ec);
-        if (ec)
-            throw Error("cannot truncate torn tail of WAL '" + path +
-                        "': " + ec.message());
+        ++record_no;
     }
     return stats;
 }

@@ -10,11 +10,18 @@
 //
 // Record framing: u8 type | u32 payload_len | payload | u32 crc, where
 // the CRC covers type + length + payload.  Recovery reads frames until
-// EOF or the first frame whose header, length or CRC does not check out;
-// everything from that point on is a *torn tail* — counted, reported in
-// RecoveryReport, and physically truncated so new appends start on a
-// clean record boundary.  A "valid header, truncated payload" frame is
-// indistinguishable from any other tear and handled the same way.
+// EOF or the first frame whose header, length or CRC does not check out.
+// What happens next depends on what follows the bad frame (DESIGN.md
+// §14): if *no* valid frame exists after it, the damage is a *torn
+// tail* — the expected signature of a crash mid-append — counted,
+// reported in RecoveryReport, and (newest segment only) physically
+// truncated so new appends start on a clean record boundary.  If valid
+// frames DO follow the bad one, a crash cannot explain the hole (writes
+// are sequential): that is mid-segment corruption and recovery fails
+// with a typed xr::CorruptionError even in the newest segment, so a
+// flipped byte can never silently swallow committed records behind it.
+// A "valid header, truncated payload" frame at EOF is indistinguishable
+// from any other tear and handled the same way.
 //
 // Thread-safety: appends follow the single-writer contract of the unit
 // machinery (Table's begin_unit() documentation); the WAL adds no locks.
@@ -100,18 +107,37 @@ private:
     std::uint64_t records_ = 0;
 };
 
+struct SalvageReport;
+
 struct WalReplayStats {
-    std::size_t records = 0;      ///< frames decoded and applied
-    std::size_t torn_bytes = 0;   ///< bytes dropped behind the last valid frame
+    std::size_t records = 0;          ///< frames decoded and applied
+    std::size_t torn_bytes = 0;       ///< bytes in the torn tail, if any
+    std::size_t records_skipped = 0;  ///< salvage: valid frames that failed to apply
+    std::uint64_t bytes_dropped = 0;  ///< salvage: unreadable bytes resynced past
+};
+
+/// How replay treats damage (see the framing comment above).
+enum class WalReplayMode {
+    /// Newest segment: a true torn tail (no valid frame after the bad
+    /// one) is truncated in place; mid-segment corruption still throws.
+    kTail,
+    /// Older segment: any damage breaks the chain to the next snapshot —
+    /// always a typed error.
+    kMidChain,
+    /// Salvage: resynchronize past unreadable regions, skip records that
+    /// fail to apply, account everything dropped, never throw for
+    /// damage.  Nothing is truncated — the salvaging open checkpoints
+    /// immediately, superseding the damaged segment.
+    kSalvage,
 };
 
 /// Replay one WAL segment into `db` by re-driving its mutation API (the
-/// db's own logging must be detached).  A torn tail is truncated in place
-/// when `truncate_torn` is set; recovery passes true for the newest
-/// segment only — a tear in an *older* segment means the chain to the
-/// next snapshot is broken, and the caller treats that as corruption.
-/// Fault point: `recovery.replay` per record.
+/// db's own logging must be detached).  Damage handling per `mode`;
+/// strict-mode failures throw xr::CorruptionError with the file, byte
+/// offset and record number.  With kSalvage, `report` (required)
+/// accumulates what was dropped.  Fault point: `recovery.replay` per
+/// record.
 WalReplayStats replay_wal(const std::string& path, Database& db,
-                          bool truncate_torn);
+                          WalReplayMode mode, SalvageReport* report = nullptr);
 
 }  // namespace xr::rdb

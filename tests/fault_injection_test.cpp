@@ -71,9 +71,35 @@ TEST(FaultInjection, CountdownTargetsTheNthHit) {
 }
 
 TEST(FaultInjection, UnarmedPointsAreFree) {
-    ArmedFault armed("some.other.point");
+    ArmedFault armed("xml.parse");
+    fault::disarm();
     EXPECT_NO_THROW((void)xml::parse_document("<a/>"));
     EXPECT_FALSE(fault::fired());
+}
+
+TEST(FaultInjection, UnknownPointIsRejectedWithoutArming) {
+    // A typo'd XMLREL_FAULT_INJECT used to arm a point nothing ever hits
+    // — the test run silently measured nothing.  arm() now refuses.
+    EXPECT_FALSE(fault::arm("some.other.point"));
+    EXPECT_FALSE(fault::armed());
+    EXPECT_NO_THROW((void)xml::parse_document("<a/>"));
+    EXPECT_FALSE(fault::fired());
+    // And rejecting clears any stale arming instead of inheriting it.
+    EXPECT_TRUE(fault::arm("xml.parse"));
+    EXPECT_TRUE(fault::armed());
+    EXPECT_FALSE(fault::arm("another.typo"));
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST(FaultInjection, KnownPointsCatalogueIsSortedAndArmable) {
+    const auto& points = fault::known_points();
+    ASSERT_FALSE(points.empty());
+    EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+    for (std::string_view p : points) {
+        EXPECT_TRUE(fault::arm(p)) << p;
+        EXPECT_TRUE(fault::armed()) << p;
+    }
+    fault::disarm();
 }
 
 TEST(FaultInjection, InjectedFaultIsClassifiedRetryable) {

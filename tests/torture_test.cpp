@@ -1,0 +1,299 @@
+// Crash + corruption torture harness (DESIGN.md §14).  Each iteration:
+//
+//   1. fork a child that loads documents into a durable database with a
+//      randomized abort-mode fault armed (crash at a random write-path
+//      point), maintaining an fsynced oracle of how many documents
+//      committed;
+//   2. optionally corrupt the surviving storage files with a random
+//      byte-level mutation;
+//   3. recover strictly: the open must either succeed — and then
+//      verify() clean with no silent document loss — or fail with a
+//      typed xr::Error;
+//   4. recover in salvage mode: the open must always succeed, verify()
+//      clean, and account every dropped document in the salvage report.
+//
+// Never a crash, never silent divergence.  The iteration count and seed
+// come from XMLREL_TORTURE_ITERS / XMLREL_TORTURE_SEED so
+// scripts/torture.sh can run long seeded campaigns and replay failures.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "helpers.hpp"
+#include "rdb/database.hpp"
+#include "rdb/integrity.hpp"
+#include "rdb/snapshot.hpp"
+
+namespace xr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string article(int n) {
+    std::string i = std::to_string(n);
+    return "<article><title>t" + i + "</title><author id=\"a" + i +
+           "\"><name><lastname>L" + i +
+           "</lastname></name></author><contactauthor authorid=\"a" + i +
+           "\"/></article>";
+}
+
+struct Rng {
+    std::uint64_t s;
+    explicit Rng(std::uint64_t seed) : s(seed ^ 0x9E3779B97F4A7C15ull) {
+        next();
+        next();
+    }
+    std::uint64_t next() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+    std::size_t below(std::size_t n) {
+        return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+    }
+};
+
+long env_long(const char* name, long fallback) {
+    const char* v = std::getenv(name);
+    return (v != nullptr && *v != '\0') ? std::strtol(v, nullptr, 0)
+                                        : fallback;
+}
+
+/// Durably record how many documents have committed so far.
+void write_oracle(const std::string& path, int count) {
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) _exit(90);
+    std::string text = std::to_string(count);
+    if (::write(fd, text.data(), text.size()) !=
+        static_cast<ssize_t>(text.size()))
+        _exit(91);
+    if (::fsync(fd) != 0) _exit(92);
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) _exit(93);
+}
+
+int read_oracle(const std::string& path) {
+    std::ifstream f(path);
+    int count = 0;
+    f >> count;
+    return count;
+}
+
+/// The write-path points worth crashing at, weighted towards the WAL.
+constexpr const char* kCrashPoints[] = {
+    "wal.append",    "wal.append",   "wal.fsync",       "wal.fsync",
+    "loader.shred",  "snapshot.write", "snapshot.rename", "snapshot.verify",
+};
+
+/// Child body: load up to `total` docs, checkpoint mid-way, crash when
+/// the armed fault fires.  Exits 0 if the fault never fired.
+void torture_child(const std::string& dir, const std::string& oracle,
+                   Rng& rng, int total) {
+    const char* point = kCrashPoints[rng.below(std::size(kCrashPoints))];
+    long countdown = 1 + static_cast<long>(rng.below(60));
+    int checkpoint_after = 1 + static_cast<int>(rng.below(total));
+    {
+        test::DurableStack stack(gen::paper_dtd(), dir);
+        write_oracle(oracle, 0);
+        fault::arm(point, countdown, /*abort_instead=*/true);
+        for (int i = 0; i < total; ++i) {
+            auto doc = xml::parse_document(article(i));
+            stack.loader->load(*doc);
+            write_oracle(oracle, i + 1);
+            if (i + 1 == checkpoint_after) stack.db.checkpoint();
+        }
+        fault::disarm();
+    }
+    _exit(0);
+}
+
+/// Parent-side corruption: mutate one storage file in place (or none).
+/// Returns a description of what was done, empty when untouched.
+std::string corrupt_storage(const std::string& dir, Rng& rng) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("wal-", 0) == 0 || name.rfind("snapshot-", 0) == 0)
+            files.push_back(entry.path().string());
+    }
+    if (files.empty() || rng.below(4) == 0) return {};  // 1-in-4: crash only
+    const std::string& path = files[rng.below(files.size())];
+    auto size = static_cast<std::size_t>(fs::file_size(path));
+    switch (rng.below(4)) {
+        case 0: {  // flip a byte
+            if (size == 0) return {};
+            std::size_t at = rng.below(size);
+            std::fstream f(path,
+                           std::ios::in | std::ios::out | std::ios::binary);
+            f.seekg(static_cast<std::streamoff>(at));
+            char c = 0;
+            f.get(c);
+            f.seekp(static_cast<std::streamoff>(at));
+            f.put(static_cast<char>(c ^ (1u << rng.below(8))));
+            return "flip@" + std::to_string(at) + " " + path;
+        }
+        case 1: {  // truncate the tail
+            std::size_t keep = rng.below(size + 1);
+            fs::resize_file(path, keep);
+            return "truncate->" + std::to_string(keep) + " " + path;
+        }
+        case 2: {  // append garbage
+            std::ofstream f(path, std::ios::binary | std::ios::app);
+            std::size_t extra = 1 + rng.below(48);
+            for (std::size_t i = 0; i < extra; ++i)
+                f.put(static_cast<char>(rng.next() & 0xFF));
+            return "append+" + std::to_string(extra) + " " + path;
+        }
+        default: {  // zero a run
+            if (size == 0) return {};
+            std::size_t at = rng.below(size);
+            std::size_t len = 1 + rng.below(24);
+            std::fstream f(path,
+                           std::ios::in | std::ios::out | std::ios::binary);
+            f.seekp(static_cast<std::streamoff>(at));
+            for (std::size_t i = at; i < size && i < at + len; ++i)
+                f.put('\0');
+            return "zero@" + std::to_string(at) + "+" + std::to_string(len) +
+                   " " + path;
+        }
+    }
+}
+
+std::size_t doc_count(const rdb::Database& db) {
+    const rdb::Table* docs = db.table("xrel_docs");
+    return docs == nullptr ? 0 : docs->row_count();
+}
+
+void run_iteration(std::uint64_t seed, int iteration) {
+    SCOPED_TRACE("torture iteration " + std::to_string(iteration) + " seed " +
+                 std::to_string(seed));
+    Rng rng(seed + static_cast<std::uint64_t>(iteration) * 0x9E37ull);
+    test::TempDir dir;
+    std::string oracle = dir.path() + "/oracle";
+    constexpr int kDocs = 6;
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+        torture_child(dir.path(), oracle, rng, kDocs);  // never returns
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) || WIFSIGNALED(status));
+    if (WIFEXITED(status)) {
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+    // Drain the child's rng draws so parent-side randomness diverges
+    // from the child's choices deterministically.
+    rng.next();
+
+    std::string damage = corrupt_storage(dir.path(), rng);
+    int committed = read_oracle(oracle);
+
+    // Strict recovery truncates torn tails in place, which would hide
+    // the original damage from the salvage leg — give each leg its own
+    // copy of the damaged directory.
+    test::TempDir salvage_dir;
+    fs::copy(dir.path(), salvage_dir.path(),
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+
+    // Strict recovery: clean success or a typed error — nothing else.
+    bool strict_ok = false;
+    {
+        rdb::Database db;
+        rdb::RecoveryReport report;
+        try {
+            report = db.open(dir.path());
+            strict_ok = true;
+        } catch (const Error&) {
+            // typed refusal — must have something to refuse about
+            EXPECT_FALSE(damage.empty())
+                << "strict recovery refused an uncorrupted directory";
+        }
+        if (strict_ok) {
+            rdb::IntegrityReport integrity = db.verify();
+            EXPECT_TRUE(integrity.clean())
+                << damage << "\n"
+                << integrity.to_string();
+            std::size_t docs = doc_count(db);
+            // The oracle write follows the commit, so recovery may hold
+            // one more document than the oracle saw — never fewer,
+            // unless the recovery report accounts for the loss.
+            EXPECT_LE(docs, static_cast<std::size_t>(committed) + 1) << damage;
+            if (docs < static_cast<std::size_t>(committed)) {
+                EXPECT_FALSE(damage.empty())
+                    << "silent loss: " << docs << " docs recovered, "
+                    << committed << " committed, no corruption applied";
+                // A truncation landing exactly on a record boundary is
+                // physically indistinguishable from a crash before the
+                // append — the one loss no reader can flag.
+                EXPECT_TRUE(report.torn_bytes_dropped > 0 ||
+                            report.snapshots_skipped > 0 ||
+                            damage.rfind("truncate", 0) == 0)
+                    << damage << ": loss without a reported cause";
+            }
+        }
+    }
+
+    // Salvage recovery: always succeeds, always verifies clean, and any
+    // document shortfall is accounted in the salvage report.
+    {
+        rdb::Database db;
+        rdb::DurabilityOptions opts;
+        opts.recovery = rdb::RecoveryMode::kSalvage;
+        rdb::RecoveryReport report;
+        try {
+            report = db.open(salvage_dir.path(), opts);
+        } catch (const Error& e) {
+            FAIL() << damage << ": salvage open failed: " << e.what();
+        }
+        rdb::IntegrityReport integrity = db.verify();
+        EXPECT_TRUE(integrity.clean())
+            << damage << "\n"
+            << integrity.to_string();
+        std::size_t docs = doc_count(db);
+        EXPECT_LE(docs, static_cast<std::size_t>(committed) + 1) << damage;
+        if (docs < static_cast<std::size_t>(committed)) {
+            EXPECT_TRUE(report.salvage.any() ||
+                        report.torn_bytes_dropped > 0 ||
+                        report.snapshots_skipped > 0 ||
+                        damage.rfind("truncate", 0) == 0)
+                << damage << ": salvage lost documents without accounting ("
+                << docs << " < " << committed << ")\n"
+                << report.to_string();
+        }
+        // And the salvaged state must be durably strict-openable.
+        rdb::Database again;
+        rdb::RecoveryReport clean;
+        try {
+            clean = again.open(salvage_dir.path());
+        } catch (const Error& e) {
+            FAIL() << damage
+                   << ": strict reopen after salvage failed: " << e.what();
+        }
+        EXPECT_EQ(doc_count(again), docs) << damage;
+    }
+}
+
+TEST(Torture, CrashAndCorruptionNeverCrashOrSilentlyDiverge) {
+    const long iters = env_long("XMLREL_TORTURE_ITERS", 40);
+    const auto seed =
+        static_cast<std::uint64_t>(env_long("XMLREL_TORTURE_SEED", 0x7011e5));
+    for (long i = 0; i < iters; ++i)
+        run_iteration(seed, static_cast<int>(i));
+}
+
+}  // namespace
+}  // namespace xr
