@@ -120,7 +120,8 @@ void BM_IdLookup_HashIndex(benchmark::State& state) {
         stack.loader->load(*doc);
     const rdb::Table& ids = stack.db.require("xrel_ids");
     std::vector<rdb::Value> keys;
-    for (const auto& row : ids.rows()) keys.push_back(row[2]);
+    for (rdb::RowId id = 0; id < ids.row_count(); ++id)
+        keys.push_back(ids.row(id)[2]);
     std::size_t i = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(ids.index_lookup("idval", keys[i++ % keys.size()]));
@@ -142,7 +143,8 @@ void BM_IdLookup_OrderedIndex(benchmark::State& state) {
         loader.load(*doc);
     const rdb::Table& ids = db.require("xrel_ids");
     std::vector<rdb::Value> keys;
-    for (const auto& row : ids.rows()) keys.push_back(row[2]);
+    for (rdb::RowId id = 0; id < ids.row_count(); ++id)
+        keys.push_back(ids.row(id)[2]);
     std::size_t i = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(ids.index_lookup("idval", keys[i++ % keys.size()]));

@@ -361,6 +361,120 @@ ServeRecord serve_once(Loaded& loaded, std::size_t threads,
 }
 
 // ---------------------------------------------------------------------------
+// MVCC serving (DESIGN.md §15): qps with a concurrent bulk-load writer
+// vs fully quiesced, at 1/4/8 client threads.  Result caching is off on
+// both sides — the commit stream would invalidate the cache every few
+// queries, so a cached run would measure invalidation churn, not the
+// read path.  What remains is the pure question: how much serving
+// throughput does a non-stop writer cost when readers pin epochs
+// instead of taking a latch?  The acceptance bar is ≥ 70% of quiesced
+// at 8 threads.
+
+struct MvccRecord {
+    std::size_t threads = 0;
+    std::size_t quiesced_jobs = 0;
+    std::size_t loaded_jobs = 0;
+    double quiesced_qps = 0;
+    double loaded_qps = 0;
+    std::uint64_t writer_commits = 0;       ///< commits during the loaded run
+    std::uint64_t versions_published = 0;   ///< epochs cut during it
+    std::uint64_t chunks_cowed = 0;         ///< row chunks copied during it
+    [[nodiscard]] double ratio() const {
+        return quiesced_qps == 0 ? 0 : loaded_qps / quiesced_qps;
+    }
+};
+
+/// One uncached throughput run; every job re-executes on the epoch its
+/// snapshot pinned.  Returns {jobs, qps}.
+std::pair<std::size_t, double> mvcc_measure(query::QueryService& service,
+                                            std::size_t threads) {
+    std::vector<std::string> workload = serving_workload();
+    constexpr double kMinSeconds = 0.25;
+    constexpr std::size_t kMinJobs = 400;
+    std::vector<query::QueryService::Submission> futures;
+    futures.reserve(threads * workload.size());
+    std::size_t jobs = 0;
+    double seconds = 0;
+    auto t0 = Clock::now();
+    do {
+        futures.clear();
+        for (std::size_t c = 0; c < threads; ++c)
+            for (std::size_t i = 0; i < workload.size(); ++i)
+                futures.push_back(service.submit_path(
+                    workload[(i + c) % workload.size()]));
+        for (auto& f : futures) (void)f.get();
+        jobs += futures.size();
+        seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (seconds < kMinSeconds || jobs < kMinJobs);
+    return {jobs, static_cast<double>(jobs) / seconds};
+}
+
+MvccRecord mvcc_serve_once(std::size_t threads) {
+    // A fresh corpus per configuration: the loaded leg grows the tables,
+    // and reusing one corpus would hand later configs a bigger baseline.
+    Loaded loaded(128);
+    query::ServiceOptions opts;
+    opts.threads = threads;
+    opts.result_cache_bytes = 0;  // measure execution, not cache churn
+    query::QueryService service(loaded.stack.db, loaded.stack.mapping,
+                                loaded.stack.schema, opts);
+
+    MvccRecord rec;
+    rec.threads = threads;
+    std::tie(rec.quiesced_jobs, rec.quiesced_qps) =
+        mvcc_measure(service, threads);
+
+    // The concurrent leg: a writer thread commits one document per unit,
+    // non-stop, while the same workload replays.  Under the versioned
+    // read path the writer never waits for readers and vice versa.
+    auto extra = gen::bibliography_corpus(64, 300, 99);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> commits{0};
+    rdb::MvccStats before = loaded.stack.db.mvcc_stats();
+    std::thread writer([&] {
+        loader::LoadOptions options;
+        options.validate = false;
+        options.resolve_references = false;
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            loaded.stack.loader->load(*extra[i % extra.size()], options);
+            commits.fetch_add(1, std::memory_order_relaxed);
+            ++i;
+        }
+    });
+    std::tie(rec.loaded_jobs, rec.loaded_qps) = mvcc_measure(service, threads);
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    rdb::MvccStats after = loaded.stack.db.mvcc_stats();
+    rec.writer_commits = commits.load();
+    rec.versions_published = after.versions_published -
+                             before.versions_published;
+    rec.chunks_cowed = after.chunks_cowed - before.chunks_cowed;
+    return rec;
+}
+
+std::vector<MvccRecord> mvcc_report() {
+    std::cout << "=== §15-mvcc: serving qps with a concurrent bulk load vs "
+                 "quiesced (caches off) ===\n";
+    TablePrinter table({"threads", "quiesced qps", "loaded qps", "ratio",
+                        "writer commits", "epochs", "chunks cowed"});
+    std::vector<MvccRecord> records;
+    for (std::size_t threads : {1, 4, 8}) {
+        MvccRecord rec = mvcc_serve_once(threads);
+        table.add_row({std::to_string(rec.threads),
+                       format_double(rec.quiesced_qps, 0),
+                       format_double(rec.loaded_qps, 0),
+                       format_double(rec.ratio(), 2),
+                       std::to_string(rec.writer_commits),
+                       std::to_string(rec.versions_published),
+                       std::to_string(rec.chunks_cowed)});
+        records.push_back(rec);
+    }
+    std::cout << table.to_string() << "\n";
+    return records;
+}
+
+// ---------------------------------------------------------------------------
 // Overload sweep (§6): clients at 1×/2×/4×/8× worker capacity against a
 // bounded admission queue and a per-query deadline.  The questions the
 // sweep answers: how much offered load gets shed (typed Overloaded, not
@@ -506,7 +620,7 @@ void emit_json(const std::vector<ServeRecord>& serving,
                const std::vector<ColdRecord>& cold,
                const std::vector<PlannerRecord>& planner,
                const std::vector<OverloadRecord>& overload,
-               double unloaded_p99) {
+               double unloaded_p99, const std::vector<MvccRecord>& mvcc) {
     std::ofstream out("BENCH_query.json");
     out << "{\n  \"serving\": [\n";
     for (std::size_t i = 0; i < serving.size(); ++i) {
@@ -546,6 +660,20 @@ void emit_json(const std::vector<ServeRecord>& serving,
             << ", \"as_written_cold_us\": " << r.as_written_us
             << ", \"speedup\": " << r.speedup() << "}"
             << (i + 1 < planner.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"mvcc\": [\n";
+    for (std::size_t i = 0; i < mvcc.size(); ++i) {
+        const MvccRecord& r = mvcc[i];
+        out << "    {\"threads\": " << r.threads
+            << ", \"quiesced_jobs\": " << r.quiesced_jobs
+            << ", \"quiesced_qps\": " << r.quiesced_qps
+            << ", \"loaded_jobs\": " << r.loaded_jobs
+            << ", \"loaded_qps\": " << r.loaded_qps
+            << ", \"loaded_over_quiesced\": " << r.ratio()
+            << ", \"writer_commits\": " << r.writer_commits
+            << ", \"versions_published\": " << r.versions_published
+            << ", \"chunks_cowed\": " << r.chunks_cowed << "}"
+            << (i + 1 < mvcc.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"overload\": {\n    \"unloaded_p99_us\": "
         << unloaded_p99 << ",\n    \"sweep\": [\n";
@@ -605,7 +733,8 @@ std::vector<PlannerRecord> planner_report() {
 void serving_report(const std::vector<ColdRecord>& cold,
                     const std::vector<PlannerRecord>& planner,
                     const std::vector<OverloadRecord>& overload,
-                    double unloaded_p99) {
+                    double unloaded_p99,
+                    const std::vector<MvccRecord>& mvcc) {
     std::cout << "=== §5-serve: concurrent serving through the query "
                  "service (shared caches) ===\n";
     Loaded loaded(256);
@@ -629,10 +758,11 @@ void serving_report(const std::vector<ColdRecord>& cold,
         records.push_back(rec);
     }
     std::cout << table.to_string();
-    emit_json(records, cold, planner, overload, unloaded_p99);
+    emit_json(records, cold, planner, overload, unloaded_p99, mvcc);
     std::cout << "wrote BENCH_query.json (" << records.size() << " serving + "
               << cold.size() << " cold-path + " << planner.size()
-              << " planner + " << overload.size() << " overload records)\n\n";
+              << " planner + " << overload.size() << " overload + "
+              << mvcc.size() << " mvcc records)\n\n";
 }
 
 // google-benchmark series at a fixed, substantial corpus size.
@@ -680,7 +810,8 @@ int main(int argc, char** argv) {
     std::vector<OverloadRecord> overload;
     double unloaded_p99 = 0;
     overload_report(overload, unloaded_p99);
-    serving_report(cold, planner, overload, unloaded_p99);
+    std::vector<MvccRecord> mvcc = mvcc_report();
+    serving_report(cold, planner, overload, unloaded_p99, mvcc);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

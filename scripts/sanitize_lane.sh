@@ -11,9 +11,13 @@
 #
 # TSan lane (`thread`): the differential query fuzzer, the concurrent
 # serving tests — readers racing loads and checkpoints, the worker pool,
-# the caches, and shared ExecStats — plus the structural-index tests,
-# whose bulk label merge and range-scan counters are shared state, and
-# the overload tests (admission racing shutdown, abandon-cancel).
+# the caches, and shared ExecStats — plus the MVCC snapshot-isolation
+# harness (DESIGN.md §15), which is load-bearing HERE: its oracle only
+# proves epochs are handed off race-free if TSan watches the readers
+# fingerprint pinned versions while the writer commits beside them.
+# Also the structural-index tests, whose bulk label merge and
+# range-scan counters are shared state, and the overload tests
+# (admission racing shutdown, abandon-cancel).
 #
 # UBSan lane (`undefined`): the planner's selectivity/cost arithmetic
 # (double math over row counts, bitmask subset walks), the structural
@@ -34,7 +38,7 @@ LANE=${1:-address}
 case "$LANE" in
   address)
     BUILD_DIR=${2:-build-asan}
-    LABELS='bulk|fault|durability|integrity|index|overload|planner|torture'
+    LABELS='bulk|fault|durability|integrity|index|overload|planner|mvcc|torture'
     # Keep the sanitized torture leg short; scripts/torture.sh owns the
     # long campaign on the plain build.
     XMLREL_TORTURE_ITERS=${XMLREL_TORTURE_ITERS:-10}
@@ -42,11 +46,11 @@ case "$LANE" in
     ;;
   thread)
     BUILD_DIR=${2:-build-tsan}
-    LABELS='query|concurrency|index|overload|planner'
+    LABELS='query|concurrency|mvcc|index|overload|planner'
     ;;
   undefined)
     BUILD_DIR=${2:-build-ubsan}
-    LABELS='planner|index|query|integrity'
+    LABELS='planner|index|query|integrity|mvcc'
     ;;
   *)
     echo "usage: $0 [address|thread|undefined] [build-dir]" >&2

@@ -21,7 +21,10 @@ ITERS=${1:-250}
 BUILD_DIR=${2:-build}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target torture_test
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target torture_test mvcc_test
 
+# The MVCC snapshot-isolation harness rides along: crash-recovered
+# state must publish clean epochs, and the oracle is cheap next to the
+# fork/corrupt/recover iterations.
 XMLREL_TORTURE_ITERS="$ITERS" \
-ctest --test-dir "$BUILD_DIR" -L torture --output-on-failure
+ctest --test-dir "$BUILD_DIR" -L 'torture|mvcc' --output-on-failure

@@ -130,7 +130,8 @@ std::int64_t BulkLoader::next_doc_base() const {
     if (const rdb::Table* docs = db_.table("xrel_docs")) {
         int c = docs->def().column_index("doc");
         if (c >= 0) {
-            for (const auto& row : docs->rows()) {
+            for (rdb::RowId id = 0; id < docs->row_count(); ++id) {
+                const auto& row = docs->row(id);
                 if (!row[c].is_null())
                     base = std::max(base, row[c].as_integer() + 1);
             }
@@ -147,7 +148,8 @@ std::int64_t BulkLoader::next_label_base() const {
         int b = docs->def().column_index("label_base");
         int s = docs->def().column_index("label_span");
         if (b >= 0 && s >= 0) {
-            for (const auto& row : docs->rows()) {
+            for (rdb::RowId id = 0; id < docs->row_count(); ++id) {
+                const auto& row = docs->row(id);
                 if (!row[b].is_null() && !row[s].is_null())
                     base = std::max(base,
                                     row[b].as_integer() + row[s].as_integer());

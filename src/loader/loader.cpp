@@ -128,7 +128,8 @@ void Loader::build_plans() {
         int c = docs->def().column_index("doc");
         int b = docs->def().column_index("label_base");
         int s = docs->def().column_index("label_span");
-        for (const auto& row : docs->rows()) {
+        for (rdb::RowId id = 0; id < docs->row_count(); ++id) {
+            const auto& row = docs->row(id);
             if (c >= 0 && !row[c].is_null())
                 next_doc_ = std::max(next_doc_, row[c].as_integer() + 1);
             if (b >= 0 && s >= 0 && !row[b].is_null() && !row[s].is_null())

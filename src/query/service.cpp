@@ -103,14 +103,17 @@ QueryService::Result QueryService::sql(const std::string& text,
     popts.enable = use_planner_.load(std::memory_order_relaxed);
     rdb::ReadSnapshot snapshot = db_.read_snapshot();
     // The parsed statement is private to this call, so executing it
-    // directly (instead of re-parsing inside sql::execute) is safe.
+    // directly (instead of re-parsing inside sql::execute) is safe.  The
+    // snapshot's view pins a published DatabaseVersion: the whole
+    // plan+execute runs latch-free against that epoch, concurrent writers
+    // never block it and it never observes their partial state.
     // Planner-off results get their own cache namespace; the default
     // (planner-on) keys stay unprefixed so existing entries survive.
     return run_select(
         (popts.enable ? "sql:" : "np:sql:") + text,
         [&] {
-            return sql::execute_select(db_, stmt.select, &exec_stats_, cancel,
-                                       &popts);
+            return sql::execute_select(snapshot.view(), stmt.select,
+                                       &exec_stats_, cancel, &popts);
         },
         snapshot);
 }
@@ -131,7 +134,10 @@ QueryService::Result QueryService::path(const std::string& text,
     // the plan cache): textual variants of one query share an entry.
     return run_select(
         (popts.enable ? "path:" : "np:path:") + t.sql,
-        [&] { return sql::execute(db_, t.sql, &exec_stats_, cancel, &popts); },
+        [&] {
+            return sql::execute_read(snapshot.view(), t.sql, &exec_stats_,
+                                     cancel, &popts);
+        },
         snapshot);
 }
 

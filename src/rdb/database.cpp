@@ -15,22 +15,61 @@ namespace xr::rdb {
 
 namespace fs = std::filesystem;
 
-Database::Database() = default;
+const Table& DatabaseVersion::require(std::string_view name) const {
+    const Table* t = table(name);
+    if (t == nullptr) throw SchemaError("no table '" + std::string(name) + "'");
+    return *t;
+}
+
+const Table* ReadView::table(std::string_view name) const {
+    return version_ != nullptr ? version_->table(name) : db_->table(name);
+}
+
+const Table& ReadView::require(std::string_view name) const {
+    return version_ != nullptr ? version_->require(name) : db_->require(name);
+}
+
+std::vector<std::string> ReadView::table_names() const {
+    return version_ != nullptr ? version_->table_names() : db_->table_names();
+}
+
+const std::vector<ForeignKeyDef>& ReadView::foreign_keys() const {
+    return version_ != nullptr ? version_->foreign_keys() : db_->foreign_keys();
+}
+
+std::uint64_t ReadView::stats_epoch() const {
+    return version_ != nullptr ? version_->stats_epoch() : db_->stats_epoch();
+}
+
+std::string MvccStats::to_string() const {
+    std::ostringstream out;
+    out << "mvcc: " << versions_published << " version(s) published, "
+        << versions_live << " live, " << versions_retired << " retired; "
+        << tables_republished << " table clone(s), " << chunks_cowed
+        << " chunk(s) and " << indexes_cowed << " index(es) copied on write";
+    return out.str();
+}
+
+Database::Database() : published_(std::make_shared<DatabaseVersion>()) {}
 
 Database::~Database() {
     // A database destroyed with a unit still open (error paths, tests)
-    // would otherwise destroy an exclusively-held latch.
-    if (unit_depth_ > 0) latch_.unlock();
+    // would otherwise destroy a locked writer mutex.
+    if (unit_depth_ > 0) writer_mu_.unlock();
 }
 
-// The latch and watermark are per-object (a std::shared_mutex cannot
-// move); moving is only legal with no open unit and no readers, so the
-// fresh latch of the destination is equivalent to the source's idle one.
+// The mutexes and watermark are per-object (a std::mutex cannot move);
+// moving is only legal with no open unit and no readers, so the fresh
+// mutexes of the destination are equivalent to the source's idle ones.
 Database::Database(Database&& other) noexcept
     : tables_(std::move(other.tables_)),
       fks_(std::move(other.fks_)),
       bulk_(other.bulk_),
       unit_depth_(other.unit_depth_),
+      published_(std::move(other.published_)),
+      version_registry_(std::move(other.version_registry_)),
+      versions_published_(other.versions_published_),
+      tables_republished_(other.tables_republished_),
       dir_(std::move(other.dir_)),
       dopts_(other.dopts_),
       wal_seq_(other.wal_seq_),
@@ -43,6 +82,9 @@ Database::Database(Database&& other) noexcept
     other.bulk_ = false;
     other.unit_depth_ = 0;
     other.wal_seq_ = 0;
+    other.published_ = std::make_shared<DatabaseVersion>();
+    other.versions_published_ = 0;
+    other.tables_republished_ = 0;
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -51,6 +93,10 @@ Database& Database::operator=(Database&& other) noexcept {
     fks_ = std::move(other.fks_);
     bulk_ = other.bulk_;
     unit_depth_ = other.unit_depth_;
+    published_ = std::move(other.published_);
+    version_registry_ = std::move(other.version_registry_);
+    versions_published_ = other.versions_published_;
+    tables_republished_ = other.tables_republished_;
     dir_ = std::move(other.dir_);
     dopts_ = other.dopts_;
     wal_seq_ = other.wal_seq_;
@@ -63,7 +109,50 @@ Database& Database::operator=(Database&& other) noexcept {
     other.bulk_ = false;
     other.unit_depth_ = 0;
     other.wal_seq_ = 0;
+    other.published_ = std::make_shared<DatabaseVersion>();
+    other.versions_published_ = 0;
+    other.tables_republished_ = 0;
     return *this;
+}
+
+void Database::publish_version() {
+    auto version = std::make_shared<DatabaseVersion>();
+    version->watermark_ = commit_watermark_.load(std::memory_order_relaxed);
+    version->stats_epoch_ = stats_epoch_.load(std::memory_order_relaxed);
+    version->fks_ = fks_;
+    version->tables_.reserve(tables_.size());
+    for (auto& t : tables_) {
+        if (t->version_dirty()) ++tables_republished_;
+        version->tables_.push_back(t->publish());
+    }
+    std::shared_ptr<const DatabaseVersion> frozen = std::move(version);
+    std::lock_guard<std::mutex> guard(version_mu_);
+    published_ = frozen;
+    ++versions_published_;
+    version_registry_.erase(
+        std::remove_if(version_registry_.begin(), version_registry_.end(),
+                       [](const auto& w) { return w.expired(); }),
+        version_registry_.end());
+    version_registry_.push_back(frozen);
+}
+
+MvccStats Database::mvcc_stats() const {
+    MvccStats stats;
+    {
+        std::lock_guard<std::mutex> guard(version_mu_);
+        stats.versions_published = versions_published_;
+        for (const auto& w : version_registry_)
+            if (!w.expired()) ++stats.versions_live;
+        stats.versions_retired = versions_published_ - stats.versions_live;
+        stats.tables_republished = tables_republished_;
+    }
+    // Per-table COW counters are writer-side state; reading them here is
+    // advisory (call quiesced for exact numbers).
+    for (const auto& t : tables_) {
+        stats.chunks_cowed += t->chunks_cowed();
+        stats.indexes_cowed += t->indexes_cowed();
+    }
+    return stats;
 }
 
 bool SalvageReport::any() const {
@@ -150,7 +239,7 @@ RecoveryReport Database::open(const std::string& dir,
         Database candidate;
         try {
             // Qualified: the unqualified name resolves to the
-            // Database::read_snapshot() latch member in this scope.
+            // Database::read_snapshot() member in this scope.
             xr::rdb::read_snapshot(path, candidate);
         } catch (const Error&) {
             ++report.snapshots_skipped;
@@ -280,6 +369,9 @@ RecoveryReport Database::open(const std::string& dir,
             load_stats_catalog();
         }
     }
+    // Recovery is complete: publish the recovered state as the first
+    // epoch, so snapshots opened from here on read it latch-free.
+    publish_version();
     return report;
 }
 
@@ -288,10 +380,11 @@ SnapshotStats Database::checkpoint() {
         throw SchemaError("checkpoint() requires an open() data directory");
     if (unit_depth_ != 0)
         throw SchemaError("cannot checkpoint while a load unit is open");
-    // Exclusive for the whole snapshot + WAL rotation: the image must be
-    // a single consistent state, and rotating the mutation log while a
-    // reader holds a snapshot would tear wal_bytes_appended() readers.
-    std::unique_lock<std::shared_mutex> guard(latch_);
+    // Writer-exclusive for the whole snapshot + WAL rotation: the image
+    // must be a single consistent state.  No new epoch is published (the
+    // logical contents did not change); readers keep flowing on pinned
+    // versions throughout.
+    std::lock_guard<std::mutex> guard(writer_mu_);
     if (wal_ != nullptr) wal_->flush(/*sync=*/true);
 
     std::uint64_t next_seq = wal_seq_ + 1;
@@ -354,9 +447,10 @@ SnapshotStats Database::checkpoint() {
 }
 
 IntegrityReport Database::verify() const {
-    // Snapshot-isolated: the shared latch keeps writers out for the
-    // whole pass, so every invariant is checked against one state.
-    ReadSnapshot guard = read_snapshot();
+    // Writer-exclusive so every invariant is checked against one live
+    // state (including mutations not yet published as an epoch); readers
+    // keep flowing on pinned versions meanwhile.
+    std::lock_guard<std::mutex> guard(writer_mu_);
     return verify_database(*this);
 }
 
@@ -373,9 +467,9 @@ std::uint64_t Database::wal_lsn() const {
 }
 
 Table& Database::create_table(TableDef def) {
-    // Depth-0 DDL is its own (tiny) exclusive section; inside a unit the
-    // latch is already held by this thread.
-    std::unique_lock<std::shared_mutex> guard(latch_, std::defer_lock);
+    // Depth-0 DDL is its own (tiny) writer-exclusive section; inside a
+    // unit the writer mutex is already held by this thread.
+    std::unique_lock<std::mutex> guard(writer_mu_, std::defer_lock);
     if (unit_depth_ == 0) guard.lock();
     if (table(def.name) != nullptr)
         throw SchemaError("table '" + def.name + "' already exists");
@@ -395,23 +489,26 @@ Table& Database::create_table(TableDef def) {
         }
         t.set_mutation_log(wal_.get());
     }
-    if (unit_depth_ == 0)
+    if (unit_depth_ == 0) {
         commit_watermark_.fetch_add(1, std::memory_order_release);
+        publish_version();
+    }
     return t;
 }
 
 void Database::begin_unit() {
-    // The outermost unit takes the latch exclusively: concurrent readers
-    // drain first, then see nothing until the unit commits or rolls back.
-    // Nested begins run on the thread that already holds the latch, which
-    // is why testing unit_depth_ before locking is race-free (writers are
-    // single-threaded per the unit contract).
-    if (unit_depth_ == 0) latch_.lock();
+    // The outermost unit takes the writer mutex: units, checkpoints and
+    // depth-0 DDL serialize against each other.  Readers are unaffected —
+    // they pin the last published epoch.  Nested begins run on the thread
+    // that already holds the mutex, which is why testing unit_depth_
+    // before locking is race-free (writers are single-threaded per the
+    // unit contract).
+    if (unit_depth_ == 0) writer_mu_.lock();
     try {
         if (wal_ != nullptr) wal_->log_begin_unit();
         for (auto& t : tables_) t->begin_unit();
     } catch (...) {
-        if (unit_depth_ == 0) latch_.unlock();
+        if (unit_depth_ == 0) writer_mu_.unlock();
         throw;
     }
     ++unit_depth_;
@@ -428,8 +525,8 @@ void Database::commit_unit() {
     --unit_depth_;
     if (unit_depth_ == 0) {
         // Fold statistics over the rows this unit appended — O(new rows),
-        // the same shape of work as index maintenance — while the latch
-        // is still exclusive.  Material growth advances the statistics
+        // the same shape of work as index maintenance — while the writer
+        // mutex is still held.  Material growth advances the statistics
         // epoch so cached plans re-cost against the new cardinalities.
         bool grew = false;
         for (auto& t : tables_) {
@@ -437,10 +534,13 @@ void Database::commit_unit() {
             grew = t->note_material_growth() || grew;
         }
         if (grew) stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
-        // Publish the new epoch before readers can acquire the latch, so
-        // any snapshot over the committed state carries a fresh watermark.
+        // Publication point: bump the watermark, then publish the new
+        // epoch while still writer-exclusive.  Snapshots opened before
+        // the swap keep their old epoch; snapshots opened after see this
+        // unit complete — never a partially-committed state.
         commit_watermark_.fetch_add(1, std::memory_order_release);
-        latch_.unlock();
+        publish_version();
+        writer_mu_.unlock();
     }
 }
 
@@ -451,9 +551,9 @@ void Database::rollback_unit() {
     --unit_depth_;
     bulk_ = false;  // an interrupted merge leaves no bracket behind
     if (wal_ != nullptr) wal_->log_rollback_unit();
-    // No watermark bump: readers never observed the discarded rows, so
-    // every cached result tagged with the current epoch is still valid.
-    if (unit_depth_ == 0) latch_.unlock();
+    // No watermark bump and no publication: readers never observed the
+    // discarded rows, so the previous epoch still describes the state.
+    if (unit_depth_ == 0) writer_mu_.unlock();
 }
 
 void Database::begin_bulk() {
@@ -470,7 +570,7 @@ void Database::drop_table(std::string_view name) {
     if (unit_depth_ > 0)
         throw SchemaError("cannot drop '" + std::string(name) +
                           "' while a load unit is open");
-    std::unique_lock<std::shared_mutex> guard(latch_);
+    std::lock_guard<std::mutex> guard(writer_mu_);
     auto it = std::find_if(tables_.begin(), tables_.end(),
                            [&](const auto& t) { return t->name() == name; });
     if (it == tables_.end())
@@ -478,11 +578,20 @@ void Database::drop_table(std::string_view name) {
     if (wal_ != nullptr) wal_->log_drop_table(name);
     tables_.erase(it);
     commit_watermark_.fetch_add(1, std::memory_order_release);
+    publish_version();
 }
 
 void Database::add_foreign_key(ForeignKeyDef fk) {
     if (wal_ != nullptr) wal_->log_add_foreign_key(fk);
-    fks_.push_back(std::move(fk));
+    if (unit_depth_ == 0) {
+        // Keys only matter to verification; republishing (same watermark)
+        // lets a pinned-epoch verify see them without a watermark bump.
+        std::lock_guard<std::mutex> guard(writer_mu_);
+        fks_.push_back(std::move(fk));
+        publish_version();
+    } else {
+        fks_.push_back(std::move(fk));
+    }
 }
 
 Table* Database::table(std::string_view name) {
@@ -532,8 +641,8 @@ std::vector<std::string> Database::check_foreign_keys() const {
                                  "." + fk.column);
             continue;
         }
-        for (const auto& row : src->rows()) {
-            const Value& v = row[col];
+        for (RowId id = 0; id < src->row_count(); ++id) {
+            const Value& v = src->row(id)[col];
             if (v.is_null()) continue;
             if (dst->find_pk(v.as_integer()) == nullptr) {
                 violations.push_back(fk.table + "." + fk.column + "=" +
@@ -582,9 +691,10 @@ AnalyzeReport Database::analyze() {
         throw SchemaError("cannot analyze while a load unit is open");
     AnalyzeReport report;
     {
-        // Rebuilds mutate per-table statistics that planner threads read
-        // under the shared latch; take it exclusively like depth-0 DDL.
-        std::unique_lock<std::shared_mutex> guard(latch_);
+        // Rebuilds mutate per-table statistics; hold the writer mutex
+        // like depth-0 DDL.  Planner threads reading through pinned
+        // epochs see those epochs' statistics copies, untouched.
+        std::lock_guard<std::mutex> guard(writer_mu_);
         for (auto& t : tables_) {
             if (t->name() == kStatsTable) continue;
             t->rebuild_stats();
@@ -596,8 +706,9 @@ AnalyzeReport Database::analyze() {
     report.epoch = stats_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
     // Persist to the catalog: drop + re-create + fill under one committed
-    // unit.  Each step takes the latch itself and logs to the WAL, so a
-    // recovered database replays its way back to the same catalog rows.
+    // unit.  Each step takes the writer mutex itself and logs to the WAL,
+    // so a recovered database replays its way back to the same catalog
+    // rows; the commit publishes the rebuilt statistics as a new epoch.
     if (table(kStatsTable) != nullptr) drop_table(kStatsTable);
     TableDef def;
     def.name = std::string(kStatsTable);
@@ -648,7 +759,8 @@ void Database::load_stats_catalog() {
     if (cat != nullptr && cat->column_count() >= 8) {
         // Stage per-table statistics from the catalog rows.
         std::map<std::string, TableStats> staged;
-        for (const auto& row : cat->rows()) {
+        for (RowId id = 0; id < cat->row_count(); ++id) {
+            const Row& row = cat->row(id);
             Table* target = table(row[0].as_text());
             if (target == nullptr) continue;  // dropped since the analyze
             int c = target->def().column_index(row[1].as_text());

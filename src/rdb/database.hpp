@@ -8,18 +8,21 @@
 // durability.  checkpoint() compacts the log into a fresh checksummed
 // snapshot.
 //
-// Concurrency (DESIGN.md §9): mutations stay single-writer (the load
-// unit contract), but any number of reader threads may query through
-// read_snapshot(), which latches out the writer for the snapshot's
-// lifetime.  The exclusive latch spans the *outermost* load unit, so
-// readers only ever observe committed states; commit_watermark() names
-// those states for cache invalidation.
+// Concurrency (DESIGN.md §9/§15): mutations stay single-writer (the
+// load unit contract), serialized by a writer mutex spanning the
+// outermost load unit, checkpoint() and depth-0 DDL.  Readers never
+// take that mutex: every committed state is published as an immutable
+// DatabaseVersion (copy-on-write table epochs keyed by the commit
+// watermark), and read_snapshot() pins the current version for the
+// snapshot's lifetime.  A pinned version stays readable — latch-free —
+// no matter how many commits, checkpoints or DDL statements land
+// meanwhile; versions retire automatically when the last pin drops.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +33,7 @@
 namespace xr::rdb {
 
 class Wal;
+class Database;
 struct SnapshotStats;
 
 /// Declared foreign key; enforcement happens via check_foreign_keys()
@@ -121,25 +125,118 @@ struct RecoveryReport {
     [[nodiscard]] std::string to_string() const;
 };
 
-/// A consistent read view of the database (DESIGN.md §9).
+/// One immutable published epoch of the whole database (DESIGN.md §15).
 ///
-/// Holds the database latch in shared mode for its lifetime, so row
-/// storage and indexes cannot change underneath the reader: the outermost
-/// load unit, checkpoint() and depth-0 DDL all take the latch exclusively.
-/// `watermark` is the commit watermark observed at acquisition — the
-/// epoch caches key their entries by.  Snapshots are cheap (no copying)
-/// and many may be open at once; writers wait for all of them to close.
-class ReadSnapshot {
+/// Built by the writer at each publication point (outermost commit,
+/// depth-0 DDL, end of recovery) from frozen table clones that share
+/// row chunks and index containers with the live tables.  Once
+/// published a version never changes; it is retired automatically when
+/// the last ReadSnapshot pinning it is destroyed (shared_ptr refcount
+/// is the version GC — no epoch list to sweep).
+class DatabaseVersion {
 public:
-    ReadSnapshot(std::shared_lock<std::shared_mutex>&& lock,
-                 std::uint64_t watermark)
-        : lock_(std::move(lock)), watermark_(watermark) {}
-
+    /// Commit watermark this version was published at.
     [[nodiscard]] std::uint64_t watermark() const { return watermark_; }
+    /// Statistics epoch at publication (plan-cache key component).
+    [[nodiscard]] std::uint64_t stats_epoch() const { return stats_epoch_; }
+
+    [[nodiscard]] const Table* table(std::string_view name) const {
+        for (const auto& t : tables_)
+            if (t->name() == name) return t.get();
+        return nullptr;
+    }
+    [[nodiscard]] const Table& require(std::string_view name) const;
+
+    [[nodiscard]] std::vector<std::string> table_names() const {
+        std::vector<std::string> names;
+        names.reserve(tables_.size());
+        for (const auto& t : tables_) names.push_back(t->name());
+        return names;
+    }
+    [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+    [[nodiscard]] const std::vector<ForeignKeyDef>& foreign_keys() const {
+        return fks_;
+    }
+    [[nodiscard]] std::size_t total_rows() const {
+        std::size_t n = 0;
+        for (const auto& t : tables_) n += t->row_count();
+        return n;
+    }
 
 private:
-    std::shared_lock<std::shared_mutex> lock_;
+    friend class Database;
     std::uint64_t watermark_ = 0;
+    std::uint64_t stats_epoch_ = 0;
+    std::vector<std::shared_ptr<const Table>> tables_;
+    std::vector<ForeignKeyDef> fks_;
+};
+
+/// Cheap, copyable resolver over either a pinned immutable
+/// DatabaseVersion or the live Database (DESIGN.md §15).
+///
+/// Read-only consumers — the SQL executor, the planner, integrity
+/// verification — take a ReadView so one code path serves both worlds:
+/// concurrent queries read a pinned version; writer-thread and
+/// quiesced contexts (recovery, loaders' FK checks, tests) pass the
+/// Database itself via the implicit conversion and read live state.
+/// A live view is only safe where reading the tables directly is —
+/// i.e. under writer exclusivity or with no writer running.
+class ReadView {
+public:
+    /*implicit*/ ReadView(const Database& db) : db_(&db) {}
+    explicit ReadView(const DatabaseVersion& version) : version_(&version) {}
+
+    [[nodiscard]] const Table* table(std::string_view name) const;
+    [[nodiscard]] const Table& require(std::string_view name) const;
+    [[nodiscard]] std::vector<std::string> table_names() const;
+    [[nodiscard]] const std::vector<ForeignKeyDef>& foreign_keys() const;
+    /// Statistics epoch the view's tables carry (plan-cache keying).
+    [[nodiscard]] std::uint64_t stats_epoch() const;
+
+    /// Non-null when this view reads a pinned version.
+    [[nodiscard]] const DatabaseVersion* version() const { return version_; }
+
+private:
+    const Database* db_ = nullptr;
+    const DatabaseVersion* version_ = nullptr;
+};
+
+/// A consistent read view of the database (DESIGN.md §9/§15).
+///
+/// Pins the DatabaseVersion that was current at acquisition: row
+/// storage and indexes reachable through view() can never change or be
+/// freed underneath the reader, no latch is held, and writers are
+/// never blocked — a snapshot opened before a bulk load reads the
+/// pre-load epoch to completion while the load commits new epochs
+/// beside it.  `watermark()` names the pinned epoch — the key caches
+/// invalidate by.  Snapshots are cheap (two shared_ptr copies) and any
+/// number may be open at once.
+class ReadSnapshot {
+public:
+    explicit ReadSnapshot(std::shared_ptr<const DatabaseVersion> version)
+        : version_(std::move(version)) {}
+
+    [[nodiscard]] std::uint64_t watermark() const {
+        return version_->watermark();
+    }
+    /// The pinned epoch; valid for the snapshot's lifetime.
+    [[nodiscard]] const DatabaseVersion& version() const { return *version_; }
+    /// Resolver over the pinned epoch for executor/planner/verify.
+    [[nodiscard]] ReadView view() const { return ReadView(*version_); }
+
+private:
+    std::shared_ptr<const DatabaseVersion> version_;
+};
+
+/// Observability counters for the MVCC read path (DESIGN.md §15).
+struct MvccStats {
+    std::uint64_t versions_published = 0;  ///< epochs published since open
+    std::size_t versions_live = 0;    ///< still pinned (incl. the current one)
+    std::uint64_t versions_retired = 0;    ///< published and since freed
+    std::uint64_t tables_republished = 0;  ///< frozen table clones cut
+    std::uint64_t chunks_cowed = 0;        ///< row chunks copied on write
+    std::uint64_t indexes_cowed = 0;       ///< index containers copied on write
+    [[nodiscard]] std::string to_string() const;
 };
 
 class Database {
@@ -148,8 +245,8 @@ public:
     ~Database();
     Database(const Database&) = delete;
     Database& operator=(const Database&) = delete;
-    /// Moving requires no open load unit and no concurrent readers (the
-    /// latch itself stays with each object; only data moves).
+    /// Moving requires no open load unit and no concurrent readers or
+    /// writers (the mutexes stay with each object; only data moves).
     Database(Database&&) noexcept;
     Database& operator=(Database&&) noexcept;
 
@@ -175,13 +272,17 @@ public:
     /// *before* the WAL rotates — a checkpoint that cannot be read back
     /// is deleted and the previous snapshot + WAL remain authoritative.
     /// Fault point: `snapshot.verify` before the verification read.
+    /// Holds the writer mutex (no logical change, so no new epoch is
+    /// published); concurrent readers keep flowing on pinned versions.
     SnapshotStats checkpoint();
 
-    /// Online integrity check (DESIGN.md §14): takes a read snapshot and
-    /// validates every per-table and cross-table invariant — see
-    /// rdb/integrity.hpp for the catalogue.  Safe to run concurrently
-    /// with readers and between writer units; must not be called from a
-    /// thread holding a load unit open (the latch is not recursive).
+    /// Online integrity check (DESIGN.md §14): holds the writer mutex and
+    /// validates the *live* state — every per-table and cross-table
+    /// invariant (see rdb/integrity.hpp for the catalogue), including
+    /// mutations not yet published as an epoch.  Readers keep flowing on
+    /// pinned versions; must not be called from a thread holding a load
+    /// unit open (the writer mutex is not recursive).  To verify a
+    /// pinned epoch instead, pass `snapshot.view()` to verify_database().
     [[nodiscard]] IntegrityReport verify() const;
 
     /// Flush (and fsync) buffered WAL records outside a commit — callers
@@ -253,24 +354,23 @@ public:
     /// durable *before* committing in memory: if flushing the commit
     /// frame fails, the exception propagates with the unit still open,
     /// and the caller's rollback restores the pre-unit state on both
-    /// sides.
+    /// sides.  The outermost commit then publishes a new epoch, making
+    /// the unit's rows visible to snapshots opened from here on.
     void begin_unit();
     void commit_unit();
     void rollback_unit();
     [[nodiscard]] bool in_unit() const { return unit_depth_ > 0; }
 
-    // -- concurrent reads (DESIGN.md §9) -------------------------------------
-    /// Open a consistent read view.  Blocks while a load unit, checkpoint
-    /// or depth-0 DDL holds the latch exclusively; once acquired, every
-    /// table read is stable until the snapshot is destroyed.  Must not be
-    /// called from the thread that currently holds a load unit open (the
-    /// latch is not recursive).
+    // -- concurrent reads (DESIGN.md §9/§15) ---------------------------------
+    /// Pin the current published epoch.  Never blocks behind writers (the
+    /// only synchronization is a pointer copy under a short mutex) and
+    /// holds no latch afterwards: the returned snapshot reads its pinned
+    /// version to completion however many commits land concurrently.
+    /// Safe from any thread, including one holding a load unit open —
+    /// the snapshot then simply reads the last *committed* epoch.
     [[nodiscard]] ReadSnapshot read_snapshot() const {
-        // Acquire the latch first: the watermark read then happens with
-        // no writer active, so it matches the state the snapshot sees.
-        std::shared_lock<std::shared_mutex> lock(latch_);
-        std::uint64_t mark = commit_watermark_.load(std::memory_order_acquire);
-        return ReadSnapshot{std::move(lock), mark};
+        std::lock_guard<std::mutex> guard(version_mu_);
+        return ReadSnapshot{published_};
     }
 
     /// Monotonic count of committed outermost load units and depth-0 DDL
@@ -280,6 +380,10 @@ public:
     [[nodiscard]] std::uint64_t commit_watermark() const {
         return commit_watermark_.load(std::memory_order_acquire);
     }
+
+    /// MVCC observability: epochs published/live/retired, frozen table
+    /// clones cut, chunks and index containers copied on write.
+    [[nodiscard]] MvccStats mvcc_stats() const;
 
     /// Records appended to the active WAL segment (the durable LSN); 0
     /// while in-memory.  Advances with each logged mutation, so it also
@@ -295,15 +399,29 @@ private:
     bool bulk_ = false;
     std::size_t unit_depth_ = 0;
 
-    // -- concurrency state (DESIGN.md §9) ------------------------------------
-    // Reader-writer latch: queries hold it shared via ReadSnapshot; the
-    // outermost load unit, checkpoint() and depth-0 DDL hold it exclusive.
-    // Writers remain single-threaded among themselves (the unit contract);
-    // the latch only fences them against concurrent readers, which is why
-    // the depth test before acquiring is safe.
-    mutable std::shared_mutex latch_;
+    // -- concurrency state (DESIGN.md §9/§15) --------------------------------
+    // Writer mutex: serializes the outermost load unit, checkpoint() and
+    // depth-0 DDL against each other.  Readers never take it — they pin
+    // published_ under version_mu_ (held only for the pointer copy or
+    // swap) and read the immutable version latch-free.
+    mutable std::mutex writer_mu_;
     std::atomic<std::uint64_t> commit_watermark_{0};
     std::atomic<std::uint64_t> stats_epoch_{0};
+
+    // Current published epoch plus a weak registry of every epoch still
+    // alive (for mvcc_stats); both guarded by version_mu_.
+    mutable std::mutex version_mu_;
+    std::shared_ptr<const DatabaseVersion> published_;
+    std::vector<std::weak_ptr<const DatabaseVersion>> version_registry_;
+    std::uint64_t versions_published_ = 0;
+    std::uint64_t tables_republished_ = 0;
+
+    /// Freeze the live tables into a new DatabaseVersion and swap it in
+    /// as the current epoch.  Writer-side only, at publication points:
+    /// outermost commit, depth-0 DDL, end of open().  O(#tables) plus
+    /// O(#chunks) for tables that changed; unchanged tables reuse their
+    /// cached frozen clone.
+    void publish_version();
 
     /// Recovery tail: install persisted statistics from xrel_stats where
     /// they cover more rows than WAL replay already re-folded, then fold

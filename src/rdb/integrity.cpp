@@ -55,11 +55,11 @@ struct DocEntry {
     std::int64_t label_span = 0;
 };
 
-void check_document_invariants(const Database& db, IntegrityReport& report);
-void check_quarantine(const Database& db, IntegrityReport& report);
-void check_stats_catalog(const Database& db, IntegrityReport& report);
+void check_document_invariants(const ReadView& db, IntegrityReport& report);
+void check_quarantine(const ReadView& db, IntegrityReport& report);
+void check_stats_catalog(const ReadView& db, IntegrityReport& report);
 
-void check_foreign_keys_into(const Database& db, IntegrityReport& report) {
+void check_foreign_keys_into(const ReadView& db, IntegrityReport& report) {
     for (const ForeignKeyDef& fk : db.foreign_keys()) {
         const Table* src = db.table(fk.table);
         if (src == nullptr) continue;  // no rows to violate it
@@ -91,7 +91,7 @@ void check_foreign_keys_into(const Database& db, IntegrityReport& report) {
     }
 }
 
-void check_document_invariants(const Database& db, IntegrityReport& report) {
+void check_document_invariants(const ReadView& db, IntegrityReport& report) {
     const Table* docs = db.table(kDocsTable);
     if (docs == nullptr) return;  // schema built without metadata tables
 
@@ -331,7 +331,7 @@ void check_document_invariants(const Database& db, IntegrityReport& report) {
     }
 }
 
-void check_quarantine(const Database& db, IntegrityReport& report) {
+void check_quarantine(const ReadView& db, IntegrityReport& report) {
     const Table* q = db.table(kQuarantineTable);
     if (q == nullptr) return;
     int c_idx = typed_column(q->def(), "idx", ValueType::kInteger);
@@ -355,7 +355,7 @@ void check_quarantine(const Database& db, IntegrityReport& report) {
     }
 }
 
-void check_stats_catalog(const Database& db, IntegrityReport& report) {
+void check_stats_catalog(const ReadView& db, IntegrityReport& report) {
     const Table* cat = db.table(Database::kStatsTable);
     if (cat == nullptr) return;
     int c_tbl = typed_column(cat->def(), "tbl", ValueType::kText);
@@ -436,7 +436,7 @@ std::string IntegrityReport::to_string() const {
     return out;
 }
 
-IntegrityReport verify_database(const Database& db) {
+IntegrityReport verify_database(const ReadView& db) {
     IntegrityReport report;
     for (const std::string& name : db.table_names()) {
         const Table* t = db.table(name);

@@ -25,6 +25,7 @@
 namespace xr::rdb {
 
 class Database;
+class ReadView;
 struct SalvageReport;
 
 /// One violated invariant.  `doc` is the owning document id when the
@@ -65,10 +66,13 @@ struct IntegrityReport {
     [[nodiscard]] std::string to_string() const;
 };
 
-/// Check every invariant of `db` without taking the database latch —
-/// the caller is responsible for isolation (Database::verify() wraps
-/// this in a read snapshot; recovery calls it before readers exist).
-[[nodiscard]] IntegrityReport verify_database(const Database& db);
+/// Check every invariant visible through `db` — either a live Database
+/// (Database::verify() holds the writer mutex around this; recovery
+/// calls it before readers exist) or a pinned epoch
+/// (`snapshot.view()`), which needs no isolation at all: the epoch is
+/// immutable, so verification runs to completion while writers keep
+/// committing beside it (DESIGN.md §15).
+[[nodiscard]] IntegrityReport verify_database(const ReadView& db);
 
 /// Salvage repair pass (DESIGN.md §14): verify `db`, quarantine every
 /// document implicated in an error (a row in `xrel_quarantine`, then

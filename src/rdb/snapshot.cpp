@@ -136,7 +136,8 @@ SnapshotStats write_snapshot(const Database& db, const std::string& path) {
             serial::put_u8(payload, static_cast<std::uint8_t>(idx.kind));
         }
         serial::put_u64(payload, t.row_count());
-        for (const Row& row : t.rows()) serial::put_row(payload, row);
+        for (RowId id = 0; id < t.row_count(); ++id)
+            serial::put_row(payload, t.row(id));
         put_section(image, kTableSection, payload);
         ++stats.tables;
         stats.rows += t.row_count();

@@ -19,6 +19,48 @@ const ColumnDef* TableDef::column(std::string_view name) const {
     return i < 0 ? nullptr : &columns[i];
 }
 
+// -- RowStore ----------------------------------------------------------------
+
+void RowStore::own(Slot& s, std::size_t keep) {
+    auto copy = std::make_shared<Chunk>();
+    copy->rows.reserve(kChunkRows);
+    copy->rows.insert(copy->rows.end(), s.chunk->rows.begin(),
+                      s.chunk->rows.begin() + static_cast<std::ptrdiff_t>(keep));
+    s.chunk = std::move(copy);
+    s.owned = true;
+    ++chunks_cowed_;
+}
+
+void RowStore::truncate(std::size_t n) {
+    if (n >= size_) return;
+    if (n == 0) {
+        slots_.clear();
+        size_ = 0;
+        return;
+    }
+    slots_.resize((n + kChunkRows - 1) >> kChunkShift);
+    std::size_t tail = ((n - 1) & kChunkMask) + 1;
+    Slot& s = slots_.back();
+    if (s.chunk->rows.size() != tail) {
+        if (!s.owned) own(s, tail);
+        else s.chunk->rows.resize(tail);
+    }
+    size_ = n;
+}
+
+RowStore RowStore::publish() {
+    RowStore out;
+    out.slots_.reserve(slots_.size());
+    for (Slot& s : slots_) {
+        s.owned = false;
+        out.slots_.push_back(Slot{s.chunk, false});
+    }
+    out.size_ = size_;
+    return out;
+}
+
+// -- Table -------------------------------------------------------------------
+
 Table::Table(TableDef def) : def_(std::move(def)) {
     for (std::size_t i = 0; i < def_.columns.size(); ++i) {
         if (def_.columns[i].primary_key) {
@@ -31,6 +73,59 @@ Table::Table(TableDef def) : def_(std::move(def)) {
             pk_column_ = static_cast<int>(i);
         }
     }
+}
+
+Table::Table(FrozenTag, Table& live) : def_(live.def_) {
+    pk_column_ = live.pk_column_;
+    next_pk_.store(live.next_pk_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    bulk_ = live.bulk_;
+    frozen_ = true;
+    dirty_ = false;
+    store_ = live.store_.publish();
+    live.pk_owned_ = false;
+    pk_index_ = live.pk_index_;
+    pk_owned_ = false;
+    indexes_.reserve(live.indexes_.size());
+    for (SecondaryIndex& idx : live.indexes_) {
+        idx.owned = false;
+        indexes_.push_back(
+            SecondaryIndex{idx.column, idx.kind, idx.hash, idx.ordered, false});
+    }
+    stats_ = live.stats_;
+}
+
+std::shared_ptr<const Table> Table::publish() {
+    if (!dirty_ && last_published_ != nullptr) return last_published_;
+    last_published_ = std::shared_ptr<const Table>(new Table(FrozenTag{}, *this));
+    dirty_ = false;
+    return last_published_;
+}
+
+Table::PkIndex& Table::own_pk() {
+    if (!pk_owned_) {
+        pk_index_ = std::make_shared<PkIndex>(*pk_index_);
+        pk_owned_ = true;
+        ++index_cows_;
+    }
+    return *pk_index_;
+}
+
+Table::HashIndexMap& Table::own_hash(SecondaryIndex& idx, bool preserve) {
+    if (!idx.owned) {
+        idx.hash = preserve ? std::make_shared<HashIndexMap>(*idx.hash)
+                            : std::make_shared<HashIndexMap>();
+        idx.ordered = preserve ? std::make_shared<OrderedIndexMap>(*idx.ordered)
+                               : std::make_shared<OrderedIndexMap>();
+        idx.owned = true;
+        ++index_cows_;
+    }
+    return *idx.hash;
+}
+
+Table::OrderedIndexMap& Table::own_ordered(SecondaryIndex& idx, bool preserve) {
+    own_hash(idx, preserve);
+    return *idx.ordered;
 }
 
 void Table::validate(const Row& row) const {
@@ -79,7 +174,7 @@ std::size_t Table::insert_batch(std::vector<Row> rows, bool validate_rows) {
     // rows from a trusted loading plan skip the per-row cell checks.
     validate(rows.front());
     reserve_rows(rows.size());
-    if (pk_column_ >= 0) pk_index_.reserve(pk_index_.size() + rows.size());
+    if (pk_column_ >= 0) own_pk().reserve(pk_index_->size() + rows.size());
     for (auto& row : rows) do_insert(std::move(row), validate_rows);
     return rows.size();
 }
@@ -97,21 +192,22 @@ std::int64_t Table::do_insert(Row&& row, bool validate_row) {
                           std::to_string(def_.columns.size()) + " columns)");
     }
 
-    std::int64_t pk = static_cast<std::int64_t>(rows_.size());
+    std::int64_t pk = static_cast<std::int64_t>(store_.size());
     if (pk_column_ >= 0) pk = row[pk_column_].as_integer();
 
-    auto id = static_cast<RowId>(rows_.size());
-    rows_.push_back(std::move(row));
+    auto id = static_cast<RowId>(store_.size());
+    dirty_ = true;
+    store_.push_back(std::move(row));
     if (pk_column_ >= 0) {
-        if (!pk_index_.emplace(pk, id).second) {
-            rows_.pop_back();
+        if (!own_pk().emplace(pk, id).second) {
+            store_.pop_back();
             throw SchemaError("duplicate primary key " + std::to_string(pk) +
                               " in '" + def_.name + "'");
         }
         bump_next_pk(pk);
     }
     if (!bulk_) index_row(id);
-    if (log_ != nullptr) log_->log_insert(*this, rows_[id]);
+    if (log_ != nullptr) log_->log_insert(*this, store_[id]);
     return pk;
 }
 
@@ -131,7 +227,7 @@ void Table::end_bulk() {
 
 void Table::begin_unit() {
     units_.push_back(
-        {rows_.size(), next_pk_.load(std::memory_order_relaxed), undo_.size()});
+        {store_.size(), next_pk_.load(std::memory_order_relaxed), undo_.size()});
 }
 
 void Table::commit_unit() {
@@ -150,21 +246,25 @@ void Table::rollback_unit() {
                           "'");
     UnitFrame frame = units_.back();
     units_.pop_back();
-    bool changed = rows_.size() > frame.rows || undo_.size() > frame.undo_size;
+    bool changed =
+        store_.size() > frame.rows || undo_.size() > frame.undo_size;
 
     // Undo cell updates newest-first with raw writes; index consistency is
     // restored by the rebuild below.
     for (std::size_t i = undo_.size(); i-- > frame.undo_size;) {
         UndoCell& cell = undo_[i];
-        rows_[cell.row][cell.column] = std::move(cell.old_value);
+        store_.mut(cell.row)[cell.column] = std::move(cell.old_value);
     }
     undo_.resize(frame.undo_size);
 
     // Truncate appended rows, keeping the primary-key index exact.
-    while (rows_.size() > frame.rows) {
-        if (pk_column_ >= 0)
-            pk_index_.erase(rows_.back()[pk_column_].as_integer());
-        rows_.pop_back();
+    if (store_.size() > frame.rows) {
+        if (pk_column_ >= 0) {
+            PkIndex& pk = own_pk();
+            for (std::size_t id = store_.size(); id-- > frame.rows;)
+                pk.erase(store_[id][pk_column_].as_integer());
+        }
+        store_.truncate(frame.rows);
     }
 
     // Reclaim keys reserved since the watermark.  Safe because the unit
@@ -176,23 +276,29 @@ void Table::rollback_unit() {
     bool was_bulk = bulk_;
     bulk_ = false;
     if (changed || was_bulk) rebuild_indexes();
+    if (changed || was_bulk) dirty_ = true;
 
     // Rows the statistics already covered may be gone (or their cells
     // reverted); the next fold starts over.
-    if (changed && stats_.rows > rows_.size()) stats_.stale = true;
+    if (changed && stats_.rows > store_.size()) stats_.stale = true;
 }
 
 void Table::rebuild_indexes() {
     for (auto& idx : indexes_) {
-        idx.hash.clear();
-        idx.ordered.clear();
-        if (idx.kind == IndexKind::kHash) idx.hash.reserve(rows_.size());
-        for (RowId id = 0; id < rows_.size(); ++id) {
-            const Value& v = rows_[id][idx.column];
-            if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
-            else idx.ordered.emplace(v, id);
+        // About to repopulate from scratch: a shared container is simply
+        // replaced with a fresh empty one instead of deep-copied first.
+        HashIndexMap& hash = own_hash(idx, /*preserve=*/false);
+        OrderedIndexMap& ordered = *idx.ordered;
+        hash.clear();
+        ordered.clear();
+        if (idx.kind == IndexKind::kHash) hash.reserve(store_.size());
+        for (RowId id = 0; id < store_.size(); ++id) {
+            const Value& v = store_[id][idx.column];
+            if (idx.kind == IndexKind::kHash) hash.emplace(v, id);
+            else ordered.emplace(v, id);
         }
     }
+    if (!indexes_.empty()) dirty_ = true;
 }
 
 const Value& Table::at(RowId id, std::string_view column) const {
@@ -200,22 +306,22 @@ const Value& Table::at(RowId id, std::string_view column) const {
     if (i < 0)
         throw SchemaError("no column '" + std::string(column) + "' in '" +
                           def_.name + "'");
-    return rows_[id][i];
+    return store_[id][i];
 }
 
 const Row* Table::find_pk(std::int64_t pk) const {
     auto id = find_pk_rowid(pk);
-    return id ? &rows_[*id] : nullptr;
+    return id ? &store_[*id] : nullptr;
 }
 
 std::optional<RowId> Table::find_pk_rowid(std::int64_t pk) const {
     if (pk_column_ < 0) {
-        if (pk >= 0 && pk < static_cast<std::int64_t>(rows_.size()))
+        if (pk >= 0 && pk < static_cast<std::int64_t>(store_.size()))
             return static_cast<RowId>(pk);
         return std::nullopt;
     }
-    auto it = pk_index_.find(pk);
-    if (it == pk_index_.end()) return std::nullopt;
+    auto it = pk_index_->find(pk);
+    if (it == pk_index_->end()) return std::nullopt;
     return it->second;
 }
 
@@ -226,32 +332,35 @@ void Table::update(RowId id, std::string_view column, Value value) {
                           def_.name + "'");
     if (i == pk_column_)
         throw SchemaError("cannot update primary key column");
-    if (!units_.empty()) undo_.push_back({id, i, rows_[id][i]});
+    if (!units_.empty()) undo_.push_back({id, i, store_[id][i]});
+    dirty_ = true;
     for (auto& idx : indexes_) {
         if (idx.column != i) continue;
-        const Value& old = rows_[id][i];
+        const Value& old = store_[id][i];
         if (idx.kind == IndexKind::kHash) {
-            auto range = idx.hash.equal_range(old);
+            HashIndexMap& hash = own_hash(idx, /*preserve=*/true);
+            auto range = hash.equal_range(old);
             for (auto it = range.first; it != range.second; ++it) {
                 if (it->second == id) {
-                    idx.hash.erase(it);
+                    hash.erase(it);
                     break;
                 }
             }
-            idx.hash.emplace(value, id);
+            hash.emplace(value, id);
         } else {
-            auto range = idx.ordered.equal_range(old);
+            OrderedIndexMap& ordered = own_ordered(idx, /*preserve=*/true);
+            auto range = ordered.equal_range(old);
             for (auto it = range.first; it != range.second; ++it) {
                 if (it->second == id) {
-                    idx.ordered.erase(it);
+                    ordered.erase(it);
                     break;
                 }
             }
-            idx.ordered.emplace(value, id);
+            ordered.emplace(value, id);
         }
     }
-    rows_[id][i] = std::move(value);
-    if (log_ != nullptr) log_->log_update(*this, id, i, rows_[id][i]);
+    store_.mut(id)[i] = std::move(value);
+    if (log_ != nullptr) log_->log_update(*this, id, i, store_[id][i]);
 }
 
 std::size_t Table::delete_where(std::string_view column, const Value& value) {
@@ -262,24 +371,28 @@ std::size_t Table::delete_where(std::string_view column, const Value& value) {
     if (i < 0)
         throw SchemaError("no column '" + std::string(column) + "' in '" +
                           def_.name + "'");
-    std::vector<Row> kept;
-    kept.reserve(rows_.size());
+    RowStore kept;
+    kept.reserve(store_.size());
     std::size_t removed = 0;
-    for (auto& row : rows_) {
-        if (row[i] == value) ++removed;
-        else kept.push_back(std::move(row));
+    for (std::size_t id = 0; id < store_.size(); ++id) {
+        if (store_[id][i] == value) ++removed;
+        else kept.push_back(Row(store_[id]));
     }
-    if (removed == 0) {
-        rows_ = std::move(kept);
-        return 0;
-    }
-    rows_ = std::move(kept);
+    if (removed == 0) return 0;
+    store_ = std::move(kept);
+    dirty_ = true;
 
     // Row ids shifted: rebuild the pk index and every secondary index.
-    pk_index_.clear();
+    if (!pk_owned_) {
+        pk_index_ = std::make_shared<PkIndex>();
+        pk_owned_ = true;
+        ++index_cows_;
+    } else {
+        pk_index_->clear();
+    }
     if (pk_column_ >= 0) {
-        for (RowId id = 0; id < rows_.size(); ++id)
-            pk_index_.emplace(rows_[id][pk_column_].as_integer(), id);
+        for (RowId id = 0; id < store_.size(); ++id)
+            pk_index_->emplace(store_[id][pk_column_].as_integer(), id);
     }
     rebuild_indexes();
     stats_.stale = true;  // compaction: folded rows may be gone
@@ -288,16 +401,17 @@ std::size_t Table::delete_where(std::string_view column, const Value& value) {
 }
 
 void Table::refresh_stats() {
-    if (stats_.stale || stats_.rows > rows_.size()) {
+    if (stats_.stale || stats_.rows > store_.size()) {
         rebuild_stats();
         return;
     }
     if (stats_.columns.size() != def_.columns.size())
         stats_.columns.assign(def_.columns.size(), ColumnStats());
-    for (std::size_t r = stats_.rows; r < rows_.size(); ++r)
+    if (stats_.rows < store_.size()) dirty_ = true;
+    for (std::size_t r = stats_.rows; r < store_.size(); ++r)
         for (std::size_t c = 0; c < stats_.columns.size(); ++c)
-            stats_.columns[c].fold(rows_[r][c]);
-    stats_.rows = rows_.size();
+            stats_.columns[c].fold(store_[r][c]);
+    stats_.rows = store_.size();
 }
 
 void Table::rebuild_stats() {
@@ -305,16 +419,18 @@ void Table::rebuild_stats() {
     stats_ = TableStats{};
     stats_.epoch_rows = epoch_rows;
     stats_.columns.assign(def_.columns.size(), ColumnStats());
+    dirty_ = true;
     refresh_stats();
 }
 
 void Table::load_stats(TableStats stats) {
-    stats.rows = std::min<std::uint64_t>(stats.rows, rows_.size());
+    stats.rows = std::min<std::uint64_t>(stats.rows, store_.size());
     stats.epoch_rows = std::max(stats.epoch_rows, stats_.epoch_rows);
     if (stats.columns.size() != def_.columns.size())
         stats.columns.resize(def_.columns.size());
     stats.stale = false;
     stats_ = std::move(stats);
+    dirty_ = true;
 }
 
 bool Table::note_material_growth() {
@@ -334,11 +450,14 @@ void Table::create_index(std::string_view column, IndexKind kind) {
     SecondaryIndex idx;
     idx.column = i;
     idx.kind = kind;
-    for (RowId id = 0; id < rows_.size(); ++id) {
-        if (kind == IndexKind::kHash) idx.hash.emplace(rows_[id][i], id);
-        else idx.ordered.emplace(rows_[id][i], id);
+    idx.hash = std::make_shared<HashIndexMap>();
+    idx.ordered = std::make_shared<OrderedIndexMap>();
+    for (RowId id = 0; id < store_.size(); ++id) {
+        if (kind == IndexKind::kHash) idx.hash->emplace(store_[id][i], id);
+        else idx.ordered->emplace(store_[id][i], id);
     }
     indexes_.push_back(std::move(idx));
+    dirty_ = true;
     if (log_ != nullptr) log_->log_create_index(*this, column, kind);
 }
 
@@ -356,11 +475,11 @@ std::vector<RowId> Table::index_lookup(std::string_view column,
         if (idx.column != i) continue;
         std::vector<RowId> out;
         if (idx.kind == IndexKind::kHash) {
-            auto range = idx.hash.equal_range(value);
+            auto range = idx.hash->equal_range(value);
             for (auto it = range.first; it != range.second; ++it)
                 out.push_back(it->second);
         } else {
-            auto range = idx.ordered.equal_range(value);
+            auto range = idx.ordered->equal_range(value);
             for (auto it = range.first; it != range.second; ++it)
                 out.push_back(it->second);
         }
@@ -385,14 +504,15 @@ std::vector<RowId> Table::index_range_lookup(std::string_view column,
     int i = def_.column_index(column);
     for (const auto& idx : indexes_) {
         if (idx.column != i || idx.kind != IndexKind::kOrdered) continue;
+        const OrderedIndexMap& ordered = *idx.ordered;
         // NULL keys sort first in the ordered index but compare unknown in
         // SQL, so an unbounded lower end still starts past them.
         auto it = lo == nullptr
-                      ? idx.ordered.upper_bound(Value::null())
-                      : (lo_strict ? idx.ordered.upper_bound(*lo)
-                                   : idx.ordered.lower_bound(*lo));
+                      ? ordered.upper_bound(Value::null())
+                      : (lo_strict ? ordered.upper_bound(*lo)
+                                   : ordered.lower_bound(*lo));
         std::vector<RowId> out;
-        for (; it != idx.ordered.end(); ++it) {
+        for (; it != ordered.end(); ++it) {
             if (it->first.is_null()) continue;
             if (hi != nullptr) {
                 auto ord = it->first.index_order(*hi);
@@ -415,17 +535,20 @@ std::vector<RowId> Table::lookup(std::string_view column,
         throw SchemaError("no column '" + std::string(column) + "' in '" +
                           def_.name + "'");
     std::vector<RowId> out;
-    for (RowId id = 0; id < rows_.size(); ++id) {
-        if (rows_[id][i] == value) out.push_back(id);
+    for (RowId id = 0; id < store_.size(); ++id) {
+        if (store_[id][i] == value) out.push_back(id);
     }
     return out;
 }
 
 void Table::index_row(RowId id) {
     for (auto& idx : indexes_) {
-        const Value& v = rows_[id][idx.column];
-        if (idx.kind == IndexKind::kHash) idx.hash.emplace(v, id);
-        else idx.ordered.emplace(v, id);
+        const Value& v = store_[id][idx.column];
+        if (idx.kind == IndexKind::kHash) {
+            own_hash(idx, /*preserve=*/true).emplace(v, id);
+        } else {
+            own_ordered(idx, /*preserve=*/true).emplace(v, id);
+        }
     }
 }
 
@@ -446,8 +569,8 @@ void Table::verify_into(IntegrityReport& report) const {
     // Rows against the schema (the same rules validate() enforces on the
     // way in — a stored row that no longer passes them was corrupted).
     std::int64_t max_pk = std::numeric_limits<std::int64_t>::min();
-    for (RowId id = 0; id < rows_.size(); ++id) {
-        const Row& row = rows_[id];
+    for (RowId id = 0; id < store_.size(); ++id) {
+        const Row& row = store_[id];
         ++report.rows_checked;
         if (row.size() != def_.columns.size()) {
             issue("row-arity", doc_of(row),
@@ -489,24 +612,24 @@ void Table::verify_into(IntegrityReport& report) const {
 
     // Primary-key index: exactly one entry per row, pointing back at it.
     if (pk_column_ >= 0) {
-        if (pk_index_.size() != rows_.size())
+        if (pk_index_->size() != store_.size())
             issue("pk-index", -1,
-                  "pk index has " + std::to_string(pk_index_.size()) +
-                      " entries for " + std::to_string(rows_.size()) + " rows");
-        for (RowId id = 0; id < rows_.size(); ++id) {
-            const Row& row = rows_[id];
+                  "pk index has " + std::to_string(pk_index_->size()) +
+                      " entries for " + std::to_string(store_.size()) + " rows");
+        for (RowId id = 0; id < store_.size(); ++id) {
+            const Row& row = store_[id];
             if (row.size() != def_.columns.size() ||
                 row[pk_column_].type() != ValueType::kInteger)
                 continue;  // already reported above
-            auto it = pk_index_.find(row[pk_column_].as_integer());
-            if (it == pk_index_.end() || it->second != id)
+            auto it = pk_index_->find(row[pk_column_].as_integer());
+            if (it == pk_index_->end() || it->second != id)
                 issue("pk-index", doc_of(row),
                       "row " + std::to_string(id) + " pk " +
                           row[pk_column_].to_string() +
                           " missing or mismapped in pk index");
         }
         std::int64_t next = next_pk_.load(std::memory_order_relaxed);
-        if (!rows_.empty() && max_pk != std::numeric_limits<std::int64_t>::min()
+        if (!store_.empty() && max_pk != std::numeric_limits<std::int64_t>::min()
             && next <= max_pk)
             issue("pk-counter", -1,
                   "next_pk " + std::to_string(next) + " <= max stored pk " +
@@ -524,20 +647,21 @@ void Table::verify_into(IntegrityReport& report) const {
     for (const SecondaryIndex& idx : indexes_) {
         ++report.indexes_checked;
         const std::string& col = def_.columns[idx.column].name;
-        std::size_t entries =
-            idx.kind == IndexKind::kHash ? idx.hash.size() : idx.ordered.size();
-        if (entries != rows_.size())
+        std::size_t entries = idx.kind == IndexKind::kHash
+                                  ? idx.hash->size()
+                                  : idx.ordered->size();
+        if (entries != store_.size())
             issue("index-size", -1,
                   "index on '" + col + "' has " + std::to_string(entries) +
-                      " entries for " + std::to_string(rows_.size()) + " rows");
+                      " entries for " + std::to_string(store_.size()) + " rows");
         auto check_entry = [&](const Value& key, RowId id) {
-            if (id >= rows_.size()) {
+            if (id >= store_.size()) {
                 issue("index-entry", -1,
                       "index on '" + col + "' maps key " + key.to_string() +
                           " to out-of-range row " + std::to_string(id));
                 return;
             }
-            const Row& row = rows_[id];
+            const Row& row = store_[id];
             if (static_cast<std::size_t>(idx.column) < row.size() &&
                 !(row[idx.column] == key))
                 issue("index-entry", doc_of(row),
@@ -546,10 +670,10 @@ void Table::verify_into(IntegrityReport& report) const {
                           " whose cell is " + row[idx.column].to_string());
         };
         if (idx.kind == IndexKind::kHash) {
-            for (const auto& [key, id] : idx.hash) check_entry(key, id);
+            for (const auto& [key, id] : *idx.hash) check_entry(key, id);
         } else {
             const Value* prev = nullptr;
-            for (const auto& [key, id] : idx.ordered) {
+            for (const auto& [key, id] : *idx.ordered) {
                 check_entry(key, id);
                 if (prev != nullptr && key < *prev)
                     issue("index-order", -1,
@@ -563,22 +687,24 @@ void Table::verify_into(IntegrityReport& report) const {
 
 std::size_t Table::memory_bytes() const {
     std::size_t bytes = sizeof(Table);
-    for (const auto& row : rows_) {
+    for (std::size_t id = 0; id < store_.size(); ++id) {
+        const Row& row = store_[id];
         bytes += sizeof(Row) + row.capacity() * sizeof(Value);
         for (const auto& v : row) {
             if (v.type() == ValueType::kText) bytes += v.as_text().capacity();
         }
     }
-    bytes += pk_index_.size() * (sizeof(std::int64_t) + sizeof(RowId) + 16);
+    bytes += pk_index_->size() * (sizeof(std::int64_t) + sizeof(RowId) + 16);
     for (const auto& idx : indexes_)
-        bytes += (idx.hash.size() + idx.ordered.size()) *
+        bytes += (idx.hash->size() + idx.ordered->size()) *
                  (sizeof(Value) + sizeof(RowId) + 16);
     return bytes;
 }
 
 double Table::null_fraction() const {
     std::size_t cells = 0, nulls = 0;
-    for (const auto& row : rows_) {
+    for (std::size_t id = 0; id < store_.size(); ++id) {
+        const Row& row = store_[id];
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (static_cast<int>(i) == pk_column_) continue;
             ++cells;

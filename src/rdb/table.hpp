@@ -1,10 +1,18 @@
 // MiniRDB tables: row storage, constraints, and indexes.
 //
-// Row-oriented in-memory storage.  Each table may declare one
-// auto-increment INTEGER primary key; inserts validate types, NOT NULL and
-// primary-key uniqueness.  Secondary indexes come in two flavours — hash
-// (equality lookups, used for ID resolution during loading) and ordered
-// (range scans) — mirroring the ablation called out in DESIGN.md.
+// Row-oriented storage in copy-on-write chunks (DESIGN.md §15).  Each
+// table may declare one auto-increment INTEGER primary key; inserts
+// validate types, NOT NULL and primary-key uniqueness.  Secondary
+// indexes come in two flavours — hash (equality lookups, used for ID
+// resolution during loading) and ordered (range scans) — mirroring the
+// ablation called out in DESIGN.md.
+//
+// MVCC read path: publish() snapshots the table into an immutable
+// frozen clone that structurally shares row chunks and index
+// containers with the live table.  The single writer then copies a
+// chunk (or an index) the first time it mutates one that a published
+// version still references, so readers of any pinned version never see
+// a concurrent mutation and never take a latch.
 #pragma once
 
 #include <atomic>
@@ -64,13 +72,88 @@ public:
                                   IndexKind kind) = 0;
 };
 
+/// Chunked row storage with per-chunk copy-on-write (DESIGN.md §15).
+///
+/// Rows live in fixed-size chunks behind shared_ptrs.  publish() marks
+/// every chunk shared and returns a structurally sharing copy for a
+/// frozen table version — O(#chunks), no row copies.  The single writer
+/// clones a chunk the first time it mutates one that is marked shared
+/// (`owned == false`), so a published chunk is immutable for its whole
+/// lifetime and concurrent readers of pinned versions are race-free by
+/// construction.  Ownership flags are writer-private state: no refcount
+/// inspection, no atomics, deterministic under TSan.
+class RowStore {
+public:
+    static constexpr std::size_t kChunkShift = 10;
+    static constexpr std::size_t kChunkRows = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kChunkMask = kChunkRows - 1;
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] const Row& operator[](std::size_t i) const {
+        return slots_[i >> kChunkShift].chunk->rows[i & kChunkMask];
+    }
+    /// Mutable access for the writer; copies the containing chunk first
+    /// when a published version still shares it.
+    [[nodiscard]] Row& mut(std::size_t i) {
+        Slot& s = slots_[i >> kChunkShift];
+        if (!s.owned) own(s, s.chunk->rows.size());
+        return s.chunk->rows[i & kChunkMask];
+    }
+
+    void push_back(Row&& row) {
+        if ((size_ & kChunkMask) == 0) {
+            slots_.push_back(Slot{std::make_shared<Chunk>(), true});
+            slots_.back().chunk->rows.reserve(kChunkRows);
+        }
+        Slot& s = slots_.back();
+        if (!s.owned) own(s, s.chunk->rows.size());
+        s.chunk->rows.push_back(std::move(row));
+        ++size_;
+    }
+    void pop_back() { truncate(size_ - 1); }
+    /// Truncate to `n` rows (unit rollback); whole chunks past the cut
+    /// are dropped, a shared tail chunk is cloned up to the cut.
+    void truncate(std::size_t n);
+    void clear() {
+        slots_.clear();
+        size_ = 0;
+    }
+    void reserve(std::size_t additional) {
+        slots_.reserve((size_ + additional + kChunkRows - 1) >> kChunkShift);
+    }
+
+    /// Mark every chunk shared and return a structurally sharing copy
+    /// for a frozen version.  Writer-side only.
+    [[nodiscard]] RowStore publish();
+
+    /// Chunks cloned by copy-on-write since construction (MVCC metric).
+    [[nodiscard]] std::uint64_t chunks_cowed() const { return chunks_cowed_; }
+
+private:
+    struct Chunk {
+        std::vector<Row> rows;
+    };
+    struct Slot {
+        std::shared_ptr<Chunk> chunk;
+        bool owned = true;  ///< writer-private: no published version shares it
+    };
+
+    /// Replace a shared chunk with a private copy of its first `keep` rows.
+    void own(Slot& s, std::size_t keep);
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::uint64_t chunks_cowed_ = 0;
+};
+
 class Table {
 public:
     explicit Table(TableDef def);
 
     [[nodiscard]] const TableDef& def() const { return def_; }
     [[nodiscard]] const std::string& name() const { return def_.name; }
-    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+    [[nodiscard]] std::size_t row_count() const { return store_.size(); }
     [[nodiscard]] std::size_t column_count() const { return def_.columns.size(); }
 
     /// Insert a row (one value per column, in declared order).  A NULL in
@@ -110,9 +193,7 @@ public:
     }
 
     /// Pre-size row storage for `additional` upcoming inserts.
-    void reserve_rows(std::size_t additional) {
-        rows_.reserve(rows_.size() + additional);
-    }
+    void reserve_rows(std::size_t additional) { store_.reserve(additional); }
 
     // -- bulk (deferred-index) mode ------------------------------------------
     /// Between begin_bulk() and end_bulk(), inserts skip secondary-index
@@ -145,8 +226,7 @@ public:
     /// Drop and repopulate every secondary index from current row storage.
     void rebuild_indexes();
 
-    [[nodiscard]] const Row& row(RowId id) const { return rows_[id]; }
-    [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+    [[nodiscard]] const Row& row(RowId id) const { return store_[id]; }
 
     /// Value of the named column in row `id`.
     [[nodiscard]] const Value& at(RowId id, std::string_view column) const;
@@ -208,15 +288,37 @@ public:
     /// bit-identical across a restart.
     void restore_next_pk(std::int64_t next) {
         next_pk_.store(next, std::memory_order_relaxed);
+        dirty_ = true;
     }
     [[nodiscard]] std::int64_t peek_next_pk() const {
         return next_pk_.load(std::memory_order_relaxed);
     }
 
+    // -- MVCC versioning (DESIGN.md §15) --------------------------------------
+    /// Snapshot this table into an immutable frozen clone sharing row
+    /// chunks and index containers (O(#chunks + #indexes), no data
+    /// copies).  While the table is unchanged since the last publish the
+    /// cached clone is returned, so an idle table costs one shared_ptr
+    /// copy per database publication.  Writer-side only (the caller
+    /// holds writer exclusivity); subsequent writer mutations trigger
+    /// copy-on-write and never disturb the clone.
+    [[nodiscard]] std::shared_ptr<const Table> publish();
+
+    /// True when a mutation since the last publish() means the next
+    /// publication must cut a fresh frozen clone.
+    [[nodiscard]] bool version_dirty() const { return dirty_; }
+
+    /// Index structures cloned by copy-on-write since construction.
+    [[nodiscard]] std::uint64_t indexes_cowed() const { return index_cows_; }
+    /// Row chunks cloned by copy-on-write since construction.
+    [[nodiscard]] std::uint64_t chunks_cowed() const {
+        return store_.chunks_cowed();
+    }
+
     // -- statistics (DESIGN.md §13) -------------------------------------------
     /// Current statistics; may cover fewer rows than row_count() between
     /// folds.  Reading is safe wherever reading rows is (the planner reads
-    /// under a shared latch; folds happen under the exclusive one).
+    /// a frozen version's copy; folds happen under writer exclusivity).
     [[nodiscard]] const TableStats& stats() const { return stats_; }
     /// Fold rows appended since the last fold into the statistics; a
     /// stale table (compaction since the last fold) rebuilds from row
@@ -248,21 +350,36 @@ public:
     [[nodiscard]] double null_fraction() const;
 
 private:
+    using PkIndex = std::unordered_map<std::int64_t, RowId>;
+    using HashIndexMap = std::unordered_multimap<Value, RowId, ValueHash>;
+    using OrderedIndexMap = std::multimap<Value, RowId>;
+
+    struct SecondaryIndex {
+        int column = -1;
+        IndexKind kind = IndexKind::kHash;
+        std::shared_ptr<HashIndexMap> hash;
+        std::shared_ptr<OrderedIndexMap> ordered;
+        bool owned = true;  ///< writer-private, like RowStore::Slot::owned
+    };
+
+    /// Frozen-clone constructor backing publish(): shares chunks and
+    /// index containers, snapshots scalar state, drops the mutation log.
+    struct FrozenTag {};
+    Table(FrozenTag, Table& live);
+
     TableDef def_;
     int pk_column_ = -1;
     std::atomic<std::int64_t> next_pk_{1};
     MutationLog* log_ = nullptr;
     bool bulk_ = false;
-    std::vector<Row> rows_;
-    std::unordered_map<std::int64_t, RowId> pk_index_;
-
-    struct SecondaryIndex {
-        int column = -1;
-        IndexKind kind = IndexKind::kHash;
-        std::unordered_multimap<Value, RowId, ValueHash> hash;
-        std::multimap<Value, RowId> ordered;
-    };
+    bool frozen_ = false;  ///< immutable published clone (never mutated)
+    bool dirty_ = true;    ///< mutated since last publish()
+    bool pk_owned_ = true;
+    std::uint64_t index_cows_ = 0;
+    RowStore store_;
+    std::shared_ptr<PkIndex> pk_index_ = std::make_shared<PkIndex>();
     std::vector<SecondaryIndex> indexes_;
+    std::shared_ptr<const Table> last_published_;  ///< reused while !dirty_
 
     /// Savepoint frame: state to restore on rollback_unit().
     struct UnitFrame {
@@ -278,6 +395,13 @@ private:
     };
     std::vector<UndoCell> undo_;  ///< update() log, shared by nested frames
     TableStats stats_;
+
+    /// Writer-side copy-on-write helpers: hand back a privately owned
+    /// container, cloning (or, for rebuilds, replacing with a fresh empty
+    /// one) when a published version still shares the current one.
+    PkIndex& own_pk();
+    HashIndexMap& own_hash(SecondaryIndex& idx, bool preserve);
+    OrderedIndexMap& own_ordered(SecondaryIndex& idx, bool preserve);
 
     void validate(const Row& row) const;
     void index_row(RowId id);

@@ -56,7 +56,7 @@ bool like_match(const std::string& text, const std::string& pattern) {
 
 struct BoundTable {
     std::string alias;
-    Table* table = nullptr;
+    const Table* table = nullptr;
 };
 
 /// Resolves column references against the FROM/JOIN tables.
@@ -314,7 +314,7 @@ std::size_t approx_row_bytes(const Row& row) {
 
 class SelectExecutor {
 public:
-    SelectExecutor(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
+    SelectExecutor(rdb::ReadView db, SelectStmt& stmt, ExecStats* stats,
                    const CancelToken& cancel)
         : db_(db), stmt_(stmt), stats_(stats), cancel_(cancel) {}
 
@@ -438,7 +438,7 @@ public:
     }
 
 private:
-    rdb::Database& db_;
+    rdb::ReadView db_;
     SelectStmt& stmt_;
     ExecStats* stats_;
     const CancelToken& cancel_;
@@ -495,7 +495,7 @@ private:
 
     void bind_tables() {
         auto add = [&](const TableRef& ref) {
-            Table* t = db_.table(ref.table);
+            const Table* t = db_.table(ref.table);
             if (t == nullptr)
                 throw QueryError("unknown table '" + ref.table + "'");
             tables_.push_back({ref.effective_alias(), t});
@@ -661,7 +661,7 @@ private:
         for (std::size_t s = 1; s < stages_.size(); ++s) {
             Stage& st = stages_[s];
             if (st.probe_outer == nullptr) continue;
-            Table* t = tables_[s].table;
+            const Table* t = tables_[s].table;
             const std::string& col = t->def().columns[st.inner_column].name;
             // Prefer the table's own index over an ad-hoc hash; the pk
             // column's lookup structure counts as an index.
@@ -682,7 +682,7 @@ private:
 
         std::function<void(std::size_t)> descend = [&](std::size_t s) {
             Stage& stage = stages_[s];
-            Table* t = tables_[s].table;
+            const Table* t = tables_[s].table;
 
             auto accept = [&](RowId id) {
                 ctx[s] = id;
@@ -1081,8 +1081,17 @@ ResultSet execute(rdb::Database& db, std::string_view sql, ExecStats* stats,
     return {};
 }
 
-ResultSet execute_select(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
-                         const CancelToken& cancel,
+ResultSet execute_read(const rdb::ReadView& db, std::string_view sql,
+                       ExecStats* stats, const CancelToken& cancel,
+                       const PlannerOptions* planner) {
+    Statement stmt = parse(sql);
+    if (stmt.kind != Statement::Kind::kSelect)
+        throw QueryError("read-only execution: statement is not a SELECT");
+    return execute_select(db, stmt.select, stats, cancel, planner);
+}
+
+ResultSet execute_select(const rdb::ReadView& db, SelectStmt& stmt,
+                         ExecStats* stats, const CancelToken& cancel,
                          const PlannerOptions* planner) {
     PlannerOptions popts = planner != nullptr ? *planner : PlannerOptions{};
     // The cost-based pass only changes anything for joins; single-table
@@ -1090,6 +1099,12 @@ ResultSet execute_select(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
     if (popts.enable && !stmt.joins.empty()) plan_select(db, stmt, popts);
     SelectExecutor executor(db, stmt, stats, cancel);
     return executor.run();
+}
+
+ResultSet execute_select(rdb::Database& db, SelectStmt& stmt, ExecStats* stats,
+                         const CancelToken& cancel,
+                         const PlannerOptions* planner) {
+    return execute_select(rdb::ReadView(db), stmt, stats, cancel, planner);
 }
 
 }  // namespace xr::sql

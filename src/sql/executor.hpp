@@ -126,13 +126,30 @@ ResultSet execute(rdb::Database& db, std::string_view sql,
                   const CancelToken& cancel = {},
                   const PlannerOptions* planner = nullptr);
 
+/// Execute a read-only statement (SELECT) against a pinned or live read
+/// view.  This is the MVCC serving path: pass `snapshot.view()` and the
+/// whole parse/plan/execute pipeline runs latch-free against that epoch,
+/// never observing concurrent writer state.  Throws QueryError for any
+/// non-SELECT statement.
+ResultSet execute_read(const rdb::ReadView& db, std::string_view sql,
+                       ExecStats* stats = nullptr,
+                       const CancelToken& cancel = {},
+                       const PlannerOptions* planner = nullptr);
+
 /// Execute an already-parsed SELECT.  Binding annotations are written into
 /// the AST — and the cost-based planner may rewrite the join order in
 /// place — so the statement is taken by mutable reference; re-execution of
 /// the same statement is fine (binding and planning are idempotent), but
 /// two *threads* must not share one SelectStmt — give each its own parse
 /// (the query service does exactly that; plan caching caches SQL text,
-/// not ASTs).
+/// not ASTs).  The ReadView overload is the MVCC path: a view over a
+/// pinned DatabaseVersion reads that epoch latch-free; a view over the
+/// live Database (the convenience overload below) is for writer-thread or
+/// quiesced contexts.
+ResultSet execute_select(const rdb::ReadView& db, SelectStmt& stmt,
+                         ExecStats* stats = nullptr,
+                         const CancelToken& cancel = {},
+                         const PlannerOptions* planner = nullptr);
 ResultSet execute_select(rdb::Database& db, SelectStmt& stmt,
                          ExecStats* stats = nullptr,
                          const CancelToken& cancel = {},

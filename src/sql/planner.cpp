@@ -37,7 +37,7 @@ bool numeric(const Value& v, double& out) {
 /// (what the executor can do when this table drives the pipeline).
 struct TableInfo {
     TableRef ref;
-    Table* table = nullptr;
+    const Table* table = nullptr;
     double rows = 0;
     double local_sel = 1.0;
     bool index_eq = false;  ///< literal equality on an indexed column
@@ -491,14 +491,14 @@ std::string PlanInfo::to_string() const {
     return out.str();
 }
 
-PlanInfo plan_select(rdb::Database& db, SelectStmt& stmt,
+PlanInfo plan_select(const rdb::ReadView& db, SelectStmt& stmt,
                      const PlannerOptions& options) {
     PlanInfo info;
     info.stats_epoch = db.stats_epoch();
 
     std::vector<TableInfo> tables;
     auto add = [&](const TableRef& ref) {
-        Table* t = db.table(ref.table);
+        const Table* t = db.table(ref.table);
         if (t == nullptr) return false;
         TableInfo ti;
         ti.ref = ref;

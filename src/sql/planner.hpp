@@ -78,13 +78,15 @@ struct PlanInfo {
 };
 
 /// Cost and (when options.enable and it wins) reorder `stmt` in place.
-/// Reads table statistics under whatever latch the caller already holds
-/// (the query service plans inside its ReadSnapshot).  Statements the
+/// Reads table statistics through a ReadView — either a pinned
+/// DatabaseVersion (the query service plans inside its ReadSnapshot,
+/// latch-free) or the live database (writer-thread / quiesced callers,
+/// via ReadView's implicit conversion).  Statements the
 /// pass cannot reason about — unknown tables, ambiguous columns, `SELECT
 /// *` with joins (column order depends on table order) — are left
 /// untouched with planned=false; the executor then reports the error or
 /// runs the statement as written.
-PlanInfo plan_select(rdb::Database& db, SelectStmt& stmt,
+PlanInfo plan_select(const rdb::ReadView& db, SelectStmt& stmt,
                      const PlannerOptions& options = {});
 
 }  // namespace xr::sql

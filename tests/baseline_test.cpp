@@ -144,14 +144,14 @@ TEST(InlineLoader, LoadsPaperSample) {
     int first = author.def().column_index(
         r.columns_of.at(author.name()).at("name/firstname"));
     ASSERT_GE(first, 0);
-    EXPECT_EQ(author.rows()[0][first].as_text(), "John");
-    EXPECT_EQ(author.rows()[1][first].as_text(), "Dave");
+    EXPECT_EQ(author.row(0)[first].as_text(), "John");
+    EXPECT_EQ(author.row(1)[first].as_text(), "Dave");
 
     // parent links point at the article row.
     int parent = author.def().column_index("parent_id");
-    EXPECT_EQ(author.rows()[0][parent].as_integer(), 1);
+    EXPECT_EQ(author.row(0)[parent].as_integer(), 1);
     int ptable = author.def().column_index("parent_table");
-    EXPECT_EQ(author.rows()[0][ptable].as_text(), article.name());
+    EXPECT_EQ(author.row(0)[ptable].as_text(), article.name());
 }
 
 TEST(InlineLoader, CorpusLoadAllModes) {

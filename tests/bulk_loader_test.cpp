@@ -51,9 +51,11 @@ std::vector<std::string> registry_fingerprint(const rdb::Database& db) {
     int doc = reg->def().column_index("doc");
     int idval = reg->def().column_index("idval");
     int entity = reg->def().column_index("entity");
-    for (const auto& row : reg->rows())
+    for (rdb::RowId id = 0; id < reg->row_count(); ++id) {
+        const auto& row = reg->row(id);
         out.push_back(row[doc].to_string() + "|" + row[idval].to_string() +
                       "|" + row[entity].to_string());
+    }
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -189,7 +191,8 @@ TEST(BulkLoader, AppendsToAlreadyLoadedDatabase) {
     ASSERT_EQ(docs.row_count(), 4u);
     int c = docs.def().column_index("doc");
     std::vector<std::int64_t> ids;
-    for (const auto& row : docs.rows()) ids.push_back(row[c].as_integer());
+    for (rdb::RowId id = 0; id < docs.row_count(); ++id)
+        ids.push_back(docs.row(id)[c].as_integer());
     std::sort(ids.begin(), ids.end());
     EXPECT_EQ(ids, (std::vector<std::int64_t>{1, 2, 3, 4}));
 
@@ -326,10 +329,10 @@ TEST(BulkLoader, QuarantinePolicyRecordsRejectedDocuments) {
     ASSERT_EQ(q->row_count(), 3u);
     int idx = q->def().column_index("idx");
     int raw = q->def().column_index("raw_xml");
-    EXPECT_EQ(q->rows()[0][idx].as_integer(), 1);
-    EXPECT_EQ(q->rows()[0][raw].to_string(), corpus.texts[1]);
-    EXPECT_EQ(q->rows()[1][idx].as_integer(), 2);
-    EXPECT_EQ(q->rows()[2][idx].as_integer(), 4);
+    EXPECT_EQ(q->row(0)[idx].as_integer(), 1);
+    EXPECT_EQ(q->row(0)[raw].to_string(), corpus.texts[1]);
+    EXPECT_EQ(q->row(1)[idx].as_integer(), 2);
+    EXPECT_EQ(q->row(2)[idx].as_integer(), 4);
 }
 
 TEST(BulkLoader, FailFastRestoresPkCountersExactly) {

@@ -229,11 +229,66 @@ TEST(ConcurrentQuery, ExecStatsExactUnderConcurrency) {
         threads.emplace_back([&] {
             for (int i = 0; i < kIters; ++i) {
                 auto snapshot = stack.db.read_snapshot();
-                sql::execute(stack.db, "SELECT * FROM article", &shared);
+                sql::execute_read(snapshot.view(), "SELECT * FROM article",
+                                  &shared);
             }
         });
     for (auto& t : threads) t.join();
     EXPECT_EQ(shared.rows_scanned.load(), per_scan * kThreads * kIters);
+}
+
+// The MVCC guarantee with teeth (DESIGN.md §15): while a bulk-load unit
+// is provably OPEN — the writer holds the outermost unit and waits —
+// every reader keeps completing snapshot queries against the pre-load
+// epoch.  Under the old exclusive-latch read path this deadlocks: the
+// readers would block on the writer's latch, the writer on the readers'
+// progress.  Bounded latency follows: a read can never be stalled for
+// the duration of a bulk load.
+TEST(ConcurrentQuery, ReadersProgressWhileBulkLoadUnitOpen) {
+    Stack stack(gen::paper_dtd());
+    auto corpus = gen::bibliography_corpus(8, 60, 13);
+    stack.loader->load(*corpus[0]);
+    query::QueryService service(stack.db, stack.mapping, stack.schema, {});
+
+    std::int64_t before = count_of(service.path("count(/article)"));
+
+    constexpr int kReaders = 3;
+    constexpr int kReadsWhileOpen = 25;
+    std::atomic<int> reads_while_open{0};
+    std::atomic<bool> unit_open{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r)
+        readers.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire)) {
+                std::int64_t c = count_of(service.path("count(/article)"));
+                if (unit_open.load(std::memory_order_acquire)) {
+                    // Mid-load reads must see exactly the pre-load epoch:
+                    // nothing from the open unit, no torn intermediate.
+                    EXPECT_EQ(c, before);
+                    reads_while_open.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+
+    stack.db.begin_unit();  // outermost unit: nothing publishes until commit
+    unit_open.store(true, std::memory_order_release);
+    for (std::size_t i = 1; i < corpus.size(); ++i)
+        stack.loader->load(*corpus[i]);
+    // Hold the unit open until every reader demonstrably made progress
+    // against it — this is the deadlock under a latched read path.
+    while (reads_while_open.load(std::memory_order_relaxed) <
+           kReaders * kReadsWhileOpen)
+        std::this_thread::yield();
+    unit_open.store(false, std::memory_order_release);
+    stack.db.commit_unit();
+    done.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+
+    EXPECT_GE(reads_while_open.load(), kReaders * kReadsWhileOpen);
+    // After the commit publishes, a fresh read sees the whole load.
+    EXPECT_GT(count_of(service.path("count(/article)")), before);
 }
 
 }  // namespace

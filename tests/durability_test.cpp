@@ -369,7 +369,7 @@ TEST(Durability, UncommittedUnitIsRolledBackOnRecovery) {
     EXPECT_EQ(report.units_rolled_back, 1u);
     ASSERT_NE(db.table("t"), nullptr);
     ASSERT_EQ(db.require("t").row_count(), 1u);
-    EXPECT_EQ(db.require("t").rows()[0][1].to_string(), "committed");
+    EXPECT_EQ(db.require("t").row(0)[1].to_string(), "committed");
 }
 
 TEST(Durability, ReplayCoversUpdateDeleteAndIndexes) {
@@ -392,8 +392,8 @@ TEST(Durability, ReplayCoversUpdateDeleteAndIndexes) {
     db.open(dir.path());
     const rdb::Table& t = db.require("t");
     ASSERT_EQ(t.row_count(), 2u);
-    EXPECT_EQ(t.rows()[0][1].to_string(), "a2");
-    EXPECT_EQ(t.rows()[1][1].to_string(), "b");
+    EXPECT_EQ(t.row(0)[1].to_string(), "a2");
+    EXPECT_EQ(t.row(1)[1].to_string(), "b");
     ASSERT_EQ(t.index_defs().size(), 1u);
     EXPECT_EQ(t.index_defs()[0].column, "val");
     EXPECT_EQ(t.index_defs()[0].kind, rdb::IndexKind::kOrdered);

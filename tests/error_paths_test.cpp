@@ -194,11 +194,11 @@ TEST(LoaderErrors, QuarantinePolicyRecordsRejectedDocuments) {
     int idx = q->def().column_index("idx");
     int type = q->def().column_index("error_type");
     int raw = q->def().column_index("raw_xml");
-    EXPECT_EQ(q->rows()[0][idx].as_integer(), 1);
-    EXPECT_EQ(q->rows()[0][type].to_string(), "parse");
-    EXPECT_EQ(q->rows()[0][raw].to_string(), corpus[1]);
-    EXPECT_EQ(q->rows()[1][idx].as_integer(), 2);
-    EXPECT_EQ(q->rows()[2][idx].as_integer(), 4);
+    EXPECT_EQ(q->row(0)[idx].as_integer(), 1);
+    EXPECT_EQ(q->row(0)[type].to_string(), "parse");
+    EXPECT_EQ(q->row(0)[raw].to_string(), corpus[1]);
+    EXPECT_EQ(q->row(1)[idx].as_integer(), 2);
+    EXPECT_EQ(q->row(2)[idx].as_integer(), 4);
 
     // Everything except the quarantine table matches the good-only load.
     Stack good(gen::paper_dtd());

@@ -197,9 +197,9 @@ TEST(FaultInjection, SerialQuarantineKeepsFaultedDocumentText) {
     const rdb::Table* q = stack.db.table(loader::kQuarantineTable);
     ASSERT_NE(q, nullptr);
     ASSERT_EQ(q->row_count(), 1u);
-    EXPECT_EQ(q->rows()[0][q->def().column_index("raw_xml")].to_string(),
+    EXPECT_EQ(q->row(0)[q->def().column_index("raw_xml")].to_string(),
               article(1));
-    EXPECT_EQ(q->rows()[0][q->def().column_index("error_type")].to_string(),
+    EXPECT_EQ(q->row(0)[q->def().column_index("error_type")].to_string(),
               "fault");
 }
 
@@ -224,9 +224,9 @@ TEST(FaultInjection, QuarantineRowsSurviveRestart) {
         const rdb::Table* q = reopened.db.table(loader::kQuarantineTable);
         ASSERT_NE(q, nullptr) << "checkpoint=" << checkpoint;
         ASSERT_EQ(q->row_count(), 1u) << "checkpoint=" << checkpoint;
-        EXPECT_EQ(q->rows()[0][q->def().column_index("raw_xml")].to_string(),
+        EXPECT_EQ(q->row(0)[q->def().column_index("raw_xml")].to_string(),
                   article(1));
-        EXPECT_EQ(q->rows()[0][q->def().column_index("error_type")].to_string(),
+        EXPECT_EQ(q->row(0)[q->def().column_index("error_type")].to_string(),
                   "fault");
         // Second pass reopens from a snapshot instead of pure WAL replay.
         if (!checkpoint) reopened.db.checkpoint();
@@ -275,8 +275,10 @@ void expect_bulk_equivalent(const rdb::Database& a, const rdb::Database& b) {
         if (reg == nullptr) return out;
         int doc = reg->def().column_index("doc");
         int idval = reg->def().column_index("idval");
-        for (const auto& row : reg->rows())
+        for (rdb::RowId id = 0; id < reg->row_count(); ++id) {
+            const auto& row = reg->row(id);
             out.push_back(row[doc].to_string() + "|" + row[idval].to_string());
+        }
         std::sort(out.begin(), out.end());
         return out;
     };
@@ -387,7 +389,7 @@ TEST(FaultInjection, BulkQuarantineRecordsFaultedDocument) {
         if (outcome.status == loader::DocumentOutcome::Status::kQuarantined)
             failed_index = outcome.index;
     ASSERT_LT(failed_index, 6u);
-    EXPECT_EQ(q->rows()[0][q->def().column_index("raw_xml")].to_string(),
+    EXPECT_EQ(q->row(0)[q->def().column_index("raw_xml")].to_string(),
               article(static_cast<int>(failed_index)));
 }
 
@@ -424,11 +426,13 @@ TEST(FaultInjection, FaultedDocumentsPreserveIntervalLabelOrdering) {
                 int post = table.def().column_index("post");
                 int level = table.def().column_index("level");
                 if (pre < 0) continue;
-                for (const auto& row : table.rows())
+                for (rdb::RowId id = 0; id < table.row_count(); ++id) {
+                    const auto& row = table.row(id);
                     ivs.push_back(
                         {row[static_cast<std::size_t>(pre)].as_integer(),
                          row[static_cast<std::size_t>(post)].as_integer(),
                          row[static_cast<std::size_t>(level)].as_integer()});
+                }
             }
             ASSERT_FALSE(ivs.empty());
             std::sort(ivs.begin(), ivs.end(),

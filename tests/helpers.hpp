@@ -112,9 +112,10 @@ struct DurableStack {
 inline std::vector<std::string> db_fingerprint(const rdb::Database& db) {
     std::vector<std::string> out;
     for (const auto& name : db.table_names()) {
-        for (const auto& row : db.require(name).rows()) {
+        const rdb::Table& t = db.require(name);
+        for (rdb::RowId id = 0; id < t.row_count(); ++id) {
             std::string line = name;
-            for (const auto& v : row) line += "|" + v.to_string();
+            for (const auto& v : t.row(id)) line += "|" + v.to_string();
             out.push_back(std::move(line));
         }
     }

@@ -22,6 +22,7 @@
 // Replayable: the base seed prints at the start of the run and every
 // divergence reports the DTD seed plus the exact query text.  Override
 // with XMLREL_FUZZ_SEED / XMLREL_FUZZ_ITERS to reproduce or extend a run.
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -29,6 +30,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -38,6 +40,8 @@
 #include "gen/dtd_gen.hpp"
 #include "helpers.hpp"
 #include "query/service.hpp"
+#include "rdb/integrity.hpp"
+#include "rdb/snapshot.hpp"
 #include "xquery/dom_eval.hpp"
 #include "xquery/query.hpp"
 
@@ -267,9 +271,10 @@ std::string random_query(const FuzzWorld& w, std::mt19937_64& rng) {
 }
 
 /// The agreement oracle (mirrors the hand-written Agreement suite).
-void expect_agreement(const FuzzWorld& w, const std::string& text,
-                      const Translation& t, const sql::ResultSet& rs) {
-    DomResult dom = xquery::evaluate(w.views, xquery::parse_query(text));
+void expect_agreement(const std::vector<const xml::Document*>& views,
+                      const std::string& text, const Translation& t,
+                      const sql::ResultSet& rs) {
+    DomResult dom = xquery::evaluate(views, xquery::parse_query(text));
     if (t.yield == Translation::Yield::kCount) {
         EXPECT_EQ(static_cast<std::size_t>(rs.scalar().as_integer()),
                   dom.size())
@@ -323,7 +328,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
             continue;
         }
         query::QueryService::Result rs = w.service->path(text);
-        expect_agreement(w, text, t, *rs);
+        expect_agreement(w.views, text, t, *rs);
         if (::testing::Test::HasFailure()) break;
         ++compared;
         // Planner-off oracle: the cost-based pass may have reordered the
@@ -335,7 +340,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
             w.service->set_planner(false);
             query::QueryService::Result np_rs = w.service->path(text);
             ++planner_off_runs;
-            expect_agreement(w, text, t, *np_rs);
+            expect_agreement(w.views, text, t, *np_rs);
             w.service->set_planner(true);
             if (::testing::Test::HasFailure()) break;
         }
@@ -352,7 +357,7 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
             EXPECT_FALSE(legacy.interval_plan) << text;
             query::QueryService::Result legacy_rs = w.service->path(text);
             ++legacy_runs;
-            expect_agreement(w, text, legacy, *legacy_rs);
+            expect_agreement(w.views, text, legacy, *legacy_rs);
         } catch (const QueryError&) {
             // No unique chain (or an ancestor predicate) — DOM-only there.
         }
@@ -381,6 +386,90 @@ TEST(QueryDiffFuzz, SqlAndDomNeverDiverge) {
     std::uint64_t served = 0;
     for (const auto& w : worlds) served += w->service->stats().path_queries;
     EXPECT_EQ(served, compared + legacy_runs + planner_off_runs);
+}
+
+// MVCC churn leg (DESIGN.md §15): the differential oracle must hold
+// while a background writer churns commits, checkpoints and analyze()
+// against the same database.  The churn mutates a side table — the
+// document tables stay fixed, so the DOM answer stays the oracle — but
+// every query runs against a genuinely moving epoch sequence: each read
+// pins whatever version is current, and a divergence here means a read
+// observed a half-published epoch.
+TEST(QueryDiffFuzz, AgreesUnderCommitCheckpointChurn) {
+    const std::uint64_t seed = env_u64("XMLREL_FUZZ_SEED", 20260808);
+    test::TempDir dir;
+    test::DurableStack stack(gen::paper_dtd(), dir.path());
+    auto corpus = gen::bibliography_corpus(6, 60, seed % 997);
+    std::vector<const xml::Document*> views;
+    for (auto& doc : corpus) {
+        stack.loader->load(*doc);
+        views.push_back(doc.get());
+    }
+    query::ServiceOptions sopts;
+    sopts.threads = 2;
+    query::QueryService service(stack.db, stack.mapping, stack.schema, sopts);
+    service.execute_write(
+        "CREATE TABLE churn (id INTEGER PRIMARY KEY, payload TEXT)");
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> churn_commits{0};
+    std::thread churner([&] {
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            service.execute_write("INSERT INTO churn (id, payload) VALUES (" +
+                                  std::to_string(1000000 + i) + ", 'c" +
+                                  std::to_string(i) + "')");
+            churn_commits.fetch_add(1, std::memory_order_relaxed);
+            if (i % 5 == 4) (void)stack.db.checkpoint();
+            if (i % 11 == 10) (void)stack.db.analyze();
+            ++i;
+        }
+    });
+
+    const std::vector<std::string> queries = {
+        "count(/article)",
+        "count(/article/author)",
+        "count(//lastname)",
+        "/article/title/text()",
+        "//author/name/lastname/text()",
+        "/article/author[ancestor::article]",
+        "count(/article/contactauthor)",
+    };
+    std::uint64_t compared = 0;
+    std::uint64_t churn_floor = 0;
+    for (int round = 0; round < 40; ++round) {
+        for (const auto& text : queries) {
+            SCOPED_TRACE("churn round " + std::to_string(round) + ", query " +
+                         text);
+            Translation t;
+            try {
+                t = service.translate(text);
+            } catch (const QueryError&) {
+                continue;  // documented translation limitation
+            }
+            query::QueryService::Result rs = service.path(text);
+            expect_agreement(views, text, t, *rs);
+            ++compared;
+            if (::testing::Test::HasFailure()) break;
+        }
+        if (::testing::Test::HasFailure()) break;
+        // Don't let cache-hit rounds outrun the churner: each round must
+        // observe at least one commit (i.e. a new epoch) since the last,
+        // so the comparisons genuinely interleave with publication.
+        while (churn_commits.load(std::memory_order_acquire) <= churn_floor)
+            std::this_thread::yield();
+        churn_floor = churn_commits.load(std::memory_order_acquire);
+    }
+    stop.store(true, std::memory_order_release);
+    churner.join();
+
+    EXPECT_GT(compared, 100u);
+    EXPECT_GT(churn_commits.load(), 10u)
+        << "background churn never ran — the leg lost its teeth";
+    // The pinned-epoch read path must have cycled through many versions.
+    rdb::MvccStats st = stack.db.mvcc_stats();
+    EXPECT_GT(st.versions_published, churn_commits.load());
+    EXPECT_EQ(stack.db.verify().errors(), 0u);
 }
 
 }  // namespace

@@ -49,7 +49,8 @@ std::vector<Interval> collect_intervals(const StackT& stack) {
         int post = table.def().column_index("post");
         int level = table.def().column_index("level");
         if (pre < 0) continue;
-        for (const auto& row : table.rows()) {
+        for (rdb::RowId id = 0; id < table.row_count(); ++id) {
+            const auto& row = table.row(id);
             Interval iv;
             iv.pre = row[static_cast<std::size_t>(pre)].as_integer();
             iv.post = row[static_cast<std::size_t>(post)].as_integer();
@@ -102,7 +103,8 @@ TEST(StructIndex, SerialLoaderAssignsProperlyNestedLabels) {
     int span_col = docs.def().column_index("label_span");
     ASSERT_GE(base_col, 0);
     std::int64_t max_label = 0;
-    for (const auto& row : docs.rows()) {
+    for (rdb::RowId id = 0; id < docs.row_count(); ++id) {
+        const auto& row = docs.row(id);
         std::int64_t base = row[static_cast<std::size_t>(base_col)].as_integer();
         std::int64_t span = row[static_cast<std::size_t>(span_col)].as_integer();
         EXPECT_GT(span, 0);
